@@ -1,0 +1,41 @@
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/datagen"
+	"repro/internal/experiments"
+	"repro/internal/gpusim"
+)
+
+// extras compares the compressor archetypes beyond the paper's Table 4
+// columns: the CPU-style SZ3-like global-interpolation configuration
+// (§1's high-ratio reference) and the ultra-fast SZx constant-block design
+// (§2.2, excluded from the paper's tables). It situates cuSZ-Hi between
+// the two, which is the paper's framing of the design space.
+func extras(dev *gpusim.Device) error {
+	header("Extras: compressor archetype spectrum (eb=1e-2)")
+	comps := []experiments.Compressor{
+		experiments.SZ3LikeEntry(),
+		experiments.HiCR(),
+		experiments.HiTP(),
+		experiments.CuSZp2(),
+		experiments.SZx(),
+	}
+	fmt.Printf("%-10s %12s %10s %10s %12s %12s\n", "dataset", "compressor", "CR", "PSNR", "comp GiB/s", "dec GiB/s")
+	for _, ds := range datagen.PaperNames() {
+		f, err := experiments.Dataset(ds, *flagFull, *flagSeed)
+		if err != nil {
+			return err
+		}
+		for _, c := range comps {
+			r, err := experiments.Run(dev, c, f, 1e-2)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%-10s %12s %10.1f %10.1f %12.3f %12.3f\n", ds, c.Name, r.CR, r.PSNR, r.CompGiBps, r.DecGiBps)
+		}
+	}
+	fmt.Println("\n(expected: ratio SZ3-like >= Hi-CR >> SZx; speed SZx >> others)")
+	return nil
+}

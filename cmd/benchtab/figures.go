@@ -1,0 +1,202 @@
+package main
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/datagen"
+	"repro/internal/experiments"
+	"repro/internal/gpusim"
+	"repro/internal/interp"
+	"repro/internal/metrics"
+)
+
+// fig8 reproduces Figure 8: rate-distortion (bitrate vs PSNR) for every
+// compressor over every dataset. Fixed-eb compressors sweep error bounds;
+// cuZFP sweeps rates.
+func fig8(dev *gpusim.Device) error {
+	header("Fig 8: rate-distortion (bitrate [bits/val] vs PSNR [dB])")
+	ebs := []float64{1e-1, 1e-2, 1e-3, 1e-4, 1e-5}
+	rates := []float64{0.25, 0.5, 1, 2, 4, 8, 16}
+	var csv strings.Builder
+	csv.WriteString("dataset,compressor,point,bitrate,psnr\n")
+	for _, ds := range datagen.PaperNames() {
+		f, err := experiments.Dataset(ds, *flagFull, *flagSeed)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\n--- %s ---\n", ds)
+		for _, c := range experiments.Table4Compressors() {
+			fmt.Printf("%-12s", c.Name)
+			for _, eb := range ebs {
+				r, err := experiments.Run(dev, c, f, eb)
+				if err != nil {
+					return err
+				}
+				fmt.Printf("  (%6.3f, %5.1f)", r.BitRate, r.PSNR)
+				csv.WriteString(fmt.Sprintf("%s,%s,eb=%g,%.4f,%.2f\n", ds, c.Name, eb, r.BitRate, r.PSNR))
+			}
+			fmt.Println()
+		}
+		fmt.Printf("%-12s", "cuZFP")
+		for _, rate := range rates {
+			r, err := experiments.Run(dev, experiments.CuZFP(rate), f, 0)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("  (%6.3f, %5.1f)", r.BitRate, r.PSNR)
+			csv.WriteString(fmt.Sprintf("%s,cuZFP,rate=%g,%.4f,%.2f\n", ds, rate, r.BitRate, r.PSNR))
+		}
+		fmt.Println()
+	}
+	fmt.Println("\n(paper: cuSZ-Hi-CR leads the low-bitrate regime; cuSZ-Hi-TP close behind)")
+	return writeArtifact("fig8.csv", csv.String())
+}
+
+// fig9 reproduces Figure 9: decompression quality at a matched compression
+// ratio (JHTDB and RTM snapshots); slices are dumped as PGM when -out is
+// set.
+func fig9(dev *gpusim.Device) error {
+	header("Fig 9: quality at matched CR (JHTDB, RTM)")
+	type entry struct {
+		name string
+		c    experiments.Compressor
+		ebs  []float64
+	}
+	sweep := []float64{3e-1, 1e-1, 3e-2, 1e-2, 3e-3, 1e-3}
+	for _, ds := range []string{"jhtdb", "rtm"} {
+		f, err := experiments.Dataset(ds, *flagFull, *flagSeed)
+		if err != nil {
+			return err
+		}
+		// Target CR: what cuSZ-Hi-CR achieves around eb=1e-2 on this data.
+		target, err := experiments.Run(dev, experiments.HiCR(), f, 1e-2)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\n--- %s: target CR ~%.0f ---\n", ds, target.CR)
+		fmt.Printf("%-12s %10s %10s %10s\n", "compressor", "CR", "PSNR", "eb/rate")
+		entries := []entry{
+			{"cuSZ-Hi-CR", experiments.HiCR(), sweep},
+			{"cuSZ-Hi-TP", experiments.HiTP(), sweep},
+			{"cuSZ-IB", experiments.CuszIB(), sweep},
+			{"cuSZ-L", experiments.CuszL(), sweep},
+		}
+		for _, e := range entries {
+			// Pick the eb whose CR lands closest to the target.
+			best := math.Inf(1)
+			var bestRun experiments.RunResult
+			var bestEB float64
+			var bestRecon []float32
+			for _, eb := range e.ebs {
+				r, err := experiments.Run(dev, e.c, f, eb)
+				if err != nil {
+					return err
+				}
+				if d := math.Abs(math.Log(r.CR / target.CR)); d < best {
+					best = d
+					bestRun = r
+					bestEB = eb
+					blob, err := e.c.Compress(dev, f.Data, f.Dims, eb)
+					if err != nil {
+						return err
+					}
+					bestRecon, err = e.c.Decompress(dev, blob)
+					if err != nil {
+						return err
+					}
+				}
+			}
+			fmt.Printf("%-12s %10.1f %10.1f %10.0e\n", e.name, bestRun.CR, bestRun.PSNR, bestEB)
+			if err := writeSlicePGM(fmt.Sprintf("fig9_%s_%s.pgm", ds, sanitize(e.name)), bestRecon, f.Dims); err != nil {
+				return err
+			}
+		}
+		// cuZFP: pick the (fractional) rate matching the target CR
+		// (CR = 32/rate), floored at the minimum block budget.
+		zr := 32 / target.CR
+		r, err := experiments.Run(dev, experiments.CuZFP(zr), f, 0)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-12s %10.1f %10.1f %8.2fr\n", "cuZFP", r.CR, r.PSNR, zr)
+		if err := writeSlicePGM(fmt.Sprintf("fig9_%s_orig.pgm", ds), f.Data, f.Dims); err != nil {
+			return err
+		}
+	}
+	fmt.Println("\n(paper: at matched CR the Hi modes keep the highest PSNR and cleanest slices)")
+	return nil
+}
+
+// fig10 reproduces Figure 10: compression and decompression throughput per
+// compressor, dataset and error bound, on the simulated device.
+func fig10(dev *gpusim.Device) error {
+	header(fmt.Sprintf("Fig 10: throughput in GiB/s (simulated device, %d workers)", dev.Workers()))
+	comps := append(experiments.Table4Compressors(), experiments.CuZFP(8))
+	var csv strings.Builder
+	csv.WriteString("dataset,eb,compressor,comp_gibps,dec_gibps\n")
+	for _, ds := range datagen.PaperNames() {
+		f, err := experiments.Dataset(ds, *flagFull, *flagSeed)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\n--- %s ---\n", ds)
+		fmt.Printf("%-12s", "compressor")
+		for _, eb := range table4EBs {
+			fmt.Printf("   comp@%-6.0e dec@%-7.0e", eb, eb)
+		}
+		fmt.Println()
+		for _, c := range comps {
+			fmt.Printf("%-12s", c.Name)
+			for _, eb := range table4EBs {
+				r, err := experiments.Run(dev, c, f, eb)
+				if err != nil {
+					return err
+				}
+				fmt.Printf("   %10.3f %11.3f", r.CompGiBps, r.DecGiBps)
+				csv.WriteString(fmt.Sprintf("%s,%g,%s,%.4f,%.4f\n", ds, eb, c.Name, r.CompGiBps, r.DecGiBps))
+			}
+			fmt.Println()
+		}
+	}
+	fmt.Println("\n(paper: cuSZp2/FZ-GPU fastest; Hi-TP faster than Hi-CR and cuSZ-I(B))")
+	return writeArtifact("fig10.csv", csv.String())
+}
+
+func sanitize(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			return r
+		default:
+			return '_'
+		}
+	}, s)
+}
+
+// writeSlicePGM dumps the central z-slice of a field as an 8-bit PGM image
+// (the visual artifact standing in for Fig. 9's rendered slices).
+func writeSlicePGM(name string, data []float32, dims []int) error {
+	if *flagOut == "" {
+		return nil
+	}
+	g := interp.NewGrid(dims)
+	z := g.Nz / 2
+	slice := data[z*g.Ny*g.Nx : (z+1)*g.Ny*g.Nx]
+	lo, hi, rng := metrics.Range(slice)
+	_ = hi
+	if rng == 0 {
+		rng = 1
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "P5\n%d %d\n255\n", g.Nx, g.Ny)
+	buf := make([]byte, len(slice))
+	for i, v := range slice {
+		buf[i] = byte(math.Max(0, math.Min(255, (float64(v)-lo)/rng*255)))
+	}
+	sb.Write(buf)
+	return os.WriteFile(filepath.Join(*flagOut, name), []byte(sb.String()), 0o644)
+}

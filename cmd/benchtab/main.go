@@ -1,0 +1,84 @@
+// Command benchtab regenerates the tables and figures of the cuSZ-Hi paper
+// (SC 2025) on the synthetic dataset stand-ins:
+//
+//	benchtab table1   Bitcomp CR on compressor outputs (Nyx, eb=1e-2)
+//	benchtab table4   fixed-eb compression ratios, 6 datasets x 3 ebs
+//	benchtab table5   ablation study of the cuSZ-Hi design increments
+//	benchtab fig5     quant-code sequences, natural vs reordered
+//	benchtab fig6     lossless pipelines CR vs throughput on quant codes
+//	benchtab fig8     rate-distortion (bitrate vs PSNR) series
+//	benchtab fig9     fixed-CR quality comparison + slice dumps
+//	benchtab fig10    compression/decompression throughput
+//	benchtab all      everything above
+//
+// Flags: -full (paper-sized dims; slow), -seed N, -out DIR (CSV/PGM
+// artifacts), -workers N.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/gpusim"
+)
+
+var (
+	flagFull    = flag.Bool("full", false, "use paper-sized dataset dims (slow, memory-hungry)")
+	flagSeed    = flag.Int64("seed", 1, "dataset realization seed")
+	flagOut     = flag.String("out", "", "directory for CSV/PGM artifacts (optional)")
+	flagWorkers = flag.Int("workers", 0, "simulated device width (0 = GOMAXPROCS)")
+)
+
+func usage() {
+	fmt.Fprintf(os.Stderr, "usage: benchtab [flags] {table1|table4|table5|fig5|fig6|fig8|fig9|fig10|lcsearch|extras|all}\n")
+	flag.PrintDefaults()
+	os.Exit(2)
+}
+
+func main() {
+	flag.Usage = usage
+	flag.Parse()
+	if flag.NArg() != 1 {
+		usage()
+	}
+	dev := gpusim.New(*flagWorkers)
+	if *flagOut != "" {
+		if err := os.MkdirAll(*flagOut, 0o755); err != nil {
+			fatal(err)
+		}
+	}
+	cmds := map[string]func(*gpusim.Device) error{
+		"table1":   table1,
+		"table4":   table4,
+		"table5":   table5,
+		"fig5":     fig5,
+		"fig6":     fig6,
+		"fig8":     fig8,
+		"fig9":     fig9,
+		"fig10":    fig10,
+		"lcsearch": lcsearch,
+		"extras":   extras,
+	}
+	name := flag.Arg(0)
+	if name == "all" {
+		for _, k := range []string{"table1", "table4", "table5", "fig5", "fig6", "fig8", "fig9", "fig10"} {
+			if err := cmds[k](dev); err != nil {
+				fatal(err)
+			}
+		}
+		return
+	}
+	fn, ok := cmds[name]
+	if !ok {
+		usage()
+	}
+	if err := fn(dev); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchtab:", err)
+	os.Exit(1)
+}

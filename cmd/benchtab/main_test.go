@@ -1,0 +1,58 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/gpusim"
+)
+
+// TestDriversRun exercises the cheaper experiment drivers end to end (the
+// expensive ones are covered by bench_test.go at the repo root and by the
+// archived artifacts).
+func TestDriversRun(t *testing.T) {
+	dev := gpusim.New(4)
+	dir := t.TempDir()
+	*flagOut = dir
+	defer func() { *flagOut = "" }()
+	if err := table1(dev); err != nil {
+		t.Fatalf("table1: %v", err)
+	}
+	if err := table5(dev); err != nil {
+		t.Fatalf("table5: %v", err)
+	}
+	if err := fig5(dev); err != nil {
+		t.Fatalf("fig5: %v", err)
+	}
+	// fig5 must have produced its CSV artifact.
+	if _, err := os.Stat(filepath.Join(dir, "fig5.csv")); err != nil {
+		t.Fatalf("fig5.csv missing: %v", err)
+	}
+}
+
+func TestWriteSlicePGM(t *testing.T) {
+	dir := t.TempDir()
+	*flagOut = dir
+	defer func() { *flagOut = "" }()
+	data := make([]float32, 4*6*8)
+	for i := range data {
+		data[i] = float32(i)
+	}
+	if err := writeSlicePGM("t.pgm", data, []int{4, 6, 8}); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, "t.pgm"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(raw[:2]) != "P5" {
+		t.Fatalf("not a PGM: %q", raw[:2])
+	}
+}
+
+func TestSanitize(t *testing.T) {
+	if got := sanitize("cuSZ-Hi-CR"); got != "cuSZ_Hi_CR" {
+		t.Fatalf("sanitize = %q", got)
+	}
+}

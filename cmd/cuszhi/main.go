@@ -1,0 +1,222 @@
+// Command cuszhi is the command-line front end of the cuSZ-Hi
+// reproduction: it compresses and decompresses raw little-endian float32
+// files, and can synthesize the benchmark datasets.
+//
+//	cuszhi compress   -i data.f32 -o data.cszh -dims 256x384x384 -eb 1e-3 [-mode hi-cr] [-abs]
+//	cuszhi decompress -i data.cszh -o recon.f32
+//	cuszhi gen        -dataset miranda -o data.f32 [-dims 64x96x96] [-seed 1]
+//	cuszhi info       -i data.cszh
+//
+// Modes: hi-cr (default), hi-tp, cusz-i, cusz-ib, cusz-l.
+package main
+
+import (
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/cuszhi"
+	"repro/internal/datagen"
+	"repro/internal/metrics"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var err error
+	switch os.Args[1] {
+	case "compress":
+		err = cmdCompress(os.Args[2:])
+	case "decompress":
+		err = cmdDecompress(os.Args[2:])
+	case "gen":
+		err = cmdGen(os.Args[2:])
+	case "info":
+		err = cmdInfo(os.Args[2:])
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cuszhi:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  cuszhi compress   -i data.f32 -o data.cszh -dims ZxYxX -eb 1e-3 [-mode hi-cr] [-abs]
+  cuszhi decompress -i data.cszh -o recon.f32
+  cuszhi gen        -dataset NAME -o data.f32 [-dims ZxYxX] [-seed N] [-full]
+  cuszhi info       -i data.cszh`)
+	os.Exit(2)
+}
+
+func parseDims(s string) ([]int, error) {
+	if s == "" {
+		return nil, fmt.Errorf("missing -dims")
+	}
+	parts := strings.FieldsFunc(s, func(r rune) bool { return r == 'x' || r == 'X' || r == ',' })
+	dims := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(p)
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("bad dims %q", s)
+		}
+		dims = append(dims, v)
+	}
+	if len(dims) == 0 {
+		return nil, fmt.Errorf("bad dims %q", s)
+	}
+	return dims, nil
+}
+
+func readF32(path string) ([]float32, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(raw)%4 != 0 {
+		return nil, fmt.Errorf("%s: size %d is not a multiple of 4", path, len(raw))
+	}
+	out := make([]float32, len(raw)/4)
+	for i := range out {
+		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(raw[4*i:]))
+	}
+	return out, nil
+}
+
+func writeF32(path string, data []float32) error {
+	raw := make([]byte, 4*len(data))
+	for i, v := range data {
+		binary.LittleEndian.PutUint32(raw[4*i:], math.Float32bits(v))
+	}
+	return os.WriteFile(path, raw, 0o644)
+}
+
+func cmdCompress(args []string) error {
+	fs := flag.NewFlagSet("compress", flag.ExitOnError)
+	in := fs.String("i", "", "input raw float32 file")
+	out := fs.String("o", "", "output compressed file")
+	dimsStr := fs.String("dims", "", "dims, slowest first, e.g. 256x384x384")
+	eb := fs.Float64("eb", 1e-3, "error bound")
+	abs := fs.Bool("abs", false, "treat -eb as absolute instead of value-range-relative")
+	mode := fs.String("mode", string(cuszhi.ModeCR), "compressor mode")
+	fs.Parse(args)
+	if *in == "" || *out == "" {
+		return fmt.Errorf("compress: -i and -o are required")
+	}
+	dims, err := parseDims(*dimsStr)
+	if err != nil {
+		return err
+	}
+	data, err := readF32(*in)
+	if err != nil {
+		return err
+	}
+	c, err := cuszhi.New(cuszhi.Mode(*mode))
+	if err != nil {
+		return err
+	}
+	var blob []byte
+	if *abs {
+		blob, err = c.CompressAbs(data, dims, *eb)
+	} else {
+		blob, err = c.Compress(data, dims, *eb)
+	}
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*out, blob, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("%s: %d -> %d bytes (CR %.2f, %.3f bits/val, mode %s)\n",
+		*in, 4*len(data), len(blob), metrics.CR(4*len(data), len(blob)),
+		metrics.BitRate(len(data), len(blob)), *mode)
+	return nil
+}
+
+func cmdDecompress(args []string) error {
+	fs := flag.NewFlagSet("decompress", flag.ExitOnError)
+	in := fs.String("i", "", "input compressed file")
+	out := fs.String("o", "", "output raw float32 file")
+	fs.Parse(args)
+	if *in == "" || *out == "" {
+		return fmt.Errorf("decompress: -i and -o are required")
+	}
+	blob, err := os.ReadFile(*in)
+	if err != nil {
+		return err
+	}
+	data, dims, err := cuszhi.Decompress(blob)
+	if err != nil {
+		return err
+	}
+	if err := writeF32(*out, data); err != nil {
+		return err
+	}
+	fmt.Printf("%s: %d values, dims %v\n", *out, len(data), dims)
+	return nil
+}
+
+func cmdGen(args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	name := fs.String("dataset", "", "dataset name: "+strings.Join(datagen.Names(), ", "))
+	out := fs.String("o", "", "output raw float32 file")
+	dimsStr := fs.String("dims", "", "override dims (optional)")
+	seed := fs.Int64("seed", 1, "realization seed")
+	full := fs.Bool("full", false, "paper-sized dims")
+	fs.Parse(args)
+	if *name == "" || *out == "" {
+		return fmt.Errorf("gen: -dataset and -o are required")
+	}
+	var dims []int
+	var err error
+	if *dimsStr != "" {
+		dims, err = parseDims(*dimsStr)
+		if err != nil {
+			return err
+		}
+	} else {
+		dims, err = datagen.DefaultDims(*name, *full)
+		if err != nil {
+			return err
+		}
+	}
+	f, err := datagen.Generate(*name, dims, *seed)
+	if err != nil {
+		return err
+	}
+	if err := writeF32(*out, f.Data); err != nil {
+		return err
+	}
+	fmt.Printf("%s: %s %v (%d values, %.1f MiB)\n", *out, *name, f.Dims, f.Len(), float64(f.SizeBytes())/(1<<20))
+	return nil
+}
+
+func cmdInfo(args []string) error {
+	fs := flag.NewFlagSet("info", flag.ExitOnError)
+	in := fs.String("i", "", "compressed file")
+	fs.Parse(args)
+	if *in == "" {
+		return fmt.Errorf("info: -i is required")
+	}
+	blob, err := os.ReadFile(*in)
+	if err != nil {
+		return err
+	}
+	data, dims, err := cuszhi.Decompress(blob)
+	if err != nil {
+		return err
+	}
+	lo, hi, rng := metrics.Range(data)
+	fmt.Printf("file:   %s (%d bytes)\n", *in, len(blob))
+	fmt.Printf("dims:   %v (%d values)\n", dims, len(data))
+	fmt.Printf("ratio:  %.2f (%.3f bits/val)\n", metrics.CR(4*len(data), len(blob)), metrics.BitRate(len(data), len(blob)))
+	fmt.Printf("range:  [%g, %g] (span %g)\n", lo, hi, rng)
+	return nil
+}

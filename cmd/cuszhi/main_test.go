@@ -1,0 +1,130 @@
+package main
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestParseDims(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want []int
+		ok   bool
+	}{
+		{"256x384x384", []int{256, 384, 384}, true},
+		{"100", []int{100}, true},
+		{"8X9", []int{8, 9}, true},
+		{"4,5,6", []int{4, 5, 6}, true},
+		{"", nil, false},
+		{"axb", nil, false},
+		{"-4x5", nil, false},
+		{"0x5", nil, false},
+	} {
+		got, err := parseDims(tc.in)
+		if tc.ok != (err == nil) {
+			t.Fatalf("parseDims(%q): err=%v want ok=%v", tc.in, err, tc.ok)
+		}
+		if !tc.ok {
+			continue
+		}
+		if len(got) != len(tc.want) {
+			t.Fatalf("parseDims(%q) = %v", tc.in, got)
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Fatalf("parseDims(%q) = %v", tc.in, got)
+			}
+		}
+	}
+}
+
+func TestReadWriteF32(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "x.f32")
+	data := []float32{0, 1.5, -2.25, float32(math.Pi)}
+	if err := writeF32(path, data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readF32(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		if got[i] != data[i] {
+			t.Fatalf("value %d: %v != %v", i, got[i], data[i])
+		}
+	}
+	// Misaligned file must error.
+	if err := os.WriteFile(path, []byte{1, 2, 3}, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readF32(path); err == nil {
+		t.Fatal("want alignment error")
+	}
+}
+
+func TestEndToEndCommands(t *testing.T) {
+	dir := t.TempDir()
+	raw := filepath.Join(dir, "f.f32")
+	comp := filepath.Join(dir, "f.cszh")
+	out := filepath.Join(dir, "recon.f32")
+
+	if err := cmdGen([]string{"-dataset", "nyx", "-o", raw, "-dims", "16x24x24", "-seed", "3"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdCompress([]string{"-i", raw, "-o", comp, "-dims", "16x24x24", "-eb", "1e-3", "-mode", "hi-tp"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdDecompress([]string{"-i", comp, "-o", out}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdInfo([]string{"-i", comp}); err != nil {
+		t.Fatal(err)
+	}
+	orig, err := readF32(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recon, err := readF32(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(orig) != len(recon) {
+		t.Fatalf("len %d != %d", len(recon), len(orig))
+	}
+	lo, hi := orig[0], orig[0]
+	for _, v := range orig {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	eb := 1e-3 * float64(hi-lo)
+	for i := range orig {
+		if math.Abs(float64(orig[i])-float64(recon[i])) > eb*(1+1e-6) {
+			t.Fatalf("bound violated at %d", i)
+		}
+	}
+}
+
+func TestCommandValidation(t *testing.T) {
+	if err := cmdCompress([]string{"-i", "", "-o", ""}); err == nil {
+		t.Fatal("want missing-args error")
+	}
+	if err := cmdDecompress([]string{"-i", "", "-o", ""}); err == nil {
+		t.Fatal("want missing-args error")
+	}
+	if err := cmdGen([]string{"-dataset", "", "-o", ""}); err == nil {
+		t.Fatal("want missing-args error")
+	}
+	if err := cmdInfo([]string{"-i", ""}); err == nil {
+		t.Fatal("want missing-args error")
+	}
+	if err := cmdGen([]string{"-dataset", "nope", "-o", "/tmp/x"}); err == nil {
+		t.Fatal("want unknown-dataset error")
+	}
+}

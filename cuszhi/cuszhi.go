@@ -1,0 +1,194 @@
+// Package cuszhi is the public API of this repository's Go reproduction of
+// cuSZ-Hi, the high-ratio error-bounded lossy compressor for scientific
+// floating-point data (Wu, Pan, Liu, Tian, et al., SC 2025).
+//
+// Quickstart:
+//
+//	c, _ := cuszhi.New(cuszhi.ModeCR)
+//	blob, _ := c.Compress(data, []int{nz, ny, nx}, 1e-3) // relative eb
+//	recon, dims, _ := c.Decompress(blob)
+//
+// Error bounds are value-range-relative by default, matching the paper's
+// evaluation methodology (§6.1.4); CompressAbs takes an absolute bound.
+// Mode selects between the two cuSZ-Hi lossless pipelines (§5.2.3) and the
+// paper's baselines, which this repository also implements in full.
+package cuszhi
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/gpusim"
+	"repro/internal/metrics"
+)
+
+// Mode identifies a compressor assembly.
+type Mode string
+
+// Available modes.
+const (
+	// ModeCR is cuSZ-Hi-CR: the compression-ratio-preferred mode
+	// (auto-tuned multi-dimensional interpolation, level-order code
+	// reordering, HF-RRE4-TCMS8-RZE1 lossless pipeline).
+	ModeCR Mode = "hi-cr"
+	// ModeTP is cuSZ-Hi-TP: the throughput-preferred mode
+	// (TCMS1-BIT1-RRE1 lossless pipeline, no Huffman stage).
+	ModeTP Mode = "hi-tp"
+	// ModeCuszI is the cuSZ-I baseline (interpolation + Huffman).
+	ModeCuszI Mode = "cusz-i"
+	// ModeCuszIB is the cuSZ-IB baseline (cuSZ-I + Bitcomp surrogate).
+	ModeCuszIB Mode = "cusz-ib"
+	// ModeCuszL is the cuSZ-L baseline (Lorenzo + Huffman).
+	ModeCuszL Mode = "cusz-l"
+	// ModeAuto selects an assembly per input by sample compression — the
+	// auto-selection mechanism sketched as future work in §7 of the paper.
+	ModeAuto Mode = "auto"
+)
+
+// Modes lists every fixed-assembly mode (ModeAuto composes these).
+func Modes() []Mode {
+	return []Mode{ModeCR, ModeTP, ModeCuszI, ModeCuszIB, ModeCuszL}
+}
+
+func options(m Mode) (core.Options, error) {
+	switch m {
+	case ModeCR:
+		return core.HiCR(), nil
+	case ModeTP:
+		return core.HiTP(), nil
+	case ModeCuszI:
+		return core.CuszI(), nil
+	case ModeCuszIB:
+		return core.CuszIB(), nil
+	case ModeCuszL:
+		return core.CuszL(), nil
+	}
+	return core.Options{}, fmt.Errorf("cuszhi: unknown mode %q", m)
+}
+
+// Option customizes a Compressor.
+type Option func(*Compressor)
+
+// WithWorkers sets the simulated device's parallel width (default:
+// GOMAXPROCS).
+func WithWorkers(n int) Option {
+	return func(c *Compressor) { c.dev = gpusim.New(n) }
+}
+
+// Compressor is a reusable, goroutine-safe compressor instance.
+type Compressor struct {
+	mode Mode
+	auto bool
+	opts core.Options
+	dev  *gpusim.Device
+}
+
+// New returns a Compressor for the given mode.
+func New(mode Mode, opts ...Option) (*Compressor, error) {
+	c := &Compressor{mode: mode, dev: gpusim.Default}
+	if mode == ModeAuto {
+		c.auto = true
+	} else {
+		co, err := options(mode)
+		if err != nil {
+			return nil, err
+		}
+		c.opts = co
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c, nil
+}
+
+// Mode reports the compressor's mode.
+func (c *Compressor) Mode() Mode { return c.mode }
+
+// Compress encodes data with the given shape (slowest dim first) under a
+// value-range-relative error bound relEB, as in the paper's experiments.
+func (c *Compressor) Compress(data []float32, dims []int, relEB float64) ([]byte, error) {
+	if relEB <= 0 {
+		return nil, fmt.Errorf("cuszhi: relative error bound %v must be positive", relEB)
+	}
+	return c.CompressAbs(data, dims, metrics.AbsEB(data, relEB))
+}
+
+// CompressAbs encodes data under an absolute error bound.
+func (c *Compressor) CompressAbs(data []float32, dims []int, absEB float64) ([]byte, error) {
+	opts := c.opts
+	if c.auto {
+		sel, err := core.AutoSelect(c.dev, data, dims, absEB)
+		if err != nil {
+			return nil, err
+		}
+		opts = sel.Options
+	}
+	return core.Compress(c.dev, data, dims, absEB, opts)
+}
+
+// Decompress decodes a container produced by any mode, returning the
+// reconstruction and its dims.
+func (c *Compressor) Decompress(blob []byte) ([]float32, []int, error) {
+	return core.Decompress(c.dev, blob)
+}
+
+// Compress is a convenience one-shot using ModeCR.
+func Compress(data []float32, dims []int, relEB float64) ([]byte, error) {
+	c, err := New(ModeCR)
+	if err != nil {
+		return nil, err
+	}
+	return c.Compress(data, dims, relEB)
+}
+
+// Decompress is a convenience one-shot decoder.
+func Decompress(blob []byte) ([]float32, []int, error) {
+	return core.Decompress(gpusim.Default, blob)
+}
+
+// Stats summarizes a compression run.
+type Stats struct {
+	OrigBytes  int
+	CompBytes  int
+	Ratio      float64 // |X| / |Z|
+	BitRate    float64 // bits per element
+	PSNR       float64 // dB, value-range based
+	MaxErr     float64 // L-infinity error
+	WithinEB   bool    // max error within the given absolute bound
+	AbsErrorEB float64
+}
+
+// Evaluate computes Stats for an (orig, blob, recon) triple under absolute
+// bound absEB.
+func Evaluate(orig []float32, blob []byte, recon []float32, absEB float64) Stats {
+	d := metrics.Compare(orig, recon)
+	return Stats{
+		OrigBytes:  4 * len(orig),
+		CompBytes:  len(blob),
+		Ratio:      metrics.CR(4*len(orig), len(blob)),
+		BitRate:    metrics.BitRate(len(orig), len(blob)),
+		PSNR:       d.PSNR,
+		MaxErr:     d.MaxErr,
+		WithinEB:   metrics.WithinBound(orig, recon, absEB),
+		AbsErrorEB: absEB,
+	}
+}
+
+// AbsEB converts a value-range-relative error bound to the absolute bound
+// used by Eq. 1 of the paper (relEB times the data's value range).
+func AbsEB(data []float32, relEB float64) float64 {
+	return metrics.AbsEB(data, relEB)
+}
+
+// GenerateDataset synthesizes one of the repository's benchmark stand-in
+// fields (cesm, jhtdb, miranda, nyx, qmcpack, rtm, hurricane, scale) at the
+// given dims (nil = default small dims), returning the data and its dims.
+// Fields are deterministic per (name, dims, seed).
+func GenerateDataset(name string, dims []int, seed int64) ([]float32, []int, error) {
+	f, err := datagen.Generate(name, dims, seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	return f.Data, f.Dims, nil
+}

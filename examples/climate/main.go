@@ -1,0 +1,53 @@
+// Climate: a CESM-like 2-D atmosphere workflow. Climate archives compress
+// millions of snapshots, so the mode choice (ratio vs throughput vs
+// baseline compatibility) matters; this example sweeps every mode of the
+// public API over one snapshot and prints the trade-off table the operator
+// would use to choose.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/cuszhi"
+)
+
+func main() {
+	data, dims, err := cuszhi.GenerateDataset("cesm", []int{450, 900}, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	const relEB = 1e-3
+	absEB := cuszhi.AbsEB(data, relEB)
+
+	fmt.Printf("CESM-like snapshot %v, rel eb %g (abs %.3g)\n\n", dims, relEB, absEB)
+	fmt.Printf("%-10s %10s %10s %10s %12s %12s\n", "mode", "ratio", "bits/val", "PSNR", "comp MB/s", "decomp MB/s")
+
+	for _, mode := range cuszhi.Modes() {
+		c, err := cuszhi.New(mode)
+		if err != nil {
+			log.Fatal(err)
+		}
+		t0 := time.Now()
+		blob, err := c.Compress(data, dims, relEB)
+		compS := time.Since(t0).Seconds()
+		if err != nil {
+			log.Fatalf("%s: %v", mode, err)
+		}
+		t1 := time.Now()
+		recon, _, err := c.Decompress(blob)
+		decS := time.Since(t1).Seconds()
+		if err != nil {
+			log.Fatalf("%s: %v", mode, err)
+		}
+		st := cuszhi.Evaluate(data, blob, recon, absEB)
+		if !st.WithinEB {
+			log.Fatalf("%s: bound violated", mode)
+		}
+		mb := float64(st.OrigBytes) / 1e6
+		fmt.Printf("%-10s %10.1f %10.3f %10.1f %12.1f %12.1f\n",
+			mode, st.Ratio, st.BitRate, st.PSNR, mb/compS, mb/decS)
+	}
+	fmt.Println("\nhi-cr maximizes archive density; hi-tp trades a little ratio for speed.")
+}

@@ -1,0 +1,47 @@
+// Quickstart: compress a small synthetic hydrodynamics field with cuSZ-Hi,
+// decompress it, and verify the error bound — the minimal end-to-end use of
+// the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/cuszhi"
+)
+
+func main() {
+	// A Miranda-like 64x96x96 density field (use your own []float32 in
+	// practice; dims are listed slowest-first).
+	data, fieldDims, err := cuszhi.GenerateDataset("miranda", []int{64, 96, 96}, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Compress under a value-range-relative error bound of 1e-3.
+	const relEB = 1e-3
+	c, err := cuszhi.New(cuszhi.ModeCR)
+	if err != nil {
+		log.Fatal(err)
+	}
+	blob, err := c.Compress(data, fieldDims, relEB)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Decompress and evaluate.
+	recon, dims, err := c.Decompress(blob)
+	if err != nil {
+		log.Fatal(err)
+	}
+	stats := cuszhi.Evaluate(data, blob, recon, cuszhi.AbsEB(data, relEB))
+
+	fmt.Printf("field:             %v (%d values, %d bytes)\n", dims, len(recon), stats.OrigBytes)
+	fmt.Printf("compressed:        %d bytes\n", stats.CompBytes)
+	fmt.Printf("compression ratio: %.1f (%.3f bits/value)\n", stats.Ratio, stats.BitRate)
+	fmt.Printf("PSNR:              %.1f dB\n", stats.PSNR)
+	fmt.Printf("max error:         %.3g (bound %.3g) within=%v\n", stats.MaxErr, stats.AbsErrorEB, stats.WithinEB)
+	if !stats.WithinEB {
+		log.Fatal("error bound violated")
+	}
+}

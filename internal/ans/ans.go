@@ -1,0 +1,232 @@
+// Package ans implements a static byte-oriented rANS (range asymmetric
+// numeral system) coder. It is the open surrogate for the proprietary
+// nvCOMP::ANS encoder benchmarked in Fig. 6 of the cuSZ-Hi paper, and the
+// entropy stage of the zstd-lite surrogate in internal/lz.
+package ans
+
+import (
+	"errors"
+
+	"repro/internal/bitio"
+)
+
+// ErrCorrupt reports a malformed rANS stream.
+var ErrCorrupt = errors.New("ans: corrupt stream")
+
+const (
+	probBits  = 12
+	probScale = 1 << probBits
+	ransL     = 1 << 23 // lower bound of the normalized state interval
+)
+
+// normalizeFreqs scales a histogram to sum exactly probScale, keeping every
+// non-zero frequency >= 1.
+func normalizeFreqs(hist [256]int) (freqs [256]uint16, used int) {
+	total := 0
+	for _, c := range hist {
+		total += c
+	}
+	if total == 0 {
+		return freqs, 0
+	}
+	remaining := probScale
+	// First pass: proportional share, minimum 1 for present symbols.
+	var maxSym int
+	maxCount := -1
+	for s, c := range hist {
+		if c == 0 {
+			continue
+		}
+		used++
+		f := c * probScale / total
+		if f == 0 {
+			f = 1
+		}
+		freqs[s] = uint16(f)
+		remaining -= f
+		if c > maxCount {
+			maxCount = c
+			maxSym = s
+		}
+	}
+	// Dump the rounding remainder on the most frequent symbol; if we
+	// overshot, steal from the largest frequencies.
+	for remaining < 0 {
+		for s := range freqs {
+			if freqs[s] > 1 && remaining < 0 {
+				freqs[s]--
+				remaining++
+			}
+		}
+	}
+	freqs[maxSym] += uint16(remaining)
+	return freqs, used
+}
+
+// Encode compresses p with a static order-0 model.
+func Encode(p []byte) []byte {
+	var hist [256]int
+	for _, b := range p {
+		hist[b]++
+	}
+	freqs, used := normalizeFreqs(hist)
+	out := bitio.AppendUvarint(nil, uint64(len(p)))
+	if len(p) == 0 {
+		return out
+	}
+	if used == 1 {
+		// Degenerate single-symbol stream: store the symbol only.
+		for s, f := range freqs {
+			if f != 0 {
+				out = append(out, 0x01, byte(s))
+				return out
+			}
+		}
+	}
+	out = append(out, 0x00)
+	// Serialize the frequency table as varints (RLE of zeros).
+	for s := 0; s < 256; {
+		if freqs[s] == 0 {
+			run := 0
+			for s < 256 && freqs[s] == 0 {
+				run++
+				s++
+			}
+			out = bitio.AppendUvarint(out, 0)
+			out = bitio.AppendUvarint(out, uint64(run))
+			continue
+		}
+		out = bitio.AppendUvarint(out, uint64(freqs[s]))
+		s++
+	}
+	var cum [257]uint32
+	for s := 0; s < 256; s++ {
+		cum[s+1] = cum[s] + uint32(freqs[s])
+	}
+	// rANS encodes in reverse; emitted bytes are collected and reversed so
+	// the decoder streams forward.
+	var tail []byte
+	x := uint32(ransL)
+	for i := len(p) - 1; i >= 0; i-- {
+		s := p[i]
+		f := uint32(freqs[s])
+		xMax := ((ransL >> probBits) << 8) * f
+		for x >= xMax {
+			tail = append(tail, byte(x))
+			x >>= 8
+		}
+		x = (x/f)<<probBits + x%f + cum[s]
+	}
+	out = bitio.AppendUint32(out, x)
+	// Reverse tail in place.
+	for i, j := 0, len(tail)-1; i < j; i, j = i+1, j-1 {
+		tail[i], tail[j] = tail[j], tail[i]
+	}
+	out = bitio.AppendUvarint(out, uint64(len(tail)))
+	return append(out, tail...)
+}
+
+// Decode reverses Encode.
+func Decode(data []byte) ([]byte, error) {
+	n64, n := bitio.Uvarint(data)
+	if n == 0 {
+		return nil, ErrCorrupt
+	}
+	off := n
+	if n64 == 0 {
+		return nil, nil
+	}
+	if int(n64) < 0 {
+		return nil, ErrCorrupt
+	}
+	if off >= len(data) {
+		return nil, ErrCorrupt
+	}
+	mode := data[off]
+	off++
+	if mode == 0x01 {
+		if off >= len(data) {
+			return nil, ErrCorrupt
+		}
+		out := make([]byte, n64)
+		for i := range out {
+			out[i] = data[off]
+		}
+		return out, nil
+	}
+	if mode != 0x00 {
+		return nil, ErrCorrupt
+	}
+	var freqs [256]uint16
+	total := 0
+	for s := 0; s < 256; {
+		v, vn := bitio.Uvarint(data[off:])
+		if vn == 0 {
+			return nil, ErrCorrupt
+		}
+		off += vn
+		if v == 0 {
+			run, rn := bitio.Uvarint(data[off:])
+			if rn == 0 || run == 0 || uint64(s)+run > 256 {
+				return nil, ErrCorrupt
+			}
+			off += rn
+			s += int(run)
+			continue
+		}
+		if v > probScale {
+			return nil, ErrCorrupt
+		}
+		freqs[s] = uint16(v)
+		total += int(v)
+		s++
+	}
+	if total != probScale {
+		return nil, ErrCorrupt
+	}
+	var cum [257]uint32
+	for s := 0; s < 256; s++ {
+		cum[s+1] = cum[s] + uint32(freqs[s])
+	}
+	// Slot-to-symbol lookup.
+	slot2sym := make([]byte, probScale)
+	for s := 0; s < 256; s++ {
+		for i := cum[s]; i < cum[s+1]; i++ {
+			slot2sym[i] = byte(s)
+		}
+	}
+	if off+4 > len(data) {
+		return nil, ErrCorrupt
+	}
+	x := uint32(data[off]) | uint32(data[off+1])<<8 | uint32(data[off+2])<<16 | uint32(data[off+3])<<24
+	off += 4
+	tailLen, tn := bitio.Uvarint(data[off:])
+	if tn == 0 {
+		return nil, ErrCorrupt
+	}
+	off += tn
+	if off+int(tailLen) > len(data) {
+		return nil, ErrCorrupt
+	}
+	tail := data[off : off+int(tailLen)]
+	pos := 0
+	out := make([]byte, n64)
+	for i := range out {
+		slot := x & (probScale - 1)
+		s := slot2sym[slot]
+		f := uint32(freqs[s])
+		if f == 0 {
+			return nil, ErrCorrupt
+		}
+		out[i] = s
+		x = f*(x>>probBits) + slot - cum[s]
+		for x < ransL {
+			if pos >= len(tail) {
+				return nil, ErrCorrupt
+			}
+			x = x<<8 | uint32(tail[pos])
+			pos++
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,133 @@
+package ans
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/metrics"
+)
+
+func roundTrip(t *testing.T, data []byte) []byte {
+	t.Helper()
+	enc := Encode(data)
+	dec, err := Decode(enc)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if !bytes.Equal(dec, data) {
+		t.Fatalf("round trip mismatch: %d vs %d bytes", len(dec), len(data))
+	}
+	return enc
+}
+
+func TestRoundTripBasic(t *testing.T) {
+	roundTrip(t, nil)
+	roundTrip(t, []byte{0})
+	roundTrip(t, []byte{255})
+	roundTrip(t, []byte("hello world"))
+	roundTrip(t, bytes.Repeat([]byte{7}, 10_000))
+}
+
+func TestRoundTripAllSymbols(t *testing.T) {
+	data := make([]byte, 256*10)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	roundTrip(t, data)
+}
+
+func TestRoundTripRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 100, 65537} {
+		data := make([]byte, n)
+		rng.Read(data)
+		roundTrip(t, data)
+	}
+}
+
+func TestCompressionNearEntropy(t *testing.T) {
+	// Skewed distribution: coded size should be near the entropy bound,
+	// clearly below Huffman's 1-bit floor advantage territory.
+	rng := rand.New(rand.NewSource(2))
+	data := make([]byte, 200_000)
+	for i := range data {
+		if rng.Intn(50) == 0 {
+			data[i] = byte(rng.Intn(256))
+		} else {
+			data[i] = 128
+		}
+	}
+	enc := roundTrip(t, data)
+	h := metrics.ByteEntropy(data)
+	bound := h * float64(len(data)) / 8
+	if float64(len(enc)) > bound*1.1+1100 {
+		t.Fatalf("rANS size %d far above entropy bound %.0f", len(enc), bound)
+	}
+}
+
+func TestSingleSymbolDegenerate(t *testing.T) {
+	data := bytes.Repeat([]byte{42}, 1_000_000)
+	enc := roundTrip(t, data)
+	if len(enc) > 16 {
+		t.Fatalf("constant stream should be tiny, got %d bytes", len(enc))
+	}
+}
+
+func TestDecodeCorrupt(t *testing.T) {
+	data := make([]byte, 10_000)
+	rng := rand.New(rand.NewSource(3))
+	for i := range data {
+		data[i] = byte(rng.Intn(16) * 16)
+	}
+	enc := Encode(data)
+	for _, cut := range []int{0, 1, 5, len(enc) / 2, len(enc) - 1} {
+		if _, err := Decode(enc[:cut]); err == nil {
+			t.Fatalf("truncation to %d: want error", cut)
+		}
+	}
+	for trial := 0; trial < 50; trial++ {
+		bad := append([]byte(nil), enc...)
+		bad[rng.Intn(len(bad))] ^= byte(1 + rng.Intn(255))
+		Decode(bad) // must not panic
+	}
+}
+
+func TestNormalizeFreqsSumsToScale(t *testing.T) {
+	var hist [256]int
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 100; trial++ {
+		for i := range hist {
+			hist[i] = 0
+		}
+		nsym := 1 + rng.Intn(256)
+		for i := 0; i < nsym; i++ {
+			hist[rng.Intn(256)] = 1 + rng.Intn(100000)
+		}
+		freqs, _ := normalizeFreqs(hist)
+		sum := 0
+		for s, f := range freqs {
+			if hist[s] > 0 && f == 0 {
+				t.Fatal("present symbol got zero frequency")
+			}
+			if hist[s] == 0 && f != 0 {
+				t.Fatal("absent symbol got frequency")
+			}
+			sum += int(f)
+		}
+		if sum != probScale {
+			t.Fatalf("freqs sum to %d, want %d", sum, probScale)
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(data []byte) bool {
+		dec, err := Decode(Encode(data))
+		return err == nil && bytes.Equal(dec, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

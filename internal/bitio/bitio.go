@@ -1,0 +1,283 @@
+// Package bitio provides bit-granular writers and readers plus small
+// variable-length integer codecs used by the compression pipelines.
+//
+// The writer packs bits LSB-first into a growing byte slice; the reader
+// mirrors it. Both are deliberately allocation-light: the hot paths
+// (WriteBits/ReadBits) operate on a 64-bit accumulator.
+package bitio
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// ErrShortStream reports a read past the end of the underlying buffer.
+var ErrShortStream = errors.New("bitio: unexpected end of stream")
+
+// Writer accumulates bits LSB-first into an internal byte buffer.
+// The zero value is ready to use.
+type Writer struct {
+	buf  []byte
+	acc  uint64 // pending bits, LSB-first
+	nacc uint   // number of valid bits in acc (< 8 after flushAcc)
+}
+
+// NewWriter returns a Writer whose internal buffer has the given capacity
+// hint in bytes.
+func NewWriter(capHint int) *Writer {
+	if capHint < 0 {
+		capHint = 0
+	}
+	return &Writer{buf: make([]byte, 0, capHint)}
+}
+
+// WriteBit appends a single bit (the low bit of b).
+func (w *Writer) WriteBit(b uint) {
+	w.acc |= uint64(b&1) << w.nacc
+	w.nacc++
+	if w.nacc == 64 {
+		w.spill()
+	}
+}
+
+// WriteBits appends the n low bits of v, LSB-first. n must be in [0, 64].
+func (w *Writer) WriteBits(v uint64, n uint) {
+	if n == 0 {
+		return
+	}
+	if n < 64 {
+		v &= (1 << n) - 1
+	}
+	w.acc |= v << w.nacc
+	if w.nacc+n >= 64 {
+		free := 64 - w.nacc
+		w.spillFull()
+		if free < n {
+			w.acc = v >> free
+		}
+		w.nacc = n - free
+		return
+	}
+	w.nacc += n
+}
+
+// spillFull writes the full 64-bit accumulator to the buffer.
+func (w *Writer) spillFull() {
+	var tmp [8]byte
+	binary.LittleEndian.PutUint64(tmp[:], w.acc)
+	w.buf = append(w.buf, tmp[:]...)
+	w.acc = 0
+}
+
+// spill writes 8 bytes when nacc hit exactly 64 via WriteBit.
+func (w *Writer) spill() {
+	w.spillFull()
+	w.nacc = 0
+}
+
+// WriteBytes appends whole bytes. If the writer is not currently
+// byte-aligned the bytes are shifted into the bit stream.
+func (w *Writer) WriteBytes(p []byte) {
+	if w.nacc%8 == 0 {
+		// Fast path: flush accumulator fully, then bulk-append.
+		for w.nacc > 0 {
+			w.buf = append(w.buf, byte(w.acc))
+			w.acc >>= 8
+			w.nacc -= 8
+		}
+		w.buf = append(w.buf, p...)
+		return
+	}
+	for _, b := range p {
+		w.WriteBits(uint64(b), 8)
+	}
+}
+
+// Align pads with zero bits to the next byte boundary.
+func (w *Writer) Align() {
+	if r := w.nacc % 8; r != 0 {
+		w.WriteBits(0, 8-r)
+	}
+}
+
+// BitLen returns the number of bits written so far.
+func (w *Writer) BitLen() int {
+	return len(w.buf)*8 + int(w.nacc)
+}
+
+// Bytes flushes any partial byte (zero-padded) and returns the buffer.
+// The Writer remains usable; subsequent writes continue byte-aligned.
+func (w *Writer) Bytes() []byte {
+	w.Align()
+	for w.nacc > 0 {
+		w.buf = append(w.buf, byte(w.acc))
+		w.acc >>= 8
+		w.nacc -= 8
+	}
+	return w.buf
+}
+
+// Reset truncates the writer to empty, retaining the buffer capacity.
+func (w *Writer) Reset() {
+	w.buf = w.buf[:0]
+	w.acc = 0
+	w.nacc = 0
+}
+
+// Reader consumes bits LSB-first from a byte slice.
+type Reader struct {
+	buf  []byte
+	pos  int    // next byte index to load
+	acc  uint64 // loaded bits
+	nacc uint   // valid bits in acc
+}
+
+// NewReader returns a Reader over p. The Reader does not copy p.
+func NewReader(p []byte) *Reader {
+	return &Reader{buf: p}
+}
+
+func (r *Reader) fill() {
+	for r.nacc <= 56 && r.pos < len(r.buf) {
+		r.acc |= uint64(r.buf[r.pos]) << r.nacc
+		r.pos++
+		r.nacc += 8
+	}
+}
+
+// ReadBit reads one bit.
+func (r *Reader) ReadBit() (uint, error) {
+	if r.nacc == 0 {
+		r.fill()
+		if r.nacc == 0 {
+			return 0, ErrShortStream
+		}
+	}
+	b := uint(r.acc & 1)
+	r.acc >>= 1
+	r.nacc--
+	return b, nil
+}
+
+// ReadBits reads n bits (n in [0,64]) LSB-first.
+func (r *Reader) ReadBits(n uint) (uint64, error) {
+	if n == 0 {
+		return 0, nil
+	}
+	if n > 64 {
+		return 0, fmt.Errorf("bitio: ReadBits(%d) out of range", n)
+	}
+	if r.nacc < n {
+		r.fill()
+	}
+	if r.nacc >= n {
+		var v uint64
+		if n == 64 {
+			v = r.acc
+		} else {
+			v = r.acc & ((1 << n) - 1)
+		}
+		r.acc >>= n % 64
+		if n == 64 {
+			r.acc = 0
+		}
+		r.nacc -= n
+		return v, nil
+	}
+	// Straddles the accumulator: take what we have, then refill.
+	got := r.nacc
+	v := r.acc
+	r.acc, r.nacc = 0, 0
+	r.fill()
+	rest := n - got
+	if r.nacc < rest {
+		return 0, ErrShortStream
+	}
+	hi := r.acc & ((1 << rest) - 1)
+	r.acc >>= rest
+	r.nacc -= rest
+	return v | hi<<got, nil
+}
+
+// ReadBytes reads n whole bytes.
+func (r *Reader) ReadBytes(n int) ([]byte, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("bitio: ReadBytes(%d) negative", n)
+	}
+	if r.nacc%8 == 0 && r.nacc == 0 && r.pos+n <= len(r.buf) {
+		out := r.buf[r.pos : r.pos+n]
+		r.pos += n
+		return out, nil
+	}
+	out := make([]byte, n)
+	for i := range out {
+		v, err := r.ReadBits(8)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = byte(v)
+	}
+	return out, nil
+}
+
+// Align discards bits up to the next byte boundary.
+func (r *Reader) Align() {
+	if rem := r.nacc % 8; rem != 0 {
+		r.acc >>= rem
+		r.nacc -= rem
+	}
+}
+
+// Remaining returns the number of unread bits.
+func (r *Reader) Remaining() int {
+	return (len(r.buf)-r.pos)*8 + int(r.nacc)
+}
+
+// AppendUvarint appends v in LEB128 form to dst and returns the result.
+func AppendUvarint(dst []byte, v uint64) []byte {
+	for v >= 0x80 {
+		dst = append(dst, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(dst, byte(v))
+}
+
+// Uvarint decodes a LEB128 value from p, returning the value and the number
+// of bytes consumed (0 if p is truncated).
+func Uvarint(p []byte) (uint64, int) {
+	var v uint64
+	var shift uint
+	for i, b := range p {
+		if i == 10 {
+			return 0, 0
+		}
+		v |= uint64(b&0x7f) << shift
+		if b < 0x80 {
+			return v, i + 1
+		}
+		shift += 7
+	}
+	return 0, 0
+}
+
+// AppendUint32 appends v little-endian.
+func AppendUint32(dst []byte, v uint32) []byte {
+	var tmp [4]byte
+	binary.LittleEndian.PutUint32(tmp[:], v)
+	return append(dst, tmp[:]...)
+}
+
+// AppendUint64 appends v little-endian.
+func AppendUint64(dst []byte, v uint64) []byte {
+	var tmp [8]byte
+	binary.LittleEndian.PutUint64(tmp[:], v)
+	return append(dst, tmp[:]...)
+}
+
+// ZigZag maps a signed integer to an unsigned one so that small-magnitude
+// values (of either sign) become small unsigned values.
+func ZigZag(x int64) uint64 { return uint64(x<<1) ^ uint64(x>>63) }
+
+// UnZigZag inverts ZigZag.
+func UnZigZag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }

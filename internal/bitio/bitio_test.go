@@ -1,0 +1,217 @@
+package bitio
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestWriteReadBits(t *testing.T) {
+	w := NewWriter(64)
+	w.WriteBits(0x5, 3)
+	w.WriteBits(0xABCD, 16)
+	w.WriteBits(1, 1)
+	w.WriteBits(0xFFFFFFFFFFFFFFFF, 64)
+	w.WriteBits(0, 0)
+	w.WriteBits(0x12345678, 31)
+	r := NewReader(w.Bytes())
+	for _, tc := range []struct {
+		n    uint
+		want uint64
+	}{{3, 0x5}, {16, 0xABCD}, {1, 1}, {64, 0xFFFFFFFFFFFFFFFF}, {31, 0x12345678}} {
+		got, err := r.ReadBits(tc.n)
+		if err != nil {
+			t.Fatalf("ReadBits(%d): %v", tc.n, err)
+		}
+		if got != tc.want {
+			t.Fatalf("ReadBits(%d) = %#x, want %#x", tc.n, got, tc.want)
+		}
+	}
+}
+
+func TestWriteBitSequence(t *testing.T) {
+	w := NewWriter(0)
+	bits := make([]uint, 1000)
+	rng := rand.New(rand.NewSource(1))
+	for i := range bits {
+		bits[i] = uint(rng.Intn(2))
+		w.WriteBit(bits[i])
+	}
+	r := NewReader(w.Bytes())
+	for i, want := range bits {
+		got, err := r.ReadBit()
+		if err != nil {
+			t.Fatalf("bit %d: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("bit %d = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestRoundTripRandomWidths(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		type item struct {
+			v uint64
+			n uint
+		}
+		items := make([]item, 200)
+		w := NewWriter(0)
+		for i := range items {
+			n := uint(rng.Intn(65))
+			v := rng.Uint64()
+			if n < 64 {
+				v &= (1 << n) - 1
+			}
+			items[i] = item{v, n}
+			w.WriteBits(v, n)
+		}
+		r := NewReader(w.Bytes())
+		for i, it := range items {
+			got, err := r.ReadBits(it.n)
+			if err != nil {
+				t.Fatalf("trial %d item %d: %v", trial, i, err)
+			}
+			if got != it.v {
+				t.Fatalf("trial %d item %d: got %#x want %#x (n=%d)", trial, i, got, it.v, it.n)
+			}
+		}
+	}
+}
+
+func TestWriteBytesAligned(t *testing.T) {
+	w := NewWriter(0)
+	w.WriteBytes([]byte{1, 2, 3})
+	w.WriteBits(0xF, 4)
+	w.Align()
+	w.WriteBytes([]byte{9, 8})
+	r := NewReader(w.Bytes())
+	got, err := r.ReadBytes(3)
+	if err != nil || !bytes.Equal(got, []byte{1, 2, 3}) {
+		t.Fatalf("ReadBytes = %v, %v", got, err)
+	}
+	v, _ := r.ReadBits(4)
+	if v != 0xF {
+		t.Fatalf("nibble = %#x", v)
+	}
+	r.Align()
+	got, err = r.ReadBytes(2)
+	if err != nil || !bytes.Equal(got, []byte{9, 8}) {
+		t.Fatalf("ReadBytes after align = %v, %v", got, err)
+	}
+}
+
+func TestWriteBytesUnaligned(t *testing.T) {
+	w := NewWriter(0)
+	w.WriteBits(0b101, 3)
+	w.WriteBytes([]byte{0xAB, 0xCD})
+	r := NewReader(w.Bytes())
+	v, _ := r.ReadBits(3)
+	if v != 0b101 {
+		t.Fatalf("prefix = %#b", v)
+	}
+	b1, _ := r.ReadBits(8)
+	b2, _ := r.ReadBits(8)
+	if b1 != 0xAB || b2 != 0xCD {
+		t.Fatalf("bytes = %#x %#x", b1, b2)
+	}
+}
+
+func TestShortStream(t *testing.T) {
+	r := NewReader([]byte{0xFF})
+	if _, err := r.ReadBits(9); err != ErrShortStream {
+		t.Fatalf("want ErrShortStream, got %v", err)
+	}
+	r2 := NewReader(nil)
+	if _, err := r2.ReadBit(); err != ErrShortStream {
+		t.Fatalf("want ErrShortStream, got %v", err)
+	}
+	r3 := NewReader([]byte{1, 2})
+	if _, err := r3.ReadBytes(3); err == nil {
+		t.Fatal("want error reading past end")
+	}
+}
+
+func TestBitLenAndRemaining(t *testing.T) {
+	w := NewWriter(0)
+	w.WriteBits(0, 13)
+	if w.BitLen() != 13 {
+		t.Fatalf("BitLen = %d", w.BitLen())
+	}
+	b := w.Bytes()
+	if len(b) != 2 {
+		t.Fatalf("len = %d", len(b))
+	}
+	r := NewReader(b)
+	if r.Remaining() != 16 {
+		t.Fatalf("Remaining = %d", r.Remaining())
+	}
+	r.ReadBits(5)
+	if r.Remaining() != 11 {
+		t.Fatalf("Remaining after read = %d", r.Remaining())
+	}
+}
+
+func TestWriterReset(t *testing.T) {
+	w := NewWriter(0)
+	w.WriteBits(0xFFFF, 16)
+	w.Reset()
+	w.WriteBits(0x1, 1)
+	b := w.Bytes()
+	if len(b) != 1 || b[0] != 1 {
+		t.Fatalf("after reset: %v", b)
+	}
+}
+
+func TestUvarint(t *testing.T) {
+	cases := []uint64{0, 1, 127, 128, 300, 1 << 20, 1<<63 - 1, 1 << 63, ^uint64(0)}
+	for _, v := range cases {
+		buf := AppendUvarint(nil, v)
+		got, n := Uvarint(buf)
+		if n != len(buf) || got != v {
+			t.Fatalf("Uvarint(%d): got %d, n=%d len=%d", v, got, n, len(buf))
+		}
+	}
+	if _, n := Uvarint([]byte{0x80, 0x80}); n != 0 {
+		t.Fatal("truncated varint should return n=0")
+	}
+}
+
+func TestZigZagProperty(t *testing.T) {
+	f := func(x int64) bool { return UnZigZag(ZigZag(x)) == x }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Small magnitudes map to small codes.
+	for _, tc := range []struct {
+		x int64
+		u uint64
+	}{{0, 0}, {-1, 1}, {1, 2}, {-2, 3}, {2, 4}} {
+		if ZigZag(tc.x) != tc.u {
+			t.Fatalf("ZigZag(%d) = %d, want %d", tc.x, ZigZag(tc.x), tc.u)
+		}
+	}
+}
+
+func TestBitsRoundTripProperty(t *testing.T) {
+	f := func(vals []uint16, widthSeed uint8) bool {
+		w := NewWriter(0)
+		n := uint(widthSeed%16) + 1
+		for _, v := range vals {
+			w.WriteBits(uint64(v)&((1<<n)-1), n)
+		}
+		r := NewReader(w.Bytes())
+		for _, v := range vals {
+			got, err := r.ReadBits(n)
+			if err != nil || got != uint64(v)&((1<<n)-1) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,69 @@
+package core
+
+// This file implements the paper's future-work item 3 (§7): an
+// auto-selection mechanism that picks a compressor archetype and lossless
+// pipeline to fit the data characteristics. A representative sample slab
+// is compressed with each candidate assembly and the best ratio wins —
+// the same sampling philosophy as the predictor auto-tuner (§5.1.3),
+// lifted to whole-assembly granularity.
+
+import (
+	"fmt"
+
+	"repro/internal/gpusim"
+	"repro/internal/interp"
+)
+
+// Selection is the outcome of AutoSelect.
+type Selection struct {
+	Options Options
+	// SampleCR is each candidate's compression ratio on the sample slab,
+	// keyed by Options.Name, for reporting.
+	SampleCR map[string]float64
+}
+
+// autoSelectCandidates returns the assemblies AutoSelect evaluates.
+func autoSelectCandidates() []Options {
+	return []Options{HiCR(), HiTP(), CuszL()}
+}
+
+// sampleSlab extracts a contiguous central slab of roughly frac of the
+// data (at least one full block row of the Hi predictor), returning the
+// slab and its dims.
+func sampleSlab(data []float32, dims []int, frac float64) ([]float32, []int) {
+	g := interp.NewGrid(dims)
+	planes := int(frac * float64(g.Nz))
+	minPlanes := 17 // one Hi block extent
+	if planes < minPlanes {
+		planes = minPlanes
+	}
+	if planes >= g.Nz {
+		return data, dims
+	}
+	z0 := (g.Nz - planes) / 2
+	slab := data[z0*g.Ny*g.Nx : (z0+planes)*g.Ny*g.Nx]
+	return slab, []int{planes, g.Ny, g.Nx}
+}
+
+// AutoSelect compresses a sample of data with every candidate assembly
+// under the absolute bound eb and returns the winner.
+func AutoSelect(dev *gpusim.Device, data []float32, dims []int, eb float64) (*Selection, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("core: cannot auto-select on empty data")
+	}
+	slab, slabDims := sampleSlab(data, dims, 0.1)
+	sel := &Selection{SampleCR: map[string]float64{}}
+	bestSize := -1
+	for _, cand := range autoSelectCandidates() {
+		blob, err := Compress(dev, slab, slabDims, eb, cand)
+		if err != nil {
+			return nil, fmt.Errorf("core: auto-select candidate %s: %w", cand.Name, err)
+		}
+		sel.SampleCR[cand.Name] = float64(4*len(slab)) / float64(len(blob))
+		if bestSize < 0 || len(blob) < bestSize {
+			bestSize = len(blob)
+			sel.Options = cand
+		}
+	}
+	return sel, nil
+}

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/metrics"
+)
+
+func TestAutoSelectPicksAWinner(t *testing.T) {
+	f, err := datagen.Generate("miranda", []int{48, 64, 64}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eb := metrics.AbsEB(f.Data, 1e-2)
+	sel, err := AutoSelect(dev, f.Data, f.Dims, eb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel.SampleCR) != 3 {
+		t.Fatalf("sample CRs: %v", sel.SampleCR)
+	}
+	// The winner's sample CR must be the max.
+	winner := sel.SampleCR[sel.Options.Name]
+	for name, cr := range sel.SampleCR {
+		if cr > winner {
+			t.Fatalf("%s (%.1f) beats winner %s (%.1f)", name, cr, sel.Options.Name, winner)
+		}
+	}
+	// On smooth data at a large bound, Hi-CR should win.
+	if sel.Options.Name != "cuSZ-Hi-CR" {
+		t.Fatalf("expected cuSZ-Hi-CR on smooth data, got %s (%v)", sel.Options.Name, sel.SampleCR)
+	}
+}
+
+func TestAutoSelectThenCompressHonoursBound(t *testing.T) {
+	f, err := datagen.Generate("cesm", []int{128, 256}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eb := metrics.AbsEB(f.Data, 1e-3)
+	sel, err := AutoSelect(dev, f.Data, f.Dims, eb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := Compress(dev, f.Data, f.Dims, eb, sel.Options)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recon, _, err := Decompress(dev, blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !metrics.WithinBound(f.Data, recon, eb) {
+		t.Fatal("auto-selected assembly violated the bound")
+	}
+}
+
+func TestAutoSelectSmallInput(t *testing.T) {
+	// Inputs smaller than the sample slab fall back to whole-data sampling.
+	data := make([]float32, 4*4*4)
+	for i := range data {
+		data[i] = float32(i)
+	}
+	sel, err := AutoSelect(dev, data, []int{4, 4, 4}, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Options.Name == "" {
+		t.Fatal("no selection")
+	}
+	if _, err := AutoSelect(dev, nil, nil, 1e-3); err == nil {
+		t.Fatal("want error on empty data")
+	}
+}
+
+func TestSampleSlab(t *testing.T) {
+	data := make([]float32, 100*8*8)
+	slab, dims := sampleSlab(data, []int{100, 8, 8}, 0.1)
+	if dims[0] != 17 || dims[1] != 8 || dims[2] != 8 {
+		t.Fatalf("slab dims = %v", dims)
+	}
+	if len(slab) != 17*8*8 {
+		t.Fatalf("slab len = %d", len(slab))
+	}
+	// Tiny input: whole data.
+	slab, dims = sampleSlab(data[:64], []int{1, 8, 8}, 0.1)
+	if len(slab) != 64 || dims[0] != 1 {
+		t.Fatalf("tiny slab = %d %v", len(slab), dims)
+	}
+}

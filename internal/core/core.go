@@ -1,0 +1,521 @@
+// Package core assembles the cuSZ-Hi compression framework (Fig. 2): a
+// lossy decomposition stage (the interpolation predictor of internal/interp
+// or the Lorenzo predictor of internal/lorenzo) followed by a lossless
+// encoding pipeline, wrapped in a self-contained container format.
+//
+// The same machinery, configured differently, yields the paper's
+// compressors:
+//
+//	cuSZ-Hi-CR  interp 17³/stride-16, auto-tuned, reordered, HF-RRE4-TCMS8-RZE1
+//	cuSZ-Hi-TP  same predictor, TCMS1-BIT1-RRE1
+//	cuSZ-I      interp 33×9×9/stride-8, 1-D scheme, Huffman
+//	cuSZ-IB     cuSZ-I + Bitcomp(-surrogate) recompression
+//	cuSZ-L      Lorenzo dual-quant + Huffman
+//
+// plus the incremental ablation variants of Table 5.
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/bitcomp"
+	"repro/internal/bitio"
+	"repro/internal/gpusim"
+	"repro/internal/huffman"
+	"repro/internal/interp"
+	"repro/internal/lccodec"
+	"repro/internal/lorenzo"
+	"repro/internal/quant"
+)
+
+// ErrCorrupt reports a malformed container.
+var ErrCorrupt = errors.New("core: corrupt stream")
+
+var magic = [4]byte{'c', 'S', 'Z', 'h'}
+
+const version = 1
+
+// Predictor selects the lossy decomposition stage.
+type Predictor uint8
+
+// Predictor kinds.
+const (
+	PredInterp Predictor = iota
+	PredLorenzo
+)
+
+// Pipeline selects the lossless encoding stage.
+type Pipeline uint8
+
+// Pipeline kinds.
+const (
+	// PipeHiCR is HF-RRE4-TCMS8-RZE1 (cuSZ-Hi CR mode, Fig. 7 top).
+	PipeHiCR Pipeline = iota
+	// PipeHiTP is TCMS1-BIT1-RRE1 (cuSZ-Hi TP mode, Fig. 7 bottom).
+	PipeHiTP
+	// PipeHuff is Huffman only (cuSZ-I, cuSZ-L).
+	PipeHuff
+	// PipeHuffBitcomp is Huffman + the Bitcomp surrogate (cuSZ-IB).
+	PipeHuffBitcomp
+)
+
+func (p Pipeline) String() string {
+	switch p {
+	case PipeHiCR:
+		return "HF-RRE4-TCMS8-RZE1"
+	case PipeHiTP:
+		return "TCMS1-BIT1-RRE1"
+	case PipeHuff:
+		return "HF"
+	case PipeHuffBitcomp:
+		return "HF+Bitcomp"
+	}
+	return fmt.Sprintf("Pipeline(%d)", uint8(p))
+}
+
+// Options configures a compressor assembly.
+type Options struct {
+	Name      string // display name for reports
+	Predictor Predictor
+	Interp    interp.Config // used when Predictor == PredInterp
+	// GlobalInterp expands the interpolation blocks to cover the whole
+	// domain, removing block-boundary spline fallbacks — the CPU-style
+	// (SZ3/QoZ) configuration that trades parallelism for prediction
+	// quality (§1 of the paper contrasts these regimes).
+	GlobalInterp bool
+	AutoTune     bool // run §5.1.3 tuning before compressing
+	Reorder      bool // apply Eq. 3 level-order code reordering
+	Pipeline     Pipeline
+}
+
+// HiCR returns the cuSZ-Hi compression-ratio-preferred assembly.
+func HiCR() Options {
+	return Options{Name: "cuSZ-Hi-CR", Predictor: PredInterp, Interp: interp.HiConfig(),
+		AutoTune: true, Reorder: true, Pipeline: PipeHiCR}
+}
+
+// HiTP returns the cuSZ-Hi throughput-preferred assembly.
+func HiTP() Options {
+	return Options{Name: "cuSZ-Hi-TP", Predictor: PredInterp, Interp: interp.HiConfig(),
+		AutoTune: true, Reorder: true, Pipeline: PipeHiTP}
+}
+
+// CuszI returns the cuSZ-I baseline assembly.
+func CuszI() Options {
+	return Options{Name: "cuSZ-I", Predictor: PredInterp, Interp: interp.CuszIConfig(),
+		Pipeline: PipeHuff}
+}
+
+// CuszIB returns the cuSZ-IB baseline assembly (cuSZ-I + Bitcomp surrogate).
+func CuszIB() Options {
+	o := CuszI()
+	o.Name = "cuSZ-IB"
+	o.Pipeline = PipeHuffBitcomp
+	return o
+}
+
+// CuszL returns the cuSZ-L (Lorenzo) baseline assembly.
+func CuszL() Options {
+	return Options{Name: "cuSZ-L", Predictor: PredLorenzo, Pipeline: PipeHuff}
+}
+
+// SZ3Like returns a CPU-style high-ratio configuration: the cuSZ-Hi
+// predictor with domain-global interpolation blocks (no block-boundary
+// fallbacks, like SZ3/QoZ), auto-tuning, reordering and the CR pipeline.
+// It is the upper reference point the paper's introduction compares GPU
+// compressors against.
+func SZ3Like() Options {
+	o := HiCR()
+	o.Name = "SZ3-like"
+	o.GlobalInterp = true
+	return o
+}
+
+// AblationVariants returns the incremental feature stack of Table 5:
+// cuSZ-IB, +new partition & anchor, +quant-code reorder, +MD interp &
+// auto-tune, and the full cuSZ-Hi-CR.
+func AblationVariants() []Options {
+	base := CuszIB()
+	base.Name = "cuSZ-IB"
+
+	v1 := base
+	v1.Name = "+partition/anchor"
+	v1.Interp = interp.HiConfig() // 17³ blocks, stride-16 anchors
+	for i := range v1.Interp.PerLevel {
+		v1.Interp.PerLevel[i] = interp.LevelConfig{Scheme: interp.Seq1DXYZ, Spline: interp.Cubic}
+	}
+
+	v2 := v1
+	v2.Name = "+quant reorder"
+	v2.Reorder = true
+
+	v3 := v2
+	v3.Name = "+MD & auto-tune"
+	v3.AutoTune = true
+
+	v4 := HiCR()
+	v4.Name = "cuSZ-Hi-CR"
+	return []Options{base, v1, v2, v3, v4}
+}
+
+// ---------------------------------------------------------------------------
+// Compression.
+
+// Compress encodes data (dims slowest-first) under absolute error bound eb.
+func Compress(dev *gpusim.Device, data []float32, dims []int, eb float64, opts Options) ([]byte, error) {
+	if eb <= 0 || math.IsInf(eb, 0) || math.IsNaN(eb) {
+		return nil, fmt.Errorf("core: invalid error bound %v", eb)
+	}
+	total := 1
+	for _, d := range dims {
+		if d <= 0 {
+			return nil, fmt.Errorf("core: invalid dims %v", dims)
+		}
+		total *= d
+	}
+	if total != len(data) {
+		return nil, fmt.Errorf("core: dims %v do not match %d values", dims, len(data))
+	}
+	out := append([]byte(nil), magic[:]...)
+	out = append(out, version, byte(opts.Predictor))
+	out = bitio.AppendUvarint(out, uint64(len(dims)))
+	for _, d := range dims {
+		out = bitio.AppendUvarint(out, uint64(d))
+	}
+	out = bitio.AppendUint64(out, math.Float64bits(eb))
+	switch opts.Predictor {
+	case PredInterp:
+		return compressInterp(dev, out, data, dims, eb, opts)
+	case PredLorenzo:
+		return compressLorenzo(dev, out, data, dims, eb, opts)
+	}
+	return nil, fmt.Errorf("core: unknown predictor %d", opts.Predictor)
+}
+
+func encodeCodes(dev *gpusim.Device, codes []byte, p Pipeline) ([]byte, error) {
+	switch p {
+	case PipeHiCR:
+		return lccodec.HiCR().Encode(dev, codes)
+	case PipeHiTP:
+		return lccodec.HiTP().Encode(dev, codes)
+	case PipeHuff:
+		return huffman.EncodeBytes(dev, codes)
+	case PipeHuffBitcomp:
+		hf, err := huffman.EncodeBytes(dev, codes)
+		if err != nil {
+			return nil, err
+		}
+		return bitcomp.Compress(dev, hf)
+	}
+	return nil, fmt.Errorf("core: unknown pipeline %d", p)
+}
+
+func decodeCodes(dev *gpusim.Device, payload []byte, p Pipeline) ([]byte, error) {
+	switch p {
+	case PipeHiCR:
+		return lccodec.HiCR().Decode(dev, payload)
+	case PipeHiTP:
+		return lccodec.HiTP().Decode(dev, payload)
+	case PipeHuff:
+		return huffman.DecodeBytes(dev, payload)
+	case PipeHuffBitcomp:
+		hf, err := bitcomp.Decompress(dev, payload)
+		if err != nil {
+			return nil, err
+		}
+		return huffman.DecodeBytes(dev, hf)
+	}
+	return nil, fmt.Errorf("core: unknown pipeline %d", p)
+}
+
+func compressInterp(dev *gpusim.Device, out []byte, data []float32, dims []int, eb float64, opts Options) ([]byte, error) {
+	cfg := opts.Interp
+	g := interp.NewGrid(dims)
+	if opts.GlobalInterp {
+		grow := func(n int) int {
+			b := cfg.AnchorStride
+			for b < n-1 {
+				b += cfg.AnchorStride
+			}
+			return b
+		}
+		cfg.BlockZ = grow(g.Nz)
+		cfg.BlockY = grow(g.Ny)
+		cfg.BlockX = grow(g.Nx)
+	}
+	if opts.AutoTune {
+		cfg.PerLevel = interp.AutoTune(dev, data, g, cfg, interp.DefaultSampleFraction)
+	}
+	res, err := interp.Compress(dev, data, g, cfg, eb)
+	if err != nil {
+		return nil, err
+	}
+	// Predictor header.
+	reorder := byte(0)
+	if opts.Reorder {
+		reorder = 1
+	}
+	out = append(out, byte(opts.Pipeline), reorder)
+	out = bitio.AppendUvarint(out, uint64(cfg.AnchorStride))
+	out = bitio.AppendUvarint(out, uint64(cfg.BlockZ))
+	out = bitio.AppendUvarint(out, uint64(cfg.BlockY))
+	out = bitio.AppendUvarint(out, uint64(cfg.BlockX))
+	out = bitio.AppendUvarint(out, uint64(len(cfg.PerLevel)))
+	for _, lc := range cfg.PerLevel {
+		out = append(out, byte(lc.Scheme), byte(lc.Spline))
+	}
+	// Anchors.
+	anchorBytes := make([]byte, 4*len(res.Anchors))
+	for i, v := range res.Anchors {
+		binary.LittleEndian.PutUint32(anchorBytes[4*i:], math.Float32bits(v))
+	}
+	out = bitio.AppendUvarint(out, uint64(len(anchorBytes)))
+	out = append(out, anchorBytes...)
+	// Outliers.
+	out = res.Outliers.Serialize(out)
+	// Codes, optionally reordered, through the lossless pipeline.
+	codes := res.Codes
+	if opts.Reorder {
+		perm := quant.LevelOrderPerm(dims, cfg.AnchorStride)
+		reordered := make([]uint8, len(codes))
+		quant.Apply(dev, perm, codes, reordered)
+		codes = reordered
+	}
+	payload, err := encodeCodes(dev, codes, opts.Pipeline)
+	if err != nil {
+		return nil, err
+	}
+	out = bitio.AppendUvarint(out, uint64(len(payload)))
+	return append(out, payload...), nil
+}
+
+func compressLorenzo(dev *gpusim.Device, out []byte, data []float32, dims []int, eb float64, opts Options) ([]byte, error) {
+	g := lorenzo.NewGrid(dims)
+	res, err := lorenzo.Compress(dev, data, g, eb)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, byte(opts.Pipeline))
+	out = bitio.AppendUvarint(out, uint64(len(res.Escapes)))
+	for _, e := range res.Escapes {
+		out = bitio.AppendUvarint(out, bitio.ZigZag(e))
+	}
+	out = res.ValOutliers.Serialize(out)
+	var payload []byte
+	switch opts.Pipeline {
+	case PipeHuff:
+		payload, err = huffman.Encode(dev, res.Codes, lorenzo.Alphabet)
+	case PipeHuffBitcomp:
+		payload, err = huffman.Encode(dev, res.Codes, lorenzo.Alphabet)
+		if err == nil {
+			payload, err = bitcomp.Compress(dev, payload)
+		}
+	default:
+		return nil, fmt.Errorf("core: pipeline %v unsupported with the Lorenzo predictor", opts.Pipeline)
+	}
+	if err != nil {
+		return nil, err
+	}
+	out = bitio.AppendUvarint(out, uint64(len(payload)))
+	return append(out, payload...), nil
+}
+
+// ---------------------------------------------------------------------------
+// Decompression.
+
+// Decompress decodes any container produced by Compress, returning the
+// reconstructed field and its dims.
+func Decompress(dev *gpusim.Device, blob []byte) ([]float32, []int, error) {
+	if len(blob) < 6 || !bytes.Equal(blob[:4], magic[:]) {
+		return nil, nil, ErrCorrupt
+	}
+	if blob[4] != version {
+		return nil, nil, fmt.Errorf("core: unsupported version %d", blob[4])
+	}
+	pred := Predictor(blob[5])
+	off := 6
+	nd64, n := bitio.Uvarint(blob[off:])
+	if n == 0 || nd64 == 0 || nd64 > 8 {
+		return nil, nil, ErrCorrupt
+	}
+	off += n
+	dims := make([]int, nd64)
+	total := 1
+	for i := range dims {
+		v, n := bitio.Uvarint(blob[off:])
+		if n == 0 || v == 0 || v > 1<<31 {
+			return nil, nil, ErrCorrupt
+		}
+		off += n
+		dims[i] = int(v)
+		total *= int(v)
+		if total <= 0 || total > 1<<33 {
+			return nil, nil, ErrCorrupt
+		}
+	}
+	if off+8 > len(blob) {
+		return nil, nil, ErrCorrupt
+	}
+	eb := math.Float64frombits(binary.LittleEndian.Uint64(blob[off:]))
+	off += 8
+	if !(eb > 0) || math.IsInf(eb, 0) {
+		return nil, nil, ErrCorrupt
+	}
+	switch pred {
+	case PredInterp:
+		return decompressInterp(dev, blob, off, dims, total, eb)
+	case PredLorenzo:
+		return decompressLorenzo(dev, blob, off, dims, total, eb)
+	}
+	return nil, nil, ErrCorrupt
+}
+
+func decompressInterp(dev *gpusim.Device, blob []byte, off int, dims []int, total int, eb float64) ([]float32, []int, error) {
+	if off+2 > len(blob) {
+		return nil, nil, ErrCorrupt
+	}
+	pipe := Pipeline(blob[off])
+	reorder := blob[off+1] == 1
+	off += 2
+	readUv := func() (int, bool) {
+		v, n := bitio.Uvarint(blob[off:])
+		if n == 0 || v > 1<<31 {
+			return 0, false
+		}
+		off += n
+		return int(v), true
+	}
+	stride, ok := readUv()
+	if !ok {
+		return nil, nil, ErrCorrupt
+	}
+	bz, ok := readUv()
+	if !ok {
+		return nil, nil, ErrCorrupt
+	}
+	by, ok := readUv()
+	if !ok {
+		return nil, nil, ErrCorrupt
+	}
+	bx, ok := readUv()
+	if !ok {
+		return nil, nil, ErrCorrupt
+	}
+	nLevels, ok := readUv()
+	if !ok || nLevels > 32 || off+2*nLevels > len(blob) {
+		return nil, nil, ErrCorrupt
+	}
+	cfg := interp.Config{AnchorStride: stride, BlockZ: bz, BlockY: by, BlockX: bx}
+	for i := 0; i < nLevels; i++ {
+		sch := interp.Scheme(blob[off])
+		sp := interp.Spline(blob[off+1])
+		off += 2
+		if sch > interp.MD || sp > interp.Cubic {
+			return nil, nil, ErrCorrupt
+		}
+		cfg.PerLevel = append(cfg.PerLevel, interp.LevelConfig{Scheme: sch, Spline: sp})
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, nil, ErrCorrupt
+	}
+	g := interp.NewGrid(dims)
+	anchorLen, ok := readUv()
+	if !ok || off+anchorLen > len(blob) || anchorLen != 4*g.AnchorCount(stride) {
+		return nil, nil, ErrCorrupt
+	}
+	anchors := make([]float32, anchorLen/4)
+	for i := range anchors {
+		anchors[i] = math.Float32frombits(binary.LittleEndian.Uint32(blob[off+4*i:]))
+	}
+	off += anchorLen
+	outliers, used, err := quant.ParseOutliers(blob[off:])
+	if err != nil {
+		return nil, nil, err
+	}
+	off += used
+	payLen, ok := readUv()
+	if !ok || off+payLen > len(blob) {
+		return nil, nil, ErrCorrupt
+	}
+	codes, err := decodeCodes(dev, blob[off:off+payLen], pipe)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(codes) != total {
+		return nil, nil, ErrCorrupt
+	}
+	if reorder {
+		perm := quant.LevelOrderPerm(dims, stride)
+		natural := make([]uint8, total)
+		quant.Invert(dev, perm, codes, natural)
+		codes = natural
+	}
+	res := &interp.Result{Codes: codes, Anchors: anchors, Outliers: outliers}
+	recon, err := interp.Decompress(dev, res, g, cfg, eb)
+	if err != nil {
+		return nil, nil, err
+	}
+	return recon, dims, nil
+}
+
+func decompressLorenzo(dev *gpusim.Device, blob []byte, off int, dims []int, total int, eb float64) ([]float32, []int, error) {
+	if off >= len(blob) {
+		return nil, nil, ErrCorrupt
+	}
+	pipe := Pipeline(blob[off])
+	off++
+	nEsc64, n := bitio.Uvarint(blob[off:])
+	if n == 0 || int(nEsc64) < 0 || int(nEsc64) > total {
+		return nil, nil, ErrCorrupt
+	}
+	off += n
+	escapes := make([]int64, nEsc64)
+	for i := range escapes {
+		z, n := bitio.Uvarint(blob[off:])
+		if n == 0 {
+			return nil, nil, ErrCorrupt
+		}
+		off += n
+		escapes[i] = bitio.UnZigZag(z)
+	}
+	outliers, used, err := quant.ParseOutliers(blob[off:])
+	if err != nil {
+		return nil, nil, err
+	}
+	off += used
+	payLen64, n := bitio.Uvarint(blob[off:])
+	if n == 0 || off+n+int(payLen64) > len(blob) {
+		return nil, nil, ErrCorrupt
+	}
+	off += n
+	payload := blob[off : off+int(payLen64)]
+	var codes []uint16
+	switch pipe {
+	case PipeHuff:
+		codes, err = huffman.Decode(dev, payload)
+	case PipeHuffBitcomp:
+		var hf []byte
+		hf, err = bitcomp.Decompress(dev, payload)
+		if err == nil {
+			codes, err = huffman.Decode(dev, hf)
+		}
+	default:
+		return nil, nil, ErrCorrupt
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(codes) != total {
+		return nil, nil, ErrCorrupt
+	}
+	res := &lorenzo.Result{Codes: codes, Escapes: escapes, ValOutliers: outliers}
+	recon, err := lorenzo.Decompress(dev, res, lorenzo.NewGrid(dims), eb)
+	if err != nil {
+		return nil, nil, err
+	}
+	return recon, dims, nil
+}

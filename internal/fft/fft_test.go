@@ -1,0 +1,139 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+)
+
+func TestIsPow2(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 1024} {
+		if !IsPow2(n) {
+			t.Fatalf("IsPow2(%d) = false", n)
+		}
+	}
+	for _, n := range []int{0, -2, 3, 6, 1023} {
+		if IsPow2(n) {
+			t.Fatalf("IsPow2(%d) = true", n)
+		}
+	}
+}
+
+func TestTransformImpulse(t *testing.T) {
+	x := make([]complex128, 8)
+	x[0] = 1
+	if err := Transform(x, false); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range x {
+		if cmplx.Abs(v-1) > 1e-12 {
+			t.Fatalf("impulse FFT bin %d = %v, want 1", i, v)
+		}
+	}
+}
+
+func TestTransformSingleTone(t *testing.T) {
+	n := 64
+	x := make([]complex128, n)
+	k := 5
+	for i := range x {
+		ang := 2 * math.Pi * float64(k*i) / float64(n)
+		x[i] = complex(math.Cos(ang), math.Sin(ang))
+	}
+	if err := Transform(x, false); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range x {
+		want := 0.0
+		if i == k {
+			want = float64(n)
+		}
+		if math.Abs(cmplx.Abs(v)-want) > 1e-9 {
+			t.Fatalf("bin %d = %v, want magnitude %v", i, v, want)
+		}
+	}
+}
+
+func TestTransformRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{1, 2, 16, 256} {
+		x := make([]complex128, n)
+		orig := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+			orig[i] = x[i]
+		}
+		if err := Transform(x, false); err != nil {
+			t.Fatal(err)
+		}
+		if err := Transform(x, true); err != nil {
+			t.Fatal(err)
+		}
+		for i := range x {
+			if cmplx.Abs(x[i]-orig[i]) > 1e-10 {
+				t.Fatalf("n=%d round trip mismatch at %d: %v vs %v", n, i, x[i], orig[i])
+			}
+		}
+	}
+}
+
+func TestTransformBadLength(t *testing.T) {
+	if err := Transform(make([]complex128, 3), false); err == nil {
+		t.Fatal("want error for non-power-of-two")
+	}
+	if err := Transform(nil, false); err != nil {
+		t.Fatalf("empty transform should be a no-op: %v", err)
+	}
+}
+
+func TestParseval(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 128
+	x := make([]complex128, n)
+	var timeE float64
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), 0)
+		timeE += real(x[i] * cmplx.Conj(x[i]))
+	}
+	if err := Transform(x, false); err != nil {
+		t.Fatal(err)
+	}
+	var freqE float64
+	for _, v := range x {
+		freqE += real(v * cmplx.Conj(v))
+	}
+	if math.Abs(freqE/float64(n)-timeE) > 1e-8*timeE {
+		t.Fatalf("Parseval violated: %v vs %v", freqE/float64(n), timeE)
+	}
+}
+
+func TestGrid3RoundTrip(t *testing.T) {
+	g, err := NewGrid3(4, 8, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	orig := make([]complex128, len(g.Data))
+	for i := range g.Data {
+		g.Data[i] = complex(rng.NormFloat64(), 0)
+		orig[i] = g.Data[i]
+	}
+	if err := Transform3(g, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := Transform3(g, true); err != nil {
+		t.Fatal(err)
+	}
+	for i := range g.Data {
+		if cmplx.Abs(g.Data[i]-orig[i]) > 1e-9 {
+			t.Fatalf("3D round trip mismatch at %d", i)
+		}
+	}
+}
+
+func TestNewGrid3Validation(t *testing.T) {
+	if _, err := NewGrid3(3, 4, 4); err == nil {
+		t.Fatal("want error for non-pow2 dim")
+	}
+}

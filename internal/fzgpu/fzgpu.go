@@ -1,0 +1,129 @@
+// Package fzgpu reimplements the FZ-GPU baseline (Zhang et al., 2023):
+// cuSZ's dual-quantization Lorenzo decomposition with the Huffman stage
+// replaced by a throughput-oriented bit-shuffle plus zero-word elimination,
+// trading compression ratio for speed (Fig. 2 of the cuSZ-Hi paper).
+package fzgpu
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+
+	"repro/internal/bitio"
+	"repro/internal/gpusim"
+	"repro/internal/lccodec"
+	"repro/internal/lorenzo"
+	"repro/internal/quant"
+)
+
+// ErrCorrupt reports a malformed container.
+var ErrCorrupt = errors.New("fzgpu: corrupt stream")
+
+var pipeline = lccodec.MustParse("BIT1-RZE4")
+
+// Compress encodes data (any dims, slowest first) under absolute bound eb.
+func Compress(dev *gpusim.Device, data []float32, dims []int, eb float64) ([]byte, error) {
+	g := lorenzo.NewGrid(dims)
+	res, err := lorenzo.Compress(dev, data, g, eb)
+	if err != nil {
+		return nil, err
+	}
+	// Re-center codes around zero (zigzag) so the bit shuffle concentrates
+	// ones into few planes, then serialize little-endian and de-redundate.
+	center := int64(lorenzo.Radius + 1)
+	codeBytes := make([]byte, 2*len(res.Codes))
+	dev.LaunchChunks(len(res.Codes), 1<<16, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			zz := bitio.ZigZag(int64(res.Codes[i]) - center)
+			binary.LittleEndian.PutUint16(codeBytes[2*i:], uint16(zz))
+		}
+	})
+	payload, err := pipeline.Encode(dev, codeBytes)
+	if err != nil {
+		return nil, err
+	}
+	out := bitio.AppendUvarint(nil, uint64(len(dims)))
+	for _, d := range dims {
+		out = bitio.AppendUvarint(out, uint64(d))
+	}
+	out = bitio.AppendUint64(out, math.Float64bits(eb))
+	out = bitio.AppendUvarint(out, uint64(len(res.Escapes)))
+	for _, e := range res.Escapes {
+		out = bitio.AppendUvarint(out, bitio.ZigZag(e))
+	}
+	out = res.ValOutliers.Serialize(out)
+	out = bitio.AppendUvarint(out, uint64(len(payload)))
+	return append(out, payload...), nil
+}
+
+// Decompress reverses Compress.
+func Decompress(dev *gpusim.Device, blob []byte) ([]float32, error) {
+	nd64, n := bitio.Uvarint(blob)
+	if n == 0 || nd64 == 0 || nd64 > 8 {
+		return nil, ErrCorrupt
+	}
+	off := n
+	dims := make([]int, nd64)
+	total := 1
+	for i := range dims {
+		v, n := bitio.Uvarint(blob[off:])
+		if n == 0 || v == 0 || v > 1<<31 {
+			return nil, ErrCorrupt
+		}
+		off += n
+		dims[i] = int(v)
+		total *= int(v)
+		if total <= 0 || total > 1<<33 {
+			return nil, ErrCorrupt
+		}
+	}
+	if off+8 > len(blob) {
+		return nil, ErrCorrupt
+	}
+	eb := math.Float64frombits(binary.LittleEndian.Uint64(blob[off:]))
+	off += 8
+	if !(eb > 0) || math.IsInf(eb, 0) {
+		return nil, ErrCorrupt
+	}
+	nEsc64, n := bitio.Uvarint(blob[off:])
+	if n == 0 || int(nEsc64) < 0 || int(nEsc64) > total {
+		return nil, ErrCorrupt
+	}
+	off += n
+	escapes := make([]int64, nEsc64)
+	for i := range escapes {
+		z, n := bitio.Uvarint(blob[off:])
+		if n == 0 {
+			return nil, ErrCorrupt
+		}
+		off += n
+		escapes[i] = bitio.UnZigZag(z)
+	}
+	outliers, used, err := quant.ParseOutliers(blob[off:])
+	if err != nil {
+		return nil, err
+	}
+	off += used
+	payLen64, n := bitio.Uvarint(blob[off:])
+	if n == 0 || off+n+int(payLen64) > len(blob) {
+		return nil, ErrCorrupt
+	}
+	off += n
+	codeBytes, err := pipeline.Decode(dev, blob[off:off+int(payLen64)])
+	if err != nil {
+		return nil, err
+	}
+	if len(codeBytes) != 2*total {
+		return nil, ErrCorrupt
+	}
+	codes := make([]uint16, total)
+	center := int64(lorenzo.Radius + 1)
+	dev.LaunchChunks(total, 1<<16, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			zz := uint64(binary.LittleEndian.Uint16(codeBytes[2*i:]))
+			codes[i] = uint16(bitio.UnZigZag(zz) + center)
+		}
+	})
+	res := &lorenzo.Result{Codes: codes, Escapes: escapes, ValOutliers: outliers}
+	return lorenzo.Decompress(dev, res, lorenzo.NewGrid(dims), eb)
+}

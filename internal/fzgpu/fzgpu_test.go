@@ -1,0 +1,99 @@
+package fzgpu
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/gpusim"
+	"repro/internal/metrics"
+)
+
+var dev = gpusim.New(4)
+
+func roundTrip(t *testing.T, data []float32, dims []int, eb float64) []byte {
+	t.Helper()
+	blob, err := Compress(dev, data, dims, eb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recon, err := Decompress(dev, blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recon) != len(data) {
+		t.Fatalf("len %d != %d", len(recon), len(data))
+	}
+	if i := metrics.FirstViolation(data, recon, eb); i >= 0 {
+		t.Fatalf("bound violated at %d: %v vs %v", i, data[i], recon[i])
+	}
+	return blob
+}
+
+func TestRoundTrip3D(t *testing.T) {
+	dims := []int{24, 30, 36}
+	data := make([]float32, 24*30*36)
+	for i := range data {
+		data[i] = float32(math.Cos(float64(i) * 0.0003))
+	}
+	for _, eb := range []float64{1e-2, 1e-4} {
+		roundTrip(t, data, dims, eb)
+	}
+}
+
+func TestRoundTrip2D(t *testing.T) {
+	dims := []int{50, 60}
+	data := make([]float32, 3000)
+	rng := rand.New(rand.NewSource(1))
+	for i := range data {
+		data[i] = float32(rng.NormFloat64() * 0.1)
+	}
+	roundTrip(t, data, dims, 1e-3)
+}
+
+func TestCompressesSmoothData(t *testing.T) {
+	f, err := datagen.Generate("miranda", []int{32, 48, 48}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eb := metrics.AbsEB(f.Data, 1e-2)
+	blob := roundTrip(t, f.Data, f.Dims, eb)
+	cr := metrics.CR(f.SizeBytes(), len(blob))
+	if cr < 3 {
+		t.Fatalf("miranda CR = %.2f, want > 3", cr)
+	}
+}
+
+func TestExtremeValues(t *testing.T) {
+	dims := []int{10, 10, 10}
+	rng := rand.New(rand.NewSource(2))
+	data := make([]float32, 1000)
+	for i := range data {
+		data[i] = float32(rng.NormFloat64()) * 1e31
+	}
+	roundTrip(t, data, dims, 1e-2)
+}
+
+func TestDecompressCorrupt(t *testing.T) {
+	dims := []int{16, 16, 16}
+	data := make([]float32, 4096)
+	rng := rand.New(rand.NewSource(3))
+	for i := range data {
+		data[i] = float32(rng.NormFloat64())
+	}
+	blob, err := Compress(dev, data, dims, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{0, 1, 8, len(blob) / 2, len(blob) - 1} {
+		if _, err := Decompress(dev, blob[:cut]); err == nil {
+			t.Fatalf("truncation to %d: want error", cut)
+		}
+	}
+	for trial := 0; trial < 30; trial++ {
+		bad := append([]byte(nil), blob...)
+		bad[rng.Intn(len(bad))] ^= byte(1 + rng.Intn(255))
+		Decompress(dev, bad) // must not panic
+	}
+}

@@ -1,0 +1,128 @@
+// Package gpusim simulates the GPU execution model that cuSZ-Hi targets.
+//
+// CUDA organizes work as a grid of thread blocks; each block owns a chunk of
+// data (held in shared memory) and blocks execute independently. This package
+// reproduces that decomposition with a fixed worker pool: a "kernel launch"
+// enumerates block indices and runs the block body on the pool. Algorithms
+// written against Device.Launch keep the exact parallel structure of the
+// paper's kernels — per-block independence, sequential kernel phases — with
+// goroutines standing in for streaming multiprocessors.
+package gpusim
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Device is a simulated accelerator with a fixed degree of parallelism.
+type Device struct {
+	workers int
+}
+
+// Default is the process-wide device sized to the available CPUs.
+var Default = New(0)
+
+// New returns a Device with the given worker count; workers <= 0 selects
+// runtime.GOMAXPROCS(0).
+func New(workers int) *Device {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Device{workers: workers}
+}
+
+// Workers reports the device's parallel width.
+func (d *Device) Workers() int { return d.workers }
+
+// Launch runs body(block) for every block index in [0, blocks), distributing
+// blocks across the worker pool. It corresponds to a CUDA kernel launch with
+// a 1-D grid and returns when all blocks have completed (implicit device
+// synchronization).
+func (d *Device) Launch(blocks int, body func(block int)) {
+	if blocks <= 0 {
+		return
+	}
+	nw := d.workers
+	if nw > blocks {
+		nw = blocks
+	}
+	if nw <= 1 {
+		for b := 0; b < blocks; b++ {
+			body(b)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(nw)
+	for w := 0; w < nw; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				b := int(next.Add(1)) - 1
+				if b >= blocks {
+					return
+				}
+				body(b)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Launch3D runs body over a 3-D grid of blocks, mirroring dim3 grids.
+// bz is the slowest dimension, bx the fastest.
+func (d *Device) Launch3D(bz, by, bx int, body func(z, y, x int)) {
+	if bz <= 0 || by <= 0 || bx <= 0 {
+		return
+	}
+	total := bz * by * bx
+	d.Launch(total, func(b int) {
+		x := b % bx
+		y := (b / bx) % by
+		z := b / (bx * by)
+		body(z, y, x)
+	})
+}
+
+// LaunchChunks splits n items into contiguous chunks of at most chunk items
+// and runs body(lo, hi) per chunk in parallel. It is the 1-D "grid-stride"
+// pattern used by the encoding kernels.
+func (d *Device) LaunchChunks(n, chunk int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if chunk <= 0 {
+		chunk = (n + d.workers - 1) / d.workers
+		if chunk == 0 {
+			chunk = 1
+		}
+	}
+	blocks := (n + chunk - 1) / chunk
+	d.Launch(blocks, func(b int) {
+		lo := b * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		body(lo, hi)
+	})
+}
+
+// Reduce computes a parallel reduction of per-block partial results.
+// body(block) returns a partial value; combine folds partials together.
+// Partials are combined in block order, so non-commutative combines are safe.
+func Reduce[T any](d *Device, blocks int, body func(block int) T, combine func(a, b T) T) T {
+	var zero T
+	if blocks <= 0 {
+		return zero
+	}
+	partial := make([]T, blocks)
+	d.Launch(blocks, func(b int) { partial[b] = body(b) })
+	acc := partial[0]
+	for _, p := range partial[1:] {
+		acc = combine(acc, p)
+	}
+	return acc
+}

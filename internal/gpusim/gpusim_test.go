@@ -1,0 +1,115 @@
+package gpusim
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestLaunchCoversAllBlocks(t *testing.T) {
+	d := New(4)
+	seen := make([]atomic.Int32, 1000)
+	d.Launch(len(seen), func(b int) { seen[b].Add(1) })
+	for i := range seen {
+		if got := seen[i].Load(); got != 1 {
+			t.Fatalf("block %d executed %d times", i, got)
+		}
+	}
+}
+
+func TestLaunchZeroAndNegative(t *testing.T) {
+	d := New(2)
+	ran := false
+	d.Launch(0, func(int) { ran = true })
+	d.Launch(-5, func(int) { ran = true })
+	if ran {
+		t.Fatal("body ran for empty launch")
+	}
+}
+
+func TestLaunchSingleWorkerSequential(t *testing.T) {
+	d := New(1)
+	var order []int
+	d.Launch(10, func(b int) { order = append(order, b) })
+	for i, b := range order {
+		if i != b {
+			t.Fatalf("single-worker launch out of order: %v", order)
+		}
+	}
+}
+
+func TestLaunch3D(t *testing.T) {
+	d := New(3)
+	var count atomic.Int32
+	var xs, ys, zs [4]atomic.Int32
+	d.Launch3D(2, 3, 4, func(z, y, x int) {
+		count.Add(1)
+		zs[z].Add(1)
+		ys[y].Add(1)
+		xs[x].Add(1)
+	})
+	if count.Load() != 24 {
+		t.Fatalf("ran %d blocks, want 24", count.Load())
+	}
+	for x := 0; x < 4; x++ {
+		if xs[x].Load() != 6 {
+			t.Fatalf("x=%d ran %d, want 6", x, xs[x].Load())
+		}
+	}
+	for z := 0; z < 2; z++ {
+		if zs[z].Load() != 12 {
+			t.Fatalf("z=%d ran %d, want 12", z, zs[z].Load())
+		}
+	}
+}
+
+func TestLaunchChunks(t *testing.T) {
+	d := New(4)
+	n := 1003
+	mark := make([]atomic.Int32, n)
+	d.LaunchChunks(n, 17, func(lo, hi int) {
+		if lo < 0 || hi > n || lo >= hi {
+			t.Errorf("bad chunk [%d,%d)", lo, hi)
+		}
+		for i := lo; i < hi; i++ {
+			mark[i].Add(1)
+		}
+	})
+	for i := range mark {
+		if mark[i].Load() != 1 {
+			t.Fatalf("index %d covered %d times", i, mark[i].Load())
+		}
+	}
+}
+
+func TestLaunchChunksAutoChunk(t *testing.T) {
+	d := New(8)
+	var total atomic.Int64
+	d.LaunchChunks(100, 0, func(lo, hi int) { total.Add(int64(hi - lo)) })
+	if total.Load() != 100 {
+		t.Fatalf("covered %d, want 100", total.Load())
+	}
+}
+
+func TestReduceOrdered(t *testing.T) {
+	d := New(4)
+	// Non-commutative combine (string concat) must respect block order.
+	got := Reduce(d, 5, func(b int) string { return string(rune('a' + b)) },
+		func(a, b string) string { return a + b })
+	if got != "abcde" {
+		t.Fatalf("Reduce = %q, want abcde", got)
+	}
+}
+
+func TestReduceSum(t *testing.T) {
+	d := New(7)
+	got := Reduce(d, 1000, func(b int) int { return b }, func(a, b int) int { return a + b })
+	if got != 999*1000/2 {
+		t.Fatalf("Reduce sum = %d", got)
+	}
+}
+
+func TestDefaultDevice(t *testing.T) {
+	if Default.Workers() < 1 {
+		t.Fatal("default device has no workers")
+	}
+}

@@ -1,0 +1,41 @@
+package huffman
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func quantLike(n int, seed int64) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = byte(128 + rng.NormFloat64()*3)
+	}
+	return out
+}
+
+func BenchmarkEncodeBytes(b *testing.B) {
+	data := quantLike(1<<22, 1)
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := EncodeBytes(dev, data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodeBytes(b *testing.B) {
+	data := quantLike(1<<22, 2)
+	enc, err := EncodeBytes(dev, data)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeBytes(dev, enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,441 @@
+// Package huffman implements the canonical Huffman codec used as the
+// entropy stage of cuSZ-Hi's CR-preferred lossless pipeline (Fig. 7) and of
+// the cuSZ-L / cuSZ-I(B) baselines.
+//
+// Mirroring the GPU design, encoding is chunk-parallel: the symbol stream is
+// split into fixed-size chunks, each chunk is encoded independently on the
+// simulated device, and chunk byte offsets are recorded so decoding is also
+// chunk-parallel (cf. Tian et al., cuSZ; Rivera et al., IPDPS'22 for the
+// GPU Huffman decoder this emulates).
+//
+// Codes are canonical and length-limited to 15 bits (frequencies are
+// smoothed and the tree rebuilt if the natural tree is deeper), and are
+// stored bit-reversed so the LSB-first bit stream can be decoded with a
+// single lookup table, as in DEFLATE.
+package huffman
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+	"sort"
+	"sync/atomic"
+
+	"repro/internal/bitio"
+	"repro/internal/gpusim"
+)
+
+const (
+	// MaxCodeLen is the length cap for canonical codes.
+	MaxCodeLen = 15
+	// DefaultChunk is the number of symbols encoded per parallel chunk.
+	DefaultChunk = 1 << 16
+)
+
+var (
+	// ErrCorrupt reports a malformed Huffman container.
+	ErrCorrupt = errors.New("huffman: corrupt stream")
+	// ErrTooManySymbols reports an alphabet whose used-symbol count cannot
+	// satisfy the 15-bit length cap.
+	ErrTooManySymbols = errors.New("huffman: too many distinct symbols for 15-bit codes")
+)
+
+// code is a canonical, bit-reversed Huffman code.
+type code struct {
+	bits uint16
+	len  uint8
+}
+
+// buildLengths computes Huffman code lengths from frequencies, capped at
+// MaxCodeLen. Zero-frequency symbols get length 0.
+func buildLengths(freq []int64) ([]uint8, error) {
+	n := len(freq)
+	lens := make([]uint8, n)
+	used := 0
+	last := -1
+	for s, f := range freq {
+		if f > 0 {
+			used++
+			last = s
+		}
+	}
+	switch used {
+	case 0:
+		return lens, nil
+	case 1:
+		lens[last] = 1
+		return lens, nil
+	}
+	if used > 1<<MaxCodeLen {
+		return nil, ErrTooManySymbols
+	}
+	f := make([]int64, n)
+	copy(f, freq)
+	for {
+		depth := huffmanDepths(f, lens)
+		if depth <= MaxCodeLen {
+			return lens, nil
+		}
+		// Smooth the distribution and retry; converges to uniform lengths.
+		for i := range f {
+			if f[i] > 0 {
+				f[i] = (f[i] >> 1) | 1
+			}
+		}
+	}
+}
+
+// huffmanDepths runs the classic two-queue Huffman construction over the
+// non-zero frequencies, writing depths into lens and returning the max depth.
+func huffmanDepths(freq []int64, lens []uint8) int {
+	type node struct {
+		w           int64
+		sym         int // >= 0 for leaves
+		left, right int // node indices for internal nodes
+	}
+	nodes := make([]node, 0, 2*len(freq))
+	leaves := make([]int, 0, len(freq))
+	for s, f := range freq {
+		if f > 0 {
+			nodes = append(nodes, node{w: f, sym: s, left: -1, right: -1})
+			leaves = append(leaves, len(nodes)-1)
+		}
+	}
+	sort.Slice(leaves, func(i, j int) bool {
+		a, b := nodes[leaves[i]], nodes[leaves[j]]
+		if a.w != b.w {
+			return a.w < b.w
+		}
+		return a.sym < b.sym
+	})
+	// Two-queue merge: sorted leaves queue + FIFO internal queue.
+	internal := make([]int, 0, len(leaves))
+	li, ii := 0, 0
+	pop := func() int {
+		if li < len(leaves) && (ii >= len(internal) || nodes[leaves[li]].w <= nodes[internal[ii]].w) {
+			li++
+			return leaves[li-1]
+		}
+		ii++
+		return internal[ii-1]
+	}
+	remaining := len(leaves)
+	root := leaves[0]
+	for remaining > 1 {
+		a := pop()
+		b := pop()
+		nodes = append(nodes, node{w: nodes[a].w + nodes[b].w, sym: -1, left: a, right: b})
+		internal = append(internal, len(nodes)-1)
+		root = len(nodes) - 1
+		remaining--
+	}
+	// Iterative depth assignment.
+	maxDepth := 0
+	type frame struct{ idx, depth int }
+	stack := []frame{{root, 0}}
+	for len(stack) > 0 {
+		fr := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		nd := nodes[fr.idx]
+		if nd.sym >= 0 {
+			lens[nd.sym] = uint8(fr.depth)
+			if fr.depth > maxDepth {
+				maxDepth = fr.depth
+			}
+			continue
+		}
+		stack = append(stack, frame{nd.left, fr.depth + 1}, frame{nd.right, fr.depth + 1})
+	}
+	return maxDepth
+}
+
+// canonicalCodes assigns canonical codes (bit-reversed for LSB-first I/O)
+// from lengths.
+func canonicalCodes(lens []uint8) []code {
+	codes := make([]code, len(lens))
+	var lenCount [MaxCodeLen + 1]int
+	for _, l := range lens {
+		lenCount[l]++
+	}
+	var next [MaxCodeLen + 2]uint32
+	c := uint32(0)
+	for l := 1; l <= MaxCodeLen; l++ {
+		c = (c + uint32(lenCount[l-1])) << 1
+		next[l] = c
+	}
+	for s, l := range lens {
+		if l == 0 {
+			continue
+		}
+		v := next[l]
+		next[l]++
+		codes[s] = code{bits: uint16(bits.Reverse16(uint16(v)) >> (16 - l)), len: l}
+	}
+	return codes
+}
+
+// decodeTable is a full LUT over MaxCodeLen peeked bits.
+type decodeTable struct {
+	sym []uint16
+	ln  []uint8
+}
+
+func buildDecodeTable(lens []uint8) (*decodeTable, error) {
+	codes := canonicalCodes(lens)
+	t := &decodeTable{
+		sym: make([]uint16, 1<<MaxCodeLen),
+		ln:  make([]uint8, 1<<MaxCodeLen),
+	}
+	for s, cd := range codes {
+		if cd.len == 0 {
+			continue
+		}
+		step := 1 << cd.len
+		for v := int(cd.bits); v < 1<<MaxCodeLen; v += step {
+			if t.ln[v] != 0 {
+				return nil, fmt.Errorf("huffman: overlapping codes (corrupt lengths)")
+			}
+			t.sym[v] = uint16(s)
+			t.ln[v] = cd.len
+		}
+	}
+	return t, nil
+}
+
+// appendLengthsRLE serializes code lengths as (run, len) pairs.
+func appendLengthsRLE(dst []byte, lens []uint8) []byte {
+	var pairs [][2]uint64
+	i := 0
+	for i < len(lens) {
+		j := i
+		for j < len(lens) && lens[j] == lens[i] {
+			j++
+		}
+		pairs = append(pairs, [2]uint64{uint64(j - i), uint64(lens[i])})
+		i = j
+	}
+	dst = bitio.AppendUvarint(dst, uint64(len(pairs)))
+	for _, p := range pairs {
+		dst = bitio.AppendUvarint(dst, p[0])
+		dst = append(dst, byte(p[1]))
+	}
+	return dst
+}
+
+func parseLengthsRLE(p []byte, alphabet int) ([]uint8, int, error) {
+	nPairs, n := bitio.Uvarint(p)
+	if n == 0 {
+		return nil, 0, ErrCorrupt
+	}
+	off := n
+	lens := make([]uint8, 0, alphabet)
+	for i := uint64(0); i < nPairs; i++ {
+		run, n := bitio.Uvarint(p[off:])
+		if n == 0 {
+			return nil, 0, ErrCorrupt
+		}
+		off += n
+		if off >= len(p) {
+			return nil, 0, ErrCorrupt
+		}
+		l := p[off]
+		off++
+		if l > MaxCodeLen {
+			return nil, 0, ErrCorrupt
+		}
+		if uint64(len(lens))+run > uint64(alphabet) {
+			return nil, 0, ErrCorrupt
+		}
+		for r := uint64(0); r < run; r++ {
+			lens = append(lens, l)
+		}
+	}
+	if len(lens) != alphabet {
+		return nil, 0, ErrCorrupt
+	}
+	return lens, off, nil
+}
+
+// Encode compresses symbols drawn from [0, alphabet) into a self-contained
+// container. Chunks are encoded in parallel on dev.
+func Encode(dev *gpusim.Device, symbols []uint16, alphabet int) ([]byte, error) {
+	if alphabet <= 0 || alphabet > 1<<16 {
+		return nil, fmt.Errorf("huffman: bad alphabet %d", alphabet)
+	}
+	freq := make([]int64, alphabet)
+	for _, s := range symbols {
+		if int(s) >= alphabet {
+			return nil, fmt.Errorf("huffman: symbol %d outside alphabet %d", s, alphabet)
+		}
+		freq[s]++
+	}
+	lens, err := buildLengths(freq)
+	if err != nil {
+		return nil, err
+	}
+	codes := canonicalCodes(lens)
+
+	chunk := DefaultChunk
+	nChunks := (len(symbols) + chunk - 1) / chunk
+	if nChunks == 0 {
+		nChunks = 0
+	}
+	chunkBufs := make([][]byte, nChunks)
+	dev.Launch(nChunks, func(b int) {
+		lo := b * chunk
+		hi := lo + chunk
+		if hi > len(symbols) {
+			hi = len(symbols)
+		}
+		w := bitio.NewWriter((hi - lo) / 2)
+		for _, s := range symbols[lo:hi] {
+			cd := codes[s]
+			w.WriteBits(uint64(cd.bits), uint(cd.len))
+		}
+		chunkBufs[b] = w.Bytes()
+	})
+
+	out := make([]byte, 0, len(symbols)/2+64)
+	out = bitio.AppendUvarint(out, uint64(alphabet))
+	out = appendLengthsRLE(out, lens)
+	out = bitio.AppendUvarint(out, uint64(len(symbols)))
+	out = bitio.AppendUvarint(out, uint64(chunk))
+	out = bitio.AppendUvarint(out, uint64(nChunks))
+	for _, cb := range chunkBufs {
+		out = bitio.AppendUvarint(out, uint64(len(cb)))
+	}
+	for _, cb := range chunkBufs {
+		out = append(out, cb...)
+	}
+	return out, nil
+}
+
+// Decode reverses Encode.
+func Decode(dev *gpusim.Device, data []byte) ([]uint16, error) {
+	alphabet64, n := bitio.Uvarint(data)
+	if n == 0 || alphabet64 == 0 || alphabet64 > 1<<16 {
+		return nil, ErrCorrupt
+	}
+	off := n
+	lens, used, err := parseLengthsRLE(data[off:], int(alphabet64))
+	if err != nil {
+		return nil, err
+	}
+	off += used
+	nSyms, n := bitio.Uvarint(data[off:])
+	if n == 0 {
+		return nil, ErrCorrupt
+	}
+	off += n
+	chunk64, n := bitio.Uvarint(data[off:])
+	if n == 0 || chunk64 == 0 {
+		return nil, ErrCorrupt
+	}
+	off += n
+	nChunks64, n := bitio.Uvarint(data[off:])
+	if n == 0 {
+		return nil, ErrCorrupt
+	}
+	off += n
+	chunk := int(chunk64)
+	nChunks := int(nChunks64)
+	if nChunks < 0 || nChunks > len(data) {
+		return nil, ErrCorrupt
+	}
+	want := (int(nSyms) + chunk - 1) / chunk
+	if int(nSyms) == 0 {
+		want = 0
+	}
+	if nChunks != want {
+		return nil, ErrCorrupt
+	}
+	chunkLens := make([]int, nChunks)
+	total := 0
+	for i := range chunkLens {
+		l, n := bitio.Uvarint(data[off:])
+		if n == 0 {
+			return nil, ErrCorrupt
+		}
+		off += n
+		chunkLens[i] = int(l)
+		total += int(l)
+	}
+	if off+total > len(data) {
+		return nil, ErrCorrupt
+	}
+	starts := make([]int, nChunks)
+	pos := off
+	for i, l := range chunkLens {
+		starts[i] = pos
+		pos += l
+	}
+	table, err := buildDecodeTable(lens)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]uint16, nSyms)
+	var failed atomic.Bool
+	dev.Launch(nChunks, func(b int) {
+		lo := b * chunk
+		hi := lo + chunk
+		if hi > len(out) {
+			hi = len(out)
+		}
+		if err := decodeChunk(data[starts[b]:starts[b]+chunkLens[b]], table, out[lo:hi]); err != nil {
+			failed.Store(true)
+		}
+	})
+	if failed.Load() {
+		return nil, ErrCorrupt
+	}
+	return out, nil
+}
+
+// decodeChunk decodes exactly len(dst) symbols from src using a local
+// bit accumulator for speed.
+func decodeChunk(src []byte, table *decodeTable, dst []uint16) error {
+	var acc uint64
+	var nacc uint
+	pos := 0
+	for i := range dst {
+		for nacc < MaxCodeLen && pos < len(src) {
+			acc |= uint64(src[pos]) << nacc
+			pos++
+			nacc += 8
+		}
+		v := acc & (1<<MaxCodeLen - 1)
+		l := table.ln[v]
+		if l == 0 || uint(l) > nacc {
+			return ErrCorrupt
+		}
+		dst[i] = table.sym[v]
+		acc >>= l
+		nacc -= uint(l)
+	}
+	return nil
+}
+
+// EncodeBytes compresses a byte stream (alphabet 256).
+func EncodeBytes(dev *gpusim.Device, p []byte) ([]byte, error) {
+	syms := make([]uint16, len(p))
+	for i, b := range p {
+		syms[i] = uint16(b)
+	}
+	return Encode(dev, syms, 256)
+}
+
+// DecodeBytes reverses EncodeBytes.
+func DecodeBytes(dev *gpusim.Device, data []byte) ([]byte, error) {
+	syms, err := Decode(dev, data)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, len(syms))
+	for i, s := range syms {
+		if s > 255 {
+			return nil, ErrCorrupt
+		}
+		out[i] = byte(s)
+	}
+	return out, nil
+}

@@ -1,0 +1,215 @@
+package huffman
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gpusim"
+)
+
+var dev = gpusim.New(4)
+
+func roundTrip(t *testing.T, syms []uint16, alphabet int) {
+	t.Helper()
+	enc, err := Encode(dev, syms, alphabet)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	dec, err := Decode(dev, enc)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if len(dec) != len(syms) {
+		t.Fatalf("len %d != %d", len(dec), len(syms))
+	}
+	for i := range syms {
+		if dec[i] != syms[i] {
+			t.Fatalf("mismatch at %d: %d != %d", i, dec[i], syms[i])
+		}
+	}
+}
+
+func TestRoundTripEmpty(t *testing.T) { roundTrip(t, nil, 256) }
+
+func TestRoundTripSingleSymbol(t *testing.T) {
+	syms := make([]uint16, 1000)
+	roundTrip(t, syms, 256)
+}
+
+func TestRoundTripTwoSymbols(t *testing.T) {
+	syms := make([]uint16, 500)
+	for i := range syms {
+		syms[i] = uint16(i % 2)
+	}
+	roundTrip(t, syms, 2)
+}
+
+func TestRoundTripSkewed(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	syms := make([]uint16, 200_000)
+	for i := range syms {
+		// Geometric-ish distribution centered at 128, like quant codes.
+		v := 128
+		for rng.Intn(2) == 0 && v < 255 {
+			v++
+		}
+		syms[i] = uint16(v)
+	}
+	roundTrip(t, syms, 256)
+}
+
+func TestRoundTripUniform16Bit(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	syms := make([]uint16, 50_000)
+	for i := range syms {
+		syms[i] = uint16(rng.Intn(1024))
+	}
+	roundTrip(t, syms, 1024)
+}
+
+func TestRoundTripCrossesChunks(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	syms := make([]uint16, DefaultChunk*2+777)
+	for i := range syms {
+		syms[i] = uint16(rng.Intn(8))
+	}
+	roundTrip(t, syms, 256)
+}
+
+func TestCompressionBeatsRaw(t *testing.T) {
+	// Highly skewed data must compress well below 1 byte/symbol.
+	syms := make([]uint16, 100_000)
+	rng := rand.New(rand.NewSource(4))
+	for i := range syms {
+		if rng.Intn(100) == 0 {
+			syms[i] = uint16(rng.Intn(256))
+		} else {
+			syms[i] = 128
+		}
+	}
+	enc, err := Encode(dev, syms, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(enc) > len(syms)/4 {
+		t.Fatalf("skewed data compressed to %d bytes (%.2f bits/sym)", len(enc), float64(len(enc))*8/float64(len(syms)))
+	}
+}
+
+func TestEncodeBytesRoundTrip(t *testing.T) {
+	data := []byte("the quick brown fox jumps over the lazy dog, repeatedly: ")
+	data = bytes.Repeat(data, 100)
+	enc, err := EncodeBytes(dev, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := DecodeBytes(dev, enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dec, data) {
+		t.Fatal("byte round trip mismatch")
+	}
+	if len(enc) >= len(data) {
+		t.Fatalf("text did not compress: %d >= %d", len(enc), len(data))
+	}
+}
+
+func TestSymbolOutsideAlphabet(t *testing.T) {
+	if _, err := Encode(dev, []uint16{300}, 256); err == nil {
+		t.Fatal("want error for out-of-alphabet symbol")
+	}
+}
+
+func TestBadAlphabet(t *testing.T) {
+	if _, err := Encode(dev, nil, 0); err == nil {
+		t.Fatal("want error for alphabet 0")
+	}
+	if _, err := Encode(dev, nil, 1<<17); err == nil {
+		t.Fatal("want error for oversized alphabet")
+	}
+}
+
+func TestDecodeCorrupt(t *testing.T) {
+	syms := make([]uint16, 10_000)
+	rng := rand.New(rand.NewSource(5))
+	for i := range syms {
+		syms[i] = uint16(rng.Intn(200))
+	}
+	enc, err := Encode(dev, syms, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Truncations at various points must error, never panic.
+	for _, cut := range []int{0, 1, 2, 5, len(enc) / 2, len(enc) - 1} {
+		if _, err := Decode(dev, enc[:cut]); err == nil {
+			t.Fatalf("truncated to %d bytes: want error", cut)
+		}
+	}
+	// Bit flips in the header region must error or decode to something,
+	// never panic.
+	for i := 0; i < 20 && i < len(enc); i++ {
+		bad := append([]byte(nil), enc...)
+		bad[i] ^= 0xFF
+		Decode(dev, bad) // must not panic
+	}
+}
+
+func TestLengthLimiting(t *testing.T) {
+	// Fibonacci-like frequencies force deep trees; lengths must be capped.
+	freq := make([]int64, 64)
+	a, b := int64(1), int64(1)
+	for i := range freq {
+		freq[i] = a
+		a, b = b, a+b
+		if a > 1<<40 {
+			a = 1 << 40
+		}
+	}
+	lens, err := buildLengths(freq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kraft := 0.0
+	for _, l := range lens {
+		if l > MaxCodeLen {
+			t.Fatalf("length %d exceeds cap", l)
+		}
+		if l > 0 {
+			kraft += 1 / float64(int(1)<<l)
+		}
+	}
+	if kraft > 1.0000001 {
+		t.Fatalf("Kraft sum %v > 1", kraft)
+	}
+}
+
+func TestCanonicalCodesPrefixFree(t *testing.T) {
+	freq := []int64{10, 3, 1, 1, 7, 0, 2, 40}
+	lens, err := buildLengths(freq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := buildDecodeTable(lens); err != nil {
+		t.Fatalf("codes overlap: %v", err)
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(data []byte) bool {
+		enc, err := EncodeBytes(dev, data)
+		if err != nil {
+			return false
+		}
+		dec, err := DecodeBytes(dev, enc)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(dec, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,67 @@
+package interp
+
+import (
+	"testing"
+)
+
+func benchField(dims []int) []float32 {
+	return synthField(dims, 42)
+}
+
+func BenchmarkCompressHi(b *testing.B) {
+	dims := []int{96, 96, 96}
+	data := benchField(dims)
+	g := NewGrid(dims)
+	cfg := HiConfig()
+	b.SetBytes(int64(4 * len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compress(dev, data, g, cfg, 1e-3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecompressHi(b *testing.B) {
+	dims := []int{96, 96, 96}
+	data := benchField(dims)
+	g := NewGrid(dims)
+	cfg := HiConfig()
+	res, err := Compress(dev, data, g, cfg, 1e-3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(4 * len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decompress(dev, res, g, cfg, 1e-3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCompressCuszI(b *testing.B) {
+	dims := []int{96, 96, 96}
+	data := benchField(dims)
+	g := NewGrid(dims)
+	cfg := CuszIConfig()
+	b.SetBytes(int64(4 * len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compress(dev, data, g, cfg, 1e-3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAutoTune(b *testing.B) {
+	dims := []int{96, 96, 96}
+	data := benchField(dims)
+	g := NewGrid(dims)
+	cfg := HiConfig()
+	b.SetBytes(int64(4 * len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		AutoTune(dev, data, g, cfg, DefaultSampleFraction)
+	}
+}

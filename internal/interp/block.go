@@ -1,0 +1,292 @@
+package interp
+
+// This file contains the per-block interpolation engine shared by
+// compression, decompression and auto-tuning. A block covers the inclusive
+// coordinate ranges [lo, hi] per dimension (neighbouring blocks share their
+// boundary faces, like the CUDA shared-memory chunks of Fig. 1/3), keeps a
+// local reconstruction buffer, and walks the levels coarse-to-fine. The
+// visit callback decides what happens at each predicted point
+// (quantize-and-store for compression, apply-code for decompression,
+// accumulate-error for tuning).
+
+// dimClass constrains one coordinate of a phase's point set.
+type dimClass uint8
+
+const (
+	even2 dimClass = iota // coord ≡ 0 (mod 2s): known from previous level
+	odd                   // coord ≡ s (mod 2s): predicted in this phase
+	anyS                  // coord ≡ 0 (mod s): filled earlier in this level
+)
+
+// phase is one parallel interpolation step within a level: the classes
+// constrain the point lattice, dims lists the interpolation directions
+// (the odd dims).
+type phase struct {
+	class [3]dimClass // z, y, x
+	dims  []int       // 0=z, 1=y, 2=x
+}
+
+var (
+	phasesSeqXYZ = []phase{
+		{class: [3]dimClass{even2, even2, odd}, dims: []int{2}},
+		{class: [3]dimClass{even2, odd, anyS}, dims: []int{1}},
+		{class: [3]dimClass{odd, anyS, anyS}, dims: []int{0}},
+	}
+	phasesSeqZYX = []phase{
+		{class: [3]dimClass{odd, even2, even2}, dims: []int{0}},
+		{class: [3]dimClass{anyS, odd, even2}, dims: []int{1}},
+		{class: [3]dimClass{anyS, anyS, odd}, dims: []int{2}},
+	}
+	phasesMD = []phase{
+		// Edge centers: exactly one odd dim (Fig. 4b left).
+		{class: [3]dimClass{even2, even2, odd}, dims: []int{2}},
+		{class: [3]dimClass{even2, odd, even2}, dims: []int{1}},
+		{class: [3]dimClass{odd, even2, even2}, dims: []int{0}},
+		// Face centers: two odd dims (Fig. 4b middle).
+		{class: [3]dimClass{even2, odd, odd}, dims: []int{1, 2}},
+		{class: [3]dimClass{odd, even2, odd}, dims: []int{0, 2}},
+		{class: [3]dimClass{odd, odd, even2}, dims: []int{0, 1}},
+		// Body centers: all odd (Fig. 4b right).
+		{class: [3]dimClass{odd, odd, odd}, dims: []int{0, 1, 2}},
+	}
+)
+
+func phasesFor(s Scheme) []phase {
+	switch s {
+	case Seq1DXYZ:
+		return phasesSeqXYZ
+	case Seq1DZYX:
+		return phasesSeqZYX
+	default:
+		return phasesMD
+	}
+}
+
+// block is the per-block working state.
+type block struct {
+	g       Grid
+	cfg     *Config
+	lo, hi  [3]int // inclusive global bounds (z, y, x)
+	ohi     [3]int // exclusive upper owner bounds
+	ext     [3]int // local extents (hi-lo+1)
+	buf     []float32
+	anchors []float32 // dense global anchor grid
+	az      [3]int    // anchor grid dims
+}
+
+// blockGrid computes the number of blocks per dimension.
+func blockGrid(g Grid, cfg *Config) (nbz, nby, nbx int) {
+	f := func(n, b int) int {
+		if n <= 1 {
+			return 1
+		}
+		return (n - 2 + b) / b // ceil((n-1)/b)
+	}
+	return f(g.Nz, cfg.BlockZ), f(g.Ny, cfg.BlockY), f(g.Nx, cfg.BlockX)
+}
+
+// initBlock positions the block with grid index (bz, by, bx).
+func (b *block) initBlock(g Grid, cfg *Config, bz, by, bx int) {
+	b.g = g
+	b.cfg = cfg
+	nbz, nby, nbx := blockGrid(g, cfg)
+	dims := [3]int{g.Nz, g.Ny, g.Nx}
+	bsz := [3]int{cfg.BlockZ, cfg.BlockY, cfg.BlockX}
+	idx := [3]int{bz, by, bx}
+	nb := [3]int{nbz, nby, nbx}
+	for d := 0; d < 3; d++ {
+		b.lo[d] = idx[d] * bsz[d]
+		b.hi[d] = b.lo[d] + bsz[d]
+		if b.hi[d] > dims[d]-1 {
+			b.hi[d] = dims[d] - 1
+		}
+		if idx[d] == nb[d]-1 {
+			b.ohi[d] = dims[d]
+		} else {
+			b.ohi[d] = b.lo[d] + bsz[d]
+		}
+		b.ext[d] = b.hi[d] - b.lo[d] + 1
+	}
+	need := b.ext[0] * b.ext[1] * b.ext[2]
+	if cap(b.buf) < need {
+		b.buf = make([]float32, need)
+	} else {
+		b.buf = b.buf[:need]
+	}
+}
+
+// local returns the index into buf for global coords.
+func (b *block) local(z, y, x int) int {
+	return ((z-b.lo[0])*b.ext[1]+(y-b.lo[1]))*b.ext[2] + (x - b.lo[2])
+}
+
+// owns reports whether this block is the unique emitter for the point.
+func (b *block) owns(z, y, x int) bool {
+	return z < b.ohi[0] && y < b.ohi[1] && x < b.ohi[2] &&
+		z >= b.lo[0] && y >= b.lo[1] && x >= b.lo[2]
+}
+
+// anchorAt reads the dense anchor grid at global coords (multiples of the
+// anchor stride).
+func (b *block) anchorAt(z, y, x int) float32 {
+	a := b.cfg.AnchorStride
+	return b.anchors[((z/a)*b.az[1]+(y/a))*b.az[2]+(x/a)]
+}
+
+// loadAnchors copies the block's anchor points into buf and reports them to
+// visitAnchor (used by decompression to emit them into the output).
+func (b *block) loadAnchors(visitAnchor func(z, y, x int, v float32)) {
+	a := b.cfg.AnchorStride
+	for z := b.lo[0]; z <= b.hi[0]; z += a {
+		for y := b.lo[1]; y <= b.hi[1]; y += a {
+			for x := b.lo[2]; x <= b.hi[2]; x += a {
+				v := b.anchorAt(z, y, x)
+				b.buf[b.local(z, y, x)] = v
+				if visitAnchor != nil {
+					visitAnchor(z, y, x, v)
+				}
+			}
+		}
+	}
+}
+
+// interp1 performs a 1-D midpoint interpolation from up to four neighbours
+// at -3s, -s, +s, +3s (a, p, q, d) with availability flags, returning the
+// prediction and its spline order (3 cubic, 2 quadratic, 1 linear,
+// 0 extrapolation/copy).
+func interp1(a, p, q, d float32, ha, hp, hq, hd bool, spline Spline) (float32, int) {
+	switch {
+	case hp && hq:
+		if spline == Cubic {
+			switch {
+			case ha && hd:
+				return (-a + 9*p + 9*q - d) / 16, 3
+			case ha:
+				return (-a + 6*p + 3*q) / 8, 2
+			case hd:
+				return (3*p + 6*q - d) / 8, 2
+			}
+		}
+		return (p + q) / 2, 1
+	case hp:
+		if ha {
+			return (3*p - a) / 2, 0
+		}
+		return p, 0
+	case hq:
+		if hd {
+			return (3*q - d) / 2, 0
+		}
+		return q, 0
+	}
+	return 0, 0
+}
+
+// strides returns buf's element stride along each dimension.
+func (b *block) strides() [3]int {
+	return [3]int{b.ext[1] * b.ext[2], b.ext[2], 1}
+}
+
+// predict computes the multi-(or single-)dimensional prediction for the
+// point at global coords g, interpolating along dims with stride s and
+// averaging only the highest-order directional predictions (§5.1.2).
+// idx is the point's precomputed local buffer index.
+func (b *block) predict(gz, gy, gx, idx, s int, dims []int, spline Spline) float32 {
+	gc := [3]int{gz, gy, gx}
+	st := b.strides()
+	bestOrder := -1
+	var sum float32
+	var cnt int
+	for _, d := range dims {
+		c := gc[d]
+		step := s * st[d]
+		var a, p, q, dd float32
+		var ha, hp, hq, hd bool
+		if c-s >= b.lo[d] {
+			hp = true
+			p = b.buf[idx-step]
+		}
+		if c-3*s >= b.lo[d] {
+			ha = true
+			a = b.buf[idx-3*step]
+		}
+		if c+s <= b.hi[d] {
+			hq = true
+			q = b.buf[idx+step]
+		}
+		if c+3*s <= b.hi[d] {
+			hd = true
+			dd = b.buf[idx+3*step]
+		}
+		pred, order := interp1(a, p, q, dd, ha, hp, hq, hd, spline)
+		if order > bestOrder {
+			bestOrder = order
+			sum = pred
+			cnt = 1
+		} else if order == bestOrder {
+			sum += pred
+			cnt++
+		}
+	}
+	if cnt == 0 {
+		return 0
+	}
+	return sum / float32(cnt)
+}
+
+// visitFunc handles one predicted point: it receives the global coords,
+// the prediction, and whether this block owns the point; it returns the
+// reconstructed value to store in buf.
+type visitFunc func(z, y, x int, pred float32, owned bool) float32
+
+// runLevel walks one interpolation level (stride s of the new points) with
+// the given level config, calling visit for every new point in
+// deterministic phase order.
+func (b *block) runLevel(s int, lc LevelConfig, visit visitFunc) {
+	for _, ph := range phasesFor(lc.Scheme) {
+		var start, step [3]int
+		skip := false
+		for d := 0; d < 3; d++ {
+			switch ph.class[d] {
+			case odd:
+				start[d] = b.lo[d] + s
+				step[d] = 2 * s
+			case even2:
+				start[d] = b.lo[d]
+				step[d] = 2 * s
+			default: // anyS
+				start[d] = b.lo[d]
+				step[d] = s
+			}
+			if start[d] > b.hi[d] {
+				skip = true
+			}
+		}
+		if skip {
+			continue
+		}
+		st := b.strides()
+		for z := start[0]; z <= b.hi[0]; z += step[0] {
+			zOwn := z < b.ohi[0]
+			zBase := (z - b.lo[0]) * st[0]
+			for y := start[1]; y <= b.hi[1]; y += step[1] {
+				yOwn := zOwn && y < b.ohi[1]
+				yBase := zBase + (y-b.lo[1])*st[1]
+				for x := start[2]; x <= b.hi[2]; x += step[2] {
+					idx := yBase + (x - b.lo[2])
+					pred := b.predict(z, y, x, idx, s, ph.dims, lc.Spline)
+					b.buf[idx] = visit(z, y, x, pred, yOwn && x < b.ohi[2])
+				}
+			}
+		}
+	}
+}
+
+// run executes all levels coarse-to-fine.
+func (b *block) run(visit visitFunc) {
+	li := 0
+	for s := b.cfg.AnchorStride / 2; s >= 1; s >>= 1 {
+		b.runLevel(s, b.cfg.PerLevel[li], visit)
+		li++
+	}
+}

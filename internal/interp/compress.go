@@ -1,0 +1,166 @@
+package interp
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/gpusim"
+	"repro/internal/quant"
+)
+
+// Result is the lossy decomposition output: the integer quantization codes
+// (natural data layout), the lossless anchor values (row-major over the
+// anchor lattice) and the outlier list.
+type Result struct {
+	Codes    []uint8
+	Anchors  []float32
+	Outliers *quant.Outliers
+}
+
+// gatherAnchors extracts the dense anchor grid from data.
+func gatherAnchors(dev *gpusim.Device, data []float32, g Grid, a int) []float32 {
+	az, ay, ax := g.AnchorDims(a)
+	out := make([]float32, az*ay*ax)
+	dev.Launch(az, func(iz int) {
+		z := iz * a
+		for iy := 0; iy < ay; iy++ {
+			y := iy * a
+			for ix := 0; ix < ax; ix++ {
+				out[(iz*ay+iy)*ax+ix] = data[g.flat(z, y, ix*a)]
+			}
+		}
+	})
+	return out
+}
+
+// bufPool recycles per-block reconstruction buffers across kernel launches.
+var bufPool = sync.Pool{New: func() any { return &block{} }}
+
+// Compress runs the interpolation predictor over data, producing quant
+// codes, anchors and outliers. eb is the absolute error bound.
+func Compress(dev *gpusim.Device, data []float32, g Grid, cfg Config, eb float64) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if g.Len() != len(data) {
+		return nil, fmt.Errorf("interp: grid %dx%dx%d does not match %d values", g.Nz, g.Ny, g.Nx, len(data))
+	}
+	if eb <= 0 {
+		return nil, fmt.Errorf("interp: error bound %v must be positive", eb)
+	}
+	twoEB := 2 * eb
+	res := &Result{
+		Codes:    make([]uint8, g.Len()),
+		Anchors:  gatherAnchors(dev, data, g, cfg.AnchorStride),
+		Outliers: &quant.Outliers{},
+	}
+	azd, ayd, axd := g.AnchorDims(cfg.AnchorStride)
+	nbz, nby, nbx := blockGrid(g, &cfg)
+	nBlocks := nbz * nby * nbx
+	perBlockOutliers := make([]quant.Outliers, nBlocks)
+	dev.Launch(nBlocks, func(bi int) {
+		bk := bufPool.Get().(*block)
+		defer bufPool.Put(bk)
+		bx := bi % nbx
+		by := (bi / nbx) % nby
+		bz := bi / (nbx * nby)
+		bk.initBlock(g, &cfg, bz, by, bx)
+		bk.anchors = res.Anchors
+		bk.az = [3]int{azd, ayd, axd}
+		bk.loadAnchors(func(z, y, x int, v float32) {
+			if bk.owns(z, y, x) {
+				res.Codes[g.flat(z, y, x)] = quant.ZeroCode
+			}
+		})
+		ol := &perBlockOutliers[bi]
+		bk.run(func(z, y, x int, pred float32, owned bool) float32 {
+			idx := g.flat(z, y, x)
+			code, recon, outlier := quant.Quantize(data[idx], pred, twoEB)
+			if owned {
+				res.Codes[idx] = code
+				if outlier {
+					ol.Append(idx, data[idx])
+				}
+			}
+			return recon
+		})
+	})
+	// Merge per-block outliers in ascending position order.
+	order := make([]int, 0, nBlocks)
+	for i := range perBlockOutliers {
+		if perBlockOutliers[i].Len() > 0 {
+			order = append(order, i)
+		}
+	}
+	sort.Slice(order, func(i, j int) bool {
+		return perBlockOutliers[order[i]].Pos[0] < perBlockOutliers[order[j]].Pos[0]
+	})
+	for _, i := range order {
+		res.Outliers.Pos = append(res.Outliers.Pos, perBlockOutliers[i].Pos...)
+		res.Outliers.Val = append(res.Outliers.Val, perBlockOutliers[i].Val...)
+	}
+	sort.Sort(byPos{res.Outliers})
+	return res, nil
+}
+
+// byPos sorts an outlier list by position, keeping values aligned.
+type byPos struct{ o *quant.Outliers }
+
+func (s byPos) Len() int           { return s.o.Len() }
+func (s byPos) Less(i, j int) bool { return s.o.Pos[i] < s.o.Pos[j] }
+func (s byPos) Swap(i, j int) {
+	s.o.Pos[i], s.o.Pos[j] = s.o.Pos[j], s.o.Pos[i]
+	s.o.Val[i], s.o.Val[j] = s.o.Val[j], s.o.Val[i]
+}
+
+// Decompress reconstructs the field from a Result.
+func Decompress(dev *gpusim.Device, res *Result, g Grid, cfg Config, eb float64) ([]float32, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(res.Codes) != g.Len() {
+		return nil, fmt.Errorf("interp: %d codes for grid of %d points", len(res.Codes), g.Len())
+	}
+	if want := g.AnchorCount(cfg.AnchorStride); len(res.Anchors) != want {
+		return nil, fmt.Errorf("interp: %d anchors, want %d", len(res.Anchors), want)
+	}
+	if eb <= 0 {
+		return nil, fmt.Errorf("interp: error bound %v must be positive", eb)
+	}
+	twoEB := 2 * eb
+	outlierAt := res.Outliers.Lookup()
+	out := make([]float32, g.Len())
+	azd, ayd, axd := g.AnchorDims(cfg.AnchorStride)
+	nbz, nby, nbx := blockGrid(g, &cfg)
+	dev.Launch(nbz*nby*nbx, func(bi int) {
+		bk := bufPool.Get().(*block)
+		defer bufPool.Put(bk)
+		bx := bi % nbx
+		by := (bi / nbx) % nby
+		bz := bi / (nbx * nby)
+		bk.initBlock(g, &cfg, bz, by, bx)
+		bk.anchors = res.Anchors
+		bk.az = [3]int{azd, ayd, axd}
+		bk.loadAnchors(func(z, y, x int, v float32) {
+			if bk.owns(z, y, x) {
+				out[g.flat(z, y, x)] = v
+			}
+		})
+		bk.run(func(z, y, x int, pred float32, owned bool) float32 {
+			idx := g.flat(z, y, x)
+			code := res.Codes[idx]
+			var v float32
+			if code == quant.OutlierCode {
+				v = outlierAt[idx]
+			} else {
+				v = quant.Dequantize(code, pred, twoEB)
+			}
+			if owned {
+				out[idx] = v
+			}
+			return v
+		})
+	})
+	return out, nil
+}

@@ -1,0 +1,181 @@
+// Package interp implements the block-wise multilevel spline-interpolation
+// predictor at the heart of cuSZ-Hi (§3.2, §5.1), in a form general enough
+// to also express the cuSZ-I baseline:
+//
+//   - data is partitioned into blocks that share boundary faces, each block
+//     predicted independently from its losslessly stored anchor points
+//     (17³ blocks / stride-16 anchors for cuSZ-Hi, 33×9×9 / stride-8 for
+//     cuSZ-I — Fig. 3);
+//   - levels run coarse-to-fine; per level the scheme is either the classic
+//     dimension-sequence 1-D interpolation (Fig. 4a) or the
+//     multi-dimensional edge→face→body-center scheme with highest-order
+//     averaging (Fig. 4b);
+//   - prediction errors are quantized to one-byte codes against
+//     reconstructed values so decompression replays the identical
+//     recurrence.
+package interp
+
+import (
+	"fmt"
+)
+
+// Spline selects the interpolation polynomial family for a level.
+type Spline uint8
+
+// Spline kinds.
+const (
+	Linear Spline = iota
+	Cubic
+)
+
+func (s Spline) String() string {
+	switch s {
+	case Linear:
+		return "linear"
+	case Cubic:
+		return "cubic"
+	}
+	return fmt.Sprintf("Spline(%d)", uint8(s))
+}
+
+// Scheme selects the per-level interpolation structure.
+type Scheme uint8
+
+// Scheme kinds.
+const (
+	// Seq1DXYZ is dimension-by-dimension interpolation in X, Y, Z order
+	// (Fig. 4a).
+	Seq1DXYZ Scheme = iota
+	// Seq1DZYX is the reverse dimension order.
+	Seq1DZYX
+	// MD is the multi-dimensional edge→face→body-center scheme (Fig. 4b).
+	MD
+)
+
+func (s Scheme) String() string {
+	switch s {
+	case Seq1DXYZ:
+		return "seq-xyz"
+	case Seq1DZYX:
+		return "seq-zyx"
+	case MD:
+		return "md"
+	}
+	return fmt.Sprintf("Scheme(%d)", uint8(s))
+}
+
+// LevelConfig is the tuned (scheme, spline) choice for one interpolation
+// level.
+type LevelConfig struct {
+	Scheme Scheme
+	Spline Spline
+}
+
+// Config describes a predictor instance.
+type Config struct {
+	// AnchorStride is the losslessly stored anchor lattice stride; must be
+	// a power of two >= 2 (16 for cuSZ-Hi, 8 for cuSZ-I).
+	AnchorStride int
+	// BlockZ/Y/X are the block interior extents (the block spans extent+1
+	// points including both shared faces); must be multiples of
+	// AnchorStride.
+	BlockZ, BlockY, BlockX int
+	// PerLevel holds the per-level configuration, index 0 = coarsest
+	// level. Length must equal Levels().
+	PerLevel []LevelConfig
+}
+
+// Levels returns log2(AnchorStride), the number of interpolation levels.
+func (c Config) Levels() int {
+	l := 0
+	for v := c.AnchorStride; v > 1; v >>= 1 {
+		l++
+	}
+	return l
+}
+
+// Validate checks structural invariants.
+func (c Config) Validate() error {
+	if c.AnchorStride < 2 || c.AnchorStride&(c.AnchorStride-1) != 0 {
+		return fmt.Errorf("interp: anchor stride %d must be a power of two >= 2", c.AnchorStride)
+	}
+	for _, b := range []int{c.BlockZ, c.BlockY, c.BlockX} {
+		if b <= 0 || b%c.AnchorStride != 0 {
+			return fmt.Errorf("interp: block extent %d must be a positive multiple of the anchor stride %d", b, c.AnchorStride)
+		}
+	}
+	if len(c.PerLevel) != c.Levels() {
+		return fmt.Errorf("interp: PerLevel has %d entries, want %d", len(c.PerLevel), c.Levels())
+	}
+	return nil
+}
+
+// uniformLevels returns n copies of lc.
+func uniformLevels(n int, lc LevelConfig) []LevelConfig {
+	out := make([]LevelConfig, n)
+	for i := range out {
+		out[i] = lc
+	}
+	return out
+}
+
+// HiConfig returns the cuSZ-Hi predictor: isotropic 17³ blocks, stride-16
+// anchors, 4 levels defaulting to MD+cubic (normally overridden by
+// AutoTune).
+func HiConfig() Config {
+	c := Config{AnchorStride: 16, BlockZ: 16, BlockY: 16, BlockX: 16}
+	c.PerLevel = uniformLevels(c.Levels(), LevelConfig{Scheme: MD, Spline: Cubic})
+	return c
+}
+
+// CuszIConfig returns the cuSZ-I baseline predictor: 33×9×9 blocks (x
+// interior 32), stride-8 anchors, 3 levels of 1-D sequence interpolation
+// with cubic splines.
+func CuszIConfig() Config {
+	c := Config{AnchorStride: 8, BlockZ: 8, BlockY: 8, BlockX: 32}
+	c.PerLevel = uniformLevels(c.Levels(), LevelConfig{Scheme: Seq1DXYZ, Spline: Cubic})
+	return c
+}
+
+// Grid is the normalized (nz, ny, nx) shape of the input; higher-dim inputs
+// collapse leading dims into z, lower-dim inputs set leading sizes to 1.
+type Grid struct {
+	Nz, Ny, Nx int
+}
+
+// NewGrid normalizes dims (slowest first).
+func NewGrid(dims []int) Grid {
+	switch len(dims) {
+	case 0:
+		return Grid{1, 1, 0}
+	case 1:
+		return Grid{1, 1, dims[0]}
+	case 2:
+		return Grid{1, dims[0], dims[1]}
+	case 3:
+		return Grid{dims[0], dims[1], dims[2]}
+	default:
+		nz := 1
+		for _, d := range dims[:len(dims)-2] {
+			nz *= d
+		}
+		return Grid{nz, dims[len(dims)-2], dims[len(dims)-1]}
+	}
+}
+
+// Len returns the total number of points.
+func (g Grid) Len() int { return g.Nz * g.Ny * g.Nx }
+
+// flat returns the row-major index of (z,y,x).
+func (g Grid) flat(z, y, x int) int { return (z*g.Ny+y)*g.Nx + x }
+
+// AnchorDims returns the anchor-lattice shape for stride a.
+func (g Grid) AnchorDims(a int) (az, ay, ax int) {
+	return (g.Nz-1)/a + 1, (g.Ny-1)/a + 1, (g.Nx-1)/a + 1
+}
+
+// AnchorCount returns the number of anchor points for stride a.
+func (g Grid) AnchorCount(a int) int {
+	az, ay, ax := g.AnchorDims(a)
+	return az * ay * ax
+}

@@ -1,0 +1,635 @@
+// Package lccodec implements the LC-framework-style lossless components
+// that cuSZ-Hi composes into its encoding pipelines (§5.2, Fig. 6/7):
+//
+//   - RRE{w}  — repeat elimination: a bitmap marks symbols identical to
+//     their predecessor; marked symbols are dropped and the bitmap is
+//     compressed recursively.
+//   - RZE{w}  — zero elimination: same, but marks zero symbols.
+//   - TCMS{w} — two's-complement → magnitude-sign transform
+//     ((word << 1) ^ (word >> (8w-1)), the operation quoted in §5.2.3).
+//   - BIT1    — bit shuffle: transposes the 8 bit planes of byte blocks.
+//   - DIFFMS1 — byte delta followed by magnitude-sign mapping.
+//   - CLOG1   — per-block ceiling-log2 fixed-width bit packing.
+//   - TUPLD/TUPLQ{w} — tuple deinterleave into 2 / 4 sub-streams (SoA).
+//   - HF      — the canonical Huffman coder from internal/huffman.
+//
+// The number in a component name is the width in bytes of the symbols it
+// processes, exactly as in the paper's pipeline names. A Pipeline chains
+// components: cuSZ-Hi-CR uses HF-RRE4-TCMS8-RZE1, cuSZ-Hi-TP uses
+// TCMS1-BIT1-RRE1.
+package lccodec
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/bits"
+	"strings"
+
+	"repro/internal/bitio"
+	"repro/internal/gpusim"
+	"repro/internal/huffman"
+)
+
+// ErrCorrupt reports a malformed component stream.
+var ErrCorrupt = errors.New("lccodec: corrupt stream")
+
+// Component is one reversible stage of a lossless pipeline.
+type Component interface {
+	Name() string
+	Encode(dev *gpusim.Device, src []byte) ([]byte, error)
+	Decode(dev *gpusim.Device, src []byte) ([]byte, error)
+}
+
+// ---------------------------------------------------------------------------
+// Symbol access helpers.
+
+// loadSym reads the w-byte little-endian symbol at index i.
+func loadSym(p []byte, i, w int) uint64 {
+	off := i * w
+	switch w {
+	case 1:
+		return uint64(p[off])
+	case 2:
+		return uint64(binary.LittleEndian.Uint16(p[off:]))
+	case 4:
+		return uint64(binary.LittleEndian.Uint32(p[off:]))
+	case 8:
+		return binary.LittleEndian.Uint64(p[off:])
+	}
+	var v uint64
+	for k := w - 1; k >= 0; k-- {
+		v = v<<8 | uint64(p[off+k])
+	}
+	return v
+}
+
+// storeSym writes the w-byte little-endian symbol at index i.
+func storeSym(p []byte, i, w int, v uint64) {
+	off := i * w
+	switch w {
+	case 1:
+		p[off] = byte(v)
+	case 2:
+		binary.LittleEndian.PutUint16(p[off:], uint16(v))
+	case 4:
+		binary.LittleEndian.PutUint32(p[off:], uint32(v))
+	case 8:
+		binary.LittleEndian.PutUint64(p[off:], v)
+	default:
+		for k := 0; k < w; k++ {
+			p[off+k] = byte(v >> (8 * k))
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// TCMS — two's complement to magnitude-sign (zigzag), width w.
+
+type tcms struct{ w int }
+
+func (c tcms) Name() string { return fmt.Sprintf("TCMS%d", c.w) }
+
+func (c tcms) Encode(dev *gpusim.Device, src []byte) ([]byte, error) {
+	return c.apply(dev, src, true), nil
+}
+
+func (c tcms) Decode(dev *gpusim.Device, src []byte) ([]byte, error) {
+	return c.apply(dev, src, false), nil
+}
+
+func (c tcms) apply(dev *gpusim.Device, src []byte, fwd bool) []byte {
+	out := make([]byte, len(src))
+	n := len(src) / c.w
+	shift := uint(8*c.w - 1)
+	var mask uint64 = ^uint64(0)
+	if c.w < 8 {
+		mask = 1<<(8*c.w) - 1
+	}
+	dev.LaunchChunks(n, 1<<16, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			v := loadSym(src, i, c.w)
+			var r uint64
+			if fwd {
+				// Sign-extend then zigzag within width.
+				sign := v >> shift & 1
+				r = (v << 1) & mask
+				if sign != 0 {
+					r ^= mask
+				}
+			} else {
+				r = v >> 1
+				if v&1 != 0 {
+					r ^= mask
+				}
+				r &= mask
+			}
+			storeSym(out, i, c.w, r&mask)
+		}
+	})
+	copy(out[n*c.w:], src[n*c.w:]) // tail bytes pass through
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// BIT1 — bit shuffle over fixed byte blocks.
+
+const bitShuffleBlock = 4096
+
+type bitShuffle struct{}
+
+func (bitShuffle) Name() string { return "BIT1" }
+
+func (bitShuffle) Encode(dev *gpusim.Device, src []byte) ([]byte, error) {
+	out := make([]byte, len(src))
+	nBlocks := (len(src) + bitShuffleBlock - 1) / bitShuffleBlock
+	dev.Launch(nBlocks, func(b int) {
+		lo := b * bitShuffleBlock
+		hi := lo + bitShuffleBlock
+		if hi > len(src) {
+			hi = len(src)
+		}
+		shuffleBlock(src[lo:hi], out[lo:hi])
+	})
+	return out, nil
+}
+
+func (bitShuffle) Decode(dev *gpusim.Device, src []byte) ([]byte, error) {
+	out := make([]byte, len(src))
+	nBlocks := (len(src) + bitShuffleBlock - 1) / bitShuffleBlock
+	dev.Launch(nBlocks, func(b int) {
+		lo := b * bitShuffleBlock
+		hi := lo + bitShuffleBlock
+		if hi > len(src) {
+			hi = len(src)
+		}
+		unshuffleBlock(src[lo:hi], out[lo:hi])
+	})
+	return out, nil
+}
+
+// shuffleBlock gathers bit plane p of every byte into contiguous output
+// bits. Output layout: plane 0 of all n bytes, then plane 1, etc. A block of
+// n bytes has 8n bits; plane p occupies bits [p*n, (p+1)*n).
+func shuffleBlock(src, dst []byte) {
+	for i := range dst {
+		dst[i] = 0
+	}
+	n := len(src)
+	for i, b := range src {
+		for p := 0; p < 8; p++ {
+			if b>>p&1 != 0 {
+				bitPos := p*n + i
+				dst[bitPos>>3] |= 1 << (bitPos & 7)
+			}
+		}
+	}
+}
+
+func unshuffleBlock(src, dst []byte) {
+	for i := range dst {
+		dst[i] = 0
+	}
+	n := len(dst)
+	for p := 0; p < 8; p++ {
+		for i := 0; i < n; i++ {
+			bitPos := p*n + i
+			if src[bitPos>>3]>>(bitPos&7)&1 != 0 {
+				dst[i] |= 1 << p
+			}
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// RRE / RZE — repeat / zero elimination with recursively compressed bitmap.
+
+type elim struct {
+	w     int
+	zero  bool // true: RZE (mark zeros); false: RRE (mark repeats)
+	depth int  // remaining recursive-bitmap budget; 0 value means "fresh"
+}
+
+func (c elim) budget() int {
+	if c.depth == 0 {
+		return maxBitmapDepth
+	}
+	return c.depth
+}
+
+func (c elim) Name() string {
+	if c.zero {
+		return fmt.Sprintf("RZE%d", c.w)
+	}
+	return fmt.Sprintf("RRE%d", c.w)
+}
+
+const (
+	bitmapRaw       = 0x00
+	bitmapRecursive = 0x01
+	maxBitmapDepth  = 4
+	minRecurseSize  = 64
+)
+
+func (c elim) Encode(dev *gpusim.Device, src []byte) ([]byte, error) {
+	n := len(src) / c.w
+	tail := src[n*c.w:]
+	bitmap := make([]byte, (n+7)/8)
+	kept := make([]byte, 0, len(src)/4)
+	var prev uint64
+	for i := 0; i < n; i++ {
+		v := loadSym(src, i, c.w)
+		keep := false
+		if c.zero {
+			keep = v != 0
+		} else {
+			keep = i == 0 || v != prev
+			prev = v
+		}
+		if keep {
+			bitmap[i>>3] |= 1 << (i & 7)
+			kept = append(kept, src[i*c.w:(i+1)*c.w]...)
+		}
+	}
+	bm := encodeBitmap(dev, bitmap, c.budget())
+	out := make([]byte, 0, len(bm)+len(kept)+len(tail)+10)
+	out = bitio.AppendUvarint(out, uint64(len(src)))
+	out = bitio.AppendUvarint(out, uint64(len(bm)))
+	out = append(out, bm...)
+	out = append(out, kept...)
+	out = append(out, tail...)
+	return out, nil
+}
+
+func (c elim) Decode(dev *gpusim.Device, src []byte) ([]byte, error) {
+	origLen, n0 := bitio.Uvarint(src)
+	if n0 == 0 {
+		return nil, ErrCorrupt
+	}
+	off := n0
+	bmLen, n1 := bitio.Uvarint(src[off:])
+	if n1 == 0 {
+		return nil, ErrCorrupt
+	}
+	off += n1
+	if off+int(bmLen) > len(src) {
+		return nil, ErrCorrupt
+	}
+	nSym := int(origLen) / c.w
+	bitmap, err := decodeBitmap(dev, src[off:off+int(bmLen)], (nSym+7)/8, c.budget())
+	if err != nil {
+		return nil, err
+	}
+	off += int(bmLen)
+	out := make([]byte, origLen)
+	keptOff := off
+	var prev uint64
+	for i := 0; i < nSym; i++ {
+		if bitmap[i>>3]>>(i&7)&1 != 0 {
+			if keptOff+c.w > len(src) {
+				return nil, ErrCorrupt
+			}
+			copy(out[i*c.w:], src[keptOff:keptOff+c.w])
+			keptOff += c.w
+			if !c.zero {
+				prev = loadSym(out, i, c.w)
+			}
+		} else {
+			if c.zero {
+				storeSym(out, i, c.w, 0)
+			} else {
+				if i == 0 {
+					return nil, ErrCorrupt // first symbol must be kept
+				}
+				storeSym(out, i, c.w, prev)
+			}
+		}
+	}
+	tailLen := int(origLen) - nSym*c.w
+	if keptOff+tailLen != len(src) {
+		return nil, ErrCorrupt
+	}
+	copy(out[nSym*c.w:], src[keptOff:])
+	return out, nil
+}
+
+// encodeBitmap compresses a bitmap, recursing through RRE1 while it shrinks.
+func encodeBitmap(dev *gpusim.Device, bm []byte, depth int) []byte {
+	if depth > 1 && len(bm) >= minRecurseSize {
+		inner, err := elim{w: 1, depth: depth - 1}.Encode(dev, bm)
+		if err == nil && len(inner) < len(bm) {
+			out := make([]byte, 0, len(inner)+1)
+			out = append(out, bitmapRecursive)
+			return append(out, inner...)
+		}
+	}
+	out := make([]byte, 0, len(bm)+1)
+	out = append(out, bitmapRaw)
+	return append(out, bm...)
+}
+
+func decodeBitmap(dev *gpusim.Device, p []byte, wantLen, depth int) ([]byte, error) {
+	if len(p) == 0 {
+		if wantLen == 0 {
+			return nil, nil
+		}
+		return nil, ErrCorrupt
+	}
+	switch p[0] {
+	case bitmapRaw:
+		bm := p[1:]
+		if len(bm) != wantLen {
+			return nil, ErrCorrupt
+		}
+		return bm, nil
+	case bitmapRecursive:
+		if depth <= 1 {
+			return nil, ErrCorrupt
+		}
+		bm, err := (elim{w: 1, depth: depth - 1}).Decode(dev, p[1:])
+		if err != nil {
+			return nil, err
+		}
+		if len(bm) != wantLen {
+			return nil, ErrCorrupt
+		}
+		return bm, nil
+	}
+	return nil, ErrCorrupt
+}
+
+// ---------------------------------------------------------------------------
+// DIFFMS1 — byte delta + magnitude-sign.
+
+type diffms struct{}
+
+func (diffms) Name() string { return "DIFFMS1" }
+
+func (diffms) Encode(dev *gpusim.Device, src []byte) ([]byte, error) {
+	out := make([]byte, len(src))
+	var prev byte
+	for i, b := range src {
+		d := int8(b - prev)
+		out[i] = byte((d << 1) ^ (d >> 7))
+		prev = b
+	}
+	return out, nil
+}
+
+func (diffms) Decode(dev *gpusim.Device, src []byte) ([]byte, error) {
+	out := make([]byte, len(src))
+	var prev byte
+	for i, b := range src {
+		d := byte(int8(b>>1) ^ -int8(b&1))
+		prev += d
+		out[i] = prev
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// CLOG1 — per-block ceiling-log2 fixed-width packing of bytes.
+
+const clogBlock = 256
+
+type clog struct{}
+
+func (clog) Name() string { return "CLOG1" }
+
+func (clog) Encode(dev *gpusim.Device, src []byte) ([]byte, error) {
+	w := bitio.NewWriter(len(src)/2 + 16)
+	nBlocks := (len(src) + clogBlock - 1) / clogBlock
+	for b := 0; b < nBlocks; b++ {
+		lo := b * clogBlock
+		hi := lo + clogBlock
+		if hi > len(src) {
+			hi = len(src)
+		}
+		var maxv byte
+		for _, v := range src[lo:hi] {
+			if v > maxv {
+				maxv = v
+			}
+		}
+		width := uint(bits.Len8(maxv))
+		w.WriteBits(uint64(width), 4)
+		if width > 0 {
+			for _, v := range src[lo:hi] {
+				w.WriteBits(uint64(v), width)
+			}
+		}
+	}
+	out := bitio.AppendUvarint(nil, uint64(len(src)))
+	return append(out, w.Bytes()...), nil
+}
+
+func (clog) Decode(dev *gpusim.Device, src []byte) ([]byte, error) {
+	origLen, n := bitio.Uvarint(src)
+	if n == 0 {
+		return nil, ErrCorrupt
+	}
+	r := bitio.NewReader(src[n:])
+	out := make([]byte, origLen)
+	nBlocks := (int(origLen) + clogBlock - 1) / clogBlock
+	for b := 0; b < nBlocks; b++ {
+		lo := b * clogBlock
+		hi := lo + clogBlock
+		if hi > len(out) {
+			hi = len(out)
+		}
+		width64, err := r.ReadBits(4)
+		if err != nil {
+			return nil, ErrCorrupt
+		}
+		width := uint(width64)
+		if width > 8 {
+			return nil, ErrCorrupt
+		}
+		if width == 0 {
+			continue // zeros already in place
+		}
+		for i := lo; i < hi; i++ {
+			v, err := r.ReadBits(width)
+			if err != nil {
+				return nil, ErrCorrupt
+			}
+			out[i] = byte(v)
+		}
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// TUPL — deinterleave symbols of width w into k sub-streams.
+
+type tupl struct {
+	w, k int
+}
+
+func (c tupl) Name() string {
+	if c.k == 4 {
+		return fmt.Sprintf("TUPLQ%d", c.w)
+	}
+	return fmt.Sprintf("TUPLD%d", c.w)
+}
+
+func (c tupl) Encode(dev *gpusim.Device, src []byte) ([]byte, error) {
+	n := len(src) / c.w
+	out := make([]byte, len(src))
+	pos := 0
+	for lane := 0; lane < c.k; lane++ {
+		for i := lane; i < n; i += c.k {
+			copy(out[pos:], src[i*c.w:(i+1)*c.w])
+			pos += c.w
+		}
+	}
+	copy(out[pos:], src[n*c.w:])
+	return out, nil
+}
+
+func (c tupl) Decode(dev *gpusim.Device, src []byte) ([]byte, error) {
+	n := len(src) / c.w
+	out := make([]byte, len(src))
+	pos := 0
+	for lane := 0; lane < c.k; lane++ {
+		for i := lane; i < n; i += c.k {
+			copy(out[i*c.w:(i+1)*c.w], src[pos:pos+c.w])
+			pos += c.w
+		}
+	}
+	copy(out[n*c.w:], src[pos:])
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// HF — Huffman entropy stage.
+
+type hf struct{}
+
+func (hf) Name() string { return "HF" }
+
+func (hf) Encode(dev *gpusim.Device, src []byte) ([]byte, error) {
+	return huffman.EncodeBytes(dev, src)
+}
+
+func (hf) Decode(dev *gpusim.Device, src []byte) ([]byte, error) {
+	return huffman.DecodeBytes(dev, src)
+}
+
+// ---------------------------------------------------------------------------
+// Component registry and pipelines.
+
+// New returns the component with the given LC-style name, e.g. "RRE4".
+func New(name string) (Component, error) {
+	switch strings.ToUpper(name) {
+	case "HF":
+		return hf{}, nil
+	case "BIT1":
+		return bitShuffle{}, nil
+	case "DIFFMS1":
+		return diffms{}, nil
+	case "CLOG1":
+		return clog{}, nil
+	case "RRE1":
+		return elim{w: 1}, nil
+	case "RRE2":
+		return elim{w: 2}, nil
+	case "RRE4":
+		return elim{w: 4}, nil
+	case "RRE8":
+		return elim{w: 8}, nil
+	case "RZE1":
+		return elim{w: 1, zero: true}, nil
+	case "RZE2":
+		return elim{w: 2, zero: true}, nil
+	case "RZE4":
+		return elim{w: 4, zero: true}, nil
+	case "TCMS1":
+		return tcms{w: 1}, nil
+	case "TCMS2":
+		return tcms{w: 2}, nil
+	case "TCMS4":
+		return tcms{w: 4}, nil
+	case "TCMS8":
+		return tcms{w: 8}, nil
+	case "TUPLQ1":
+		return tupl{w: 1, k: 4}, nil
+	case "TUPLD1":
+		return tupl{w: 1, k: 2}, nil
+	case "TUPLD2":
+		return tupl{w: 2, k: 2}, nil
+	case "TUPLQ2":
+		return tupl{w: 2, k: 4}, nil
+	}
+	return nil, fmt.Errorf("lccodec: unknown component %q", name)
+}
+
+// Pipeline is an ordered chain of components.
+type Pipeline struct {
+	Spec   string
+	Stages []Component
+}
+
+// Parse builds a Pipeline from a spec like "HF-RRE4-TCMS8-RZE1" or
+// "HF+RRE4-TCMS8-RZE1" (the paper uses both separators).
+func Parse(spec string) (*Pipeline, error) {
+	norm := strings.ReplaceAll(spec, "+", "-")
+	parts := strings.Split(norm, "-")
+	p := &Pipeline{Spec: spec}
+	for _, part := range parts {
+		if part == "" {
+			continue
+		}
+		c, err := New(part)
+		if err != nil {
+			return nil, err
+		}
+		p.Stages = append(p.Stages, c)
+	}
+	if len(p.Stages) == 0 {
+		return nil, fmt.Errorf("lccodec: empty pipeline %q", spec)
+	}
+	return p, nil
+}
+
+// MustParse is Parse that panics on error; for static pipeline constants.
+func MustParse(spec string) *Pipeline {
+	p, err := Parse(spec)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Encode applies all stages in order.
+func (p *Pipeline) Encode(dev *gpusim.Device, src []byte) ([]byte, error) {
+	cur := src
+	for _, st := range p.Stages {
+		next, err := st.Encode(dev, cur)
+		if err != nil {
+			return nil, fmt.Errorf("lccodec: %s encode: %w", st.Name(), err)
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+// Decode applies all stage inverses in reverse order.
+func (p *Pipeline) Decode(dev *gpusim.Device, src []byte) ([]byte, error) {
+	cur := src
+	for i := len(p.Stages) - 1; i >= 0; i-- {
+		st := p.Stages[i]
+		next, err := st.Decode(dev, cur)
+		if err != nil {
+			return nil, fmt.Errorf("lccodec: %s decode: %w", st.Name(), err)
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+// HiCR is the compression-ratio-preferred pipeline of cuSZ-Hi (Fig. 7 top).
+func HiCR() *Pipeline { return MustParse("HF-RRE4-TCMS8-RZE1") }
+
+// HiTP is the throughput-preferred pipeline of cuSZ-Hi (Fig. 7 bottom).
+func HiTP() *Pipeline { return MustParse("TCMS1-BIT1-RRE1") }

@@ -1,0 +1,231 @@
+// Package lorenzo implements the dual-quantization Lorenzo predictor used
+// by the cuSZ-L baseline (Tian et al., PACT'20) and, as its prequantization
+// stage, by the FZ-GPU baseline.
+//
+// Dual quantization first rounds every value to an integer lattice
+// qv = round(v / 2ε), then takes the exact integer first-order Lorenzo
+// difference of the lattice. Because the difference is computed on already
+// quantized integers there is no feedback loop: compression is one parallel
+// pass and decompression is a 3-D inclusive prefix sum (one scan per
+// dimension), exactly the structure the GPU kernels exploit.
+package lorenzo
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/gpusim"
+	"repro/internal/quant"
+)
+
+// Radius is the symmetric code radius; deltas within it map to codes
+// 1..2*Radius, code 0 escapes to the side channel.
+const Radius = 512
+
+// Alphabet is the Huffman alphabet size for Lorenzo codes.
+const Alphabet = 2*Radius + 2
+
+// latticeCap bounds |qv| so that integer arithmetic cannot overflow during
+// the prefix-sum reconstruction; values needing a larger lattice coordinate
+// are preserved via the value-outlier list.
+const latticeCap = int64(1) << 50
+
+// Grid mirrors interp.Grid for package independence.
+type Grid struct {
+	Nz, Ny, Nx int
+}
+
+// NewGrid normalizes dims (slowest first) to three dimensions.
+func NewGrid(dims []int) Grid {
+	switch len(dims) {
+	case 0:
+		return Grid{1, 1, 0}
+	case 1:
+		return Grid{1, 1, dims[0]}
+	case 2:
+		return Grid{1, dims[0], dims[1]}
+	case 3:
+		return Grid{dims[0], dims[1], dims[2]}
+	default:
+		nz := 1
+		for _, d := range dims[:len(dims)-2] {
+			nz *= d
+		}
+		return Grid{nz, dims[len(dims)-2], dims[len(dims)-1]}
+	}
+}
+
+// Len returns the number of points.
+func (g Grid) Len() int { return g.Nz * g.Ny * g.Nx }
+
+// Result is the Lorenzo decomposition output.
+type Result struct {
+	// Codes holds delta+Radius+1 for in-range deltas, 0 for escapes.
+	Codes []uint16
+	// Escapes holds the exact deltas of code-0 points, in flat order.
+	Escapes []int64
+	// ValOutliers holds points whose lattice reconstruction cannot meet the
+	// bound (extreme magnitudes); their original values win at decompression.
+	ValOutliers *quant.Outliers
+}
+
+// Prequantize converts data to its integer lattice (round(v/2ε), clamped),
+// reporting each point whose lattice value violates the bound to outlier.
+func Prequantize(dev *gpusim.Device, data []float32, twoEB float64) []int64 {
+	qv := make([]int64, len(data))
+	dev.LaunchChunks(len(data), 1<<16, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			q := math.Round(float64(data[i]) / twoEB)
+			switch {
+			case q > float64(latticeCap):
+				qv[i] = latticeCap
+			case q < -float64(latticeCap):
+				qv[i] = -latticeCap
+			default:
+				qv[i] = int64(q)
+			}
+		}
+	})
+	return qv
+}
+
+// Compress runs the dual-quant Lorenzo decomposition. eb is the absolute
+// error bound.
+func Compress(dev *gpusim.Device, data []float32, g Grid, eb float64) (*Result, error) {
+	if g.Len() != len(data) {
+		return nil, fmt.Errorf("lorenzo: grid %dx%dx%d does not match %d values", g.Nz, g.Ny, g.Nx, len(data))
+	}
+	if eb <= 0 {
+		return nil, fmt.Errorf("lorenzo: error bound %v must be positive", eb)
+	}
+	twoEB := 2 * eb
+	qv := Prequantize(dev, data, twoEB)
+	res := &Result{
+		Codes:       make([]uint16, len(data)),
+		ValOutliers: &quant.Outliers{},
+	}
+	// Pass 1 (parallel): per-point Lorenzo deltas; collect escapes per chunk.
+	type escChunk struct {
+		deltas  []int64
+		valPos  []int
+		valVals []float32
+	}
+	nChunks := (len(data) + (1 << 16) - 1) >> 16
+	chunks := make([]escChunk, nChunks)
+	dev.Launch(nChunks, func(c int) {
+		lo := c << 16
+		hi := lo + (1 << 16)
+		if hi > len(data) {
+			hi = len(data)
+		}
+		ec := &chunks[c]
+		nyx := g.Ny * g.Nx
+		for i := lo; i < hi; i++ {
+			x := i % g.Nx
+			y := (i / g.Nx) % g.Ny
+			z := i / nyx
+			at := func(dz, dy, dx int) int64 {
+				if z-dz < 0 || y-dy < 0 || x-dx < 0 {
+					return 0
+				}
+				return qv[i-dz*nyx-dy*g.Nx-dx]
+			}
+			pred := at(0, 0, 1) + at(0, 1, 0) + at(1, 0, 0) -
+				at(0, 1, 1) - at(1, 0, 1) - at(1, 1, 0) + at(1, 1, 1)
+			delta := qv[i] - pred
+			if delta >= -Radius && delta < Radius {
+				res.Codes[i] = uint16(delta+Radius) + 1
+			} else {
+				res.Codes[i] = 0
+				ec.deltas = append(ec.deltas, delta)
+			}
+			recon := float32(float64(qv[i]) * twoEB)
+			if math.Abs(float64(data[i])-float64(recon)) > eb {
+				ec.valPos = append(ec.valPos, i)
+				ec.valVals = append(ec.valVals, data[i])
+			}
+		}
+	})
+	for _, ec := range chunks {
+		res.Escapes = append(res.Escapes, ec.deltas...)
+		for k, p := range ec.valPos {
+			res.ValOutliers.Append(p, ec.valVals[k])
+		}
+	}
+	return res, nil
+}
+
+// Decompress reconstructs the field.
+func Decompress(dev *gpusim.Device, res *Result, g Grid, eb float64) ([]float32, error) {
+	if len(res.Codes) != g.Len() {
+		return nil, fmt.Errorf("lorenzo: %d codes for grid of %d points", len(res.Codes), g.Len())
+	}
+	if eb <= 0 {
+		return nil, fmt.Errorf("lorenzo: error bound %v must be positive", eb)
+	}
+	twoEB := 2 * eb
+	n := g.Len()
+	qv := make([]int64, n)
+	// Rebuild deltas (sequential escape consumption, parallel the rest).
+	esc := 0
+	for i := 0; i < n; i++ {
+		c := res.Codes[i]
+		if c == 0 {
+			if esc >= len(res.Escapes) {
+				return nil, fmt.Errorf("lorenzo: escape list exhausted at %d", i)
+			}
+			qv[i] = res.Escapes[esc]
+			esc++
+			continue
+		}
+		if int(c) >= Alphabet {
+			return nil, fmt.Errorf("lorenzo: code %d out of range", c)
+		}
+		qv[i] = int64(c) - 1 - Radius
+	}
+	if esc != len(res.Escapes) {
+		return nil, fmt.Errorf("lorenzo: %d unused escapes", len(res.Escapes)-esc)
+	}
+	// 3-D inclusive prefix sum: x-scan, y-scan, z-scan.
+	nyx := g.Ny * g.Nx
+	dev.Launch(g.Nz*g.Ny, func(r int) { // x-scan per row
+		base := r * g.Nx
+		var acc int64
+		for x := 0; x < g.Nx; x++ {
+			acc += qv[base+x]
+			qv[base+x] = acc
+		}
+	})
+	dev.Launch(g.Nz, func(z int) { // y-scan per plane, vectorized over x
+		base := z * nyx
+		for y := 1; y < g.Ny; y++ {
+			row := base + y*g.Nx
+			prev := row - g.Nx
+			for x := 0; x < g.Nx; x++ {
+				qv[row+x] += qv[prev+x]
+			}
+		}
+	})
+	dev.LaunchChunks(nyx, 1<<14, func(lo, hi int) { // z-scan per column chunk
+		for z := 1; z < g.Nz; z++ {
+			base := z * nyx
+			prev := base - nyx
+			for i := lo; i < hi; i++ {
+				qv[base+i] += qv[prev+i]
+			}
+		}
+	})
+	out := make([]float32, n)
+	dev.LaunchChunks(n, 1<<16, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = float32(float64(qv[i]) * twoEB)
+		}
+	})
+	for k, p := range res.ValOutliers.Pos {
+		if p < 0 || p >= n {
+			return nil, fmt.Errorf("lorenzo: outlier position %d out of range", p)
+		}
+		out[p] = res.ValOutliers.Val[k]
+	}
+	return out, nil
+}

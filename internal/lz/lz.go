@@ -1,0 +1,448 @@
+// Package lz implements an LZSS-family compressor with four container
+// formats that act as open surrogates for the GPU LZ codecs benchmarked in
+// Fig. 6 of the cuSZ-Hi paper:
+//
+//   - LZ4Lite:      byte-aligned greedy LZ with varint sequences (nvCOMP::LZ4)
+//   - GPULZLite:    classic LZSS bit format, 4 KiB window (GPULZ)
+//   - ZstdLite:     LZ parse + rANS-coded literal/sequence streams (nvCOMP::Zstd)
+//   - GDeflateLite: LZ parse + Huffman-coded streams (nvCOMP::GDeflate)
+//
+// All variants share one hash-chain matcher; they differ in window size,
+// match economics and entropy back-end, which is what separates the real
+// codecs' Pareto positions.
+package lz
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/ans"
+	"repro/internal/bitio"
+	"repro/internal/gpusim"
+	"repro/internal/huffman"
+)
+
+// ErrCorrupt reports a malformed stream.
+var ErrCorrupt = errors.New("lz: corrupt stream")
+
+// Variant selects a container format.
+type Variant int
+
+// Container formats.
+const (
+	LZ4Lite Variant = iota
+	GPULZLite
+	ZstdLite
+	GDeflateLite
+)
+
+// String returns the surrogate's display name.
+func (v Variant) String() string {
+	switch v {
+	case LZ4Lite:
+		return "lz4-lite"
+	case GPULZLite:
+		return "gpulz-lite"
+	case ZstdLite:
+		return "zstd-lite"
+	case GDeflateLite:
+		return "gdeflate-lite"
+	}
+	return fmt.Sprintf("lz.Variant(%d)", int(v))
+}
+
+const (
+	minMatch  = 4
+	hashBits  = 15
+	hashShift = 32 - hashBits
+)
+
+// seq is one LZ sequence: litLen literals followed by a match.
+type seq struct {
+	litLen   int
+	matchLen int // 0 only for the final literal run
+	dist     int
+}
+
+func hash4(p []byte) uint32 {
+	v := uint32(p[0]) | uint32(p[1])<<8 | uint32(p[2])<<16 | uint32(p[3])<<24
+	return (v * 2654435761) >> hashShift
+}
+
+// parse runs a greedy hash-chain parse of src.
+func parse(src []byte, window, maxChain, maxMatch int) []seq {
+	var seqs []seq
+	n := len(src)
+	if n < minMatch {
+		if n > 0 {
+			seqs = append(seqs, seq{litLen: n})
+		}
+		return seqs
+	}
+	head := make([]int32, 1<<hashBits)
+	for i := range head {
+		head[i] = -1
+	}
+	prev := make([]int32, n)
+	litStart := 0
+	i := 0
+	insert := func(pos int) {
+		h := hash4(src[pos:])
+		prev[pos] = head[h]
+		head[h] = int32(pos)
+	}
+	for i+minMatch <= n {
+		h := hash4(src[i:])
+		cand := head[h]
+		bestLen, bestDist := 0, 0
+		chain := maxChain
+		for cand >= 0 && chain > 0 && i-int(cand) <= window {
+			c := int(cand)
+			l := matchLen(src, c, i, maxMatch)
+			if l > bestLen {
+				bestLen, bestDist = l, i-c
+				if l >= maxMatch {
+					break
+				}
+			}
+			cand = prev[c]
+			chain--
+		}
+		if bestLen >= minMatch {
+			seqs = append(seqs, seq{litLen: i - litStart, matchLen: bestLen, dist: bestDist})
+			end := i + bestLen
+			insert(i)
+			for p := i + 1; p < end && p+minMatch <= n; p++ {
+				insert(p)
+			}
+			i = end
+			litStart = i
+			continue
+		}
+		insert(i)
+		i++
+	}
+	if litStart < n {
+		seqs = append(seqs, seq{litLen: n - litStart})
+	}
+	return seqs
+}
+
+func matchLen(src []byte, a, b, maxMatch int) int {
+	n := len(src)
+	l := 0
+	for b+l < n && l < maxMatch && src[a+l] == src[b+l] {
+		l++
+	}
+	return l
+}
+
+// expand reconstructs the original data from sequences and a literal stream.
+func expand(seqs []seq, lits []byte, origLen int) ([]byte, error) {
+	out := make([]byte, 0, origLen)
+	lp := 0
+	for _, s := range seqs {
+		if s.litLen < 0 || lp+s.litLen > len(lits) {
+			return nil, ErrCorrupt
+		}
+		out = append(out, lits[lp:lp+s.litLen]...)
+		lp += s.litLen
+		if s.matchLen == 0 {
+			continue
+		}
+		if s.dist <= 0 || s.dist > len(out) || s.matchLen < 0 {
+			return nil, ErrCorrupt
+		}
+		start := len(out) - s.dist
+		for k := 0; k < s.matchLen; k++ {
+			out = append(out, out[start+k]) // overlap-safe
+		}
+	}
+	if len(out) != origLen {
+		return nil, ErrCorrupt
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// Containers.
+
+// Encode compresses src with the chosen variant.
+func Encode(dev *gpusim.Device, src []byte, v Variant) ([]byte, error) {
+	switch v {
+	case LZ4Lite:
+		return encodeVarint(src, 1<<16, 32, 1<<16), nil
+	case GPULZLite:
+		return encodeLZSS(src), nil
+	case ZstdLite:
+		return encodeEntropy(dev, src, true)
+	case GDeflateLite:
+		return encodeEntropy(dev, src, false)
+	}
+	return nil, fmt.Errorf("lz: unknown variant %d", v)
+}
+
+// Decode reverses Encode for the same variant.
+func Decode(dev *gpusim.Device, data []byte, v Variant) ([]byte, error) {
+	switch v {
+	case LZ4Lite:
+		return decodeVarint(data)
+	case GPULZLite:
+		return decodeLZSS(data)
+	case ZstdLite:
+		return decodeEntropy(dev, data, true)
+	case GDeflateLite:
+		return decodeEntropy(dev, data, false)
+	}
+	return nil, fmt.Errorf("lz: unknown variant %d", v)
+}
+
+// encodeVarint is the byte-aligned LZ4-like container:
+// uvarint origLen, then per sequence: uvarint litLen, literals,
+// uvarint matchLen (0 terminates), uvarint dist.
+func encodeVarint(src []byte, window, maxChain, maxMatch int) []byte {
+	seqs := parse(src, window, maxChain, maxMatch)
+	out := bitio.AppendUvarint(nil, uint64(len(src)))
+	pos := 0
+	for _, s := range seqs {
+		out = bitio.AppendUvarint(out, uint64(s.litLen))
+		out = append(out, src[pos:pos+s.litLen]...)
+		pos += s.litLen + s.matchLen
+		out = bitio.AppendUvarint(out, uint64(s.matchLen))
+		if s.matchLen > 0 {
+			out = bitio.AppendUvarint(out, uint64(s.dist))
+		}
+	}
+	// Explicit terminator for the case where the last seq had a match.
+	out = bitio.AppendUvarint(out, 0)
+	out = bitio.AppendUvarint(out, 0)
+	return out
+}
+
+func decodeVarint(data []byte) ([]byte, error) {
+	origLen, n := bitio.Uvarint(data)
+	if n == 0 {
+		return nil, ErrCorrupt
+	}
+	off := n
+	out := make([]byte, 0, origLen)
+	for {
+		litLen, n := bitio.Uvarint(data[off:])
+		if n == 0 {
+			return nil, ErrCorrupt
+		}
+		off += n
+		if off+int(litLen) > len(data) {
+			return nil, ErrCorrupt
+		}
+		out = append(out, data[off:off+int(litLen)]...)
+		off += int(litLen)
+		ml, n := bitio.Uvarint(data[off:])
+		if n == 0 {
+			return nil, ErrCorrupt
+		}
+		off += n
+		if ml == 0 {
+			if litLen == 0 {
+				break // terminator
+			}
+			continue
+		}
+		dist, n := bitio.Uvarint(data[off:])
+		if n == 0 {
+			return nil, ErrCorrupt
+		}
+		off += n
+		if dist == 0 || int(dist) > len(out) {
+			return nil, ErrCorrupt
+		}
+		start := len(out) - int(dist)
+		for k := 0; k < int(ml); k++ {
+			out = append(out, out[start+k])
+		}
+		if len(out) > int(origLen) {
+			return nil, ErrCorrupt
+		}
+	}
+	if len(out) != int(origLen) {
+		return nil, ErrCorrupt
+	}
+	return out, nil
+}
+
+// LZSS parameters for the GPULZ-like container.
+const (
+	lzssWindow  = 1 << 12 // 12-bit distances
+	lzssLenBits = 6
+	lzssMaxLen  = minMatch + (1 << lzssLenBits) - 1
+)
+
+func encodeLZSS(src []byte) []byte {
+	seqs := parse(src, lzssWindow-1, 16, lzssMaxLen)
+	w := bitio.NewWriter(len(src)/2 + 16)
+	pos := 0
+	for _, s := range seqs {
+		for k := 0; k < s.litLen; k++ {
+			w.WriteBit(0)
+			w.WriteBits(uint64(src[pos+k]), 8)
+		}
+		pos += s.litLen
+		if s.matchLen > 0 {
+			w.WriteBit(1)
+			w.WriteBits(uint64(s.dist), 12)
+			w.WriteBits(uint64(s.matchLen-minMatch), lzssLenBits)
+			pos += s.matchLen
+		}
+	}
+	out := bitio.AppendUvarint(nil, uint64(len(src)))
+	return append(out, w.Bytes()...)
+}
+
+func decodeLZSS(data []byte) ([]byte, error) {
+	origLen, n := bitio.Uvarint(data)
+	if n == 0 {
+		return nil, ErrCorrupt
+	}
+	r := bitio.NewReader(data[n:])
+	out := make([]byte, 0, origLen)
+	for len(out) < int(origLen) {
+		flag, err := r.ReadBit()
+		if err != nil {
+			return nil, ErrCorrupt
+		}
+		if flag == 0 {
+			b, err := r.ReadBits(8)
+			if err != nil {
+				return nil, ErrCorrupt
+			}
+			out = append(out, byte(b))
+			continue
+		}
+		dist, err := r.ReadBits(12)
+		if err != nil {
+			return nil, ErrCorrupt
+		}
+		ml, err := r.ReadBits(lzssLenBits)
+		if err != nil {
+			return nil, ErrCorrupt
+		}
+		l := int(ml) + minMatch
+		if dist == 0 || int(dist) > len(out) || len(out)+l > int(origLen) {
+			return nil, ErrCorrupt
+		}
+		start := len(out) - int(dist)
+		for k := 0; k < l; k++ {
+			out = append(out, out[start+k])
+		}
+	}
+	return out, nil
+}
+
+// encodeEntropy is the zstd/gdeflate-like container: the parse is split into
+// a literal stream and a sequence stream, each entropy-coded.
+func encodeEntropy(dev *gpusim.Device, src []byte, useANS bool) ([]byte, error) {
+	seqs := parse(src, 1<<17, 64, 1<<16)
+	lits := make([]byte, 0, len(src)/2)
+	seqBuf := make([]byte, 0, len(seqs)*4)
+	pos := 0
+	for _, s := range seqs {
+		lits = append(lits, src[pos:pos+s.litLen]...)
+		pos += s.litLen + s.matchLen
+		seqBuf = bitio.AppendUvarint(seqBuf, uint64(s.litLen))
+		seqBuf = bitio.AppendUvarint(seqBuf, uint64(s.matchLen))
+		if s.matchLen > 0 {
+			seqBuf = bitio.AppendUvarint(seqBuf, uint64(s.dist))
+		}
+	}
+	var litBlob, seqBlob []byte
+	var err error
+	if useANS {
+		litBlob = ans.Encode(lits)
+		seqBlob = ans.Encode(seqBuf)
+	} else {
+		litBlob, err = huffman.EncodeBytes(dev, lits)
+		if err != nil {
+			return nil, err
+		}
+		seqBlob, err = huffman.EncodeBytes(dev, seqBuf)
+		if err != nil {
+			return nil, err
+		}
+	}
+	out := bitio.AppendUvarint(nil, uint64(len(src)))
+	out = bitio.AppendUvarint(out, uint64(len(seqs)))
+	out = bitio.AppendUvarint(out, uint64(len(litBlob)))
+	out = append(out, litBlob...)
+	out = bitio.AppendUvarint(out, uint64(len(seqBlob)))
+	return append(out, seqBlob...), nil
+}
+
+func decodeEntropy(dev *gpusim.Device, data []byte, useANS bool) ([]byte, error) {
+	origLen, n := bitio.Uvarint(data)
+	if n == 0 {
+		return nil, ErrCorrupt
+	}
+	off := n
+	nSeqs, n := bitio.Uvarint(data[off:])
+	if n == 0 {
+		return nil, ErrCorrupt
+	}
+	off += n
+	litLen, n := bitio.Uvarint(data[off:])
+	if n == 0 || off+n+int(litLen) > len(data) {
+		return nil, ErrCorrupt
+	}
+	off += n
+	litBlob := data[off : off+int(litLen)]
+	off += int(litLen)
+	seqLen, n := bitio.Uvarint(data[off:])
+	if n == 0 || off+n+int(seqLen) > len(data) {
+		return nil, ErrCorrupt
+	}
+	off += n
+	seqBlob := data[off : off+int(seqLen)]
+
+	var lits, seqBuf []byte
+	var err error
+	if useANS {
+		lits, err = ans.Decode(litBlob)
+		if err != nil {
+			return nil, err
+		}
+		seqBuf, err = ans.Decode(seqBlob)
+	} else {
+		lits, err = huffman.DecodeBytes(dev, litBlob)
+		if err != nil {
+			return nil, err
+		}
+		seqBuf, err = huffman.DecodeBytes(dev, seqBlob)
+	}
+	if err != nil {
+		return nil, err
+	}
+	seqs := make([]seq, 0, nSeqs)
+	sp := 0
+	for i := uint64(0); i < nSeqs; i++ {
+		ll, n := bitio.Uvarint(seqBuf[sp:])
+		if n == 0 {
+			return nil, ErrCorrupt
+		}
+		sp += n
+		ml, n := bitio.Uvarint(seqBuf[sp:])
+		if n == 0 {
+			return nil, ErrCorrupt
+		}
+		sp += n
+		s := seq{litLen: int(ll), matchLen: int(ml)}
+		if ml > 0 {
+			d, n := bitio.Uvarint(seqBuf[sp:])
+			if n == 0 {
+				return nil, ErrCorrupt
+			}
+			sp += n
+			s.dist = int(d)
+		}
+		seqs = append(seqs, s)
+	}
+	return expand(seqs, lits, int(origLen))
+}

@@ -1,0 +1,166 @@
+package lz
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gpusim"
+)
+
+var dev = gpusim.New(4)
+
+var variants = []Variant{LZ4Lite, GPULZLite, ZstdLite, GDeflateLite}
+
+func testVectors(rng *rand.Rand) [][]byte {
+	repeats := bytes.Repeat([]byte("abcabcabc123"), 1000)
+	random := make([]byte, 5000)
+	rng.Read(random)
+	runs := make([]byte, 10_000)
+	for i := range runs {
+		runs[i] = byte(i / 700)
+	}
+	text := bytes.Repeat([]byte("the quick brown fox jumps over the lazy dog. "), 200)
+	mixed := append(append([]byte{}, random[:1000]...), repeats[:3000]...)
+	return [][]byte{
+		nil,
+		{1},
+		{1, 2, 3},
+		make([]byte, 10_000),
+		repeats, random, runs, text, mixed,
+	}
+}
+
+func TestRoundTripAllVariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	vecs := testVectors(rng)
+	for _, v := range variants {
+		for vi, data := range vecs {
+			enc, err := Encode(dev, data, v)
+			if err != nil {
+				t.Fatalf("%s vec %d encode: %v", v, vi, err)
+			}
+			dec, err := Decode(dev, enc, v)
+			if err != nil {
+				t.Fatalf("%s vec %d decode: %v", v, vi, err)
+			}
+			if !bytes.Equal(dec, data) {
+				t.Fatalf("%s vec %d: mismatch (%d vs %d bytes)", v, vi, len(dec), len(data))
+			}
+		}
+	}
+}
+
+func TestCompressesRepeats(t *testing.T) {
+	data := bytes.Repeat([]byte("0123456789abcdef"), 4096)
+	for _, v := range variants {
+		enc, err := Encode(dev, data, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(enc) > len(data)/4 {
+			t.Fatalf("%s: repetitive data compressed to %d/%d", v, len(enc), len(data))
+		}
+	}
+}
+
+func TestZstdLiteBeatsLZ4LiteOnSkewedLiterals(t *testing.T) {
+	// Entropy-coded literals matter when matches are rare but the literal
+	// distribution is skewed — this is the Fig. 6 separation.
+	rng := rand.New(rand.NewSource(2))
+	data := make([]byte, 100_000)
+	for i := range data {
+		data[i] = byte(rng.NormFloat64()*4) + 128
+	}
+	encZ, err := Encode(dev, data, ZstdLite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	encL, err := Encode(dev, data, LZ4Lite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(encZ) >= len(encL) {
+		t.Fatalf("zstd-lite (%d) should beat lz4-lite (%d) on skewed literals", len(encZ), len(encL))
+	}
+}
+
+func TestOverlappingMatches(t *testing.T) {
+	// RLE-style overlap: dist < matchLen.
+	data := append([]byte{5}, bytes.Repeat([]byte{5}, 1000)...)
+	for _, v := range variants {
+		enc, err := Encode(dev, data, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec, err := Decode(dev, enc, v)
+		if err != nil {
+			t.Fatalf("%s: %v", v, err)
+		}
+		if !bytes.Equal(dec, data) {
+			t.Fatalf("%s: overlap mismatch", v)
+		}
+	}
+}
+
+func TestDecodeCorruptNoPanic(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	data := bytes.Repeat([]byte("hello world "), 500)
+	for _, v := range variants {
+		enc, err := Encode(dev, data, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, cut := range []int{0, 1, len(enc) / 3, len(enc) - 1} {
+			Decode(dev, enc[:cut], v) // must not panic
+		}
+		for trial := 0; trial < 30; trial++ {
+			bad := append([]byte(nil), enc...)
+			bad[rng.Intn(len(bad))] ^= byte(1 + rng.Intn(255))
+			Decode(dev, bad, v) // must not panic
+		}
+	}
+}
+
+func TestUnknownVariant(t *testing.T) {
+	if _, err := Encode(dev, []byte("x"), Variant(99)); err == nil {
+		t.Fatal("want error for unknown variant")
+	}
+	if _, err := Decode(dev, []byte("x"), Variant(99)); err == nil {
+		t.Fatal("want error for unknown variant")
+	}
+}
+
+func TestVariantString(t *testing.T) {
+	if LZ4Lite.String() != "lz4-lite" || ZstdLite.String() != "zstd-lite" {
+		t.Fatal("variant names")
+	}
+}
+
+func TestMatchLenBounds(t *testing.T) {
+	src := []byte{1, 1, 1, 1, 1, 2}
+	if got := matchLen(src, 0, 1, 100); got != 4 {
+		t.Fatalf("matchLen = %d, want 4", got)
+	}
+	if got := matchLen(src, 0, 1, 2); got != 2 {
+		t.Fatalf("capped matchLen = %d, want 2", got)
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	for _, v := range variants {
+		v := v
+		f := func(data []byte) bool {
+			enc, err := Encode(dev, data, v)
+			if err != nil {
+				return false
+			}
+			dec, err := Decode(dev, enc, v)
+			return err == nil && bytes.Equal(dec, data)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+			t.Fatalf("%s: %v", v, err)
+		}
+	}
+}

@@ -1,0 +1,147 @@
+// Package metrics implements the quality and size metrics used in the
+// cuSZ-Hi evaluation (§6.1.4): compression ratio, bit rate, PSNR,
+// maximum point-wise error, plus entropy helpers used by the lossless
+// benchmarking.
+package metrics
+
+import (
+	"math"
+)
+
+// Range returns the min, max and value range of data. An empty slice has
+// zero range.
+func Range(data []float32) (lo, hi, rng float64) {
+	if len(data) == 0 {
+		return 0, 0, 0
+	}
+	lo, hi = float64(data[0]), float64(data[0])
+	for _, v := range data[1:] {
+		f := float64(v)
+		if f < lo {
+			lo = f
+		}
+		if f > hi {
+			hi = f
+		}
+	}
+	return lo, hi, hi - lo
+}
+
+// AbsEB converts a value-range-based relative error bound into the uniform
+// absolute error bound used by Eq. 1 of the paper.
+func AbsEB(data []float32, relEB float64) float64 {
+	_, _, rng := Range(data)
+	if rng == 0 {
+		rng = 1
+	}
+	return relEB * rng
+}
+
+// Distortion summarizes the difference between an original field and its
+// decompressed reconstruction.
+type Distortion struct {
+	MSE    float64
+	PSNR   float64 // value-range based, dB
+	MaxErr float64 // L-infinity error
+	NRMSE  float64
+	Range  float64
+}
+
+// Compare computes Distortion between orig and recon (same length).
+func Compare(orig, recon []float32) Distortion {
+	var d Distortion
+	if len(orig) == 0 || len(orig) != len(recon) {
+		return d
+	}
+	_, _, rng := Range(orig)
+	d.Range = rng
+	var sum float64
+	for i := range orig {
+		e := float64(orig[i]) - float64(recon[i])
+		if a := math.Abs(e); a > d.MaxErr {
+			d.MaxErr = a
+		}
+		sum += e * e
+	}
+	d.MSE = sum / float64(len(orig))
+	if d.MSE == 0 {
+		d.PSNR = math.Inf(1)
+	} else {
+		r := rng
+		if r == 0 {
+			r = 1
+		}
+		d.PSNR = 20*math.Log10(r) - 10*math.Log10(d.MSE)
+		d.NRMSE = math.Sqrt(d.MSE) / r
+	}
+	return d
+}
+
+// CR returns the compression ratio |X| / |Z| for an original payload of
+// origBytes compressed to compBytes.
+func CR(origBytes, compBytes int) float64 {
+	if compBytes == 0 {
+		return math.Inf(1)
+	}
+	return float64(origBytes) / float64(compBytes)
+}
+
+// BitRate returns the average number of compressed bits per float32 element,
+// i.e. 32 / CR.
+func BitRate(nElems, compBytes int) float64 {
+	if nElems == 0 {
+		return 0
+	}
+	return float64(compBytes) * 8 / float64(nElems)
+}
+
+// WithinBound reports whether every |orig[i]-recon[i]| <= eb (+ a tiny
+// float32 rounding slack proportional to eb).
+func WithinBound(orig, recon []float32, eb float64) bool {
+	return FirstViolation(orig, recon, eb) < 0
+}
+
+// FirstViolation returns the first index violating the error bound, or -1.
+// A relative slack of 1e-4*eb absorbs float32 rounding of the reconstruction.
+func FirstViolation(orig, recon []float32, eb float64) int {
+	if len(orig) != len(recon) {
+		return 0
+	}
+	limit := eb * (1 + 1e-4)
+	for i := range orig {
+		if math.Abs(float64(orig[i])-float64(recon[i])) > limit {
+			return i
+		}
+	}
+	return -1
+}
+
+// ByteEntropy returns the order-0 Shannon entropy of p in bits per byte.
+func ByteEntropy(p []byte) float64 {
+	if len(p) == 0 {
+		return 0
+	}
+	var hist [256]int
+	for _, b := range p {
+		hist[b]++
+	}
+	n := float64(len(p))
+	var h float64
+	for _, c := range hist {
+		if c == 0 {
+			continue
+		}
+		f := float64(c) / n
+		h -= f * math.Log2(f)
+	}
+	return h
+}
+
+// GiBps converts a processed byte count and elapsed seconds into GiB/s,
+// the throughput unit used in Fig. 10.
+func GiBps(bytes int, seconds float64) float64 {
+	if seconds <= 0 {
+		return 0
+	}
+	return float64(bytes) / (1 << 30) / seconds
+}

@@ -1,0 +1,131 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRange(t *testing.T) {
+	lo, hi, rng := Range([]float32{3, -1, 4, 1, 5})
+	if lo != -1 || hi != 5 || rng != 6 {
+		t.Fatalf("Range = %v %v %v", lo, hi, rng)
+	}
+	if _, _, r := Range(nil); r != 0 {
+		t.Fatal("empty range should be 0")
+	}
+}
+
+func TestAbsEB(t *testing.T) {
+	data := []float32{0, 10}
+	if got := AbsEB(data, 1e-2); math.Abs(got-0.1) > 1e-12 {
+		t.Fatalf("AbsEB = %v", got)
+	}
+	// Constant field: range treated as 1.
+	if got := AbsEB([]float32{5, 5}, 1e-3); got != 1e-3 {
+		t.Fatalf("AbsEB const = %v", got)
+	}
+}
+
+func TestCompareIdentical(t *testing.T) {
+	a := []float32{1, 2, 3}
+	d := Compare(a, a)
+	if d.MSE != 0 || !math.IsInf(d.PSNR, 1) || d.MaxErr != 0 {
+		t.Fatalf("Compare identical = %+v", d)
+	}
+}
+
+func TestComparePSNR(t *testing.T) {
+	orig := make([]float32, 1000)
+	recon := make([]float32, 1000)
+	for i := range orig {
+		orig[i] = float32(i) / 999 // range 1
+		recon[i] = orig[i] + 0.01
+	}
+	d := Compare(orig, recon)
+	// MSE = 1e-4, range 1 => PSNR = 40 dB.
+	if math.Abs(d.PSNR-40) > 0.01 {
+		t.Fatalf("PSNR = %v, want ~40", d.PSNR)
+	}
+	if math.Abs(d.MaxErr-0.01) > 1e-6 {
+		t.Fatalf("MaxErr = %v", d.MaxErr)
+	}
+}
+
+func TestCRAndBitRate(t *testing.T) {
+	if CR(1000, 100) != 10 {
+		t.Fatal("CR")
+	}
+	if !math.IsInf(CR(10, 0), 1) {
+		t.Fatal("CR zero")
+	}
+	// 4e6 bytes = 1e6 floats compressed to 1e6 bytes => 8 bits/elem.
+	if got := BitRate(1_000_000, 1_000_000); got != 8 {
+		t.Fatalf("BitRate = %v", got)
+	}
+}
+
+func TestWithinBound(t *testing.T) {
+	orig := []float32{1, 2, 3}
+	ok := []float32{1.05, 1.95, 3.04}
+	bad := []float32{1.2, 2, 3}
+	if !WithinBound(orig, ok, 0.05) {
+		t.Fatal("should be within bound")
+	}
+	if WithinBound(orig, bad, 0.05) {
+		t.Fatal("should violate bound")
+	}
+	if i := FirstViolation(orig, bad, 0.05); i != 0 {
+		t.Fatalf("FirstViolation = %d", i)
+	}
+	if FirstViolation(orig, ok, 0.05) != -1 {
+		t.Fatal("no violation expected")
+	}
+}
+
+func TestByteEntropy(t *testing.T) {
+	if h := ByteEntropy(make([]byte, 100)); h != 0 {
+		t.Fatalf("constant entropy = %v", h)
+	}
+	half := make([]byte, 200)
+	for i := 100; i < 200; i++ {
+		half[i] = 1
+	}
+	if h := ByteEntropy(half); math.Abs(h-1) > 1e-9 {
+		t.Fatalf("two-symbol entropy = %v, want 1", h)
+	}
+	all := make([]byte, 256*4)
+	for i := range all {
+		all[i] = byte(i)
+	}
+	if h := ByteEntropy(all); math.Abs(h-8) > 1e-9 {
+		t.Fatalf("uniform entropy = %v, want 8", h)
+	}
+}
+
+func TestGiBps(t *testing.T) {
+	if got := GiBps(1<<30, 1); got != 1 {
+		t.Fatalf("GiBps = %v", got)
+	}
+	if GiBps(100, 0) != 0 {
+		t.Fatal("zero seconds")
+	}
+}
+
+func TestCompareSymmetryProperty(t *testing.T) {
+	f := func(vals []float32) bool {
+		if len(vals) < 2 {
+			return true
+		}
+		for _, v := range vals {
+			if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+				return true
+			}
+		}
+		d := Compare(vals, vals)
+		return d.MSE == 0 && d.MaxErr == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

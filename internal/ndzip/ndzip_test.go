@@ -1,0 +1,102 @@
+package ndzip
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gpusim"
+)
+
+var dev = gpusim.New(4)
+
+func roundTrip(t *testing.T, data []byte) []byte {
+	t.Helper()
+	enc, err := Encode(dev, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := Decode(dev, enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dec, data) {
+		t.Fatalf("round trip mismatch (%d vs %d bytes)", len(dec), len(data))
+	}
+	return enc
+}
+
+func TestRoundTripBasic(t *testing.T) {
+	roundTrip(t, nil)
+	roundTrip(t, []byte{1, 2, 3}) // tail only
+	roundTrip(t, []byte{1, 2, 3, 4})
+	roundTrip(t, []byte{1, 2, 3, 4, 5}) // words + tail
+	roundTrip(t, make([]byte, 4096))
+}
+
+func TestRoundTripRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{7, 128, 129, 4097, 100_000} {
+		data := make([]byte, n)
+		rng.Read(data)
+		roundTrip(t, data)
+	}
+}
+
+func TestCompressesSmoothFloats(t *testing.T) {
+	// Slowly varying float32 values share exponent/mantissa-high bits, so
+	// XOR-delta residuals have few active bit planes.
+	data := make([]byte, 64*1024)
+	for i := 0; i < len(data)/4; i++ {
+		v := float32(1000 + math.Sin(float64(i)*0.001))
+		binary.LittleEndian.PutUint32(data[i*4:], math.Float32bits(v))
+	}
+	enc := roundTrip(t, data)
+	if len(enc) > len(data)*3/4 {
+		t.Fatalf("smooth floats compressed to %d/%d", len(enc), len(data))
+	}
+}
+
+func TestConstantDataTiny(t *testing.T) {
+	data := make([]byte, 1<<20)
+	for i := range data {
+		data[i] = 0x3F
+	}
+	enc := roundTrip(t, data)
+	// Only the first word has a non-zero residual; the floor is the 4-byte
+	// presence mask per 32-word chunk, i.e. ratio 32.
+	if len(enc) > len(data)/25 {
+		t.Fatalf("constant words compressed to %d bytes", len(enc))
+	}
+}
+
+func TestDecodeCorrupt(t *testing.T) {
+	data := make([]byte, 10_000)
+	rand.New(rand.NewSource(2)).Read(data)
+	enc, err := Encode(dev, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{0, 1, len(enc) / 2, len(enc) - 1} {
+		if _, err := Decode(dev, enc[:cut]); err == nil {
+			t.Fatalf("truncation to %d: want error", cut)
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(data []byte) bool {
+		enc, err := Encode(dev, data)
+		if err != nil {
+			return false
+		}
+		dec, err := Decode(dev, enc)
+		return err == nil && bytes.Equal(dec, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,200 @@
+// Package quant implements the quantization-code machinery of cuSZ-Hi:
+// one-byte quantization codes with a separately stored outlier list
+// (§5.2.1) and the mapping-based level-order reordering of Eq. 3 (§5.1.4).
+package quant
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+
+	"repro/internal/bitio"
+	"repro/internal/gpusim"
+)
+
+// ErrCorrupt reports a malformed outlier section.
+var ErrCorrupt = errors.New("quant: corrupt outlier section")
+
+const (
+	// Radius is the symmetric quantization-code radius representable in one
+	// byte: codes 1..255 encode q in [-127, 127]; code 0 marks an outlier.
+	Radius = 127
+	// ZeroCode is the code of a perfectly predicted point (q = 0).
+	ZeroCode = 128
+	// OutlierCode marks points stored losslessly in the outlier list.
+	OutlierCode = 0
+)
+
+// Quantize maps a prediction error to a code and the reconstructed value.
+// outlier is true when the error exceeds the code radius (or float32
+// rounding would break the bound), in which case the caller must store val
+// losslessly and recon == val.
+func Quantize(val, pred float32, twoEB float64) (code uint8, recon float32, outlier bool) {
+	d := float64(val) - float64(pred)
+	qf := math.Round(d / twoEB)
+	if qf >= -Radius && qf <= Radius {
+		r := float32(float64(pred) + qf*twoEB)
+		if math.Abs(float64(val)-float64(r)) <= twoEB/2 {
+			return uint8(int(qf) + ZeroCode), r, false
+		}
+	}
+	return OutlierCode, val, true
+}
+
+// Dequantize reconstructs a value from a non-outlier code.
+func Dequantize(code uint8, pred float32, twoEB float64) float32 {
+	return float32(float64(pred) + float64(int(code)-ZeroCode)*twoEB)
+}
+
+// ---------------------------------------------------------------------------
+// Outlier list.
+
+// Outliers stores losslessly kept points: flat positions (ascending) and
+// their original float32 values.
+type Outliers struct {
+	Pos []int
+	Val []float32
+}
+
+// Append records one outlier.
+func (o *Outliers) Append(pos int, val float32) {
+	o.Pos = append(o.Pos, pos)
+	o.Val = append(o.Val, val)
+}
+
+// Len returns the number of outliers.
+func (o *Outliers) Len() int { return len(o.Pos) }
+
+// Serialize appends the section to dst: count, delta-varint positions, raw
+// float32 values.
+func (o *Outliers) Serialize(dst []byte) []byte {
+	dst = bitio.AppendUvarint(dst, uint64(len(o.Pos)))
+	prev := 0
+	for _, p := range o.Pos {
+		dst = bitio.AppendUvarint(dst, uint64(p-prev))
+		prev = p
+	}
+	for _, v := range o.Val {
+		dst = bitio.AppendUint32(dst, math.Float32bits(v))
+	}
+	return dst
+}
+
+// ParseOutliers decodes a section produced by Serialize, returning the
+// outliers and the number of bytes consumed.
+func ParseOutliers(p []byte) (*Outliers, int, error) {
+	count64, n := bitio.Uvarint(p)
+	if n == 0 {
+		return nil, 0, ErrCorrupt
+	}
+	off := n
+	count := int(count64)
+	if count < 0 || count > len(p) { // each entry needs >= 5 bytes
+		return nil, 0, ErrCorrupt
+	}
+	o := &Outliers{Pos: make([]int, count), Val: make([]float32, count)}
+	prev := 0
+	for i := 0; i < count; i++ {
+		d, n := bitio.Uvarint(p[off:])
+		if n == 0 {
+			return nil, 0, ErrCorrupt
+		}
+		off += n
+		prev += int(d)
+		o.Pos[i] = prev
+	}
+	if off+4*count > len(p) {
+		return nil, 0, ErrCorrupt
+	}
+	for i := 0; i < count; i++ {
+		o.Val[i] = math.Float32frombits(binary.LittleEndian.Uint32(p[off:]))
+		off += 4
+	}
+	return o, off, nil
+}
+
+// Lookup builds a position→value map for decompression.
+func (o *Outliers) Lookup() map[int]float32 {
+	m := make(map[int]float32, len(o.Pos))
+	for i, p := range o.Pos {
+		m[p] = o.Val[i]
+	}
+	return m
+}
+
+// ---------------------------------------------------------------------------
+// Level-order reordering (Eq. 3).
+
+// LevelOrderPerm returns the Eq. 3 permutation for a grid with the given
+// dims (slowest dim first, up to 3 dims) and anchor stride A (power of two):
+// perm[k] is the flat natural index of the k-th element of the reordered
+// sequence. Codes from the anchor lattice come first, then each finer
+// interpolation level in coarse-to-fine order, matching §5.1.4 ("codes from
+// the larger interpolation strides appear first").
+func LevelOrderPerm(dims []int, anchorStride int) []int32 {
+	nz, ny, nx := norm3(dims)
+	L := log2(anchorStride)
+	n := nz * ny * nx
+	perm := make([]int32, 0, n)
+	for l := L; l >= 0; l-- {
+		step := 1 << uint(l)
+		coarse := step * 2
+		for z := 0; z < nz; z += step {
+			zc := l < L && z%coarse == 0
+			for y := 0; y < ny; y += step {
+				yc := y%coarse == 0
+				for x := 0; x < nx; x += step {
+					if zc && yc && x%coarse == 0 {
+						continue // belongs to a coarser level
+					}
+					perm = append(perm, int32((z*ny+y)*nx+x))
+				}
+			}
+		}
+	}
+	return perm
+}
+
+// Apply gathers src into level order: dst[k] = src[perm[k]].
+func Apply(dev *gpusim.Device, perm []int32, src, dst []uint8) {
+	dev.LaunchChunks(len(perm), 1<<16, func(lo, hi int) {
+		for k := lo; k < hi; k++ {
+			dst[k] = src[perm[k]]
+		}
+	})
+}
+
+// Invert scatters level-ordered data back: dst[perm[k]] = src[k].
+func Invert(dev *gpusim.Device, perm []int32, src, dst []uint8) {
+	dev.LaunchChunks(len(perm), 1<<16, func(lo, hi int) {
+		for k := lo; k < hi; k++ {
+			dst[perm[k]] = src[k]
+		}
+	})
+}
+
+func norm3(dims []int) (nz, ny, nx int) {
+	switch len(dims) {
+	case 1:
+		return 1, 1, dims[0]
+	case 2:
+		return 1, dims[0], dims[1]
+	case 3:
+		return dims[0], dims[1], dims[2]
+	default:
+		nz = 1
+		for _, d := range dims[:len(dims)-2] {
+			nz *= d
+		}
+		return nz, dims[len(dims)-2], dims[len(dims)-1]
+	}
+}
+
+func log2(v int) int {
+	l := 0
+	for v > 1 {
+		v >>= 1
+		l++
+	}
+	return l
+}

@@ -1,0 +1,258 @@
+// Package szp reimplements the cuSZp2 baseline (Huang et al., SC'24): an
+// end-to-end throughput-oriented GPU compressor built from 1-D offset
+// (delta) prediction on prequantized integers and per-block fixed-length
+// encoding, with an "outlier mode" bitmap that elides all-zero blocks.
+//
+// The pipeline is: round every value to the 2ε lattice, delta-encode within
+// independent 32-value blocks, zigzag, and pack each block at its own
+// ceiling-log2 bit width. Blocks whose deltas are all zero cost a single
+// bitmap bit — that sparsification is where cuSZp2's ratio comes from on
+// smooth fields, while its 1-D prediction keeps its ratio well below the
+// interpolation compressors', matching Table 4.
+package szp
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/bitio"
+	"repro/internal/gpusim"
+)
+
+// ErrCorrupt reports a malformed container.
+var ErrCorrupt = errors.New("szp: corrupt stream")
+
+const (
+	blockVals = 32
+	// latticeCap mirrors lorenzo's overflow guard.
+	latticeCap = int64(1) << 50
+	// chunkBlocks groups blocks for parallel encode/decode.
+	chunkBlocks = 512
+)
+
+// Compress encodes data under absolute error bound eb.
+func Compress(dev *gpusim.Device, data []float32, eb float64) ([]byte, error) {
+	if eb <= 0 {
+		return nil, errors.New("szp: error bound must be positive")
+	}
+	twoEB := 2 * eb
+	n := len(data)
+	nBlocks := (n + blockVals - 1) / blockVals
+	nChunks := (nBlocks + chunkBlocks - 1) / chunkBlocks
+	type chunkOut struct {
+		payload []byte
+		outPos  []int
+		outVal  []float32
+	}
+	chunks := make([]chunkOut, nChunks)
+	dev.Launch(nChunks, func(c int) {
+		w := bitio.NewWriter(chunkBlocks * blockVals / 2)
+		co := &chunks[c]
+		for b := c * chunkBlocks; b < (c+1)*chunkBlocks && b < nBlocks; b++ {
+			lo := b * blockVals
+			hi := lo + blockVals
+			if hi > n {
+				hi = n
+			}
+			var deltas [blockVals]uint64
+			var prev int64
+			var maxd uint64
+			for i := lo; i < hi; i++ {
+				q := math.Round(float64(data[i]) / twoEB)
+				var qi int64
+				switch {
+				case q > float64(latticeCap):
+					qi = latticeCap
+				case q < -float64(latticeCap):
+					qi = -latticeCap
+				default:
+					qi = int64(q)
+				}
+				recon := float32(float64(qi) * twoEB)
+				if math.Abs(float64(data[i])-float64(recon)) > eb {
+					co.outPos = append(co.outPos, i)
+					co.outVal = append(co.outVal, data[i])
+				}
+				z := bitio.ZigZag(qi - prev)
+				prev = qi
+				deltas[i-lo] = z
+				if z > maxd {
+					maxd = z
+				}
+			}
+			width := uint(0)
+			for v := maxd; v > 0; v >>= 1 {
+				width++
+			}
+			if width == 0 {
+				w.WriteBit(0) // zero block: single bitmap bit
+				continue
+			}
+			w.WriteBit(1)
+			w.WriteBits(uint64(width), 6)
+			for i := lo; i < hi; i++ {
+				w.WriteBits(deltas[i-lo], width)
+			}
+		}
+		co.payload = w.Bytes()
+	})
+	out := bitio.AppendUvarint(nil, uint64(n))
+	out = bitio.AppendUint64(out, math.Float64bits(eb))
+	// Value outliers (rare): positions + raw values.
+	totalOut := 0
+	for i := range chunks {
+		totalOut += len(chunks[i].outPos)
+	}
+	out = bitio.AppendUvarint(out, uint64(totalOut))
+	prevPos := 0
+	for i := range chunks {
+		for k, p := range chunks[i].outPos {
+			out = bitio.AppendUvarint(out, uint64(p-prevPos))
+			prevPos = p
+			out = bitio.AppendUint32(out, math.Float32bits(chunks[i].outVal[k]))
+		}
+	}
+	out = bitio.AppendUvarint(out, uint64(nChunks))
+	for i := range chunks {
+		out = bitio.AppendUvarint(out, uint64(len(chunks[i].payload)))
+	}
+	for i := range chunks {
+		out = append(out, chunks[i].payload...)
+	}
+	return out, nil
+}
+
+// Decompress reverses Compress.
+func Decompress(dev *gpusim.Device, blob []byte) ([]float32, error) {
+	n64, nn := bitio.Uvarint(blob)
+	if nn == 0 {
+		return nil, ErrCorrupt
+	}
+	off := nn
+	n := int(n64)
+	if n < 0 {
+		return nil, ErrCorrupt
+	}
+	if off+8 > len(blob) {
+		return nil, ErrCorrupt
+	}
+	var ebBits uint64
+	for i := 0; i < 8; i++ {
+		ebBits |= uint64(blob[off+i]) << (8 * i)
+	}
+	off += 8
+	eb := math.Float64frombits(ebBits)
+	if !(eb > 0) || math.IsInf(eb, 0) {
+		return nil, ErrCorrupt
+	}
+	twoEB := 2 * eb
+	nOut64, nn := bitio.Uvarint(blob[off:])
+	if nn == 0 {
+		return nil, ErrCorrupt
+	}
+	off += nn
+	nOut := int(nOut64)
+	if nOut < 0 || nOut > n {
+		return nil, ErrCorrupt
+	}
+	outPos := make([]int, nOut)
+	outVal := make([]float32, nOut)
+	prevPos := 0
+	for i := 0; i < nOut; i++ {
+		d, nn := bitio.Uvarint(blob[off:])
+		if nn == 0 {
+			return nil, ErrCorrupt
+		}
+		off += nn
+		prevPos += int(d)
+		if prevPos >= n || off+4 > len(blob) {
+			return nil, ErrCorrupt
+		}
+		outPos[i] = prevPos
+		var vb uint32
+		for k := 0; k < 4; k++ {
+			vb |= uint32(blob[off+k]) << (8 * k)
+		}
+		off += 4
+		outVal[i] = math.Float32frombits(vb)
+	}
+	nChunks64, nn := bitio.Uvarint(blob[off:])
+	if nn == 0 {
+		return nil, ErrCorrupt
+	}
+	off += nn
+	nBlocks := (n + blockVals - 1) / blockVals
+	wantChunks := (nBlocks + chunkBlocks - 1) / chunkBlocks
+	if n == 0 {
+		wantChunks = 0
+	}
+	if int(nChunks64) != wantChunks {
+		return nil, ErrCorrupt
+	}
+	lens := make([]int, wantChunks)
+	total := 0
+	for i := range lens {
+		l, nn := bitio.Uvarint(blob[off:])
+		if nn == 0 {
+			return nil, ErrCorrupt
+		}
+		off += nn
+		lens[i] = int(l)
+		total += int(l)
+	}
+	if off+total > len(blob) {
+		return nil, ErrCorrupt
+	}
+	starts := make([]int, wantChunks)
+	pos := off
+	for i, l := range lens {
+		starts[i] = pos
+		pos += l
+	}
+	out := make([]float32, n)
+	ok := make([]bool, wantChunks)
+	dev.Launch(wantChunks, func(c int) {
+		r := bitio.NewReader(blob[starts[c] : starts[c]+lens[c]])
+		for b := c * chunkBlocks; b < (c+1)*chunkBlocks && b < nBlocks; b++ {
+			lo := b * blockVals
+			hi := lo + blockVals
+			if hi > n {
+				hi = n
+			}
+			flag, err := r.ReadBit()
+			if err != nil {
+				return
+			}
+			var prev int64
+			if flag == 0 {
+				// All-zero deltas: constant zero lattice.
+				for i := lo; i < hi; i++ {
+					out[i] = 0
+				}
+				continue
+			}
+			w64, err := r.ReadBits(6)
+			if err != nil || w64 == 0 || w64 > 63 {
+				return
+			}
+			for i := lo; i < hi; i++ {
+				z, err := r.ReadBits(uint(w64))
+				if err != nil {
+					return
+				}
+				prev += bitio.UnZigZag(z)
+				out[i] = float32(float64(prev) * twoEB)
+			}
+		}
+		ok[c] = true
+	})
+	for _, o := range ok {
+		if !o {
+			return nil, ErrCorrupt
+		}
+	}
+	for i, p := range outPos {
+		out[p] = outVal[i]
+	}
+	return out, nil
+}

@@ -1,0 +1,121 @@
+package szp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/gpusim"
+	"repro/internal/metrics"
+)
+
+var dev = gpusim.New(4)
+
+func roundTrip(t *testing.T, data []float32, eb float64) []byte {
+	t.Helper()
+	blob, err := Compress(dev, data, eb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recon, err := Decompress(dev, blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recon) != len(data) {
+		t.Fatalf("len %d != %d", len(recon), len(data))
+	}
+	if i := metrics.FirstViolation(data, recon, eb); i >= 0 {
+		t.Fatalf("bound violated at %d: %v vs %v", i, data[i], recon[i])
+	}
+	return blob
+}
+
+func TestRoundTripBasic(t *testing.T) {
+	roundTrip(t, nil, 1e-3)
+	roundTrip(t, []float32{1}, 1e-3)
+	roundTrip(t, []float32{1, 2, 3, 4, 5}, 1e-3)
+	roundTrip(t, make([]float32, 1000), 1e-3)
+}
+
+func TestRoundTripSmooth(t *testing.T) {
+	data := make([]float32, 100_000)
+	for i := range data {
+		data[i] = float32(math.Sin(float64(i) * 0.001))
+	}
+	for _, eb := range []float64{1e-2, 1e-3, 1e-5} {
+		blob := roundTrip(t, data, eb)
+		if eb == 1e-2 && len(blob) > len(data) {
+			t.Fatalf("smooth data did not compress: %d bytes", len(blob))
+		}
+	}
+}
+
+func TestRoundTripRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	data := make([]float32, 10_000)
+	for i := range data {
+		data[i] = float32(rng.NormFloat64() * 50)
+	}
+	roundTrip(t, data, 1e-3)
+}
+
+func TestRoundTripExtreme(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	data := make([]float32, 5000)
+	for i := range data {
+		data[i] = float32(rng.NormFloat64()) * 1e32
+	}
+	roundTrip(t, data, 1e-3)
+}
+
+func TestZeroBlocksSparsified(t *testing.T) {
+	// Constant field: every delta block after the first is all-zero.
+	data := make([]float32, 1_000_000)
+	blob := roundTrip(t, data, 1e-3)
+	// Floor: 1 bitmap bit per 32 floats = ratio 1024.
+	if len(blob) > 4*len(data)/500 {
+		t.Fatalf("constant field compressed to %d bytes", len(blob))
+	}
+}
+
+func TestDataset(t *testing.T) {
+	f, err := datagen.Generate("nyx", []int{32, 48, 48}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eb := metrics.AbsEB(f.Data, 1e-2)
+	blob := roundTrip(t, f.Data, eb)
+	cr := metrics.CR(f.SizeBytes(), len(blob))
+	if cr < 2 {
+		t.Fatalf("nyx CR = %.2f, want > 2", cr)
+	}
+}
+
+func TestCompressErrors(t *testing.T) {
+	if _, err := Compress(dev, []float32{1}, 0); err == nil {
+		t.Fatal("want eb error")
+	}
+}
+
+func TestDecompressCorrupt(t *testing.T) {
+	data := make([]float32, 5000)
+	rng := rand.New(rand.NewSource(3))
+	for i := range data {
+		data[i] = float32(rng.NormFloat64())
+	}
+	blob, err := Compress(dev, data, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{0, 1, 4, len(blob) / 2, len(blob) - 1} {
+		if _, err := Decompress(dev, blob[:cut]); err == nil {
+			t.Fatalf("truncation to %d: want error", cut)
+		}
+	}
+	for trial := 0; trial < 30; trial++ {
+		bad := append([]byte(nil), blob...)
+		bad[rng.Intn(len(bad))] ^= byte(1 + rng.Intn(255))
+		Decompress(dev, bad) // must not panic
+	}
+}

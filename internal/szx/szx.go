@@ -1,0 +1,225 @@
+// Package szx reimplements the cuSZx/SZx design (Yu et al., 2022), the
+// ultra-fast "monolithic" compressor archetype that the cuSZ-Hi paper
+// discusses in §2.2 and excludes from its main evaluation for its low
+// ratio/quality. It is included here to complete the compressor-archetype
+// spectrum (offset-quantization vs Lorenzo vs interpolation vs transform
+// vs constant-block).
+//
+// SZx splits the stream into small blocks and classifies each as
+// "constant" (every value within eb of the block mean — stored as one
+// float) or "non-constant" (values stored with truncated mantissas:
+// leading sign/exponent bits plus only the mantissa bits needed to meet
+// eb). Both paths are a single cheap pass, which is the entire point.
+package szx
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+
+	"repro/internal/bitio"
+	"repro/internal/gpusim"
+)
+
+// ErrCorrupt reports a malformed container.
+var ErrCorrupt = errors.New("szx: corrupt stream")
+
+const blockVals = 128
+
+// mantissaBitsFor returns how many of the 23 mantissa bits must be kept so
+// that truncation error stays below eb for values up to maxAbs.
+func mantissaBitsFor(maxAbs float32, eb float64) int {
+	if maxAbs == 0 {
+		return 0
+	}
+	// Truncating k low mantissa bits of a value with exponent e introduces
+	// at most 2^(e-23+k); require that <= eb for the block's max exponent.
+	_, e := math.Frexp(float64(maxAbs))
+	for keep := 0; keep <= 23; keep++ {
+		errBound := math.Ldexp(1, e-keep)
+		if errBound <= eb {
+			return keep
+		}
+	}
+	return 23
+}
+
+// Compress encodes data under absolute error bound eb.
+func Compress(dev *gpusim.Device, data []float32, eb float64) ([]byte, error) {
+	if eb <= 0 {
+		return nil, errors.New("szx: error bound must be positive")
+	}
+	n := len(data)
+	nBlocks := (n + blockVals - 1) / blockVals
+	blockBufs := make([][]byte, nBlocks)
+	dev.Launch(nBlocks, func(b int) {
+		lo := b * blockVals
+		hi := lo + blockVals
+		if hi > n {
+			hi = n
+		}
+		vals := data[lo:hi]
+		// Mean and range test for the constant path.
+		var sum float64
+		finite := true
+		for _, v := range vals {
+			f := float64(v)
+			if math.IsNaN(f) || math.IsInf(f, 0) {
+				finite = false
+				break
+			}
+			sum += f
+		}
+		if finite {
+			mean := float32(sum / float64(len(vals)))
+			constant := true
+			for _, v := range vals {
+				if math.Abs(float64(v)-float64(mean)) > eb {
+					constant = false
+					break
+				}
+			}
+			if constant {
+				buf := make([]byte, 5)
+				buf[0] = 0x01 // constant block
+				binary.LittleEndian.PutUint32(buf[1:], math.Float32bits(mean))
+				blockBufs[b] = buf
+				return
+			}
+		}
+		// Non-constant: keep sign+exponent (9 bits) plus enough mantissa.
+		var maxAbs float32
+		for _, v := range vals {
+			if a := float32(math.Abs(float64(v))); a > maxAbs {
+				maxAbs = a
+			}
+		}
+		keep := mantissaBitsFor(maxAbs, eb)
+		if !finite {
+			keep = 23 // store losslessly when non-finite values are present
+		}
+		w := bitio.NewWriter(len(vals) * (9 + keep) / 8)
+		w.WriteBits(uint64(keep), 5)
+		for _, v := range vals {
+			bits := math.Float32bits(v)
+			// sign+exponent then the kept high mantissa bits.
+			w.WriteBits(uint64(bits>>23), 9)
+			if keep > 0 {
+				w.WriteBits(uint64(bits>>(23-uint(keep)))&((1<<uint(keep))-1), uint(keep))
+			}
+		}
+		payload := w.Bytes()
+		buf := make([]byte, 1, 1+len(payload))
+		buf[0] = 0x00
+		blockBufs[b] = append(buf, payload...)
+	})
+	out := bitio.AppendUvarint(nil, uint64(n))
+	out = bitio.AppendUint64(out, math.Float64bits(eb))
+	out = bitio.AppendUvarint(out, uint64(nBlocks))
+	for _, bb := range blockBufs {
+		out = bitio.AppendUvarint(out, uint64(len(bb)))
+	}
+	for _, bb := range blockBufs {
+		out = append(out, bb...)
+	}
+	return out, nil
+}
+
+// Decompress reverses Compress.
+func Decompress(dev *gpusim.Device, blob []byte) ([]float32, error) {
+	n64, nn := bitio.Uvarint(blob)
+	if nn == 0 {
+		return nil, ErrCorrupt
+	}
+	off := nn
+	n := int(n64)
+	if n < 0 {
+		return nil, ErrCorrupt
+	}
+	if off+8 > len(blob) {
+		return nil, ErrCorrupt
+	}
+	off += 8 // eb is informational on decode
+	nBlocks64, nn := bitio.Uvarint(blob[off:])
+	if nn == 0 {
+		return nil, ErrCorrupt
+	}
+	off += nn
+	want := (n + blockVals - 1) / blockVals
+	if int(nBlocks64) != want {
+		return nil, ErrCorrupt
+	}
+	lens := make([]int, want)
+	total := 0
+	for i := range lens {
+		l, nn := bitio.Uvarint(blob[off:])
+		if nn == 0 {
+			return nil, ErrCorrupt
+		}
+		off += nn
+		lens[i] = int(l)
+		total += int(l)
+	}
+	if off+total > len(blob) {
+		return nil, ErrCorrupt
+	}
+	starts := make([]int, want)
+	pos := off
+	for i, l := range lens {
+		starts[i] = pos
+		pos += l
+	}
+	out := make([]float32, n)
+	ok := make([]bool, want)
+	dev.Launch(want, func(b int) {
+		lo := b * blockVals
+		hi := lo + blockVals
+		if hi > n {
+			hi = n
+		}
+		body := blob[starts[b] : starts[b]+lens[b]]
+		if len(body) == 0 {
+			return
+		}
+		switch body[0] {
+		case 0x01:
+			if len(body) != 5 {
+				return
+			}
+			mean := math.Float32frombits(binary.LittleEndian.Uint32(body[1:]))
+			for i := lo; i < hi; i++ {
+				out[i] = mean
+			}
+			ok[b] = true
+		case 0x00:
+			r := bitio.NewReader(body[1:])
+			keep64, err := r.ReadBits(5)
+			if err != nil || keep64 > 23 {
+				return
+			}
+			keep := uint(keep64)
+			for i := lo; i < hi; i++ {
+				se, err := r.ReadBits(9)
+				if err != nil {
+					return
+				}
+				bits := uint32(se) << 23
+				if keep > 0 {
+					m, err := r.ReadBits(keep)
+					if err != nil {
+						return
+					}
+					bits |= uint32(m) << (23 - keep)
+				}
+				out[i] = math.Float32frombits(bits)
+			}
+			ok[b] = true
+		}
+	})
+	for _, o := range ok {
+		if !o {
+			return nil, ErrCorrupt
+		}
+	}
+	return out, nil
+}
