@@ -2,24 +2,33 @@
 // reproduction: it compresses and decompresses raw little-endian float32
 // files, and can synthesize the benchmark datasets.
 //
-//	cuszhi compress   -i data.f32 -o data.cszh -dims 256x384x384 -eb 1e-3 [-mode hi-cr] [-abs]
-//	cuszhi decompress -i data.cszh -o recon.f32
+//	cuszhi compress   -i data.f32 -o data.cszh -dims 256x384x384 -eb 1e-3 [-mode hi-cr] [-abs] [-chunk 32] [-stream]
+//	cuszhi decompress -i data.cszh -o recon.f32 [-stream]
 //	cuszhi gen        -dataset miranda -o data.f32 [-dims 64x96x96] [-seed 1]
 //	cuszhi info       -i data.cszh
 //
 // Modes: hi-cr (default), hi-tp, cusz-i, cusz-ib, cusz-l.
+//
+// -chunk N shards the field into slabs of N planes compressed in parallel
+// (the format-v2 chunked container); -stream additionally pipes the file
+// through the streaming writer/reader so memory stays bounded by the
+// chunk size rather than the field size.
 package main
 
 import (
+	"bufio"
 	"encoding/binary"
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 
 	"repro/cuszhi"
+	"repro/cuszhi/stream"
 	"repro/internal/datagen"
 	"repro/internal/metrics"
 )
@@ -49,8 +58,8 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  cuszhi compress   -i data.f32 -o data.cszh -dims ZxYxX -eb 1e-3 [-mode hi-cr] [-abs]
-  cuszhi decompress -i data.cszh -o recon.f32
+  cuszhi compress   -i data.f32 -o data.cszh -dims ZxYxX -eb 1e-3 [-mode hi-cr] [-abs] [-chunk N] [-stream]
+  cuszhi decompress -i data.cszh -o recon.f32 [-stream]
   cuszhi gen        -dataset NAME -o data.f32 [-dims ZxYxX] [-seed N] [-full]
   cuszhi info       -i data.cszh`)
 	os.Exit(2)
@@ -90,12 +99,41 @@ func readF32(path string) ([]float32, error) {
 	return out, nil
 }
 
+// writeFileAtomic writes path via a temp file in the same directory,
+// renaming into place only when fn succeeds, so a failed run never
+// destroys an existing output.
+func writeFileAtomic(path string, fn func(io.Writer) error) error {
+	of, err := os.CreateTemp(filepath.Dir(path), ".cuszhi-*")
+	if err != nil {
+		return err
+	}
+	tmp := of.Name()
+	err = fn(of)
+	if cerr := of.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Chmod(tmp, 0o644)
+	}
+	if err == nil {
+		err = os.Rename(tmp, path)
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
 func writeF32(path string, data []float32) error {
 	raw := make([]byte, 4*len(data))
 	for i, v := range data {
 		binary.LittleEndian.PutUint32(raw[4*i:], math.Float32bits(v))
 	}
-	return os.WriteFile(path, raw, 0o644)
+	return writeFileAtomic(path, func(w io.Writer) error {
+		_, err := w.Write(raw)
+		return err
+	})
 }
 
 func cmdCompress(args []string) error {
@@ -106,6 +144,8 @@ func cmdCompress(args []string) error {
 	eb := fs.Float64("eb", 1e-3, "error bound")
 	abs := fs.Bool("abs", false, "treat -eb as absolute instead of value-range-relative")
 	mode := fs.String("mode", string(cuszhi.ModeCR), "compressor mode")
+	chunk := fs.Int("chunk", 0, "planes per chunk; >0 writes a chunked (v2) container compressed in parallel")
+	streaming := fs.Bool("stream", false, "pipe the file through the streaming writer (bounded memory; implies -chunk)")
 	fs.Parse(args)
 	if *in == "" || *out == "" {
 		return fmt.Errorf("compress: -i and -o are required")
@@ -114,11 +154,18 @@ func cmdCompress(args []string) error {
 	if err != nil {
 		return err
 	}
+	if *streaming {
+		return compressStream(*in, *out, dims, *eb, *abs, cuszhi.Mode(*mode), *chunk)
+	}
 	data, err := readF32(*in)
 	if err != nil {
 		return err
 	}
-	c, err := cuszhi.New(cuszhi.Mode(*mode))
+	copts := []cuszhi.Option{}
+	if *chunk > 0 {
+		copts = append(copts, cuszhi.WithChunkPlanes(*chunk))
+	}
+	c, err := cuszhi.New(cuszhi.Mode(*mode), copts...)
 	if err != nil {
 		return err
 	}
@@ -131,7 +178,10 @@ func cmdCompress(args []string) error {
 	if err != nil {
 		return err
 	}
-	if err := os.WriteFile(*out, blob, 0o644); err != nil {
+	if err := writeFileAtomic(*out, func(w io.Writer) error {
+		_, err := w.Write(blob)
+		return err
+	}); err != nil {
 		return err
 	}
 	fmt.Printf("%s: %d -> %d bytes (CR %.2f, %.3f bits/val, mode %s)\n",
@@ -140,13 +190,126 @@ func cmdCompress(args []string) error {
 	return nil
 }
 
+// fileRange scans a raw float32 file for its value range without holding
+// the field in memory, so -stream can honor relative error bounds.
+func fileRange(path string) (lo, hi float64, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer f.Close()
+	br := bufio.NewReaderSize(f, 1<<16)
+	lo, hi = math.Inf(1), math.Inf(-1)
+	var word [4]byte
+	for {
+		if _, err := io.ReadFull(br, word[:]); err != nil {
+			if err == io.EOF {
+				break
+			}
+			return 0, 0, fmt.Errorf("%s: %v", path, err)
+		}
+		v := float64(math.Float32frombits(binary.LittleEndian.Uint32(word[:])))
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if lo > hi {
+		return 0, 0, fmt.Errorf("%s: empty file", path)
+	}
+	return lo, hi, nil
+}
+
+func compressStream(in, out string, dims []int, eb float64, abs bool, mode cuszhi.Mode, chunk int) error {
+	// Reject a bad mode before the value-range pre-pass scans the whole
+	// input and before the output file is truncated.
+	if mode == cuszhi.ModeAuto {
+		return fmt.Errorf("compress: -mode auto needs the whole field; drop -stream or pick a fixed mode")
+	}
+	if _, err := cuszhi.New(mode); err != nil {
+		return err
+	}
+	if !(eb > 0) || math.IsInf(eb, 0) {
+		return fmt.Errorf("compress: invalid error bound %v", eb)
+	}
+	absEB := eb
+	if !abs {
+		lo, hi, err := fileRange(in)
+		if err != nil {
+			return err
+		}
+		rng := hi - lo
+		if rng == 0 {
+			rng = 1 // constant field: same fallback as metrics.AbsEB
+		}
+		absEB = eb * rng
+	}
+	f, err := os.Open(in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var n int64
+	opts := []stream.Option{stream.WithMode(mode)}
+	if chunk > 0 {
+		opts = append(opts, stream.WithChunkPlanes(chunk))
+	}
+	err = writeFileAtomic(out, func(of io.Writer) error {
+		w, err := stream.NewWriter(of, dims, absEB, opts...)
+		if err != nil {
+			return err
+		}
+		n, err = io.Copy(w, f)
+		if cerr := w.Close(); err == nil { // always Close: releases the worker pool
+			err = cerr
+		}
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	st, err := os.Stat(out)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: %d -> %d bytes (CR %.2f, %.3f bits/val, mode %s, streamed)\n",
+		in, n, st.Size(), metrics.CR(int(n), int(st.Size())),
+		metrics.BitRate(int(n)/4, int(st.Size())), mode)
+	return nil
+}
+
 func cmdDecompress(args []string) error {
 	fs := flag.NewFlagSet("decompress", flag.ExitOnError)
 	in := fs.String("i", "", "input compressed file")
 	out := fs.String("o", "", "output raw float32 file")
+	streaming := fs.Bool("stream", false, "decode chunk-by-chunk through the streaming reader (bounded memory)")
 	fs.Parse(args)
 	if *in == "" || *out == "" {
 		return fmt.Errorf("decompress: -i and -o are required")
+	}
+	if *streaming {
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r, err := stream.NewReader(bufio.NewReaderSize(f, 1<<16))
+		if err != nil {
+			return err
+		}
+		defer r.Close()
+		var n int64
+		if err := writeFileAtomic(*out, func(of io.Writer) error {
+			var err error
+			n, err = io.Copy(of, r)
+			return err
+		}); err != nil {
+			return err
+		}
+		fmt.Printf("%s: %d values, dims %v (streamed)\n", *out, n/4, r.Dims())
+		return nil
 	}
 	blob, err := os.ReadFile(*in)
 	if err != nil {
@@ -209,13 +372,21 @@ func cmdInfo(args []string) error {
 	if err != nil {
 		return err
 	}
+	hdr, err := cuszhi.Inspect(blob)
+	if err != nil {
+		return err
+	}
 	data, dims, err := cuszhi.Decompress(blob)
 	if err != nil {
 		return err
 	}
 	lo, hi, rng := metrics.Range(data)
-	fmt.Printf("file:   %s (%d bytes)\n", *in, len(blob))
+	fmt.Printf("file:   %s (%d bytes, format v%d)\n", *in, len(blob), hdr.Version)
+	if hdr.NumChunks > 0 {
+		fmt.Printf("chunks: %d (%d planes each)\n", hdr.NumChunks, hdr.ChunkPlanes)
+	}
 	fmt.Printf("dims:   %v (%d values)\n", dims, len(data))
+	fmt.Printf("eb:     %g (absolute)\n", hdr.AbsErrorEB)
 	fmt.Printf("ratio:  %.2f (%.3f bits/val)\n", metrics.CR(4*len(data), len(blob)), metrics.BitRate(len(data), len(blob)))
 	fmt.Printf("range:  [%g, %g] (span %g)\n", lo, hi, rng)
 	return nil

@@ -111,6 +111,118 @@ func TestEndToEndCommands(t *testing.T) {
 	}
 }
 
+// TestEndToEndChunkedAndStreamed drives the -chunk and -stream flags:
+// chunked compress / one-shot decompress, streamed compress / streamed
+// decompress, and cross-combinations, all within the error bound.
+func TestEndToEndChunkedAndStreamed(t *testing.T) {
+	dir := t.TempDir()
+	raw := filepath.Join(dir, "f.f32")
+	if err := cmdGen([]string{"-dataset", "miranda", "-o", raw, "-dims", "20x16x16", "-seed", "5"}); err != nil {
+		t.Fatal(err)
+	}
+	orig, err := readF32(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := orig[0], orig[0]
+	for _, v := range orig {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	eb := 1e-3 * float64(hi-lo)
+
+	check := func(tag, path string) {
+		t.Helper()
+		recon, err := readF32(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(recon) != len(orig) {
+			t.Fatalf("%s: len %d != %d", tag, len(recon), len(orig))
+		}
+		for i := range orig {
+			if math.Abs(float64(orig[i])-float64(recon[i])) > eb*(1+1e-6) {
+				t.Fatalf("%s: bound violated at %d", tag, i)
+			}
+		}
+	}
+
+	chunked := filepath.Join(dir, "chunked.cszh")
+	if err := cmdCompress([]string{"-i", raw, "-o", chunked, "-dims", "20x16x16",
+		"-eb", "1e-3", "-mode", "hi-tp", "-chunk", "6"}); err != nil {
+		t.Fatal(err)
+	}
+	out1 := filepath.Join(dir, "r1.f32")
+	if err := cmdDecompress([]string{"-i", chunked, "-o", out1}); err != nil {
+		t.Fatal(err)
+	}
+	check("chunked->one-shot", out1)
+	out2 := filepath.Join(dir, "r2.f32")
+	if err := cmdDecompress([]string{"-i", chunked, "-o", out2, "-stream"}); err != nil {
+		t.Fatal(err)
+	}
+	check("chunked->streamed", out2)
+	if err := cmdInfo([]string{"-i", chunked}); err != nil {
+		t.Fatal(err)
+	}
+
+	streamed := filepath.Join(dir, "streamed.cszh")
+	if err := cmdCompress([]string{"-i", raw, "-o", streamed, "-dims", "20x16x16",
+		"-eb", "1e-3", "-mode", "hi-tp", "-stream", "-chunk", "8"}); err != nil {
+		t.Fatal(err)
+	}
+	out3 := filepath.Join(dir, "r3.f32")
+	if err := cmdDecompress([]string{"-i", streamed, "-o", out3}); err != nil {
+		t.Fatal(err)
+	}
+	check("streamed->one-shot", out3)
+
+	// A v1 blob reads fine through the streaming decoder.
+	oneshot := filepath.Join(dir, "oneshot.cszh")
+	if err := cmdCompress([]string{"-i", raw, "-o", oneshot, "-dims", "20x16x16",
+		"-eb", "1e-3", "-mode", "hi-tp"}); err != nil {
+		t.Fatal(err)
+	}
+	out4 := filepath.Join(dir, "r4.f32")
+	if err := cmdDecompress([]string{"-i", oneshot, "-o", out4, "-stream"}); err != nil {
+		t.Fatal(err)
+	}
+	check("one-shot->streamed", out4)
+}
+
+// TestStreamedConstantField covers the zero-range case: a constant field
+// has no value range, so the relative-bound pre-pass must fall back to
+// range 1 (matching metrics.AbsEB) instead of producing a zero bound.
+func TestStreamedConstantField(t *testing.T) {
+	dir := t.TempDir()
+	raw := filepath.Join(dir, "c.f32")
+	if err := writeF32(raw, make([]float32, 64)); err != nil {
+		t.Fatal(err)
+	}
+	comp := filepath.Join(dir, "c.cszh")
+	if err := cmdCompress([]string{"-i", raw, "-o", comp, "-dims", "4x4x4",
+		"-eb", "1e-3", "-mode", "hi-tp", "-stream"}); err != nil {
+		t.Fatalf("constant field streamed compress: %v", err)
+	}
+	out := filepath.Join(dir, "c.out.f32")
+	if err := cmdDecompress([]string{"-i", comp, "-o", out}); err != nil {
+		t.Fatal(err)
+	}
+	recon, err := readF32(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range recon {
+		if math.Abs(float64(v)) > 1e-3 {
+			t.Fatalf("value %d drifted to %v", i, v)
+		}
+	}
+}
+
 func TestCommandValidation(t *testing.T) {
 	if err := cmdCompress([]string{"-i", "", "-o", ""}); err == nil {
 		t.Fatal("want missing-args error")

@@ -52,19 +52,11 @@ func Modes() []Mode {
 }
 
 func options(m Mode) (core.Options, error) {
-	switch m {
-	case ModeCR:
-		return core.HiCR(), nil
-	case ModeTP:
-		return core.HiTP(), nil
-	case ModeCuszI:
-		return core.CuszI(), nil
-	case ModeCuszIB:
-		return core.CuszIB(), nil
-	case ModeCuszL:
-		return core.CuszL(), nil
+	o, err := core.ModeOptions(string(m))
+	if err != nil {
+		return core.Options{}, fmt.Errorf("cuszhi: unknown mode %q", m)
 	}
-	return core.Options{}, fmt.Errorf("cuszhi: unknown mode %q", m)
+	return o, nil
 }
 
 // Option customizes a Compressor.
@@ -76,12 +68,22 @@ func WithWorkers(n int) Option {
 	return func(c *Compressor) { c.dev = gpusim.New(n) }
 }
 
+// WithChunkPlanes switches Compress to the chunked (format v2) path: the
+// field is sharded into slabs of n planes along the slowest dimension and
+// the shards are compressed concurrently into a multi-chunk container.
+// n <= 0 keeps the single-shot v1 path. Decompress handles both formats
+// transparently.
+func WithChunkPlanes(n int) Option {
+	return func(c *Compressor) { c.chunkPlanes = n }
+}
+
 // Compressor is a reusable, goroutine-safe compressor instance.
 type Compressor struct {
-	mode Mode
-	auto bool
-	opts core.Options
-	dev  *gpusim.Device
+	mode        Mode
+	auto        bool
+	opts        core.Options
+	dev         *gpusim.Device
+	chunkPlanes int
 }
 
 // New returns a Compressor for the given mode.
@@ -123,6 +125,9 @@ func (c *Compressor) CompressAbs(data []float32, dims []int, absEB float64) ([]b
 			return nil, err
 		}
 		opts = sel.Options
+	}
+	if c.chunkPlanes > 0 {
+		return core.CompressChunked(c.dev, data, dims, absEB, opts, c.chunkPlanes)
 	}
 	return core.Compress(c.dev, data, dims, absEB, opts)
 }
@@ -173,6 +178,26 @@ func Evaluate(orig []float32, blob []byte, recon []float32, absEB float64) Stats
 		WithinEB:   metrics.WithinBound(orig, recon, absEB),
 		AbsErrorEB: absEB,
 	}
+}
+
+// ContainerInfo summarizes a compressed container's header without
+// decoding any payloads.
+type ContainerInfo struct {
+	Version     int
+	Dims        []int
+	AbsErrorEB  float64
+	NumChunks   int // 0 for one-shot (v1) containers
+	ChunkPlanes int // 0 for one-shot (v1) containers
+}
+
+// Inspect reads a container's header (either format version).
+func Inspect(blob []byte) (*ContainerInfo, error) {
+	info, err := core.Inspect(blob)
+	if err != nil {
+		return nil, err
+	}
+	return &ContainerInfo{Version: info.Version, Dims: info.Dims, AbsErrorEB: info.EB,
+		NumChunks: info.NumChunks, ChunkPlanes: info.ChunkPlanes}, nil
 }
 
 // AbsEB converts a value-range-relative error bound to the absolute bound

@@ -1,0 +1,76 @@
+package cuszhi
+
+import (
+	"testing"
+)
+
+// FuzzDecompress feeds arbitrary bytes — seeded with valid v1 and v2
+// containers and systematic truncations of both — to Decompress, proving
+// it returns errors on malformed input instead of panicking or
+// over-reading. Run with `go test -fuzz=FuzzDecompress ./cuszhi` to
+// explore beyond the seed corpus.
+func FuzzDecompress(f *testing.F) {
+	data := make([]float32, 6*8*8)
+	for i := range data {
+		data[i] = float32(i%19) * 0.25
+	}
+	dims := []int{6, 8, 8}
+
+	oneShot, err := New(ModeTP)
+	if err != nil {
+		f.Fatal(err)
+	}
+	v1, err := oneShot.CompressAbs(data, dims, 0.05)
+	if err != nil {
+		f.Fatal(err)
+	}
+	chunked, err := New(ModeTP, WithChunkPlanes(2))
+	if err != nil {
+		f.Fatal(err)
+	}
+	v2, err := chunked.CompressAbs(data, dims, 0.05)
+	if err != nil {
+		f.Fatal(err)
+	}
+
+	lorenzo, err := New(ModeCuszL)
+	if err != nil {
+		f.Fatal(err)
+	}
+	vl, err := lorenzo.CompressAbs(data, dims, 0.05)
+	if err != nil {
+		f.Fatal(err)
+	}
+
+	for _, blob := range [][]byte{v1, v2, vl} {
+		f.Add(blob)
+		for _, cut := range []int{0, 3, 5, 9, len(blob) / 3, len(blob) / 2, len(blob) - 1} {
+			f.Add(blob[:cut])
+		}
+		// Single-byte corruptions at structurally interesting offsets.
+		for _, at := range []int{4, 5, 6, 8, 16, 20, len(blob) - 5} {
+			mut := append([]byte(nil), blob...)
+			mut[at] ^= 0x81
+			f.Add(mut)
+		}
+	}
+	f.Add([]byte("cSZh"))
+	f.Add([]byte{'c', 'S', 'Z', 'h', 2, 0, 0xff, 0xff, 0xff, 0xff, 0xff})
+
+	f.Fuzz(func(t *testing.T, blob []byte) {
+		recon, dims, err := Decompress(blob) // must never panic
+		if err != nil {
+			return
+		}
+		total := 1
+		for _, d := range dims {
+			if d <= 0 {
+				t.Fatalf("nil error but invalid dim %d in %v", d, dims)
+			}
+			total *= d
+		}
+		if total != len(recon) {
+			t.Fatalf("nil error but %d values for dims %v", len(recon), dims)
+		}
+	})
+}

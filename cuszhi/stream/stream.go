@@ -1,0 +1,522 @@
+// Package stream compresses and decompresses fields as a sequence of
+// chunks, so callers can process data larger than memory and overlap
+// codec work across CPU cores.
+//
+// A Writer accepts raw little-endian float32 bytes (or values), shards
+// them into slabs of chunkPlanes planes along the slowest dimension,
+// compresses the shards concurrently on a worker pool, and frames them
+// into a format-v2 multi-chunk container on the underlying io.Writer —
+// with the frames emitted in order, so the output is deterministic. A
+// Reader reverses the process, decompressing chunks concurrently while
+// serving the reconstruction as a sequential byte stream. Both formats
+// interoperate with the one-shot API: cuszhi.Decompress reads v2
+// containers and stream.NewReader reads v1 blobs.
+//
+//	w, _ := stream.NewWriter(f, dims, absEB, stream.WithMode(cuszhi.ModeTP))
+//	io.Copy(w, rawFile) // little-endian float32 bytes
+//	err := w.Close()
+package stream
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sync"
+
+	"repro/cuszhi"
+	"repro/internal/core"
+	"repro/internal/gpusim"
+	"repro/internal/pipeline"
+)
+
+// errReaderClosed is the sticky error a Reader reports after Close.
+var errReaderClosed = errors.New("stream: reader closed")
+
+// DefaultChunkPlanes is the default shard thickness along the slowest
+// dimension: thick enough that per-shard codec overheads (Huffman tables,
+// anchor grids) stay small, thin enough that a 3-D field yields plenty of
+// shards to parallelize over.
+const DefaultChunkPlanes = 32
+
+type config struct {
+	mode        cuszhi.Mode
+	dev         *gpusim.Device
+	chunkPlanes int
+}
+
+// Option customizes a Writer, Reader, or one-shot call.
+type Option func(*config)
+
+// WithMode selects the compressor assembly (default cuszhi.ModeCR).
+func WithMode(m cuszhi.Mode) Option {
+	return func(c *config) { c.mode = m }
+}
+
+// WithWorkers sets the parallel width (default: GOMAXPROCS).
+func WithWorkers(n int) Option {
+	return func(c *config) { c.dev = gpusim.New(n) }
+}
+
+// WithChunkPlanes sets the shard thickness in planes along the slowest
+// dimension (default DefaultChunkPlanes).
+func WithChunkPlanes(n int) Option {
+	return func(c *config) { c.chunkPlanes = n }
+}
+
+func newConfig(opts []Option) config {
+	c := config{mode: cuszhi.ModeCR, dev: gpusim.Default, chunkPlanes: DefaultChunkPlanes}
+	for _, o := range opts {
+		o(&c)
+	}
+	return c
+}
+
+// ---------------------------------------------------------------------------
+// Writer.
+
+// Writer streams a field into a chunked container. Feed it exactly
+// prod(dims) float32 values (as little-endian bytes via Write, or directly
+// via WriteValues), then Close.
+type Writer struct {
+	w     io.Writer
+	dev   *gpusim.Device
+	opts  core.Options
+	dims  []int
+	eb    float64
+	ps    int // elements per plane
+	cp    int // planes per shard
+	tot   int // elements in the whole field
+	plane int // planes submitted so far
+
+	partial []byte    // trailing bytes of an incomplete value (<4)
+	vals    []float32 // accumulating current shard
+	conv    []float32 // scratch for Write's byte->float conversion
+
+	pool    *pipeline.Pool[[]byte]
+	flushed chan struct{}
+	mu      sync.Mutex
+	werr    error // first flusher error
+	closed  bool
+}
+
+// NewWriter writes the container header to w and returns a Writer for a
+// field of the given dims (slowest first) under absolute error bound
+// absEB. ModeAuto is not supported when streaming — auto-selection needs
+// the whole field; pick a fixed mode or use the one-shot API.
+func NewWriter(w io.Writer, dims []int, absEB float64, opt ...Option) (*Writer, error) {
+	cfg := newConfig(opt)
+	if cfg.mode == cuszhi.ModeAuto {
+		return nil, fmt.Errorf("stream: mode %q needs the whole field; use a fixed mode or cuszhi.Compress", cfg.mode)
+	}
+	opts, err := core.ModeOptions(string(cfg.mode))
+	if err != nil {
+		return nil, fmt.Errorf("stream: unknown mode %q", cfg.mode)
+	}
+	header, err := core.AppendChunkedHeader(nil, dims, absEB, cfg.chunkPlanes)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := w.Write(header); err != nil {
+		return nil, err
+	}
+	ps := 1
+	for _, d := range dims[1:] {
+		ps *= d
+	}
+	sw := &Writer{
+		w:       w,
+		dev:     cfg.dev,
+		opts:    opts,
+		dims:    append([]int(nil), dims...),
+		eb:      absEB,
+		ps:      ps,
+		cp:      cfg.chunkPlanes,
+		tot:     ps * dims[0],
+		pool:    pipeline.New[[]byte](cfg.dev.Workers(), 0),
+		flushed: make(chan struct{}),
+	}
+	sw.vals = make([]float32, 0, sw.cp*ps)
+	go sw.flusher()
+	return sw, nil
+}
+
+// flusher drains compressed frames in submission order and writes them to
+// the underlying writer. After an error it keeps draining (discarding
+// results) so submitters never block on a full backlog.
+func (w *Writer) flusher() {
+	defer close(w.flushed)
+	for {
+		frame, err, ok := w.pool.Next()
+		if !ok {
+			return
+		}
+		if err == nil && w.err() == nil {
+			_, err = w.w.Write(frame)
+		}
+		if err != nil {
+			w.setErr(err)
+		}
+	}
+}
+
+func (w *Writer) err() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.werr
+}
+
+func (w *Writer) setErr(err error) {
+	w.mu.Lock()
+	if w.werr == nil {
+		w.werr = err
+	}
+	w.mu.Unlock()
+}
+
+// Write accepts little-endian float32 bytes. It implements io.Writer so a
+// raw field file can be piped in with io.Copy.
+func (w *Writer) Write(p []byte) (int, error) {
+	if w.closed {
+		return 0, fmt.Errorf("stream: write after Close")
+	}
+	n := len(p)
+	if len(w.partial) > 0 {
+		need := 4 - len(w.partial)
+		if need > len(p) {
+			w.partial = append(w.partial, p...)
+			return n, w.err()
+		}
+		w.partial = append(w.partial, p[:need]...)
+		p = p[need:]
+		v := math.Float32frombits(binary.LittleEndian.Uint32(w.partial))
+		if err := w.WriteValues([]float32{v}); err != nil {
+			return n - len(p), err
+		}
+		w.partial = w.partial[:0]
+	}
+	if w.conv == nil {
+		w.conv = make([]float32, 1<<14)
+	}
+	for len(p) >= 4 {
+		c := len(p) / 4
+		if c > len(w.conv) {
+			c = len(w.conv)
+		}
+		for i := 0; i < c; i++ {
+			w.conv[i] = math.Float32frombits(binary.LittleEndian.Uint32(p[4*i:]))
+		}
+		if err := w.WriteValues(w.conv[:c]); err != nil {
+			return n - len(p), err
+		}
+		p = p[4*c:]
+	}
+	w.partial = append(w.partial, p...)
+	return n, w.err()
+}
+
+// WriteValues accepts float32 values directly, copying them slab-wise into
+// the accumulating shard (no per-value bookkeeping on the ingest path).
+func (w *Writer) WriteValues(vs []float32) error {
+	if w.closed {
+		return fmt.Errorf("stream: write after Close")
+	}
+	for len(vs) > 0 {
+		pushed := w.plane*w.ps + len(w.vals)
+		if pushed >= w.tot {
+			err := fmt.Errorf("stream: more than %d values written for dims %v", w.tot, w.dims)
+			w.setErr(err) // sticky: Close must report it too
+			return err
+		}
+		space := w.cp*w.ps - len(w.vals)
+		if rem := w.tot - pushed; space > rem {
+			space = rem
+		}
+		c := space
+		if c > len(vs) {
+			c = len(vs)
+		}
+		w.vals = append(w.vals, vs[:c]...)
+		vs = vs[c:]
+		if len(w.vals) == w.cp*w.ps {
+			w.submitShard()
+		}
+	}
+	return w.err()
+}
+
+// submitShard hands the accumulated slab to the pool and starts a fresh
+// accumulation buffer.
+func (w *Writer) submitShard() {
+	shard := w.vals
+	offset := w.plane
+	planes := len(shard) / w.ps
+	w.plane += planes
+	w.vals = make([]float32, 0, w.cp*w.ps)
+	dev, eb, opts := w.dev, w.eb, w.opts
+	shardDims := append([]int{planes}, w.dims[1:]...)
+	w.pool.Submit(func() ([]byte, error) {
+		payload, err := core.Compress(dev, shard, shardDims, eb, opts)
+		if err != nil {
+			return nil, fmt.Errorf("stream: shard at plane %d: %w", offset, err)
+		}
+		return core.AppendChunkFrame(nil, opts, offset, shardDims, payload), nil
+	})
+}
+
+// Close flushes the final (possibly short) shard, waits for all frames to
+// reach the underlying writer, and verifies the full field was supplied.
+func (w *Writer) Close() error {
+	if w.closed {
+		return w.err()
+	}
+	w.closed = true
+	var closeErr error
+	switch {
+	case len(w.partial) != 0:
+		closeErr = fmt.Errorf("stream: %d trailing bytes do not form a float32", len(w.partial))
+	case len(w.vals) > 0 && len(w.vals)%w.ps != 0:
+		closeErr = fmt.Errorf("stream: field truncated mid-plane (%d stray values)", len(w.vals)%w.ps)
+	default:
+		if len(w.vals) > 0 {
+			w.submitShard()
+		}
+		if w.plane != w.dims[0] {
+			closeErr = fmt.Errorf("stream: got %d of %d planes for dims %v", w.plane, w.dims[0], w.dims)
+		}
+	}
+	w.pool.Close()
+	<-w.flushed
+	w.pool.Wait()
+	if closeErr != nil {
+		w.setErr(closeErr) // sticky: a repeated Close reports the failure too
+	}
+	return w.err()
+}
+
+// ---------------------------------------------------------------------------
+// Reader.
+
+// Reader streams the reconstruction of a compressed container as
+// little-endian float32 bytes. It decodes v2 containers chunk-by-chunk
+// with concurrent workers; v1 (one-shot) blobs are decoded whole, so the
+// two formats are interchangeable at this API.
+//
+// A v2 Reader decodes exactly one container and then reports EOF without
+// requiring the source to end (so it works on sockets and pipes held open
+// by the producer). It buffers internally, so it may read ahead past the
+// container's end — don't expect the source to be positioned exactly after
+// the container. To reject trailing bytes strictly, decode the blob with
+// Decompress instead.
+type Reader struct {
+	dims []int
+	eb   float64
+
+	pool   *pipeline.Pool[[]float32]
+	quit   chan struct{} // closed by Close; stops the feeder
+	cur    []byte        // undelivered bytes of the current shard
+	err    error         // sticky
+	done   bool
+	closed bool
+}
+
+// NewReader parses the container header from r and returns a Reader. The
+// field's dims are available immediately via Dims.
+func NewReader(r io.Reader, opt ...Option) (*Reader, error) {
+	cfg := newConfig(opt)
+	br := bufio.NewReader(r)
+	pre, err := br.Peek(5)
+	if err != nil {
+		return nil, core.ErrCorrupt
+	}
+	version, ok := core.SniffVersion(pre)
+	if !ok {
+		return nil, core.ErrCorrupt // not a container: refuse before slurping
+	}
+	if version == 1 { // v1 one-shot blob: decode whole.
+		blob, err := io.ReadAll(br)
+		if err != nil {
+			return nil, err
+		}
+		recon, dims, err := core.Decompress(cfg.dev, blob)
+		if err != nil {
+			return nil, err
+		}
+		sr := &Reader{dims: dims, done: true}
+		info, err := core.Inspect(blob)
+		if err == nil {
+			sr.eb = info.EB
+		}
+		sr.cur = valueBytes(recon)
+		return sr, nil
+	}
+	h, err := core.ReadChunkedHeader(br)
+	if err != nil {
+		return nil, err
+	}
+	sr := &Reader{
+		dims: h.Dims,
+		eb:   h.EB,
+		pool: pipeline.New[[]float32](cfg.dev.Workers(), 0),
+		quit: make(chan struct{}),
+	}
+	go sr.feed(br, cfg.dev, h, sr.pool)
+	return sr, nil
+}
+
+// Close releases the Reader's workers without requiring a full drain. A
+// Reader read to EOF cleans up on its own; call Close when abandoning one
+// early, or defer it unconditionally. Close and Read must not be called
+// concurrently.
+func (r *Reader) Close() error {
+	if r.closed {
+		return nil
+	}
+	r.closed = true
+	r.done = true
+	r.cur = nil
+	if r.err == nil {
+		// Distinct from io.EOF so an abandoned reader is never mistaken
+		// for a completely consumed one.
+		r.err = errReaderClosed
+	}
+	if r.pool != nil {
+		close(r.quit)
+		// Drain in-flight results so a feeder blocked on a full backlog
+		// unblocks, sees quit, and closes the pool; workers then exit.
+		pool := r.pool
+		r.pool = nil
+		go func() {
+			for {
+				if _, _, ok := pool.Next(); !ok {
+					return
+				}
+			}
+		}()
+	}
+	return nil
+}
+
+// feed scans chunk frames sequentially and submits their decompression to
+// the pool; Read collects shards in order. The pool is passed explicitly
+// because Close detaches r.pool while the feeder may still be running.
+func (r *Reader) feed(br io.Reader, dev *gpusim.Device, h *core.ChunkedInfo, pool *pipeline.Pool[[]float32]) {
+	defer pool.Close()
+	nextPlane := 0
+	for i := 0; i < h.NumChunks; i++ {
+		select {
+		case <-r.quit:
+			return
+		default:
+		}
+		c, payload, err := core.ReadChunkFrame(br, h)
+		if err == nil && c.Offset != nextPlane {
+			err = core.ErrCorrupt
+		}
+		if err != nil {
+			pool.Submit(func() ([]float32, error) { return nil, err })
+			return
+		}
+		nextPlane += c.Dims[0]
+		pool.Submit(func() ([]float32, error) { return core.DecompressShard(dev, c, payload) })
+	}
+	if nextPlane != h.Dims[0] {
+		pool.Submit(func() ([]float32, error) { return nil, core.ErrCorrupt })
+	}
+	// Unlike the one-shot blob decoder (which rejects trailing bytes —
+	// a blob is exactly one container), the streaming reader stops after
+	// one container without probing for EOF: probing would block forever
+	// on a socket or pipe the producer keeps open.
+}
+
+// Dims returns the field's dims, slowest first.
+func (r *Reader) Dims() []int { return append([]int(nil), r.dims...) }
+
+// EB returns the container's absolute error bound.
+func (r *Reader) EB() float64 { return r.eb }
+
+// Read serves the reconstructed field as little-endian float32 bytes.
+func (r *Reader) Read(p []byte) (int, error) {
+	if r.err != nil {
+		return 0, r.err
+	}
+	n := 0
+	for n < len(p) {
+		if len(r.cur) == 0 {
+			if r.done {
+				if n > 0 {
+					return n, nil
+				}
+				r.err = io.EOF
+				return 0, io.EOF
+			}
+			shard, err, ok := r.pool.Next()
+			if !ok {
+				r.done = true
+				continue
+			}
+			if err != nil {
+				r.err = err
+				if n > 0 {
+					return n, nil
+				}
+				return 0, err
+			}
+			r.cur = valueBytes(shard)
+		}
+		c := copy(p[n:], r.cur)
+		n += c
+		r.cur = r.cur[c:]
+	}
+	return n, nil
+}
+
+// ReadAllValues drains the reader into a []float32.
+func (r *Reader) ReadAllValues() ([]float32, error) {
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float32, len(raw)/4)
+	for i := range out {
+		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(raw[4*i:]))
+	}
+	return out, nil
+}
+
+func valueBytes(vs []float32) []byte {
+	out := make([]byte, 4*len(vs))
+	for i, v := range vs {
+		binary.LittleEndian.PutUint32(out[4*i:], math.Float32bits(v))
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// One-shot conveniences.
+
+// Compress encodes data into a chunked container under a value-range-
+// relative error bound, compressing shards concurrently.
+func Compress(data []float32, dims []int, relEB float64, opt ...Option) ([]byte, error) {
+	return CompressAbs(data, dims, cuszhi.AbsEB(data, relEB), opt...)
+}
+
+// CompressAbs is Compress with an absolute error bound.
+func CompressAbs(data []float32, dims []int, absEB float64, opt ...Option) ([]byte, error) {
+	cfg := newConfig(opt)
+	c, err := cuszhi.New(cfg.mode,
+		cuszhi.WithWorkers(cfg.dev.Workers()), cuszhi.WithChunkPlanes(cfg.chunkPlanes))
+	if err != nil {
+		return nil, err
+	}
+	return c.CompressAbs(data, dims, absEB)
+}
+
+// Decompress decodes a container of either format, reassembling v2 chunks
+// concurrently.
+func Decompress(blob []byte, opt ...Option) ([]float32, []int, error) {
+	cfg := newConfig(opt)
+	return core.Decompress(cfg.dev, blob)
+}

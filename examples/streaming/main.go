@@ -1,0 +1,101 @@
+// Streaming: compress a field through the chunked parallel pipeline
+// without ever holding the whole container (or, on the write side, the
+// whole raw field) in memory — the pattern for fields larger than RAM.
+//
+// The writer shards the field into slabs of planes along the slowest
+// dimension, compresses shards concurrently, and frames them into the
+// multi-chunk (v2) container; the reader decompresses chunk-by-chunk,
+// also concurrently. Both sides interoperate with the one-shot API.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"log"
+	"math"
+
+	"repro/cuszhi"
+	"repro/cuszhi/stream"
+)
+
+func main() {
+	dims := []int{64, 96, 96}
+	data, _, err := cuszhi.GenerateDataset("miranda", dims, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	absEB := cuszhi.AbsEB(data, 1e-3)
+
+	// Compress: feed values plane-by-plane, as if reading from disk.
+	// (Any io.Writer works as the sink — a file, a socket, a pipe.)
+	var sink bytes.Buffer
+	w, err := stream.NewWriter(&sink, dims, absEB,
+		stream.WithMode(cuszhi.ModeTP), stream.WithChunkPlanes(16))
+	if err != nil {
+		log.Fatal(err)
+	}
+	plane := dims[1] * dims[2]
+	for z := 0; z < dims[0]; z++ {
+		if err := w.WriteValues(data[z*plane : (z+1)*plane]); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("streamed %d values into %d bytes (%d-plane chunks)\n",
+		len(data), sink.Len(), 16)
+
+	info, err := cuszhi.Inspect(sink.Bytes())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("container: format v%d, %d chunks, dims %v\n",
+		info.Version, info.NumChunks, info.Dims)
+
+	// Decompress chunk-by-chunk; memory stays bounded by the chunk size.
+	r, err := stream.NewReader(bytes.NewReader(sink.Bytes()))
+	if err != nil {
+		log.Fatal(err)
+	}
+	var maxErr float64
+	buf := make([]byte, 4*plane) // one plane at a time
+	idx := 0
+	for {
+		n, err := io.ReadFull(r, buf)
+		if err == io.EOF {
+			break
+		}
+		if err != nil && err != io.ErrUnexpectedEOF {
+			log.Fatal(err)
+		}
+		for b := 0; b+4 <= n; b += 4 {
+			v := float64(le32(buf[b:])) - float64(data[idx])
+			if v < 0 {
+				v = -v
+			}
+			if v > maxErr {
+				maxErr = v
+			}
+			idx++
+		}
+		if err == io.ErrUnexpectedEOF {
+			break
+		}
+	}
+	fmt.Printf("reconstructed %d values, max error %.3g (bound %.3g)\n", idx, maxErr, absEB)
+	if idx != len(data) || maxErr > absEB {
+		log.Fatal("round trip failed")
+	}
+
+	// The one-shot decoder reads the same container.
+	if _, oneDims, err := cuszhi.Decompress(sink.Bytes()); err != nil || oneDims[0] != dims[0] {
+		log.Fatalf("one-shot interop: %v", err)
+	}
+	fmt.Println("one-shot cuszhi.Decompress read the streamed container OK")
+}
+
+func le32(b []byte) float32 {
+	return math.Float32frombits(uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24)
+}

@@ -1,0 +1,567 @@
+// Chunked (format v2) containers: the field is split into 3-D shards along
+// the slowest dimension and each shard is compressed independently into a
+// v1 container, framed with its own header and checksum. Shards compress
+// and decompress concurrently (internal/pipeline), which parallelizes the
+// serial stages of each codec (histogramming, tree construction) across
+// shards, bounds working memory for streaming, and is the layout GPU
+// compressors use for batch processing.
+//
+// Layout (all integers are bitio uvarints unless noted):
+//
+//	magic[4] "cSZh"
+//	version  byte = 2
+//	flags    byte = 0 (reserved)
+//	ndims, dims[ndims]
+//	eb       float64 LE bits (absolute bound, shared by every shard)
+//	chunkPlanes          planes per shard along dims[0] (last may be short)
+//	nchunks
+//	nchunks × chunk frame:
+//	    offset           plane index of the shard along dims[0]
+//	    shardDims[ndims] shard dims (trailing dims equal the global dims)
+//	    codecMode        byte: predictor<<4 | pipeline (predictor nibble is
+//	                     validated against the payload; pipeline is advisory)
+//	    payloadLen
+//	    checksum         uint32 LE, CRC-32 (IEEE) of payload
+//	    payload          a self-contained v1 container for the shard
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"repro/internal/bitio"
+	"repro/internal/gpusim"
+	"repro/internal/pipeline"
+)
+
+const version2 = 2
+
+// maxChunks bounds the frame count a v2 container may declare, protecting
+// the sequential frame scan from absurd headers.
+const maxChunks = 1 << 20
+
+// CodecMode packs a shard's assembly into the per-chunk header byte.
+func CodecMode(opts Options) byte {
+	return byte(opts.Predictor)<<4 | byte(opts.Pipeline)&0x0f
+}
+
+// ChunkedInfo describes a v2 container's global header.
+type ChunkedInfo struct {
+	Dims        []int
+	EB          float64 // absolute error bound
+	ChunkPlanes int     // planes per shard along Dims[0]
+	NumChunks   int
+}
+
+// Total returns the element count of the full field.
+func (h *ChunkedInfo) Total() int {
+	t := 1
+	for _, d := range h.Dims {
+		t *= d
+	}
+	return t
+}
+
+// planeSize returns the element count of one plane along dims[0].
+func planeSize(dims []int) int {
+	p := 1
+	for _, d := range dims[1:] {
+		p *= d
+	}
+	return p
+}
+
+// numChunks returns how many shards of chunkPlanes planes cover dims[0].
+func numChunks(dims []int, chunkPlanes int) int {
+	return (dims[0] + chunkPlanes - 1) / chunkPlanes
+}
+
+// ChunkInfo describes one chunk frame header.
+type ChunkInfo struct {
+	Offset    int   // plane index along dims[0]
+	Dims      []int // shard dims
+	CodecMode byte
+	Checksum  uint32
+}
+
+// ---------------------------------------------------------------------------
+// Encoding.
+
+// AppendChunkedHeader serializes the v2 global header.
+func AppendChunkedHeader(dst []byte, dims []int, eb float64, chunkPlanes int) ([]byte, error) {
+	if eb <= 0 || math.IsInf(eb, 0) || math.IsNaN(eb) {
+		return nil, fmt.Errorf("core: invalid error bound %v", eb)
+	}
+	if len(dims) == 0 || len(dims) > 8 {
+		return nil, fmt.Errorf("core: invalid dims %v", dims)
+	}
+	for _, d := range dims {
+		if d <= 0 {
+			return nil, fmt.Errorf("core: invalid dims %v", dims)
+		}
+	}
+	if chunkPlanes <= 0 {
+		return nil, fmt.Errorf("core: chunk planes %d must be positive", chunkPlanes)
+	}
+	if n := numChunks(dims, chunkPlanes); n > maxChunks {
+		return nil, fmt.Errorf("core: %d chunks exceeds the %d limit; raise chunk planes", n, maxChunks)
+	}
+	dst = append(dst, magic[:]...)
+	dst = append(dst, version2, 0)
+	dst = bitio.AppendUvarint(dst, uint64(len(dims)))
+	for _, d := range dims {
+		dst = bitio.AppendUvarint(dst, uint64(d))
+	}
+	dst = bitio.AppendUint64(dst, math.Float64bits(eb))
+	dst = bitio.AppendUvarint(dst, uint64(chunkPlanes))
+	dst = bitio.AppendUvarint(dst, uint64(numChunks(dims, chunkPlanes)))
+	return dst, nil
+}
+
+// AppendChunkFrame serializes one chunk frame (header + payload).
+func AppendChunkFrame(dst []byte, opts Options, offset int, shardDims []int, payload []byte) []byte {
+	dst = bitio.AppendUvarint(dst, uint64(offset))
+	for _, d := range shardDims {
+		dst = bitio.AppendUvarint(dst, uint64(d))
+	}
+	dst = append(dst, CodecMode(opts))
+	dst = bitio.AppendUvarint(dst, uint64(len(payload)))
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(payload))
+	dst = append(dst, crc[:]...)
+	return append(dst, payload...)
+}
+
+// CompressShard compresses one slab of chunkPlanes (or fewer, for the last
+// shard) planes starting at plane `offset` into a framed chunk. data is the
+// full field; the shard is the contiguous sub-slice along dims[0].
+func CompressShard(dev *gpusim.Device, data []float32, dims []int, eb float64, opts Options, offset, planes int) ([]byte, error) {
+	ps := planeSize(dims)
+	shard := data[offset*ps : (offset+planes)*ps]
+	shardDims := append([]int{planes}, dims[1:]...)
+	payload, err := Compress(dev, shard, shardDims, eb, opts)
+	if err != nil {
+		return nil, fmt.Errorf("core: shard at plane %d: %w", offset, err)
+	}
+	return AppendChunkFrame(nil, opts, offset, shardDims, payload), nil
+}
+
+// CompressChunked encodes data into a v2 multi-chunk container, compressing
+// shards of chunkPlanes planes concurrently on dev's worker pool.
+func CompressChunked(dev *gpusim.Device, data []float32, dims []int, eb float64, opts Options, chunkPlanes int) ([]byte, error) {
+	total := 1
+	for _, d := range dims {
+		total *= d
+	}
+	if len(dims) == 0 || total != len(data) {
+		return nil, fmt.Errorf("core: dims %v do not match %d values", dims, len(data))
+	}
+	out, err := AppendChunkedHeader(nil, dims, eb, chunkPlanes)
+	if err != nil {
+		return nil, err
+	}
+	n := numChunks(dims, chunkPlanes)
+	frames, err := pipeline.Map(dev.Workers(), n, func(i int) ([]byte, error) {
+		offset := i * chunkPlanes
+		planes := chunkPlanes
+		if offset+planes > dims[0] {
+			planes = dims[0] - offset
+		}
+		return CompressShard(dev, data, dims, eb, opts, offset, planes)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, f := range frames {
+		out = append(out, f...)
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// Decoding.
+
+// oneByteReader adapts an io.Reader to io.ByteReader without buffering
+// ahead, so uvarint reads interleave safely with io.ReadFull.
+type oneByteReader struct {
+	r   io.Reader
+	buf [1]byte
+}
+
+func (b *oneByteReader) ReadByte() (byte, error) {
+	if _, err := io.ReadFull(b.r, b.buf[:]); err != nil {
+		return 0, err
+	}
+	return b.buf[0], nil
+}
+
+func readUvarint(r io.Reader) (uint64, error) {
+	v, err := binary.ReadUvarint(&oneByteReader{r: r})
+	if err == io.EOF || err == io.ErrUnexpectedEOF {
+		return 0, ErrCorrupt
+	}
+	return v, err
+}
+
+// SniffVersion reports the container format version from a prefix of at
+// least 5 bytes, or ok=false when the prefix is not a container at all.
+func SniffVersion(prefix []byte) (int, bool) {
+	if len(prefix) < 5 || !bytes.Equal(prefix[:4], magic[:]) {
+		return 0, false
+	}
+	return int(prefix[4]), true
+}
+
+// ReadChunkedHeader parses a v2 global header from r (including the magic
+// and version bytes).
+func ReadChunkedHeader(r io.Reader) (*ChunkedInfo, error) {
+	var pre [6]byte
+	if _, err := io.ReadFull(r, pre[:]); err != nil {
+		return nil, ErrCorrupt
+	}
+	if !bytes.Equal(pre[:4], magic[:]) {
+		return nil, ErrCorrupt
+	}
+	if pre[4] != version2 {
+		return nil, fmt.Errorf("core: not a chunked container (version %d)", pre[4])
+	}
+	return readChunkedHeaderBody(r)
+}
+
+// readChunkedHeaderBody parses the v2 header after magic/version/flags.
+func readChunkedHeaderBody(r io.Reader) (*ChunkedInfo, error) {
+	nd, err := readUvarint(r)
+	if err != nil || nd == 0 || nd > 8 {
+		return nil, ErrCorrupt
+	}
+	h := &ChunkedInfo{Dims: make([]int, nd)}
+	total := 1
+	for i := range h.Dims {
+		v, err := readUvarint(r)
+		if err != nil || v == 0 || v > 1<<31 {
+			return nil, ErrCorrupt
+		}
+		h.Dims[i] = int(v)
+		total *= int(v)
+		if total <= 0 || total > 1<<33 {
+			return nil, ErrCorrupt
+		}
+	}
+	var ebb [8]byte
+	if _, err := io.ReadFull(r, ebb[:]); err != nil {
+		return nil, ErrCorrupt
+	}
+	h.EB = math.Float64frombits(binary.LittleEndian.Uint64(ebb[:]))
+	if !(h.EB > 0) || math.IsInf(h.EB, 0) {
+		return nil, ErrCorrupt
+	}
+	cp, err := readUvarint(r)
+	if err != nil || cp == 0 || cp > 1<<31 {
+		return nil, ErrCorrupt
+	}
+	h.ChunkPlanes = int(cp)
+	nc, err := readUvarint(r)
+	if err != nil || nc == 0 || nc > maxChunks {
+		return nil, ErrCorrupt
+	}
+	h.NumChunks = int(nc)
+	if h.NumChunks != numChunks(h.Dims, h.ChunkPlanes) {
+		return nil, ErrCorrupt
+	}
+	return h, nil
+}
+
+// validateChunkFrame applies the frame-header rules shared by the stream
+// parser (ReadChunkFrame) and the blob scanner (scanChunkFrame), so the
+// two decode paths can never drift apart on what is a valid frame.
+func validateChunkFrame(h *ChunkedInfo, c *ChunkInfo, plen uint64) error {
+	if c.Offset >= h.Dims[0] {
+		return ErrCorrupt
+	}
+	elems := 1
+	for i, d := range c.Dims {
+		if d <= 0 || d > 1<<31 {
+			return ErrCorrupt
+		}
+		elems *= d
+		if elems <= 0 || elems > 1<<33 {
+			return ErrCorrupt
+		}
+		if i > 0 && d != h.Dims[i] {
+			return ErrCorrupt
+		}
+	}
+	if c.Dims[0] > h.ChunkPlanes || c.Offset+c.Dims[0] > h.Dims[0] {
+		return ErrCorrupt
+	}
+	// A v1 shard container is never drastically larger than the raw shard;
+	// the caps keep hostile headers from forcing huge allocations. The
+	// 1<<31 payload ceiling is part of the format: both decode paths must
+	// apply it identically.
+	if plen > uint64(16*elems)+(1<<20) || plen > 1<<31 {
+		return ErrCorrupt
+	}
+	return nil
+}
+
+// readPayload reads exactly n bytes from r, growing the buffer
+// incrementally so a hostile header cannot force a multi-GB allocation
+// before any real bytes have arrived.
+func readPayload(r io.Reader, n uint64) ([]byte, error) {
+	const step = 1 << 20
+	first := n
+	if first > step {
+		first = step
+	}
+	buf := make([]byte, 0, first)
+	for remaining := n; remaining > 0; {
+		c := remaining
+		if c > step {
+			c = step
+		}
+		start := len(buf)
+		buf = append(buf, make([]byte, c)...)
+		if _, err := io.ReadFull(r, buf[start:]); err != nil {
+			return nil, ErrCorrupt
+		}
+		remaining -= c
+	}
+	return buf, nil
+}
+
+func verifyChunkPayload(c *ChunkInfo, payload []byte) error {
+	if crc32.ChecksumIEEE(payload) != c.Checksum {
+		return fmt.Errorf("core: chunk at plane %d: checksum mismatch: %w", c.Offset, ErrCorrupt)
+	}
+	return nil
+}
+
+// ReadChunkFrame parses the next chunk frame from r, returning its header
+// and payload. The global header h supplies dimensionality and bounds; the
+// frame is validated against it (trailing dims, payload size cap, CRC).
+func ReadChunkFrame(r io.Reader, h *ChunkedInfo) (*ChunkInfo, []byte, error) {
+	off, err := readUvarint(r)
+	if err != nil || off > 1<<31 {
+		return nil, nil, ErrCorrupt
+	}
+	c := &ChunkInfo{Offset: int(off), Dims: make([]int, len(h.Dims))}
+	for i := range c.Dims {
+		v, err := readUvarint(r)
+		if err != nil || v > 1<<31 {
+			return nil, nil, ErrCorrupt
+		}
+		c.Dims[i] = int(v)
+	}
+	var mode [1]byte
+	if _, err := io.ReadFull(r, mode[:]); err != nil {
+		return nil, nil, ErrCorrupt
+	}
+	c.CodecMode = mode[0]
+	plen, err := readUvarint(r)
+	if err != nil {
+		return nil, nil, ErrCorrupt
+	}
+	if err := validateChunkFrame(h, c, plen); err != nil {
+		return nil, nil, err
+	}
+	var crc [4]byte
+	if _, err := io.ReadFull(r, crc[:]); err != nil {
+		return nil, nil, ErrCorrupt
+	}
+	c.Checksum = binary.LittleEndian.Uint32(crc[:])
+	payload, err := readPayload(r, plen)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := verifyChunkPayload(c, payload); err != nil {
+		return nil, nil, err
+	}
+	return c, payload, nil
+}
+
+// DecompressShard decodes one chunk's payload and validates it against the
+// frame header. Shard payloads must be v1 containers (no nesting), and the
+// frame's codec-mode predictor nibble must match the payload's predictor
+// byte (the pipeline nibble is advisory — the payload self-describes it at
+// a mode-dependent offset).
+func DecompressShard(dev *gpusim.Device, c *ChunkInfo, payload []byte) ([]float32, error) {
+	if len(payload) < 6 || payload[4] != version {
+		return nil, ErrCorrupt
+	}
+	if payload[5] != c.CodecMode>>4 {
+		return nil, fmt.Errorf("core: chunk at plane %d: codec mode %#x disagrees with payload predictor %d: %w",
+			c.Offset, c.CodecMode, payload[5], ErrCorrupt)
+	}
+	recon, rdims, err := Decompress(dev, payload)
+	if err != nil {
+		return nil, err
+	}
+	if len(rdims) != len(c.Dims) {
+		return nil, ErrCorrupt
+	}
+	for i, d := range rdims {
+		if d != c.Dims[i] {
+			return nil, ErrCorrupt
+		}
+	}
+	return recon, nil
+}
+
+// scanChunkFrame parses the chunk frame at blob[off:] without copying the
+// payload (it is returned as a subslice), sharing validateChunkFrame and
+// verifyChunkPayload with ReadChunkFrame. It returns the offset just past
+// the frame.
+func scanChunkFrame(blob []byte, off int, h *ChunkedInfo) (*ChunkInfo, []byte, int, error) {
+	readUv := func() (uint64, bool) {
+		v, n := bitio.Uvarint(blob[off:])
+		if n == 0 || v > 1<<31 {
+			return 0, false
+		}
+		off += n
+		return v, true
+	}
+	o, ok := readUv()
+	if !ok {
+		return nil, nil, 0, ErrCorrupt
+	}
+	c := &ChunkInfo{Offset: int(o), Dims: make([]int, len(h.Dims))}
+	for i := range c.Dims {
+		v, ok := readUv()
+		if !ok {
+			return nil, nil, 0, ErrCorrupt
+		}
+		c.Dims[i] = int(v)
+	}
+	if off >= len(blob) {
+		return nil, nil, 0, ErrCorrupt
+	}
+	c.CodecMode = blob[off]
+	off++
+	plen, ok := readUv()
+	if !ok {
+		return nil, nil, 0, ErrCorrupt
+	}
+	if err := validateChunkFrame(h, c, plen); err != nil {
+		return nil, nil, 0, err
+	}
+	if off+4+int(plen) > len(blob) {
+		return nil, nil, 0, ErrCorrupt
+	}
+	c.Checksum = binary.LittleEndian.Uint32(blob[off:])
+	off += 4
+	payload := blob[off : off+int(plen)]
+	off += int(plen)
+	if err := verifyChunkPayload(c, payload); err != nil {
+		return nil, nil, 0, err
+	}
+	return c, payload, off, nil
+}
+
+// decompressChunked decodes a v2 container: the frames are scanned
+// sequentially (cheap, zero-copy — payloads stay subslices of blob), then
+// decoded concurrently into the output field.
+func decompressChunked(dev *gpusim.Device, blob []byte) ([]float32, []int, error) {
+	r := bytes.NewReader(blob[6:]) // past magic + version + flags
+	h, err := readChunkedHeaderBody(r)
+	if err != nil {
+		return nil, nil, err
+	}
+	off := len(blob) - r.Len()
+	type chunk struct {
+		info    *ChunkInfo
+		payload []byte
+	}
+	chunks := make([]chunk, h.NumChunks)
+	nextPlane := 0
+	for i := range chunks {
+		c, payload, next, err := scanChunkFrame(blob, off, h)
+		if err != nil {
+			return nil, nil, err
+		}
+		off = next
+		if c.Offset != nextPlane {
+			return nil, nil, ErrCorrupt // gap or overlap in shard coverage
+		}
+		nextPlane += c.Dims[0]
+		chunks[i] = chunk{c, payload}
+	}
+	if nextPlane != h.Dims[0] || off != len(blob) {
+		return nil, nil, ErrCorrupt
+	}
+	// Decode the first shard before allocating the full output, so a
+	// hostile header over bogus payloads fails before it can force the
+	// field-sized allocation.
+	first, err := DecompressShard(dev, chunks[0].info, chunks[0].payload)
+	if err != nil {
+		return nil, nil, err
+	}
+	out := make([]float32, h.Total())
+	ps := planeSize(h.Dims)
+	copy(out, first) // chunk 0 starts at plane 0 (coverage validated above)
+	_, err = pipeline.Map(dev.Workers(), len(chunks)-1, func(i int) (struct{}, error) {
+		c := chunks[i+1]
+		recon, err := DecompressShard(dev, c.info, c.payload)
+		if err != nil {
+			return struct{}{}, err
+		}
+		copy(out[c.info.Offset*ps:], recon)
+		return struct{}{}, nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return out, h.Dims, nil
+}
+
+// ---------------------------------------------------------------------------
+// Inspection.
+
+// Info summarizes a container without decoding its payloads.
+type Info struct {
+	Version     int
+	Dims        []int
+	EB          float64
+	NumChunks   int // 0 for v1 containers
+	ChunkPlanes int // 0 for v1 containers
+}
+
+// Inspect reads a container's headers (v1 or v2).
+func Inspect(blob []byte) (*Info, error) {
+	if len(blob) < 6 || !bytes.Equal(blob[:4], magic[:]) {
+		return nil, ErrCorrupt
+	}
+	switch blob[4] {
+	case version:
+		r := bytes.NewReader(blob[6:])
+		nd, err := readUvarint(r)
+		if err != nil || nd == 0 || nd > 8 {
+			return nil, ErrCorrupt
+		}
+		info := &Info{Version: version, Dims: make([]int, nd)}
+		for i := range info.Dims {
+			v, err := readUvarint(r)
+			if err != nil || v == 0 || v > 1<<31 {
+				return nil, ErrCorrupt
+			}
+			info.Dims[i] = int(v)
+		}
+		var ebb [8]byte
+		if _, err := io.ReadFull(r, ebb[:]); err != nil {
+			return nil, ErrCorrupt
+		}
+		info.EB = math.Float64frombits(binary.LittleEndian.Uint64(ebb[:]))
+		return info, nil
+	case version2:
+		h, err := ReadChunkedHeader(bytes.NewReader(blob))
+		if err != nil {
+			return nil, err
+		}
+		return &Info{Version: version2, Dims: h.Dims, EB: h.EB,
+			NumChunks: h.NumChunks, ChunkPlanes: h.ChunkPlanes}, nil
+	}
+	return nil, fmt.Errorf("core: unsupported version %d", blob[4])
+}

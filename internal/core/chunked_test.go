@@ -1,0 +1,293 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"math"
+	"testing"
+
+	"repro/internal/bitio"
+	"repro/internal/metrics"
+)
+
+func chunkedRoundTrip(t *testing.T, data []float32, dims []int, eb float64, opts Options, cp int) []byte {
+	t.Helper()
+	blob, err := CompressChunked(dev, data, dims, eb, opts, cp)
+	if err != nil {
+		t.Fatalf("%s cp=%d: CompressChunked: %v", opts.Name, cp, err)
+	}
+	recon, gotDims, err := Decompress(dev, blob)
+	if err != nil {
+		t.Fatalf("%s cp=%d: Decompress: %v", opts.Name, cp, err)
+	}
+	for i := range dims {
+		if gotDims[i] != dims[i] {
+			t.Fatalf("%s cp=%d: dims %v != %v", opts.Name, cp, gotDims, dims)
+		}
+	}
+	if i := metrics.FirstViolation(data, recon, eb); i >= 0 {
+		t.Fatalf("%s cp=%d: bound violated at %d: %v vs %v (eb=%v)",
+			opts.Name, cp, i, data[i], recon[i], eb)
+	}
+	return blob
+}
+
+func rampField(n int) []float32 {
+	data := make([]float32, n)
+	for i := range data {
+		data[i] = float32(i%23) + 0.5*float32(i%7)
+	}
+	return data
+}
+
+func TestChunkedRoundTripAllModes(t *testing.T) {
+	dims := []int{20, 12, 12}
+	data := rampField(20 * 12 * 12)
+	for _, opts := range allModes() {
+		chunkedRoundTrip(t, data, dims, 0.05, opts, 8) // 20 planes: shards of 8,8,4
+	}
+}
+
+func TestChunkedShardSplits(t *testing.T) {
+	dims := []int{17, 10, 10}
+	data := rampField(17 * 10 * 10)
+	opts := HiTP()
+	for _, cp := range []int{1, 3, 16, 17, 100} { // incl. single-chunk and over-thick
+		chunkedRoundTrip(t, data, dims, 0.02, opts, cp)
+	}
+}
+
+func TestChunkedLowDims(t *testing.T) {
+	opts := CuszL()
+	chunkedRoundTrip(t, rampField(300), []int{300}, 0.02, opts, 64)           // 1-D
+	chunkedRoundTrip(t, rampField(40*25), []int{40, 25}, 0.02, opts, 16)      // 2-D
+	chunkedRoundTrip(t, rampField(6*5*4*3), []int{6, 5, 4, 3}, 0.02, opts, 2) // 4-D
+}
+
+func TestChunkedMatchesOneShotGuarantees(t *testing.T) {
+	// The chunked container must reconstruct with the same bound as v1;
+	// shard boundaries must not leak error.
+	dims := []int{24, 16, 16}
+	data := rampField(24 * 16 * 16)
+	eb := 0.01
+	for _, opts := range []Options{HiCR(), CuszL()} {
+		blob := chunkedRoundTrip(t, data, dims, eb, opts, 6)
+		recon, _, err := Decompress(dev, blob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !metrics.WithinBound(data, recon, eb) {
+			t.Fatalf("%s: chunked recon out of bound", opts.Name)
+		}
+	}
+}
+
+func TestChunkedInspect(t *testing.T) {
+	dims := []int{20, 8, 8}
+	data := rampField(20 * 8 * 8)
+	blob, err := CompressChunked(dev, data, dims, 0.05, HiTP(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := Inspect(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Version != 2 || info.NumChunks != 3 || info.ChunkPlanes != 8 ||
+		info.EB != 0.05 || info.Dims[0] != 20 {
+		t.Fatalf("info = %+v", info)
+	}
+	v1, err := Compress(dev, data, dims, 0.05, HiTP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	info1, err := Inspect(v1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info1.Version != 1 || info1.NumChunks != 0 || info1.EB != 0.05 {
+		t.Fatalf("v1 info = %+v", info1)
+	}
+}
+
+func TestChunkedRejectsCorruption(t *testing.T) {
+	dims := []int{12, 8, 8}
+	data := rampField(12 * 8 * 8)
+	blob, err := CompressChunked(dev, data, dims, 0.05, HiTP(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	flip := append([]byte(nil), blob...)
+	flip[len(flip)-10] ^= 0xff // payload byte: checksum must catch it
+	if _, _, err := Decompress(dev, flip); err == nil {
+		t.Fatal("corrupted payload decoded without error")
+	}
+
+	for _, cut := range []int{5, 7, 20, len(blob) / 2, len(blob) - 1} {
+		if _, _, err := Decompress(dev, blob[:cut]); err == nil {
+			t.Fatalf("truncation at %d decoded without error", cut)
+		}
+	}
+
+	// Trailing garbage is rejected, not silently ignored.
+	if _, _, err := Decompress(dev, append(append([]byte(nil), blob...), 1, 2, 3)); err == nil {
+		t.Fatal("trailing garbage decoded without error")
+	}
+}
+
+func TestChunkedRejectsNestedV2(t *testing.T) {
+	// A v2 container whose chunk payload is itself v2 must be refused —
+	// the format allows only v1 shard payloads, which bounds recursion.
+	dims := []int{4, 4, 4}
+	data := rampField(64)
+	inner, err := CompressChunked(dev, data, dims, 0.05, HiTP(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	header, err := AppendChunkedHeader(nil, dims, 0.05, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob := AppendChunkFrame(header, HiTP(), 0, dims, inner)
+	if _, _, err := Decompress(dev, blob); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("nested v2 container: err = %v", err)
+	}
+}
+
+func TestChunkFrameValidation(t *testing.T) {
+	h := &ChunkedInfo{Dims: []int{10, 4, 4}, EB: 0.1, ChunkPlanes: 4, NumChunks: 3}
+	frame := func(offset int, shardDims []int, payload []byte) []byte {
+		return AppendChunkFrame(nil, HiTP(), offset, shardDims, payload)
+	}
+	cases := map[string][]byte{
+		"offset beyond field": frame(10, []int{4, 4, 4}, []byte("x")),
+		"overthick shard":     frame(0, []int{5, 4, 4}, []byte("x")),
+		"trailing dim drift":  frame(0, []int{4, 4, 5}, []byte("x")),
+		"shard past end":      frame(8, []int{4, 4, 4}, []byte("x")),
+	}
+	for name, raw := range cases {
+		if _, _, err := ReadChunkFrame(bytes.NewReader(raw), h); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	// A frame whose declared checksum mismatches its payload is refused.
+	ok := frame(0, []int{4, 4, 4}, []byte{1, 2, 3, 4})
+	// Locate the CRC (last 8 bytes = crc[4] + payload[4]) and break it.
+	bad := append([]byte(nil), ok...)
+	bad[len(bad)-8] ^= 0x01
+	if _, _, err := ReadChunkFrame(bytes.NewReader(bad), h); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("bad crc: err = %v", err)
+	}
+}
+
+// TestStreamFrameHostilePayloadLen proves a hostile stream header that
+// declares a near-cap payload length fails with ErrCorrupt once the data
+// runs out, instead of allocating gigabytes up front (payloads are read
+// incrementally) — and that both decode paths share the same 1<<31 cap.
+func TestStreamFrameHostilePayloadLen(t *testing.T) {
+	h := &ChunkedInfo{Dims: []int{1024, 1024, 1024}, EB: 0.1, ChunkPlanes: 1024, NumChunks: 1}
+	frame := bitio.AppendUvarint(nil, 0) // offset
+	for _, d := range h.Dims {
+		frame = bitio.AppendUvarint(frame, uint64(d))
+	}
+	frame = append(frame, CodecMode(HiTP()))
+	frame = bitio.AppendUvarint(frame, 1<<31)  // plen at the format cap
+	frame = append(frame, 0, 0, 0, 0)          // crc
+	frame = append(frame, make([]byte, 64)...) // far less data than declared
+	if _, _, err := ReadChunkFrame(bytes.NewReader(frame), h); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("hostile stream frame: err = %v", err)
+	}
+	// Over the cap: both parsers refuse outright.
+	over := bitio.AppendUvarint(nil, 0)
+	for _, d := range h.Dims {
+		over = bitio.AppendUvarint(over, uint64(d))
+	}
+	over = append(over, CodecMode(HiTP()))
+	over = bitio.AppendUvarint(over, 1<<31+1)
+	over = append(over, 0, 0, 0, 0)
+	if _, _, err := ReadChunkFrame(bytes.NewReader(over), h); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("over-cap plen via stream: err = %v", err)
+	}
+	if _, _, _, err := scanChunkFrame(over, 0, h); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("over-cap plen via blob: err = %v", err)
+	}
+}
+
+// TestChunkCodecModeValidated proves a frame whose codec-mode predictor
+// nibble contradicts its payload is rejected (the byte is outside the CRC,
+// so the decoder must cross-check it explicitly).
+func TestChunkCodecModeValidated(t *testing.T) {
+	dims := []int{4, 2, 2}
+	opts := HiTP()
+	opts.AutoTune = false
+	blob, err := CompressChunked(dev, rampField(16), dims, 0.25, opts, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Layout (locked by TestChunkedHeaderGolden): global header is 20
+	// bytes, chunk0's codec-mode byte follows its offset + 3 shard dims.
+	const modeAt = 20 + 4
+	if blob[modeAt] != CodecMode(opts) {
+		t.Fatalf("codec byte not at expected offset: %#x", blob[modeAt])
+	}
+	bad := append([]byte(nil), blob...)
+	bad[modeAt] = byte(PredLorenzo)<<4 | bad[modeAt]&0x0f
+	if _, _, err := Decompress(dev, bad); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("mismatched codec mode: err = %v", err)
+	}
+}
+
+// TestChunkedHeaderGolden locks the v2 container layout byte-for-byte so
+// format changes are deliberate (bump version2 when they are).
+func TestChunkedHeaderGolden(t *testing.T) {
+	dims := []int{4, 2, 2}
+	data := rampField(16)
+	opts := HiTP()
+	opts.AutoTune = false // deterministic per-level configs
+	blob, err := CompressChunked(dev, data, dims, 0.25, opts, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{
+		'c', 'S', 'Z', 'h', // magic
+		2, 0, // version, flags
+		3, 4, 2, 2, // ndims, dims
+	}
+	if !bytes.Equal(blob[:len(want)], want) {
+		t.Fatalf("header prefix = % x, want % x", blob[:len(want)], want)
+	}
+	off := len(want)
+	if eb := math.Float64frombits(binary.LittleEndian.Uint64(blob[off:])); eb != 0.25 {
+		t.Fatalf("eb = %v", eb)
+	}
+	off += 8
+	if blob[off] != 2 || blob[off+1] != 2 { // chunkPlanes, nchunks
+		t.Fatalf("chunkPlanes/nchunks = %d %d", blob[off], blob[off+1])
+	}
+	off += 2
+	// First chunk frame: offset 0, shard dims {2,2,2}, codec mode byte
+	// (PredInterp<<4 | PipeHiTP = 0x01), payload length varint.
+	if blob[off] != 0 || blob[off+1] != 2 || blob[off+2] != 2 || blob[off+3] != 2 {
+		t.Fatalf("chunk0 header = % x", blob[off:off+4])
+	}
+	if mode := blob[off+4]; mode != CodecMode(opts) || mode != 0x01 {
+		t.Fatalf("chunk0 codec mode = %#x", mode)
+	}
+	plen, n := binary.Uvarint(blob[off+5:])
+	if n <= 0 {
+		t.Fatal("bad payload length varint")
+	}
+	crcOff := off + 5 + n
+	gotCRC := binary.LittleEndian.Uint32(blob[crcOff:])
+	payload := blob[crcOff+4 : crcOff+4+int(plen)]
+	if crc32.ChecksumIEEE(payload) != gotCRC {
+		t.Fatal("chunk0 checksum does not cover payload")
+	}
+	// The shard payload is a well-formed v1 container.
+	if !bytes.Equal(payload[:4], []byte("cSZh")) || payload[4] != 1 {
+		t.Fatalf("chunk0 payload prefix = % x", payload[:5])
+	}
+}

@@ -123,6 +123,25 @@ func CuszL() Options {
 	return Options{Name: "cuSZ-L", Predictor: PredLorenzo, Pipeline: PipeHuff}
 }
 
+// ModeOptions maps a public mode name (the cuszhi Mode strings) to its
+// compressor assembly — the single source of truth shared by the cuszhi
+// facade, the streaming subsystem and the CLI.
+func ModeOptions(name string) (Options, error) {
+	switch name {
+	case "hi-cr":
+		return HiCR(), nil
+	case "hi-tp":
+		return HiTP(), nil
+	case "cusz-i":
+		return CuszI(), nil
+	case "cusz-ib":
+		return CuszIB(), nil
+	case "cusz-l":
+		return CuszL(), nil
+	}
+	return Options{}, fmt.Errorf("core: unknown mode %q", name)
+}
+
 // SZ3Like returns a CPU-style high-ratio configuration: the cuSZ-Hi
 // predictor with domain-global interpolation blocks (no block-boundary
 // fallbacks, like SZ3/QoZ), auto-tuning, reordering and the CR pipeline.
@@ -332,6 +351,9 @@ func compressLorenzo(dev *gpusim.Device, out []byte, data []float32, dims []int,
 func Decompress(dev *gpusim.Device, blob []byte) ([]float32, []int, error) {
 	if len(blob) < 6 || !bytes.Equal(blob[:4], magic[:]) {
 		return nil, nil, ErrCorrupt
+	}
+	if blob[4] == version2 {
+		return decompressChunked(dev, blob)
 	}
 	if blob[4] != version {
 		return nil, nil, fmt.Errorf("core: unsupported version %d", blob[4])

@@ -1,0 +1,78 @@
+package repro
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/gpusim"
+	"repro/internal/metrics"
+)
+
+// BenchmarkStreamChunked compares the one-shot (serial container) path
+// with the chunked parallel path on a 256³ turbulence field. Sharding
+// parallelizes the codec stages that a single-shot call runs serially
+// (histogramming, Huffman tree construction, outlier serialization), so
+// throughput scales with workers where the serial path plateaus.
+//
+//	go test -bench StreamChunked -benchtime 2x .
+func BenchmarkStreamChunked(b *testing.B) {
+	dims := []int{256, 256, 256}
+	f, err := datagen.Generate("jhtdb", dims, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	absEB := metrics.AbsEB(f.Data, 1e-2)
+	opts := core.HiTP()
+
+	b.Run("compress/serial", func(b *testing.B) {
+		dev := gpusim.New(1)
+		b.SetBytes(int64(f.SizeBytes()))
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Compress(dev, f.Data, f.Dims, absEB, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, workers := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("compress/sharded-%dw", workers), func(b *testing.B) {
+			dev := gpusim.New(workers)
+			b.SetBytes(int64(f.SizeBytes()))
+			for i := 0; i < b.N; i++ {
+				if _, err := core.CompressChunked(dev, f.Data, f.Dims, absEB, opts, 32); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+
+	serialBlob, err := core.Compress(gpusim.New(0), f.Data, f.Dims, absEB, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	chunkedBlob, err := core.CompressChunked(gpusim.New(0), f.Data, f.Dims, absEB, opts, 32)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("decompress/serial", func(b *testing.B) {
+		dev := gpusim.New(1)
+		b.SetBytes(int64(f.SizeBytes()))
+		for i := 0; i < b.N; i++ {
+			if _, _, err := core.Decompress(dev, serialBlob); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, workers := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("decompress/sharded-%dw", workers), func(b *testing.B) {
+			dev := gpusim.New(workers)
+			b.SetBytes(int64(f.SizeBytes()))
+			for i := 0; i < b.N; i++ {
+				if _, _, err := core.Decompress(dev, chunkedBlob); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
