@@ -1,0 +1,289 @@
+// Command benchjson runs the repository's core benchmarks in-process and
+// writes the results as machine-readable JSON (BENCH_core.json), so the
+// performance trajectory stays comparable across PRs and CI runs.
+//
+//	benchjson [-o BENCH_core.json] [-quick] [-baseline old.json]
+//
+// The suite mirrors the root `go test -bench` hot-path benchmarks: the
+// Huffman entropy stage, one-shot compress/decompress through a reused
+// codec context, and the serial-vs-sharded chunked pipeline (the
+// BenchmarkStreamChunked shapes). -quick shrinks the field sizes for CI
+// smoke runs; -baseline embeds a previous run and reports speedups against
+// it, keeping the cross-PR trajectory in one file.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/arena"
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/gpusim"
+	"repro/internal/huffman"
+	"repro/internal/metrics"
+)
+
+// Result is one benchmark measurement.
+type Result struct {
+	Name     string  `json:"name"`
+	NsPerOp  float64 `json:"ns_per_op"`
+	MBPerSec float64 `json:"mb_per_s"`
+	AllocsOp int64   `json:"allocs_per_op"`
+	BytesOp  int64   `json:"bytes_per_op"`
+	N        int     `json:"iterations"`
+	// Against -baseline (0 when the baseline lacks this benchmark):
+	BaselineMBPerSec float64 `json:"baseline_mb_per_s,omitempty"`
+	Speedup          float64 `json:"speedup,omitempty"`
+}
+
+// Report is the BENCH_core.json document.
+type Report struct {
+	GeneratedUnix  int64    `json:"generated_unix"`
+	GoVersion      string   `json:"go_version"`
+	GOOS           string   `json:"goos"`
+	GOARCH         string   `json:"goarch"`
+	CPUs           int      `json:"cpus"`
+	Quick          bool     `json:"quick"`
+	Benchmarks     []Result `json:"benchmarks"`
+	BaselineSource string   `json:"baseline_source,omitempty"`
+}
+
+type bench struct {
+	name  string
+	bytes int64
+	run   func(b *testing.B)
+}
+
+func quantLike(n int, seed int64) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = byte(128 + rng.NormFloat64()*3)
+	}
+	return out
+}
+
+func suite(quick bool) ([]bench, error) {
+	dev := gpusim.New(0)
+	dev1 := gpusim.New(1)
+	dev4 := gpusim.New(4)
+
+	hfN := 1 << 22
+	oneShot := []int{64, 64, 64}
+	streamDims := []int{256, 256, 256}
+	if quick {
+		hfN = 1 << 19
+		streamDims = []int{64, 64, 64}
+	}
+
+	hfData := quantLike(hfN, 1)
+	hfEnc, err := huffman.EncodeBytes(dev, hfData)
+	if err != nil {
+		return nil, err
+	}
+	symData := make([]uint16, hfN)
+	symFreq := make([]int64, 1026)
+	rng := rand.New(rand.NewSource(5))
+	for i := range symData {
+		s := uint16(513 + int(rng.NormFloat64()*3))
+		symData[i] = s
+		symFreq[s]++
+	}
+	symEnc, err := huffman.Encode(dev, symData, 1026)
+	if err != nil {
+		return nil, err
+	}
+
+	osField := make([]float32, oneShot[0]*oneShot[1]*oneShot[2])
+	for i := range osField {
+		osField[i] = float32(i%23) + 0.5*float32(i%7)
+	}
+	osOpts := core.CuszL()
+	osCtx := arena.NewCtx()
+	osBlob, err := core.CompressCtx(osCtx, dev1, osField, oneShot, 0.01, osOpts)
+	if err != nil {
+		return nil, err
+	}
+
+	sField, err := datagen.Generate("jhtdb", streamDims, 1)
+	if err != nil {
+		return nil, err
+	}
+	sEB := metrics.AbsEB(sField.Data, 1e-2)
+	sOpts := core.HiTP()
+	sBlobSerial, err := core.Compress(dev, sField.Data, sField.Dims, sEB, sOpts)
+	if err != nil {
+		return nil, err
+	}
+	sBlobChunked, err := core.CompressChunked(dev, sField.Data, sField.Dims, sEB, sOpts, 32)
+	if err != nil {
+		return nil, err
+	}
+
+	return []bench{
+		{"huffman/encode-bytes", int64(hfN), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := huffman.EncodeBytes(dev, hfData); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"huffman/decode-bytes", int64(hfN), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := huffman.DecodeBytes(dev, hfEnc); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"huffman/decode-symbols-ctx", int64(2 * hfN), func(b *testing.B) {
+			ctx := arena.NewCtx()
+			for i := 0; i < b.N; i++ {
+				ctx.Reset()
+				if _, err := huffman.DecodeCtx(ctx, dev, symEnc); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"huffman/encode-symbols-fused", int64(2 * hfN), func(b *testing.B) {
+			ctx := arena.NewCtx()
+			for i := 0; i < b.N; i++ {
+				ctx.Reset()
+				if _, err := huffman.EncodeCtx(ctx, dev, symData, 1026, symFreq); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"core/oneshot-cusz-l-64/compress-ctx", int64(4 * len(osField)), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				osCtx.Reset()
+				if _, err := core.CompressCtx(osCtx, dev1, osField, oneShot, 0.01, osOpts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"core/oneshot-cusz-l-64/decompress-ctx", int64(4 * len(osField)), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				osCtx.Reset()
+				if _, _, err := core.DecompressCtx(osCtx, dev1, osBlob); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"stream/compress/serial", int64(sField.SizeBytes()), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Compress(dev1, sField.Data, sField.Dims, sEB, sOpts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"stream/compress/sharded-4w", int64(sField.SizeBytes()), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.CompressChunked(dev4, sField.Data, sField.Dims, sEB, sOpts, 32); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"stream/decompress/serial", int64(sField.SizeBytes()), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := core.Decompress(dev1, sBlobSerial); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"stream/decompress/sharded-4w", int64(sField.SizeBytes()), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := core.Decompress(dev4, sBlobChunked); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+	}, nil
+}
+
+func main() {
+	out := flag.String("o", "BENCH_core.json", "output file")
+	quick := flag.Bool("quick", false, "small field sizes for CI smoke runs")
+	baseline := flag.String("baseline", "", "previous BENCH_core.json to compare against")
+	flag.Parse()
+
+	var base *Report
+	if *baseline != "" {
+		raw, err := os.ReadFile(*baseline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		base = &Report{}
+		if err := json.Unmarshal(raw, base); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+	}
+
+	benches, err := suite(*quick)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	rep := Report{
+		GeneratedUnix: time.Now().Unix(),
+		GoVersion:     runtime.Version(),
+		GOOS:          runtime.GOOS,
+		GOARCH:        runtime.GOARCH,
+		CPUs:          runtime.NumCPU(),
+		Quick:         *quick,
+	}
+	if base != nil {
+		rep.BaselineSource = fmt.Sprintf("%s (generated_unix %d)", *baseline, base.GeneratedUnix)
+	}
+	for _, bm := range benches {
+		bytes := bm.bytes
+		run := bm.run
+		r := testing.Benchmark(func(b *testing.B) {
+			b.SetBytes(bytes)
+			b.ReportAllocs()
+			b.ResetTimer()
+			run(b)
+		})
+		res := Result{
+			Name:     bm.name,
+			NsPerOp:  float64(r.T.Nanoseconds()) / float64(r.N),
+			MBPerSec: float64(bytes) * float64(r.N) / r.T.Seconds() / 1e6,
+			AllocsOp: r.AllocsPerOp(),
+			BytesOp:  r.AllocedBytesPerOp(),
+			N:        r.N,
+		}
+		if base != nil {
+			for _, b := range base.Benchmarks {
+				if b.Name == res.Name && b.MBPerSec > 0 {
+					res.BaselineMBPerSec = b.MBPerSec
+					res.Speedup = res.MBPerSec / b.MBPerSec
+				}
+			}
+		}
+		fmt.Printf("%-42s %12.0f ns/op %9.2f MB/s %7d allocs/op", res.Name, res.NsPerOp, res.MBPerSec, res.AllocsOp)
+		if res.Speedup > 0 {
+			fmt.Printf("  %+.1f%% vs baseline", (res.Speedup-1)*100)
+		}
+		fmt.Println()
+		rep.Benchmarks = append(rep.Benchmarks, res)
+	}
+	blob, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	blob = append(blob, '\n')
+	if err := os.WriteFile(*out, blob, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d benchmarks)\n", *out, len(rep.Benchmarks))
+}

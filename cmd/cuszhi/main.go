@@ -190,41 +190,8 @@ func cmdCompress(args []string) error {
 	return nil
 }
 
-// fileRange scans a raw float32 file for its value range without holding
-// the field in memory, so -stream can honor relative error bounds.
-func fileRange(path string) (lo, hi float64, err error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return 0, 0, err
-	}
-	defer f.Close()
-	br := bufio.NewReaderSize(f, 1<<16)
-	lo, hi = math.Inf(1), math.Inf(-1)
-	var word [4]byte
-	for {
-		if _, err := io.ReadFull(br, word[:]); err != nil {
-			if err == io.EOF {
-				break
-			}
-			return 0, 0, fmt.Errorf("%s: %v", path, err)
-		}
-		v := float64(math.Float32frombits(binary.LittleEndian.Uint32(word[:])))
-		if v < lo {
-			lo = v
-		}
-		if v > hi {
-			hi = v
-		}
-	}
-	if lo > hi {
-		return 0, 0, fmt.Errorf("%s: empty file", path)
-	}
-	return lo, hi, nil
-}
-
 func compressStream(in, out string, dims []int, eb float64, abs bool, mode cuszhi.Mode, chunk int) error {
-	// Reject a bad mode before the value-range pre-pass scans the whole
-	// input and before the output file is truncated.
+	// Reject a bad mode before the output file is truncated.
 	if mode == cuszhi.ModeAuto {
 		return fmt.Errorf("compress: -mode auto needs the whole field; drop -stream or pick a fixed mode")
 	}
@@ -233,18 +200,6 @@ func compressStream(in, out string, dims []int, eb float64, abs bool, mode cuszh
 	}
 	if !(eb > 0) || math.IsInf(eb, 0) {
 		return fmt.Errorf("compress: invalid error bound %v", eb)
-	}
-	absEB := eb
-	if !abs {
-		lo, hi, err := fileRange(in)
-		if err != nil {
-			return err
-		}
-		rng := hi - lo
-		if rng == 0 {
-			rng = 1 // constant field: same fallback as metrics.AbsEB
-		}
-		absEB = eb * rng
 	}
 	f, err := os.Open(in)
 	if err != nil {
@@ -256,8 +211,14 @@ func compressStream(in, out string, dims []int, eb float64, abs bool, mode cuszh
 	if chunk > 0 {
 		opts = append(opts, stream.WithChunkPlanes(chunk))
 	}
+	if !abs {
+		// Relative bounds stream as a format-v3 container: each shard's
+		// absolute bound derives from its own value range, so no pre-pass
+		// over the file is needed.
+		opts = append(opts, stream.WithRelativeEB())
+	}
 	err = writeFileAtomic(out, func(of io.Writer) error {
-		w, err := stream.NewWriter(of, dims, absEB, opts...)
+		w, err := stream.NewWriter(of, dims, eb, opts...)
 		if err != nil {
 			return err
 		}
@@ -386,7 +347,11 @@ func cmdInfo(args []string) error {
 		fmt.Printf("chunks: %d (%d planes each)\n", hdr.NumChunks, hdr.ChunkPlanes)
 	}
 	fmt.Printf("dims:   %v (%d values)\n", dims, len(data))
-	fmt.Printf("eb:     %g (absolute)\n", hdr.AbsErrorEB)
+	ebKind := "absolute"
+	if hdr.RelativeEB {
+		ebKind = "value-range relative, per shard"
+	}
+	fmt.Printf("eb:     %g (%s)\n", hdr.AbsErrorEB, ebKind)
 	fmt.Printf("ratio:  %.2f (%.3f bits/val)\n", metrics.CR(4*len(data), len(blob)), metrics.BitRate(len(data), len(blob)))
 	fmt.Printf("range:  [%g, %g] (span %g)\n", lo, hi, rng)
 	return nil

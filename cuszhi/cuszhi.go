@@ -185,19 +185,20 @@ func Evaluate(orig []float32, blob []byte, recon []float32, absEB float64) Stats
 type ContainerInfo struct {
 	Version     int
 	Dims        []int
-	AbsErrorEB  float64
-	NumChunks   int // 0 for one-shot (v1) containers
-	ChunkPlanes int // 0 for one-shot (v1) containers
+	AbsErrorEB  float64 // the container's bound; relative when RelativeEB
+	RelativeEB  bool    // v3 streams: bound is value-range-relative
+	NumChunks   int     // 0 for one-shot (v1) containers
+	ChunkPlanes int     // 0 for one-shot (v1) containers
 }
 
-// Inspect reads a container's header (either format version).
+// Inspect reads a container's header (any format version).
 func Inspect(blob []byte) (*ContainerInfo, error) {
 	info, err := core.Inspect(blob)
 	if err != nil {
 		return nil, err
 	}
 	return &ContainerInfo{Version: info.Version, Dims: info.Dims, AbsErrorEB: info.EB,
-		NumChunks: info.NumChunks, ChunkPlanes: info.ChunkPlanes}, nil
+		RelativeEB: info.RelEB, NumChunks: info.NumChunks, ChunkPlanes: info.ChunkPlanes}, nil
 }
 
 // AbsEB converts a value-range-relative error bound to the absolute bound

@@ -2,10 +2,13 @@ package cuszhi
 
 import (
 	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gpusim"
 )
 
-// FuzzDecompress feeds arbitrary bytes — seeded with valid v1 and v2
-// containers and systematic truncations of both — to Decompress, proving
+// FuzzDecompress feeds arbitrary bytes — seeded with valid v1, v2 and v3
+// containers and systematic truncations of each — to Decompress, proving
 // it returns errors on malformed input instead of panicking or
 // over-reading. Run with `go test -fuzz=FuzzDecompress ./cuszhi` to
 // explore beyond the seed corpus.
@@ -42,7 +45,32 @@ func FuzzDecompress(f *testing.F) {
 		f.Fatal(err)
 	}
 
-	for _, blob := range [][]byte{v1, v2, vl} {
+	// A v3 container (per-shard range headers, relative bound), assembled
+	// shard by shard the way the streaming writer does.
+	lOpts, err := core.ModeOptions(string(ModeCuszL))
+	if err != nil {
+		f.Fatal(err)
+	}
+	v3, err := core.AppendChunkedHeaderV3(nil, dims, 0.01, true, 2)
+	if err != nil {
+		f.Fatal(err)
+	}
+	for off := 0; off < dims[0]; off += 2 {
+		shard := data[off*64 : (off+2)*64]
+		minV, maxV, _ := core.ShardRange(shard)
+		absEB := 0.01 * float64(maxV-minV)
+		shardDims := []int{2, 8, 8}
+		payload, err := core.Compress(gpusim.Default, shard, shardDims, absEB, lOpts)
+		if err != nil {
+			f.Fatal(err)
+		}
+		v3 = core.AppendChunkFrameV3(v3, lOpts, off, shardDims, minV, maxV, payload)
+	}
+	if _, _, err := Decompress(v3); err != nil {
+		f.Fatal(err) // the seed itself must be valid
+	}
+
+	for _, blob := range [][]byte{v1, v2, vl, v3} {
 		f.Add(blob)
 		for _, cut := range []int{0, 3, 5, 9, len(blob) / 3, len(blob) / 2, len(blob) - 1} {
 			f.Add(blob[:cut])

@@ -27,6 +27,7 @@ import (
 	"sync"
 
 	"repro/cuszhi"
+	"repro/internal/arena"
 	"repro/internal/core"
 	"repro/internal/gpusim"
 	"repro/internal/pipeline"
@@ -45,6 +46,7 @@ type config struct {
 	mode        cuszhi.Mode
 	dev         *gpusim.Device
 	chunkPlanes int
+	relative    bool
 }
 
 // Option customizes a Writer, Reader, or one-shot call.
@@ -66,6 +68,15 @@ func WithChunkPlanes(n int) Option {
 	return func(c *config) { c.chunkPlanes = n }
 }
 
+// WithRelativeEB makes the Writer treat its error bound as value-range-
+// relative, resolved per shard from that shard's own range (format v3):
+// no pre-pass over the field is needed, and because a shard's range never
+// exceeds the global range, the reconstruction also satisfies the bound
+// relative to the full field's range.
+func WithRelativeEB() Option {
+	return func(c *config) { c.relative = true }
+}
+
 func newConfig(opts []Option) config {
 	c := config{mode: cuszhi.ModeCR, dev: gpusim.Default, chunkPlanes: DefaultChunkPlanes}
 	for _, o := range opts {
@@ -85,15 +96,17 @@ type Writer struct {
 	dev   *gpusim.Device
 	opts  core.Options
 	dims  []int
-	eb    float64
-	ps    int // elements per plane
-	cp    int // planes per shard
-	tot   int // elements in the whole field
-	plane int // planes submitted so far
+	eb    float64 // absolute bound, or relative when rel
+	rel   bool    // per-shard relative bounds (format v3)
+	ps    int     // elements per plane
+	cp    int     // planes per shard
+	tot   int     // elements in the whole field
+	plane int     // planes submitted so far
 
-	partial []byte    // trailing bytes of an incomplete value (<4)
-	vals    []float32 // accumulating current shard
-	conv    []float32 // scratch for Write's byte->float conversion
+	partial []byte         // trailing bytes of an incomplete value (<4)
+	vals    []float32      // accumulating current shard
+	conv    []float32      // scratch for Write's byte->float conversion
+	slabs   chan []float32 // recycled shard slabs from completed jobs
 
 	pool    *pipeline.Pool[[]byte]
 	flushed chan struct{}
@@ -103,10 +116,12 @@ type Writer struct {
 }
 
 // NewWriter writes the container header to w and returns a Writer for a
-// field of the given dims (slowest first) under absolute error bound
-// absEB. ModeAuto is not supported when streaming — auto-selection needs
-// the whole field; pick a fixed mode or use the one-shot API.
-func NewWriter(w io.Writer, dims []int, absEB float64, opt ...Option) (*Writer, error) {
+// field of the given dims (slowest first) under error bound eb — absolute
+// by default (format v2), or value-range-relative with WithRelativeEB
+// (format v3, resolved per shard). ModeAuto is not supported when
+// streaming — auto-selection needs the whole field; pick a fixed mode or
+// use the one-shot API.
+func NewWriter(w io.Writer, dims []int, eb float64, opt ...Option) (*Writer, error) {
 	cfg := newConfig(opt)
 	if cfg.mode == cuszhi.ModeAuto {
 		return nil, fmt.Errorf("stream: mode %q needs the whole field; use a fixed mode or cuszhi.Compress", cfg.mode)
@@ -115,7 +130,12 @@ func NewWriter(w io.Writer, dims []int, absEB float64, opt ...Option) (*Writer, 
 	if err != nil {
 		return nil, fmt.Errorf("stream: unknown mode %q", cfg.mode)
 	}
-	header, err := core.AppendChunkedHeader(nil, dims, absEB, cfg.chunkPlanes)
+	var header []byte
+	if cfg.relative {
+		header, err = core.AppendChunkedHeaderV3(nil, dims, eb, true, cfg.chunkPlanes)
+	} else {
+		header, err = core.AppendChunkedHeader(nil, dims, eb, cfg.chunkPlanes)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -131,10 +151,12 @@ func NewWriter(w io.Writer, dims []int, absEB float64, opt ...Option) (*Writer, 
 		dev:     cfg.dev,
 		opts:    opts,
 		dims:    append([]int(nil), dims...),
-		eb:      absEB,
+		eb:      eb,
+		rel:     cfg.relative,
 		ps:      ps,
 		cp:      cfg.chunkPlanes,
 		tot:     ps * dims[0],
+		slabs:   make(chan []float32, 2*cfg.dev.Workers()+2),
 		pool:    pipeline.New[[]byte](cfg.dev.Workers(), 0),
 		flushed: make(chan struct{}),
 	}
@@ -248,21 +270,61 @@ func (w *Writer) WriteValues(vs []float32) error {
 }
 
 // submitShard hands the accumulated slab to the pool and starts a fresh
-// accumulation buffer.
+// accumulation buffer (recycled from a completed shard when one is free).
+// Each job compresses through a pooled codec context, so steady-state
+// streaming performs near-zero allocations per shard.
 func (w *Writer) submitShard() {
 	shard := w.vals
 	offset := w.plane
 	planes := len(shard) / w.ps
 	w.plane += planes
-	w.vals = make([]float32, 0, w.cp*w.ps)
-	dev, eb, opts := w.dev, w.eb, w.opts
+	select {
+	case s := <-w.slabs:
+		w.vals = s[:0]
+	default:
+		w.vals = make([]float32, 0, w.cp*w.ps)
+	}
+	dev, eb, rel, opts := w.dev, w.eb, w.rel, w.opts
 	shardDims := append([]int{planes}, w.dims[1:]...)
 	w.pool.Submit(func() ([]byte, error) {
-		payload, err := core.Compress(dev, shard, shardDims, eb, opts)
+		ctx := arena.Get()
+		defer arena.Put(ctx)
+		absEB := eb
+		var minV, maxV float32
+		if rel {
+			minV, maxV, _ = core.ShardRange(shard) // all-NaN: zero range below
+			rng := float64(maxV) - float64(minV)
+			if rng > 0 {
+				absEB = eb * rng
+			} else {
+				// Constant shard: the field's true range is unknown here,
+				// so any range-derived fallback could exceed the global
+				// bound. Instead pick a bound below half a float32 ulp of
+				// the value — mag*1e-8 for normal magnitudes, floored at
+				// 1e-46 (< half the smallest denormal spacing) — so the
+				// reconstruction is bit-exact and satisfies every
+				// possible global bound.
+				absEB = math.Abs(float64(minV)) * 1e-8
+				if absEB < 1e-46 {
+					absEB = 1e-46
+				}
+			}
+		}
+		payload, err := core.CompressCtx(ctx, dev, shard, shardDims, absEB, opts)
 		if err != nil {
 			return nil, fmt.Errorf("stream: shard at plane %d: %w", offset, err)
 		}
-		return core.AppendChunkFrame(nil, opts, offset, shardDims, payload), nil
+		var frame []byte
+		if rel {
+			frame = core.AppendChunkFrameV3(nil, opts, offset, shardDims, minV, maxV, payload)
+		} else {
+			frame = core.AppendChunkFrame(nil, opts, offset, shardDims, payload)
+		}
+		select {
+		case w.slabs <- shard: // recycle the slab for a future shard
+		default:
+		}
+		return frame, nil
 	})
 }
 
@@ -311,10 +373,11 @@ func (w *Writer) Close() error {
 // the container. To reject trailing bytes strictly, decode the blob with
 // Decompress instead.
 type Reader struct {
-	dims []int
-	eb   float64
+	dims  []int
+	eb    float64
+	relEB bool // v3: eb is value-range-relative, resolved per shard
 
-	pool   *pipeline.Pool[[]float32]
+	pool   *pipeline.Pool[[]byte]
 	quit   chan struct{} // closed by Close; stops the feeder
 	cur    []byte        // undelivered bytes of the current shard
 	err    error         // sticky
@@ -357,10 +420,11 @@ func NewReader(r io.Reader, opt ...Option) (*Reader, error) {
 		return nil, err
 	}
 	sr := &Reader{
-		dims: h.Dims,
-		eb:   h.EB,
-		pool: pipeline.New[[]float32](cfg.dev.Workers(), 0),
-		quit: make(chan struct{}),
+		dims:  h.Dims,
+		eb:    h.EB,
+		relEB: h.RelEB,
+		pool:  pipeline.New[[]byte](cfg.dev.Workers(), 0),
+		quit:  make(chan struct{}),
 	}
 	go sr.feed(br, cfg.dev, h, sr.pool)
 	return sr, nil
@@ -400,9 +464,11 @@ func (r *Reader) Close() error {
 }
 
 // feed scans chunk frames sequentially and submits their decompression to
-// the pool; Read collects shards in order. The pool is passed explicitly
-// because Close detaches r.pool while the feeder may still be running.
-func (r *Reader) feed(br io.Reader, dev *gpusim.Device, h *core.ChunkedInfo, pool *pipeline.Pool[[]float32]) {
+// the pool; Read collects shards in order. Each job decodes through a
+// pooled codec context and serializes the slab to bytes before the context
+// is recycled. The pool is passed explicitly because Close detaches r.pool
+// while the feeder may still be running.
+func (r *Reader) feed(br io.Reader, dev *gpusim.Device, h *core.ChunkedInfo, pool *pipeline.Pool[[]byte]) {
 	defer pool.Close()
 	nextPlane := 0
 	for i := 0; i < h.NumChunks; i++ {
@@ -416,14 +482,22 @@ func (r *Reader) feed(br io.Reader, dev *gpusim.Device, h *core.ChunkedInfo, poo
 			err = core.ErrCorrupt
 		}
 		if err != nil {
-			pool.Submit(func() ([]float32, error) { return nil, err })
+			pool.Submit(func() ([]byte, error) { return nil, err })
 			return
 		}
 		nextPlane += c.Dims[0]
-		pool.Submit(func() ([]float32, error) { return core.DecompressShard(dev, c, payload) })
+		pool.Submit(func() ([]byte, error) {
+			ctx := arena.Get()
+			defer arena.Put(ctx)
+			recon, err := core.DecompressShardCtx(ctx, dev, c, payload)
+			if err != nil {
+				return nil, err
+			}
+			return valueBytes(recon), nil
+		})
 	}
 	if nextPlane != h.Dims[0] {
-		pool.Submit(func() ([]float32, error) { return nil, core.ErrCorrupt })
+		pool.Submit(func() ([]byte, error) { return nil, core.ErrCorrupt })
 	}
 	// Unlike the one-shot blob decoder (which rejects trailing bytes —
 	// a blob is exactly one container), the streaming reader stops after
@@ -434,8 +508,13 @@ func (r *Reader) feed(br io.Reader, dev *gpusim.Device, h *core.ChunkedInfo, poo
 // Dims returns the field's dims, slowest first.
 func (r *Reader) Dims() []int { return append([]int(nil), r.dims...) }
 
-// EB returns the container's absolute error bound.
+// EB returns the container's error bound: absolute, or value-range-
+// relative when RelativeEB reports true.
 func (r *Reader) EB() float64 { return r.eb }
+
+// RelativeEB reports whether the container's bound is value-range-relative
+// (format v3), resolved per shard from each shard's own range.
+func (r *Reader) RelativeEB() bool { return r.relEB }
 
 // Read serves the reconstructed field as little-endian float32 bytes.
 func (r *Reader) Read(p []byte) (int, error) {
@@ -464,7 +543,7 @@ func (r *Reader) Read(p []byte) (int, error) {
 				}
 				return 0, err
 			}
-			r.cur = valueBytes(shard)
+			r.cur = shard
 		}
 		c := copy(p[n:], r.cur)
 		n += c

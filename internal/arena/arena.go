@@ -1,0 +1,231 @@
+// Package arena provides reusable codec contexts: per-worker bundles of
+// scratch memory that the compress/decompress hot paths draw their working
+// buffers from, so steady-state codec calls perform near-zero heap
+// allocations.
+//
+// A Ctx hands out typed slices in call order. Reset reclaims every slice at
+// once (arena semantics): the next op's requests are served from the same
+// slots, so a worker that repeatedly codes same-shaped shards stops
+// allocating after the first op. This mirrors the persistent per-SM scratch
+// of the GPU designs this repository emulates (cuSZ keeps its quant-code,
+// histogram and Huffman workspaces device-resident across fields).
+//
+// Usage contract:
+//
+//   - A Ctx is single-goroutine. Per-worker slots (internal/pipeline,
+//     cuszhi/stream) or the package Get/Put pool give each concurrent shard
+//     its own Ctx; never share one across goroutines without external
+//     ordering.
+//   - Slices returned by the typed getters are valid until the next Reset
+//     and are NOT zeroed — callers overwrite or clear them.
+//   - All getters are nil-receiver safe: a nil *Ctx falls back to plain
+//     make, so every ctx-threaded API works unchanged without a context.
+//
+// Packages attach their own long-lived scratch (Huffman trees and decode
+// tables, permutation memos) via Aux keys; aux values survive Reset by
+// design — they are caches, not per-op buffers.
+package arena
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Ctx is a reusable codec context. The zero value is ready to use.
+type Ctx struct {
+	f32  bufset[float32]
+	f64  bufset[float64]
+	i64  bufset[int64]
+	i32  bufset[int32]
+	u64  bufset[uint64]
+	u32  bufset[uint32]
+	u16  bufset[uint16]
+	b    bufset[byte]
+	ints bufset[int]
+
+	aux []any
+}
+
+// NewCtx returns an empty context.
+func NewCtx() *Ctx { return &Ctx{} }
+
+// Reset reclaims every buffer handed out since the previous Reset. Aux
+// values persist (they are cross-op caches).
+func (c *Ctx) Reset() {
+	if c == nil {
+		return
+	}
+	c.f32.reset()
+	c.f64.reset()
+	c.i64.reset()
+	c.i32.reset()
+	c.u64.reset()
+	c.u32.reset()
+	c.u16.reset()
+	c.b.reset()
+	c.ints.reset()
+}
+
+// F32 returns a []float32 of length n, valid until Reset.
+func (c *Ctx) F32(n int) []float32 {
+	if c == nil {
+		return make([]float32, n)
+	}
+	return c.f32.take(n)
+}
+
+// F64 returns a []float64 of length n, valid until Reset.
+func (c *Ctx) F64(n int) []float64 {
+	if c == nil {
+		return make([]float64, n)
+	}
+	return c.f64.take(n)
+}
+
+// I64 returns a []int64 of length n, valid until Reset.
+func (c *Ctx) I64(n int) []int64 {
+	if c == nil {
+		return make([]int64, n)
+	}
+	return c.i64.take(n)
+}
+
+// I32 returns a []int32 of length n, valid until Reset.
+func (c *Ctx) I32(n int) []int32 {
+	if c == nil {
+		return make([]int32, n)
+	}
+	return c.i32.take(n)
+}
+
+// U64 returns a []uint64 of length n, valid until Reset.
+func (c *Ctx) U64(n int) []uint64 {
+	if c == nil {
+		return make([]uint64, n)
+	}
+	return c.u64.take(n)
+}
+
+// U32 returns a []uint32 of length n, valid until Reset.
+func (c *Ctx) U32(n int) []uint32 {
+	if c == nil {
+		return make([]uint32, n)
+	}
+	return c.u32.take(n)
+}
+
+// U16 returns a []uint16 of length n, valid until Reset.
+func (c *Ctx) U16(n int) []uint16 {
+	if c == nil {
+		return make([]uint16, n)
+	}
+	return c.u16.take(n)
+}
+
+// Bytes returns a []byte of length n, valid until Reset.
+func (c *Ctx) Bytes(n int) []byte {
+	if c == nil {
+		return make([]byte, n)
+	}
+	return c.b.take(n)
+}
+
+// Ints returns a []int of length n, valid until Reset.
+func (c *Ctx) Ints(n int) []int {
+	if c == nil {
+		return make([]int, n)
+	}
+	return c.ints.take(n)
+}
+
+// ---------------------------------------------------------------------------
+// Aux: package-private scratch attached to a context.
+
+// AuxKey identifies one consumer's slot in every Ctx. Allocate one per
+// package with NewAuxKey at init time.
+type AuxKey int32
+
+var auxKeys atomic.Int32
+
+// NewAuxKey allocates a process-wide unique aux slot.
+func NewAuxKey() AuxKey { return AuxKey(auxKeys.Add(1) - 1) }
+
+// Aux returns the value stored under k, or nil. Safe on a nil Ctx.
+func (c *Ctx) Aux(k AuxKey) any {
+	if c == nil || int(k) >= len(c.aux) {
+		return nil
+	}
+	return c.aux[k]
+}
+
+// SetAux stores v under k. No-op on a nil Ctx.
+func (c *Ctx) SetAux(k AuxKey, v any) {
+	if c == nil {
+		return
+	}
+	for int(k) >= len(c.aux) {
+		c.aux = append(c.aux, nil)
+	}
+	c.aux[k] = v
+}
+
+// ---------------------------------------------------------------------------
+// Context pool.
+
+var ctxPool = sync.Pool{New: func() any { return NewCtx() }}
+
+// Get returns a reset context from the process-wide pool.
+func Get() *Ctx {
+	c := ctxPool.Get().(*Ctx)
+	c.Reset()
+	return c
+}
+
+// Put returns a context to the pool. The caller must not use c (or any
+// slice obtained from it) afterwards.
+func Put(c *Ctx) {
+	if c != nil {
+		ctxPool.Put(c)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Typed slot sets.
+
+// bufset hands out slices of one element type in call order; reset
+// reclaims all of them. Capacities are rounded up to powers of two so
+// slightly varying request sizes keep hitting the same slots.
+type bufset[T any] struct {
+	slots [][]T
+	next  int
+}
+
+func (s *bufset[T]) take(n int) []T {
+	if s.next < len(s.slots) {
+		if b := s.slots[s.next]; cap(b) >= n {
+			s.next++
+			return b[:n]
+		}
+	}
+	b := make([]T, n, ceilPow2(n))
+	if s.next < len(s.slots) {
+		s.slots[s.next] = b
+	} else {
+		s.slots = append(s.slots, b)
+	}
+	s.next++
+	return b
+}
+
+func (s *bufset[T]) reset() { s.next = 0 }
+
+func ceilPow2(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	c := 1
+	for c < n {
+		c <<= 1
+	}
+	return c
+}

@@ -1,0 +1,77 @@
+package arena
+
+import "testing"
+
+func TestTakeAndReuse(t *testing.T) {
+	c := NewCtx()
+	a := c.Bytes(100)
+	b := c.Bytes(200)
+	if len(a) != 100 || len(b) != 200 {
+		t.Fatalf("lengths %d %d", len(a), len(b))
+	}
+	a[0], b[0] = 1, 2
+	c.Reset()
+	a2 := c.Bytes(100)
+	b2 := c.Bytes(200)
+	if &a2[0] != &a[0] || &b2[0] != &b[0] {
+		t.Fatal("slots not reused after Reset")
+	}
+}
+
+func TestSlotGrowth(t *testing.T) {
+	c := NewCtx()
+	_ = c.I64(16)
+	c.Reset()
+	g := c.I64(1000) // larger than slot: must grow, not panic
+	if len(g) != 1000 {
+		t.Fatalf("len %d", len(g))
+	}
+	c.Reset()
+	g2 := c.I64(900) // fits the grown slot
+	if &g2[0] != &g[0] {
+		t.Fatal("grown slot not reused")
+	}
+}
+
+func TestNilCtxFallsBackToMake(t *testing.T) {
+	var c *Ctx
+	if got := c.F32(8); len(got) != 8 {
+		t.Fatalf("nil ctx F32 len %d", len(got))
+	}
+	if got := c.U16(3); len(got) != 3 {
+		t.Fatalf("nil ctx U16 len %d", len(got))
+	}
+	c.Reset()              // must not panic
+	c.SetAux(AuxKey(0), 1) // must not panic
+	if c.Aux(AuxKey(0)) != nil {
+		t.Fatal("nil ctx aux should read nil")
+	}
+}
+
+func TestAuxSurvivesReset(t *testing.T) {
+	k := NewAuxKey()
+	c := NewCtx()
+	if c.Aux(k) != nil {
+		t.Fatal("fresh aux not nil")
+	}
+	c.SetAux(k, "memo")
+	c.Reset()
+	if c.Aux(k) != "memo" {
+		t.Fatal("aux lost across Reset")
+	}
+}
+
+func TestAllocsSteadyState(t *testing.T) {
+	c := NewCtx()
+	run := func() {
+		c.Reset()
+		_ = c.Bytes(4096)
+		_ = c.F32(1 << 12)
+		_ = c.I64(100)
+		_ = c.U16(1 << 10)
+	}
+	run() // warm the slots
+	if n := testing.AllocsPerRun(50, run); n != 0 {
+		t.Fatalf("steady state allocs = %v, want 0", n)
+	}
+}

@@ -77,7 +77,8 @@ func (w *Writer) spill() {
 }
 
 // WriteBytes appends whole bytes. If the writer is not currently
-// byte-aligned the bytes are shifted into the bit stream.
+// byte-aligned the bytes are shifted into the bit stream, eight input
+// bytes at a time through the 64-bit accumulator.
 func (w *Writer) WriteBytes(p []byte) {
 	if w.nacc%8 == 0 {
 		// Fast path: flush accumulator fully, then bulk-append.
@@ -88,6 +89,21 @@ func (w *Writer) WriteBytes(p []byte) {
 		}
 		w.buf = append(w.buf, p...)
 		return
+	}
+	// Unaligned: spill whole pending bytes so nacc < 8, then merge each
+	// 64-bit input word with the sub-byte remainder in one shift pair.
+	for w.nacc >= 8 {
+		w.buf = append(w.buf, byte(w.acc))
+		w.acc >>= 8
+		w.nacc -= 8
+	}
+	var tmp [8]byte
+	for len(p) >= 8 {
+		v := binary.LittleEndian.Uint64(p)
+		binary.LittleEndian.PutUint64(tmp[:], w.acc|v<<w.nacc)
+		w.buf = append(w.buf, tmp[:]...)
+		w.acc = v >> (64 - w.nacc)
+		p = p[8:]
 	}
 	for _, b := range p {
 		w.WriteBits(uint64(b), 8)
@@ -121,6 +137,15 @@ func (w *Writer) Bytes() []byte {
 // Reset truncates the writer to empty, retaining the buffer capacity.
 func (w *Writer) Reset() {
 	w.buf = w.buf[:0]
+	w.acc = 0
+	w.nacc = 0
+}
+
+// ResetWithBuf truncates the writer to empty and adopts buf's capacity as
+// its backing store, so pooled buffers can be reused across writers without
+// reallocating. The previous buffer is released.
+func (w *Writer) ResetWithBuf(buf []byte) {
+	w.buf = buf[:0]
 	w.acc = 0
 	w.nacc = 0
 }

@@ -23,6 +23,22 @@
 //	    payloadLen
 //	    checksum         uint32 LE, CRC-32 (IEEE) of payload
 //	    payload          a self-contained v1 container for the shard
+//
+// Format v3 extends v2 with per-shard value-range headers, so a streaming
+// writer can honor value-range-relative error bounds without a pre-pass
+// over the whole field: each shard's bound is derived from its own range
+// (which is never larger than the global range, so the global relative
+// bound still holds). The layout is identical to v2 except:
+//
+//	version  byte = 3
+//	flags    byte: bit 0 set = the eb field is a RELATIVE bound and each
+//	         shard payload carries its own absolute bound; other bits 0
+//	every chunk frame gains, between codecMode and payloadLen:
+//	    min  float32 LE   smallest value in the shard
+//	    max  float32 LE   largest value in the shard
+//
+// v1 and v2 blobs keep decoding forever; v3 is additive (the golden tests
+// lock all three layouts).
 package core
 
 import (
@@ -33,15 +49,23 @@ import (
 	"io"
 	"math"
 
+	"repro/internal/arena"
 	"repro/internal/bitio"
 	"repro/internal/gpusim"
 	"repro/internal/pipeline"
 )
 
-const version2 = 2
+const (
+	version2 = 2
+	version3 = 3
 
-// maxChunks bounds the frame count a v2 container may declare, protecting
-// the sequential frame scan from absurd headers.
+	// flagRelEB (v3) marks the header eb field as value-range-relative;
+	// each shard payload then carries its own absolute bound.
+	flagRelEB = 0x01
+)
+
+// maxChunks bounds the frame count a chunked container may declare,
+// protecting the sequential frame scan from absurd headers.
 const maxChunks = 1 << 20
 
 // CodecMode packs a shard's assembly into the per-chunk header byte.
@@ -49,10 +73,12 @@ func CodecMode(opts Options) byte {
 	return byte(opts.Predictor)<<4 | byte(opts.Pipeline)&0x0f
 }
 
-// ChunkedInfo describes a v2 container's global header.
+// ChunkedInfo describes a chunked (v2/v3) container's global header.
 type ChunkedInfo struct {
+	Version     int // 2 or 3
 	Dims        []int
-	EB          float64 // absolute error bound
+	EB          float64 // error bound: absolute, or relative when RelEB
+	RelEB       bool    // v3 only: EB is value-range-relative
 	ChunkPlanes int     // planes per shard along Dims[0]
 	NumChunks   int
 }
@@ -85,6 +111,7 @@ type ChunkInfo struct {
 	Offset    int   // plane index along dims[0]
 	Dims      []int // shard dims
 	CodecMode byte
+	Min, Max  float32 // shard value range (v3 frames only)
 	Checksum  uint32
 }
 
@@ -93,6 +120,21 @@ type ChunkInfo struct {
 
 // AppendChunkedHeader serializes the v2 global header.
 func AppendChunkedHeader(dst []byte, dims []int, eb float64, chunkPlanes int) ([]byte, error) {
+	return appendChunkedHeader(dst, version2, 0, dims, eb, chunkPlanes)
+}
+
+// AppendChunkedHeaderV3 serializes a v3 global header. relative marks the
+// eb field as value-range-relative (each shard payload then embeds its own
+// absolute bound, derived from the shard's value range).
+func AppendChunkedHeaderV3(dst []byte, dims []int, eb float64, relative bool, chunkPlanes int) ([]byte, error) {
+	var flags byte
+	if relative {
+		flags = flagRelEB
+	}
+	return appendChunkedHeader(dst, version3, flags, dims, eb, chunkPlanes)
+}
+
+func appendChunkedHeader(dst []byte, ver, flags byte, dims []int, eb float64, chunkPlanes int) ([]byte, error) {
 	if eb <= 0 || math.IsInf(eb, 0) || math.IsNaN(eb) {
 		return nil, fmt.Errorf("core: invalid error bound %v", eb)
 	}
@@ -111,7 +153,7 @@ func AppendChunkedHeader(dst []byte, dims []int, eb float64, chunkPlanes int) ([
 		return nil, fmt.Errorf("core: %d chunks exceeds the %d limit; raise chunk planes", n, maxChunks)
 	}
 	dst = append(dst, magic[:]...)
-	dst = append(dst, version2, 0)
+	dst = append(dst, ver, flags)
 	dst = bitio.AppendUvarint(dst, uint64(len(dims)))
 	for _, d := range dims {
 		dst = bitio.AppendUvarint(dst, uint64(d))
@@ -122,7 +164,7 @@ func AppendChunkedHeader(dst []byte, dims []int, eb float64, chunkPlanes int) ([
 	return dst, nil
 }
 
-// AppendChunkFrame serializes one chunk frame (header + payload).
+// AppendChunkFrame serializes one v2 chunk frame (header + payload).
 func AppendChunkFrame(dst []byte, opts Options, offset int, shardDims []int, payload []byte) []byte {
 	dst = bitio.AppendUvarint(dst, uint64(offset))
 	for _, d := range shardDims {
@@ -136,14 +178,60 @@ func AppendChunkFrame(dst []byte, opts Options, offset int, shardDims []int, pay
 	return append(dst, payload...)
 }
 
+// AppendChunkFrameV3 serializes one v3 chunk frame, which carries the
+// shard's value range between the codec-mode byte and the payload length.
+func AppendChunkFrameV3(dst []byte, opts Options, offset int, shardDims []int, minV, maxV float32, payload []byte) []byte {
+	dst = bitio.AppendUvarint(dst, uint64(offset))
+	for _, d := range shardDims {
+		dst = bitio.AppendUvarint(dst, uint64(d))
+	}
+	dst = append(dst, CodecMode(opts))
+	dst = bitio.AppendUint32(dst, math.Float32bits(minV))
+	dst = bitio.AppendUint32(dst, math.Float32bits(maxV))
+	dst = bitio.AppendUvarint(dst, uint64(len(payload)))
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(payload))
+	dst = append(dst, crc[:]...)
+	return append(dst, payload...)
+}
+
+// ShardRange scans one slab of values for its min/max — the v3 per-shard
+// range header. NaNs are skipped, as the whole-file range pre-pass this
+// replaces did; ok is false when the shard is empty or all-NaN.
+func ShardRange(vs []float32) (minV, maxV float32, ok bool) {
+	i := 0
+	for i < len(vs) && vs[i] != vs[i] { // skip leading NaNs
+		i++
+	}
+	if i == len(vs) {
+		return 0, 0, false
+	}
+	minV, maxV = vs[i], vs[i]
+	for _, v := range vs[i+1:] {
+		if v < minV {
+			minV = v
+		}
+		if v > maxV {
+			maxV = v
+		}
+	}
+	return minV, maxV, true
+}
+
 // CompressShard compresses one slab of chunkPlanes (or fewer, for the last
 // shard) planes starting at plane `offset` into a framed chunk. data is the
 // full field; the shard is the contiguous sub-slice along dims[0].
 func CompressShard(dev *gpusim.Device, data []float32, dims []int, eb float64, opts Options, offset, planes int) ([]byte, error) {
+	return CompressShardCtx(nil, dev, data, dims, eb, opts, offset, planes)
+}
+
+// CompressShardCtx is CompressShard drawing scratch from a reusable
+// context. The returned frame is a fresh allocation.
+func CompressShardCtx(ctx *arena.Ctx, dev *gpusim.Device, data []float32, dims []int, eb float64, opts Options, offset, planes int) ([]byte, error) {
 	ps := planeSize(dims)
 	shard := data[offset*ps : (offset+planes)*ps]
 	shardDims := append([]int{planes}, dims[1:]...)
-	payload, err := Compress(dev, shard, shardDims, eb, opts)
+	payload, err := CompressCtx(ctx, dev, shard, shardDims, eb, opts)
 	if err != nil {
 		return nil, fmt.Errorf("core: shard at plane %d: %w", offset, err)
 	}
@@ -151,7 +239,8 @@ func CompressShard(dev *gpusim.Device, data []float32, dims []int, eb float64, o
 }
 
 // CompressChunked encodes data into a v2 multi-chunk container, compressing
-// shards of chunkPlanes planes concurrently on dev's worker pool.
+// shards of chunkPlanes planes concurrently on dev's worker pool. Each
+// worker compresses through its own reusable codec context.
 func CompressChunked(dev *gpusim.Device, data []float32, dims []int, eb float64, opts Options, chunkPlanes int) ([]byte, error) {
 	total := 1
 	for _, d := range dims {
@@ -165,13 +254,17 @@ func CompressChunked(dev *gpusim.Device, data []float32, dims []int, eb float64,
 		return nil, err
 	}
 	n := numChunks(dims, chunkPlanes)
-	frames, err := pipeline.Map(dev.Workers(), n, func(i int) ([]byte, error) {
+	ctxs := workerCtxs(dev.Workers(), n)
+	defer releaseCtxs(ctxs)
+	frames, err := pipeline.MapWorker(dev.Workers(), n, func(w, i int) ([]byte, error) {
+		ctx := ctxs[w]
+		ctx.Reset()
 		offset := i * chunkPlanes
 		planes := chunkPlanes
 		if offset+planes > dims[0] {
 			planes = dims[0] - offset
 		}
-		return CompressShard(dev, data, dims, eb, opts, offset, planes)
+		return CompressShardCtx(ctx, dev, data, dims, eb, opts, offset, planes)
 	})
 	if err != nil {
 		return nil, err
@@ -180,6 +273,27 @@ func CompressChunked(dev *gpusim.Device, data []float32, dims []int, eb float64,
 		out = append(out, f...)
 	}
 	return out, nil
+}
+
+// workerCtxs draws one codec context per worker slot from the arena pool.
+func workerCtxs(workers, jobs int) []*arena.Ctx {
+	if workers <= 0 || workers > jobs {
+		workers = jobs
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	ctxs := make([]*arena.Ctx, workers)
+	for i := range ctxs {
+		ctxs[i] = arena.Get()
+	}
+	return ctxs
+}
+
+func releaseCtxs(ctxs []*arena.Ctx) {
+	for _, c := range ctxs {
+		arena.Put(c)
+	}
 }
 
 // ---------------------------------------------------------------------------
@@ -216,8 +330,8 @@ func SniffVersion(prefix []byte) (int, bool) {
 	return int(prefix[4]), true
 }
 
-// ReadChunkedHeader parses a v2 global header from r (including the magic
-// and version bytes).
+// ReadChunkedHeader parses a chunked (v2 or v3) global header from r
+// (including the magic and version bytes).
 func ReadChunkedHeader(r io.Reader) (*ChunkedInfo, error) {
 	var pre [6]byte
 	if _, err := io.ReadFull(r, pre[:]); err != nil {
@@ -226,19 +340,29 @@ func ReadChunkedHeader(r io.Reader) (*ChunkedInfo, error) {
 	if !bytes.Equal(pre[:4], magic[:]) {
 		return nil, ErrCorrupt
 	}
-	if pre[4] != version2 {
+	if pre[4] != version2 && pre[4] != version3 {
 		return nil, fmt.Errorf("core: not a chunked container (version %d)", pre[4])
 	}
-	return readChunkedHeaderBody(r)
+	return readChunkedHeaderBody(r, pre[4], pre[5])
 }
 
-// readChunkedHeaderBody parses the v2 header after magic/version/flags.
-func readChunkedHeaderBody(r io.Reader) (*ChunkedInfo, error) {
+// readChunkedHeaderBody parses the chunked header after magic/version/flags.
+func readChunkedHeaderBody(r io.Reader, ver, flags byte) (*ChunkedInfo, error) {
+	if ver == version2 && flags != 0 {
+		return nil, ErrCorrupt // v2 reserves the flags byte as zero
+	}
+	if ver == version3 && flags&^byte(flagRelEB) != 0 {
+		return nil, ErrCorrupt
+	}
 	nd, err := readUvarint(r)
 	if err != nil || nd == 0 || nd > 8 {
 		return nil, ErrCorrupt
 	}
-	h := &ChunkedInfo{Dims: make([]int, nd)}
+	h := &ChunkedInfo{
+		Version: int(ver),
+		RelEB:   ver == version3 && flags&flagRelEB != 0,
+		Dims:    make([]int, nd),
+	}
 	total := 1
 	for i := range h.Dims {
 		v, err := readUvarint(r)
@@ -281,6 +405,12 @@ func readChunkedHeaderBody(r io.Reader) (*ChunkedInfo, error) {
 func validateChunkFrame(h *ChunkedInfo, c *ChunkInfo, plen uint64) error {
 	if c.Offset >= h.Dims[0] {
 		return ErrCorrupt
+	}
+	if h.Version >= version3 {
+		// The v3 range header must be an ordered, finite pair.
+		if math.IsNaN(float64(c.Min)) || math.IsNaN(float64(c.Max)) || c.Min > c.Max {
+			return ErrCorrupt
+		}
 	}
 	elems := 1
 	for i, d := range c.Dims {
@@ -361,6 +491,14 @@ func ReadChunkFrame(r io.Reader, h *ChunkedInfo) (*ChunkInfo, []byte, error) {
 		return nil, nil, ErrCorrupt
 	}
 	c.CodecMode = mode[0]
+	if h.Version >= version3 {
+		var rng [8]byte
+		if _, err := io.ReadFull(r, rng[:]); err != nil {
+			return nil, nil, ErrCorrupt
+		}
+		c.Min = math.Float32frombits(binary.LittleEndian.Uint32(rng[:4]))
+		c.Max = math.Float32frombits(binary.LittleEndian.Uint32(rng[4:]))
+	}
 	plen, err := readUvarint(r)
 	if err != nil {
 		return nil, nil, ErrCorrupt
@@ -389,6 +527,12 @@ func ReadChunkFrame(r io.Reader, h *ChunkedInfo) (*ChunkInfo, []byte, error) {
 // byte (the pipeline nibble is advisory — the payload self-describes it at
 // a mode-dependent offset).
 func DecompressShard(dev *gpusim.Device, c *ChunkInfo, payload []byte) ([]float32, error) {
+	return DecompressShardCtx(nil, dev, c, payload)
+}
+
+// DecompressShardCtx is DecompressShard with a reusable context. With a
+// non-nil ctx the returned slab is context scratch, valid until ctx.Reset.
+func DecompressShardCtx(ctx *arena.Ctx, dev *gpusim.Device, c *ChunkInfo, payload []byte) ([]float32, error) {
 	if len(payload) < 6 || payload[4] != version {
 		return nil, ErrCorrupt
 	}
@@ -396,7 +540,7 @@ func DecompressShard(dev *gpusim.Device, c *ChunkInfo, payload []byte) ([]float3
 		return nil, fmt.Errorf("core: chunk at plane %d: codec mode %#x disagrees with payload predictor %d: %w",
 			c.Offset, c.CodecMode, payload[5], ErrCorrupt)
 	}
-	recon, rdims, err := Decompress(dev, payload)
+	recon, rdims, err := DecompressCtx(ctx, dev, payload)
 	if err != nil {
 		return nil, err
 	}
@@ -441,6 +585,14 @@ func scanChunkFrame(blob []byte, off int, h *ChunkedInfo) (*ChunkInfo, []byte, i
 	}
 	c.CodecMode = blob[off]
 	off++
+	if h.Version >= version3 {
+		if off+8 > len(blob) {
+			return nil, nil, 0, ErrCorrupt
+		}
+		c.Min = math.Float32frombits(binary.LittleEndian.Uint32(blob[off:]))
+		c.Max = math.Float32frombits(binary.LittleEndian.Uint32(blob[off+4:]))
+		off += 8
+	}
 	plen, ok := readUv()
 	if !ok {
 		return nil, nil, 0, ErrCorrupt
@@ -461,12 +613,14 @@ func scanChunkFrame(blob []byte, off int, h *ChunkedInfo) (*ChunkInfo, []byte, i
 	return c, payload, off, nil
 }
 
-// decompressChunked decodes a v2 container: the frames are scanned
-// sequentially (cheap, zero-copy — payloads stay subslices of blob), then
-// decoded concurrently into the output field.
-func decompressChunked(dev *gpusim.Device, blob []byte) ([]float32, []int, error) {
+// decompressChunked decodes a chunked (v2/v3) container: the frames are
+// scanned sequentially (cheap, zero-copy — payloads stay subslices of
+// blob), then decoded concurrently into the output field, each worker
+// reusing its own pooled codec context across shards. The output field is
+// drawn from the caller's ctx (scratch) when one is supplied.
+func decompressChunked(ctx *arena.Ctx, dev *gpusim.Device, blob []byte) ([]float32, []int, error) {
 	r := bytes.NewReader(blob[6:]) // past magic + version + flags
-	h, err := readChunkedHeaderBody(r)
+	h, err := readChunkedHeaderBody(r, blob[4], blob[5])
 	if err != nil {
 		return nil, nil, err
 	}
@@ -494,17 +648,25 @@ func decompressChunked(dev *gpusim.Device, blob []byte) ([]float32, []int, error
 	}
 	// Decode the first shard before allocating the full output, so a
 	// hostile header over bogus payloads fails before it can force the
-	// field-sized allocation.
-	first, err := DecompressShard(dev, chunks[0].info, chunks[0].payload)
+	// field-sized allocation. The shard slab is worker-context scratch;
+	// it is copied into the output before the context is recycled.
+	firstCtx := arena.Get()
+	first, err := DecompressShardCtx(firstCtx, dev, chunks[0].info, chunks[0].payload)
 	if err != nil {
+		arena.Put(firstCtx)
 		return nil, nil, err
 	}
-	out := make([]float32, h.Total())
+	out := ctx.F32(h.Total())
 	ps := planeSize(h.Dims)
 	copy(out, first) // chunk 0 starts at plane 0 (coverage validated above)
-	_, err = pipeline.Map(dev.Workers(), len(chunks)-1, func(i int) (struct{}, error) {
+	arena.Put(firstCtx)
+	ctxs := workerCtxs(dev.Workers(), len(chunks)-1)
+	defer releaseCtxs(ctxs)
+	_, err = pipeline.MapWorker(dev.Workers(), len(chunks)-1, func(w, i int) (struct{}, error) {
+		ctx := ctxs[w]
+		ctx.Reset()
 		c := chunks[i+1]
-		recon, err := DecompressShard(dev, c.info, c.payload)
+		recon, err := DecompressShardCtx(ctx, dev, c.info, c.payload)
 		if err != nil {
 			return struct{}{}, err
 		}
@@ -525,11 +687,12 @@ type Info struct {
 	Version     int
 	Dims        []int
 	EB          float64
-	NumChunks   int // 0 for v1 containers
-	ChunkPlanes int // 0 for v1 containers
+	RelEB       bool // v3 only: EB is value-range-relative
+	NumChunks   int  // 0 for v1 containers
+	ChunkPlanes int  // 0 for v1 containers
 }
 
-// Inspect reads a container's headers (v1 or v2).
+// Inspect reads a container's headers (any format version).
 func Inspect(blob []byte) (*Info, error) {
 	if len(blob) < 6 || !bytes.Equal(blob[:4], magic[:]) {
 		return nil, ErrCorrupt
@@ -555,12 +718,12 @@ func Inspect(blob []byte) (*Info, error) {
 		}
 		info.EB = math.Float64frombits(binary.LittleEndian.Uint64(ebb[:]))
 		return info, nil
-	case version2:
+	case version2, version3:
 		h, err := ReadChunkedHeader(bytes.NewReader(blob))
 		if err != nil {
 			return nil, err
 		}
-		return &Info{Version: version2, Dims: h.Dims, EB: h.EB,
+		return &Info{Version: h.Version, Dims: h.Dims, EB: h.EB, RelEB: h.RelEB,
 			NumChunks: h.NumChunks, ChunkPlanes: h.ChunkPlanes}, nil
 	}
 	return nil, fmt.Errorf("core: unsupported version %d", blob[4])

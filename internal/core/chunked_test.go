@@ -291,3 +291,90 @@ func TestChunkedHeaderGolden(t *testing.T) {
 		t.Fatalf("chunk0 payload prefix = % x", payload[:5])
 	}
 }
+
+// TestV3HeaderGolden locks the v3 container layout byte-for-byte: the v2
+// framing plus the relative-EB flag and the per-shard value-range header
+// between the codec-mode byte and the payload length.
+func TestV3HeaderGolden(t *testing.T) {
+	opts := CuszL()
+	header, err := AppendChunkedHeaderV3(nil, []int{4, 2, 2}, 0.25, true, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{
+		'c', 'S', 'Z', 'h', // magic
+		3, 1, // version, flags (bit 0 = relative EB)
+		3, 4, 2, 2, // ndims, dims
+	}
+	if !bytes.Equal(header[:len(want)], want) {
+		t.Fatalf("header prefix = % x, want % x", header[:len(want)], want)
+	}
+	off := len(want)
+	if eb := math.Float64frombits(binary.LittleEndian.Uint64(header[off:])); eb != 0.25 {
+		t.Fatalf("eb = %v", eb)
+	}
+	off += 8
+	if header[off] != 2 || header[off+1] != 2 { // chunkPlanes, nchunks
+		t.Fatalf("chunkPlanes/nchunks = %d %d", header[off], header[off+1])
+	}
+	if off+2 != len(header) {
+		t.Fatalf("header length %d, want %d", len(header), off+2)
+	}
+
+	// Frame layout: offset, shardDims, codecMode, min/max float32, plen,
+	// crc, payload.
+	payload := []byte{1, 2, 3}
+	frame := AppendChunkFrameV3(nil, opts, 0, []int{2, 2, 2}, -1.5, 2.5, payload)
+	if frame[0] != 0 || frame[1] != 2 || frame[2] != 2 || frame[3] != 2 {
+		t.Fatalf("frame prefix = % x", frame[:4])
+	}
+	if frame[4] != CodecMode(opts) {
+		t.Fatalf("codec mode = %#x", frame[4])
+	}
+	if math.Float32frombits(binary.LittleEndian.Uint32(frame[5:])) != -1.5 ||
+		math.Float32frombits(binary.LittleEndian.Uint32(frame[9:])) != 2.5 {
+		t.Fatal("range header not at bytes 5..12")
+	}
+	if frame[13] != 3 { // payload length varint
+		t.Fatalf("plen byte = %d", frame[13])
+	}
+	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(frame[14:]) {
+		t.Fatal("checksum does not cover payload")
+	}
+	if !bytes.Equal(frame[18:], payload) {
+		t.Fatal("payload bytes not at frame tail")
+	}
+}
+
+// TestV3RejectsBadRange proves the shared frame validator refuses v3
+// frames whose range header is unordered or NaN.
+func TestV3RejectsBadRange(t *testing.T) {
+	h := &ChunkedInfo{Version: 3, Dims: []int{10, 4, 4}, EB: 0.1, ChunkPlanes: 4, NumChunks: 3}
+	opts := CuszL()
+	bad := AppendChunkFrameV3(nil, opts, 0, []int{4, 4, 4}, 5, -5, []byte{1})
+	if _, _, err := ReadChunkFrame(bytes.NewReader(bad), h); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("unordered range: err = %v", err)
+	}
+	nan := AppendChunkFrameV3(nil, opts, 0, []int{4, 4, 4}, float32(math.NaN()), 1, []byte{1})
+	if _, _, err := ReadChunkFrame(bytes.NewReader(nan), h); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("NaN range: err = %v", err)
+	}
+	if _, _, _, err := scanChunkFrame(bad, 0, h); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("unordered range via blob scan: err = %v", err)
+	}
+}
+
+// TestV2RejectsNonzeroFlags: the v2 flags byte is reserved as zero; a
+// nonzero value must be refused rather than silently reinterpreted.
+func TestV2RejectsNonzeroFlags(t *testing.T) {
+	dims := []int{4, 2, 2}
+	blob, err := CompressChunked(dev, rampField(16), dims, 0.25, CuszL(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := append([]byte(nil), blob...)
+	bad[5] = 1
+	if _, _, err := Decompress(dev, bad); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("v2 with flags=1: err = %v", err)
+	}
+}

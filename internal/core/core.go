@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/arena"
 	"repro/internal/bitcomp"
 	"repro/internal/bitio"
 	"repro/internal/gpusim"
@@ -30,6 +31,14 @@ import (
 	"repro/internal/lccodec"
 	"repro/internal/lorenzo"
 	"repro/internal/quant"
+)
+
+// Parsed pipeline singletons for the hot paths (Parse is cheap but not
+// free, and these run once per shard).
+var (
+	pipeHiCR     = lccodec.HiCR()
+	pipeHiCRTail = lccodec.HiCRTail()
+	pipeHiTP     = lccodec.HiTP()
 )
 
 // ErrCorrupt reports a malformed container.
@@ -186,6 +195,13 @@ func AblationVariants() []Options {
 
 // Compress encodes data (dims slowest-first) under absolute error bound eb.
 func Compress(dev *gpusim.Device, data []float32, dims []int, eb float64, opts Options) ([]byte, error) {
+	return CompressCtx(nil, dev, data, dims, eb, opts)
+}
+
+// CompressCtx is Compress drawing all working memory from a reusable codec
+// context (nil behaves like Compress). The returned container is always a
+// fresh allocation owned by the caller; only internal scratch is pooled.
+func CompressCtx(ctx *arena.Ctx, dev *gpusim.Device, data []float32, dims []int, eb float64, opts Options) ([]byte, error) {
 	if eb <= 0 || math.IsInf(eb, 0) || math.IsNaN(eb) {
 		return nil, fmt.Errorf("core: invalid error bound %v", eb)
 	}
@@ -199,7 +215,10 @@ func Compress(dev *gpusim.Device, data []float32, dims []int, eb float64, opts O
 	if total != len(data) {
 		return nil, fmt.Errorf("core: dims %v do not match %d values", dims, len(data))
 	}
-	out := append([]byte(nil), magic[:]...)
+	// One generous allocation for the container; appends below should stay
+	// within it for typical ratios, keeping steady-state allocs flat.
+	out := make([]byte, 0, len(data)/2+4096)
+	out = append(out, magic[:]...)
 	out = append(out, version, byte(opts.Predictor))
 	out = bitio.AppendUvarint(out, uint64(len(dims)))
 	for _, d := range dims {
@@ -208,23 +227,33 @@ func Compress(dev *gpusim.Device, data []float32, dims []int, eb float64, opts O
 	out = bitio.AppendUint64(out, math.Float64bits(eb))
 	switch opts.Predictor {
 	case PredInterp:
-		return compressInterp(dev, out, data, dims, eb, opts)
+		return compressInterp(ctx, dev, out, data, dims, eb, opts)
 	case PredLorenzo:
-		return compressLorenzo(dev, out, data, dims, eb, opts)
+		return compressLorenzo(ctx, dev, out, data, dims, eb, opts)
 	}
 	return nil, fmt.Errorf("core: unknown predictor %d", opts.Predictor)
 }
 
-func encodeCodes(dev *gpusim.Device, codes []byte, p Pipeline) ([]byte, error) {
+// encodeCodes runs the lossless pipeline over the quant codes. freq, when
+// non-nil, is the code histogram accumulated during quantization; pipelines
+// whose first stage is the Huffman coder consume it instead of re-scanning
+// the codes (the quantize+histogram fusion).
+func encodeCodes(ctx *arena.Ctx, dev *gpusim.Device, codes []byte, freq []int64, p Pipeline) ([]byte, error) {
 	switch p {
 	case PipeHiCR:
-		return lccodec.HiCR().Encode(dev, codes)
+		// HF first, fed the fused histogram, then the rest of the chain —
+		// byte-identical to running the full HF-RRE4-TCMS8-RZE1 pipeline.
+		hf, err := huffman.EncodeBytesCtx(ctx, dev, codes, freq)
+		if err != nil {
+			return nil, err
+		}
+		return pipeHiCRTail.EncodeCtx(ctx, dev, hf)
 	case PipeHiTP:
-		return lccodec.HiTP().Encode(dev, codes)
+		return pipeHiTP.EncodeCtx(ctx, dev, codes)
 	case PipeHuff:
-		return huffman.EncodeBytes(dev, codes)
+		return huffman.EncodeBytesCtx(ctx, dev, codes, freq)
 	case PipeHuffBitcomp:
-		hf, err := huffman.EncodeBytes(dev, codes)
+		hf, err := huffman.EncodeBytesCtx(ctx, dev, codes, freq)
 		if err != nil {
 			return nil, err
 		}
@@ -233,25 +262,25 @@ func encodeCodes(dev *gpusim.Device, codes []byte, p Pipeline) ([]byte, error) {
 	return nil, fmt.Errorf("core: unknown pipeline %d", p)
 }
 
-func decodeCodes(dev *gpusim.Device, payload []byte, p Pipeline) ([]byte, error) {
+func decodeCodes(ctx *arena.Ctx, dev *gpusim.Device, payload []byte, p Pipeline) ([]byte, error) {
 	switch p {
 	case PipeHiCR:
-		return lccodec.HiCR().Decode(dev, payload)
+		return pipeHiCR.DecodeCtx(ctx, dev, payload)
 	case PipeHiTP:
-		return lccodec.HiTP().Decode(dev, payload)
+		return pipeHiTP.DecodeCtx(ctx, dev, payload)
 	case PipeHuff:
-		return huffman.DecodeBytes(dev, payload)
+		return huffman.DecodeBytesCtx(ctx, dev, payload)
 	case PipeHuffBitcomp:
 		hf, err := bitcomp.Decompress(dev, payload)
 		if err != nil {
 			return nil, err
 		}
-		return huffman.DecodeBytes(dev, hf)
+		return huffman.DecodeBytesCtx(ctx, dev, hf)
 	}
 	return nil, fmt.Errorf("core: unknown pipeline %d", p)
 }
 
-func compressInterp(dev *gpusim.Device, out []byte, data []float32, dims []int, eb float64, opts Options) ([]byte, error) {
+func compressInterp(ctx *arena.Ctx, dev *gpusim.Device, out []byte, data []float32, dims []int, eb float64, opts Options) ([]byte, error) {
 	cfg := opts.Interp
 	g := interp.NewGrid(dims)
 	if opts.GlobalInterp {
@@ -269,7 +298,7 @@ func compressInterp(dev *gpusim.Device, out []byte, data []float32, dims []int, 
 	if opts.AutoTune {
 		cfg.PerLevel = interp.AutoTune(dev, data, g, cfg, interp.DefaultSampleFraction)
 	}
-	res, err := interp.Compress(dev, data, g, cfg, eb)
+	res, err := interp.CompressCtx(ctx, dev, data, g, cfg, eb)
 	if err != nil {
 		return nil, err
 	}
@@ -288,7 +317,7 @@ func compressInterp(dev *gpusim.Device, out []byte, data []float32, dims []int, 
 		out = append(out, byte(lc.Scheme), byte(lc.Spline))
 	}
 	// Anchors.
-	anchorBytes := make([]byte, 4*len(res.Anchors))
+	anchorBytes := ctx.Bytes(4 * len(res.Anchors))
 	for i, v := range res.Anchors {
 		binary.LittleEndian.PutUint32(anchorBytes[4*i:], math.Float32bits(v))
 	}
@@ -299,12 +328,12 @@ func compressInterp(dev *gpusim.Device, out []byte, data []float32, dims []int, 
 	// Codes, optionally reordered, through the lossless pipeline.
 	codes := res.Codes
 	if opts.Reorder {
-		perm := quant.LevelOrderPerm(dims, cfg.AnchorStride)
-		reordered := make([]uint8, len(codes))
+		perm := quant.LevelOrderPermCtx(ctx, dims, cfg.AnchorStride)
+		reordered := ctx.Bytes(len(codes))
 		quant.Apply(dev, perm, codes, reordered)
 		codes = reordered
 	}
-	payload, err := encodeCodes(dev, codes, opts.Pipeline)
+	payload, err := encodeCodes(ctx, dev, codes, res.Freq, opts.Pipeline)
 	if err != nil {
 		return nil, err
 	}
@@ -312,9 +341,9 @@ func compressInterp(dev *gpusim.Device, out []byte, data []float32, dims []int, 
 	return append(out, payload...), nil
 }
 
-func compressLorenzo(dev *gpusim.Device, out []byte, data []float32, dims []int, eb float64, opts Options) ([]byte, error) {
+func compressLorenzo(ctx *arena.Ctx, dev *gpusim.Device, out []byte, data []float32, dims []int, eb float64, opts Options) ([]byte, error) {
 	g := lorenzo.NewGrid(dims)
-	res, err := lorenzo.Compress(dev, data, g, eb)
+	res, err := lorenzo.CompressCtx(ctx, dev, data, g, eb)
 	if err != nil {
 		return nil, err
 	}
@@ -327,9 +356,9 @@ func compressLorenzo(dev *gpusim.Device, out []byte, data []float32, dims []int,
 	var payload []byte
 	switch opts.Pipeline {
 	case PipeHuff:
-		payload, err = huffman.Encode(dev, res.Codes, lorenzo.Alphabet)
+		payload, err = huffman.EncodeCtx(ctx, dev, res.Codes, lorenzo.Alphabet, res.Freq)
 	case PipeHuffBitcomp:
-		payload, err = huffman.Encode(dev, res.Codes, lorenzo.Alphabet)
+		payload, err = huffman.EncodeCtx(ctx, dev, res.Codes, lorenzo.Alphabet, res.Freq)
 		if err == nil {
 			payload, err = bitcomp.Compress(dev, payload)
 		}
@@ -349,11 +378,19 @@ func compressLorenzo(dev *gpusim.Device, out []byte, data []float32, dims []int,
 // Decompress decodes any container produced by Compress, returning the
 // reconstructed field and its dims.
 func Decompress(dev *gpusim.Device, blob []byte) ([]float32, []int, error) {
+	return DecompressCtx(nil, dev, blob)
+}
+
+// DecompressCtx is Decompress drawing all working memory from a reusable
+// codec context (nil behaves like Decompress). With a non-nil ctx the
+// returned field and dims are context scratch, valid until the next
+// ctx.Reset — copy them out before recycling the context.
+func DecompressCtx(ctx *arena.Ctx, dev *gpusim.Device, blob []byte) ([]float32, []int, error) {
 	if len(blob) < 6 || !bytes.Equal(blob[:4], magic[:]) {
 		return nil, nil, ErrCorrupt
 	}
-	if blob[4] == version2 {
-		return decompressChunked(dev, blob)
+	if blob[4] == version2 || blob[4] == version3 {
+		return decompressChunked(ctx, dev, blob)
 	}
 	if blob[4] != version {
 		return nil, nil, fmt.Errorf("core: unsupported version %d", blob[4])
@@ -365,7 +402,7 @@ func Decompress(dev *gpusim.Device, blob []byte) ([]float32, []int, error) {
 		return nil, nil, ErrCorrupt
 	}
 	off += n
-	dims := make([]int, nd64)
+	dims := ctx.Ints(int(nd64))
 	total := 1
 	for i := range dims {
 		v, n := bitio.Uvarint(blob[off:])
@@ -389,14 +426,14 @@ func Decompress(dev *gpusim.Device, blob []byte) ([]float32, []int, error) {
 	}
 	switch pred {
 	case PredInterp:
-		return decompressInterp(dev, blob, off, dims, total, eb)
+		return decompressInterp(ctx, dev, blob, off, dims, total, eb)
 	case PredLorenzo:
-		return decompressLorenzo(dev, blob, off, dims, total, eb)
+		return decompressLorenzo(ctx, dev, blob, off, dims, total, eb)
 	}
 	return nil, nil, ErrCorrupt
 }
 
-func decompressInterp(dev *gpusim.Device, blob []byte, off int, dims []int, total int, eb float64) ([]float32, []int, error) {
+func decompressInterp(ctx *arena.Ctx, dev *gpusim.Device, blob []byte, off int, dims []int, total int, eb float64) ([]float32, []int, error) {
 	if off+2 > len(blob) {
 		return nil, nil, ErrCorrupt
 	}
@@ -449,12 +486,13 @@ func decompressInterp(dev *gpusim.Device, blob []byte, off int, dims []int, tota
 	if !ok || off+anchorLen > len(blob) || anchorLen != 4*g.AnchorCount(stride) {
 		return nil, nil, ErrCorrupt
 	}
-	anchors := make([]float32, anchorLen/4)
+	anchors := ctx.F32(anchorLen / 4)
 	for i := range anchors {
 		anchors[i] = math.Float32frombits(binary.LittleEndian.Uint32(blob[off+4*i:]))
 	}
 	off += anchorLen
-	outliers, used, err := quant.ParseOutliers(blob[off:])
+	var outliers quant.Outliers
+	used, err := quant.ParseOutliersInto(ctx, &outliers, blob[off:])
 	if err != nil {
 		return nil, nil, err
 	}
@@ -463,7 +501,7 @@ func decompressInterp(dev *gpusim.Device, blob []byte, off int, dims []int, tota
 	if !ok || off+payLen > len(blob) {
 		return nil, nil, ErrCorrupt
 	}
-	codes, err := decodeCodes(dev, blob[off:off+payLen], pipe)
+	codes, err := decodeCodes(ctx, dev, blob[off:off+payLen], pipe)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -471,20 +509,20 @@ func decompressInterp(dev *gpusim.Device, blob []byte, off int, dims []int, tota
 		return nil, nil, ErrCorrupt
 	}
 	if reorder {
-		perm := quant.LevelOrderPerm(dims, stride)
-		natural := make([]uint8, total)
+		perm := quant.LevelOrderPermCtx(ctx, dims, stride)
+		natural := ctx.Bytes(total)
 		quant.Invert(dev, perm, codes, natural)
 		codes = natural
 	}
-	res := &interp.Result{Codes: codes, Anchors: anchors, Outliers: outliers}
-	recon, err := interp.Decompress(dev, res, g, cfg, eb)
+	res := &interp.Result{Codes: codes, Anchors: anchors, Outliers: &outliers}
+	recon, err := interp.DecompressCtx(ctx, dev, res, g, cfg, eb)
 	if err != nil {
 		return nil, nil, err
 	}
 	return recon, dims, nil
 }
 
-func decompressLorenzo(dev *gpusim.Device, blob []byte, off int, dims []int, total int, eb float64) ([]float32, []int, error) {
+func decompressLorenzo(ctx *arena.Ctx, dev *gpusim.Device, blob []byte, off int, dims []int, total int, eb float64) ([]float32, []int, error) {
 	if off >= len(blob) {
 		return nil, nil, ErrCorrupt
 	}
@@ -495,7 +533,7 @@ func decompressLorenzo(dev *gpusim.Device, blob []byte, off int, dims []int, tot
 		return nil, nil, ErrCorrupt
 	}
 	off += n
-	escapes := make([]int64, nEsc64)
+	escapes := ctx.I64(int(nEsc64))
 	for i := range escapes {
 		z, n := bitio.Uvarint(blob[off:])
 		if n == 0 {
@@ -504,7 +542,9 @@ func decompressLorenzo(dev *gpusim.Device, blob []byte, off int, dims []int, tot
 		off += n
 		escapes[i] = bitio.UnZigZag(z)
 	}
-	outliers, used, err := quant.ParseOutliers(blob[off:])
+	var res lorenzo.Result
+	res.Escapes = escapes
+	used, err := quant.ParseOutliersInto(ctx, &res.ValOutliers, blob[off:])
 	if err != nil {
 		return nil, nil, err
 	}
@@ -515,15 +555,14 @@ func decompressLorenzo(dev *gpusim.Device, blob []byte, off int, dims []int, tot
 	}
 	off += n
 	payload := blob[off : off+int(payLen64)]
-	var codes []uint16
 	switch pipe {
 	case PipeHuff:
-		codes, err = huffman.Decode(dev, payload)
+		res.Codes, err = huffman.DecodeCtx(ctx, dev, payload)
 	case PipeHuffBitcomp:
 		var hf []byte
 		hf, err = bitcomp.Decompress(dev, payload)
 		if err == nil {
-			codes, err = huffman.Decode(dev, hf)
+			res.Codes, err = huffman.DecodeCtx(ctx, dev, hf)
 		}
 	default:
 		return nil, nil, ErrCorrupt
@@ -531,11 +570,10 @@ func decompressLorenzo(dev *gpusim.Device, blob []byte, off int, dims []int, tot
 	if err != nil {
 		return nil, nil, err
 	}
-	if len(codes) != total {
+	if len(res.Codes) != total {
 		return nil, nil, ErrCorrupt
 	}
-	res := &lorenzo.Result{Codes: codes, Escapes: escapes, ValOutliers: outliers}
-	recon, err := lorenzo.Decompress(dev, res, lorenzo.NewGrid(dims), eb)
+	recon, err := lorenzo.DecompressCtx(ctx, dev, &res, lorenzo.NewGrid(dims), eb)
 	if err != nil {
 		return nil, nil, err
 	}

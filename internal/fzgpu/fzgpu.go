@@ -124,6 +124,6 @@ func Decompress(dev *gpusim.Device, blob []byte) ([]float32, error) {
 			codes[i] = uint16(bitio.UnZigZag(zz) + center)
 		}
 	})
-	res := &lorenzo.Result{Codes: codes, Escapes: escapes, ValOutliers: outliers}
+	res := &lorenzo.Result{Codes: codes, Escapes: escapes, ValOutliers: *outliers}
 	return lorenzo.Decompress(dev, res, lorenzo.NewGrid(dims), eb)
 }

@@ -3,6 +3,8 @@ package huffman
 import (
 	"math/rand"
 	"testing"
+
+	"repro/internal/arena"
 )
 
 func quantLike(n int, seed int64) []byte {
@@ -35,6 +37,52 @@ func BenchmarkDecodeBytes(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := DecodeBytes(dev, enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDecodeSymbols measures multi-symbol decode throughput on the
+// Lorenzo code alphabet (the cuSZ-L entropy-decode hot path): skewed
+// 16-bit symbols, reused codec context.
+func BenchmarkDecodeSymbols(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	syms := make([]uint16, 1<<22)
+	for i := range syms {
+		syms[i] = uint16(513 + int(rng.NormFloat64()*3))
+	}
+	enc, err := Encode(dev, syms, 1026)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := arena.NewCtx()
+	b.SetBytes(int64(2 * len(syms)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctx.Reset()
+		if _, err := DecodeCtx(ctx, dev, enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEncodeSymbolsFused measures encode throughput when the
+// histogram is supplied by the caller (the quantize+histogram fusion).
+func BenchmarkEncodeSymbolsFused(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	syms := make([]uint16, 1<<22)
+	freq := make([]int64, 1026)
+	for i := range syms {
+		s := uint16(513 + int(rng.NormFloat64()*3))
+		syms[i] = s
+		freq[s]++
+	}
+	ctx := arena.NewCtx()
+	b.SetBytes(int64(2 * len(syms)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctx.Reset()
+		if _, err := EncodeCtx(ctx, dev, syms, 1026, freq); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -11,16 +11,25 @@
 // Codes are canonical and length-limited to 15 bits (frequencies are
 // smoothed and the tree rebuilt if the natural tree is deeper), and are
 // stored bit-reversed so the LSB-first bit stream can be decoded with a
-// single lookup table, as in DEFLATE.
+// DEFLATE-style lookup table. The decode table is two-level and
+// multi-symbol: a primary probe over tableBits peeked bits resolves either
+// one code, a *pair* of short codes in a single probe, or a sub-table
+// pointer for codes longer than tableBits.
+//
+// The *Ctx entry points draw every working buffer (histograms, tree
+// scratch, per-chunk bit writers, decode tables, outputs) from a reusable
+// arena.Ctx, so steady-state encode/decode performs near-zero heap
+// allocations; the plain entry points are thin nil-ctx wrappers.
 package huffman
 
 import (
 	"errors"
 	"fmt"
 	"math/bits"
-	"sort"
+	"slices"
 	"sync/atomic"
 
+	"repro/internal/arena"
 	"repro/internal/bitio"
 	"repro/internal/gpusim"
 )
@@ -46,17 +55,83 @@ type code struct {
 	len  uint8
 }
 
+// ---------------------------------------------------------------------------
+// Per-context scratch.
+
+// auxKey is this package's slot in an arena.Ctx.
+var auxKey = arena.NewAuxKey()
+
+// scratch bundles every reusable working buffer of the codec. It lives in
+// an arena.Ctx aux slot (one per worker) and survives Ctx.Reset, so a
+// worker that keeps coding same-shaped shards stops allocating entirely.
+// It is not reentrant: one encode or decode at a time per context.
+type scratch struct {
+	freq      []int64
+	lens      []uint8
+	codes     []code
+	hdr       []byte
+	chunkBufs [][]byte
+	chunkLens []int
+	starts    []int
+
+	// Tree-construction scratch (buildLengths / huffmanDepths).
+	f        []int64
+	nodes    []treeNode
+	leaves   []int32
+	internal []int32
+	stack    []treeFrame
+
+	table decodeTable
+
+	// Kernel parameter block + prebuilt chunk jobs: the closures read
+	// their inputs from k, so one closure allocation per context serves
+	// every launch (see internal/arena).
+	k struct {
+		symbols []uint16
+		codes   []code
+		src     []byte
+		out     []uint16
+		chunk   int
+		failed  atomic.Bool
+	}
+	encJob func(int)
+	decJob func(int)
+}
+
+func scratchFor(ctx *arena.Ctx) *scratch {
+	if s, ok := ctx.Aux(auxKey).(*scratch); ok {
+		return s
+	}
+	s := &scratch{}
+	ctx.SetAux(auxKey, s) // no-op (fresh scratch each call) when ctx is nil
+	return s
+}
+
+func growI64(b []int64, n int) []int64 {
+	if cap(b) < n {
+		return make([]int64, n)
+	}
+	return b[:n]
+}
+
+// ---------------------------------------------------------------------------
+// Code-length construction.
+
 // buildLengths computes Huffman code lengths from frequencies, capped at
-// MaxCodeLen. Zero-frequency symbols get length 0.
-func buildLengths(freq []int64) ([]uint8, error) {
+// MaxCodeLen, into s.lens. Zero-frequency symbols get length 0.
+func (s *scratch) buildLengths(freq []int64) ([]uint8, error) {
 	n := len(freq)
-	lens := make([]uint8, n)
+	if cap(s.lens) < n {
+		s.lens = make([]uint8, n)
+	}
+	lens := s.lens[:n]
+	clear(lens)
 	used := 0
 	last := -1
-	for s, f := range freq {
+	for sym, f := range freq {
 		if f > 0 {
 			used++
-			last = s
+			last = sym
 		}
 	}
 	switch used {
@@ -69,10 +144,11 @@ func buildLengths(freq []int64) ([]uint8, error) {
 	if used > 1<<MaxCodeLen {
 		return nil, ErrTooManySymbols
 	}
-	f := make([]int64, n)
+	s.f = growI64(s.f, n)
+	f := s.f
 	copy(f, freq)
 	for {
-		depth := huffmanDepths(f, lens)
+		depth := s.huffmanDepths(f, lens)
 		if depth <= MaxCodeLen {
 			return lens, nil
 		}
@@ -85,33 +161,39 @@ func buildLengths(freq []int64) ([]uint8, error) {
 	}
 }
 
+type treeNode struct {
+	w           int64
+	sym         int32 // >= 0 for leaves
+	left, right int32 // node indices for internal nodes
+}
+
+type treeFrame struct{ idx, depth int32 }
+
 // huffmanDepths runs the classic two-queue Huffman construction over the
 // non-zero frequencies, writing depths into lens and returning the max depth.
-func huffmanDepths(freq []int64, lens []uint8) int {
-	type node struct {
-		w           int64
-		sym         int // >= 0 for leaves
-		left, right int // node indices for internal nodes
-	}
-	nodes := make([]node, 0, 2*len(freq))
-	leaves := make([]int, 0, len(freq))
-	for s, f := range freq {
+func (s *scratch) huffmanDepths(freq []int64, lens []uint8) int {
+	nodes := s.nodes[:0]
+	leaves := s.leaves[:0]
+	for sym, f := range freq {
 		if f > 0 {
-			nodes = append(nodes, node{w: f, sym: s, left: -1, right: -1})
-			leaves = append(leaves, len(nodes)-1)
+			nodes = append(nodes, treeNode{w: f, sym: int32(sym), left: -1, right: -1})
+			leaves = append(leaves, int32(len(nodes)-1))
 		}
 	}
-	sort.Slice(leaves, func(i, j int) bool {
-		a, b := nodes[leaves[i]], nodes[leaves[j]]
+	slices.SortFunc(leaves, func(i, j int32) int {
+		a, b := nodes[i], nodes[j]
 		if a.w != b.w {
-			return a.w < b.w
+			if a.w < b.w {
+				return -1
+			}
+			return 1
 		}
-		return a.sym < b.sym
+		return int(a.sym - b.sym)
 	})
 	// Two-queue merge: sorted leaves queue + FIFO internal queue.
-	internal := make([]int, 0, len(leaves))
+	internal := s.internal[:0]
 	li, ii := 0, 0
-	pop := func() int {
+	pop := func() int32 {
 		if li < len(leaves) && (ii >= len(internal) || nodes[leaves[li]].w <= nodes[internal[ii]].w) {
 			li++
 			return leaves[li-1]
@@ -124,15 +206,14 @@ func huffmanDepths(freq []int64, lens []uint8) int {
 	for remaining > 1 {
 		a := pop()
 		b := pop()
-		nodes = append(nodes, node{w: nodes[a].w + nodes[b].w, sym: -1, left: a, right: b})
-		internal = append(internal, len(nodes)-1)
-		root = len(nodes) - 1
+		nodes = append(nodes, treeNode{w: nodes[a].w + nodes[b].w, sym: -1, left: a, right: b})
+		internal = append(internal, int32(len(nodes)-1))
+		root = int32(len(nodes) - 1)
 		remaining--
 	}
 	// Iterative depth assignment.
-	maxDepth := 0
-	type frame struct{ idx, depth int }
-	stack := []frame{{root, 0}}
+	maxDepth := int32(0)
+	stack := append(s.stack[:0], treeFrame{root, 0})
 	for len(stack) > 0 {
 		fr := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
@@ -144,15 +225,20 @@ func huffmanDepths(freq []int64, lens []uint8) int {
 			}
 			continue
 		}
-		stack = append(stack, frame{nd.left, fr.depth + 1}, frame{nd.right, fr.depth + 1})
+		stack = append(stack, treeFrame{nd.left, fr.depth + 1}, treeFrame{nd.right, fr.depth + 1})
 	}
-	return maxDepth
+	s.nodes, s.leaves, s.internal, s.stack = nodes[:0], leaves[:0], internal[:0], stack[:0]
+	return int(maxDepth)
 }
 
 // canonicalCodes assigns canonical codes (bit-reversed for LSB-first I/O)
-// from lengths.
-func canonicalCodes(lens []uint8) []code {
-	codes := make([]code, len(lens))
+// from lengths, into s.codes.
+func (s *scratch) canonicalCodes(lens []uint8) []code {
+	if cap(s.codes) < len(lens) {
+		s.codes = make([]code, len(lens))
+	}
+	codes := s.codes[:len(lens)]
+	clear(codes)
 	var lenCount [MaxCodeLen + 1]int
 	for _, l := range lens {
 		lenCount[l]++
@@ -163,72 +249,193 @@ func canonicalCodes(lens []uint8) []code {
 		c = (c + uint32(lenCount[l-1])) << 1
 		next[l] = c
 	}
-	for s, l := range lens {
+	for sym, l := range lens {
 		if l == 0 {
 			continue
 		}
 		v := next[l]
 		next[l]++
-		codes[s] = code{bits: uint16(bits.Reverse16(uint16(v)) >> (16 - l)), len: l}
+		codes[sym] = code{bits: uint16(bits.Reverse16(uint16(v)) >> (16 - l)), len: l}
 	}
 	return codes
 }
 
-// decodeTable is a full LUT over MaxCodeLen peeked bits.
+// ---------------------------------------------------------------------------
+// Multi-symbol decode table.
+
+// tableBits is the width of the primary decode probe. Codes no longer than
+// tableBits resolve in one lookup; when two short codes fit the probe the
+// entry emits both symbols at once. Longer codes chain to a sub-table over
+// the remaining MaxCodeLen-tableBits bits, exactly as in DEFLATE decoders.
+const tableBits = 12
+
+// Primary entry layout (uint64):
+//
+//	kind    bits 62..63  0 invalid, 1 single, 2 pair, 3 sub-table
+//	sym1    bits 0..15   first symbol (single, pair)
+//	sym2    bits 16..31  second symbol (pair)
+//	len1    bits 32..37  first code length (single, pair)
+//	total   bits 40..45  combined length (pair)
+//	off     bits 0..23   sub-table offset into sub (sub-table)
+//	gbits   bits 32..35  sub-table index width (sub-table)
+//
+// Sub entry layout (uint32): 0 invalid; else sym bits 0..15, total code
+// length bits 16..21.
+const (
+	kindShift  = 62
+	kindSingle = 1
+	kindPair   = 2
+	kindSub    = 3
+)
+
 type decodeTable struct {
-	sym []uint16
-	ln  []uint8
+	primary []uint64
+	sub     []uint32
 }
 
-func buildDecodeTable(lens []uint8) (*decodeTable, error) {
-	codes := canonicalCodes(lens)
-	t := &decodeTable{
-		sym: make([]uint16, 1<<MaxCodeLen),
-		ln:  make([]uint8, 1<<MaxCodeLen),
+// buildDecodeTable constructs the two-level multi-symbol LUT from code
+// lengths (which may come from a hostile stream: over-subscribed length
+// sets are rejected, incomplete ones leave invalid entries that fail
+// decoding).
+func (s *scratch) buildDecodeTable(lens []uint8) (*decodeTable, error) {
+	var kraft uint64
+	for _, l := range lens {
+		if l > 0 {
+			kraft += 1 << (MaxCodeLen - l)
+		}
 	}
-	for s, cd := range codes {
-		if cd.len == 0 {
+	if kraft > 1<<MaxCodeLen {
+		return nil, fmt.Errorf("huffman: overlapping codes (corrupt lengths)")
+	}
+	codes := s.canonicalCodes(lens)
+	t := &s.table
+	if cap(t.primary) < 1<<tableBits {
+		t.primary = make([]uint64, 1<<tableBits)
+	}
+	t.primary = t.primary[:1<<tableBits]
+	clear(t.primary)
+	// Short codes: replicate into every primary slot whose low bits match.
+	for sym, cd := range codes {
+		if cd.len == 0 || cd.len > tableBits {
 			continue
 		}
+		e := kindSingle<<kindShift | uint64(cd.len)<<32 | uint64(sym)
 		step := 1 << cd.len
-		for v := int(cd.bits); v < 1<<MaxCodeLen; v += step {
-			if t.ln[v] != 0 {
-				return nil, fmt.Errorf("huffman: overlapping codes (corrupt lengths)")
-			}
-			t.sym[v] = uint16(s)
-			t.ln[v] = cd.len
+		for v := int(cd.bits); v < 1<<tableBits; v += step {
+			t.primary[v] = e
 		}
+	}
+	// Long codes, pass 1: mark their primary slots and find each group's
+	// sub-table width (group max length minus tableBits).
+	nLong := 0
+	for _, cd := range codes {
+		if cd.len <= tableBits {
+			continue
+		}
+		nLong++
+		v := int(cd.bits) & (1<<tableBits - 1)
+		gbits := uint64(cd.len) - tableBits
+		if e := t.primary[v]; e>>kindShift == kindSub && (e>>32)&0xf > gbits {
+			gbits = (e >> 32) & 0xf
+		}
+		t.primary[v] = kindSub<<kindShift | gbits<<32
+	}
+	// Pass 2: allocate one sub-table per marked slot.
+	sub := t.sub[:0]
+	if nLong > 0 {
+		for v, e := range t.primary {
+			if e>>kindShift != kindSub {
+				continue
+			}
+			size := 1 << ((e >> 32) & 0xf)
+			off := len(sub)
+			if off+size <= cap(sub) {
+				sub = sub[:off+size]
+			} else {
+				sub = append(sub, make([]uint32, size)...)
+			}
+			clear(sub[off : off+size])
+			t.primary[v] = e | uint64(off)
+		}
+	}
+	t.sub = sub
+	// Pass 3: fill sub-table entries.
+	for sym, cd := range codes {
+		if cd.len <= tableBits {
+			continue
+		}
+		e := t.primary[int(cd.bits)&(1<<tableBits-1)]
+		off := int(e & 0xffffff)
+		gbits := uint((e >> 32) & 0xf)
+		se := uint32(cd.len)<<16 | uint32(sym)
+		step := 1 << (uint(cd.len) - tableBits)
+		for w := int(cd.bits) >> tableBits; w < 1<<gbits; w += step {
+			t.sub[off+w] = se
+		}
+	}
+	// Pairing pass: when a slot's first code leaves room for a complete
+	// second code inside the probe, emit both symbols per lookup.
+	for v, e := range t.primary {
+		if e>>kindShift != kindSingle {
+			continue
+		}
+		len1 := (e >> 32) & 0x3f
+		if len1 >= tableBits {
+			continue
+		}
+		e2 := t.primary[v>>len1]
+		k2 := e2 >> kindShift
+		if k2 != kindSingle && k2 != kindPair {
+			continue
+		}
+		len2 := (e2 >> 32) & 0x3f
+		if len2 == 0 || len1+len2 > tableBits {
+			continue
+		}
+		sym2 := e2 & 0xffff
+		t.primary[v] = kindPair<<kindShift | (len1+len2)<<40 | len1<<32 | sym2<<16 | e&0xffff
 	}
 	return t, nil
 }
 
+// ---------------------------------------------------------------------------
+// Code-length serialization.
+
 // appendLengthsRLE serializes code lengths as (run, len) pairs.
 func appendLengthsRLE(dst []byte, lens []uint8) []byte {
-	var pairs [][2]uint64
-	i := 0
-	for i < len(lens) {
+	nPairs := 0
+	for i := 0; i < len(lens); {
 		j := i
 		for j < len(lens) && lens[j] == lens[i] {
 			j++
 		}
-		pairs = append(pairs, [2]uint64{uint64(j - i), uint64(lens[i])})
+		nPairs++
 		i = j
 	}
-	dst = bitio.AppendUvarint(dst, uint64(len(pairs)))
-	for _, p := range pairs {
-		dst = bitio.AppendUvarint(dst, p[0])
-		dst = append(dst, byte(p[1]))
+	dst = bitio.AppendUvarint(dst, uint64(nPairs))
+	for i := 0; i < len(lens); {
+		j := i
+		for j < len(lens) && lens[j] == lens[i] {
+			j++
+		}
+		dst = bitio.AppendUvarint(dst, uint64(j-i))
+		dst = append(dst, lens[i])
+		i = j
 	}
 	return dst
 }
 
-func parseLengthsRLE(p []byte, alphabet int) ([]uint8, int, error) {
+// parseLengthsRLE decodes a length section into dst (reused if roomy).
+func parseLengthsRLE(p []byte, alphabet int, dst []uint8) ([]uint8, int, error) {
 	nPairs, n := bitio.Uvarint(p)
 	if n == 0 {
 		return nil, 0, ErrCorrupt
 	}
 	off := n
-	lens := make([]uint8, 0, alphabet)
+	if cap(dst) < alphabet {
+		dst = make([]uint8, 0, alphabet)
+	}
+	lens := dst[:0]
 	for i := uint64(0); i < nPairs; i++ {
 		run, n := bitio.Uvarint(p[off:])
 		if n == 0 {
@@ -256,71 +463,163 @@ func parseLengthsRLE(p []byte, alphabet int) ([]uint8, int, error) {
 	return lens, off, nil
 }
 
+// ---------------------------------------------------------------------------
+// Encoding.
+
 // Encode compresses symbols drawn from [0, alphabet) into a self-contained
 // container. Chunks are encoded in parallel on dev.
 func Encode(dev *gpusim.Device, symbols []uint16, alphabet int) ([]byte, error) {
+	return EncodeCtx(nil, dev, symbols, alphabet, nil)
+}
+
+// EncodeCtx is Encode with a reusable context. freq, when non-nil, must be
+// the exact histogram of symbols over [0, alphabet) — callers that already
+// histogram during quantization pass it to skip the counting sweep here
+// (the quantize+histogram fusion); nil recounts internally.
+func EncodeCtx(ctx *arena.Ctx, dev *gpusim.Device, symbols []uint16, alphabet int, freq []int64) ([]byte, error) {
 	if alphabet <= 0 || alphabet > 1<<16 {
 		return nil, fmt.Errorf("huffman: bad alphabet %d", alphabet)
 	}
-	freq := make([]int64, alphabet)
-	for _, s := range symbols {
-		if int(s) >= alphabet {
-			return nil, fmt.Errorf("huffman: symbol %d outside alphabet %d", s, alphabet)
+	s := scratchFor(ctx)
+	if freq == nil {
+		s.freq = growI64(s.freq, alphabet)
+		freq = s.freq
+		clear(freq)
+		for _, sym := range symbols {
+			if int(sym) >= alphabet {
+				return nil, fmt.Errorf("huffman: symbol %d outside alphabet %d", sym, alphabet)
+			}
+			freq[sym]++
 		}
-		freq[s]++
+	} else if len(freq) != alphabet {
+		return nil, fmt.Errorf("huffman: histogram length %d != alphabet %d", len(freq), alphabet)
+	} else {
+		// A caller-supplied histogram replaces the per-symbol range check
+		// of the counting sweep, so verify the cheap invariant that holds
+		// for any exact histogram: counts are non-negative and sum to the
+		// stream length. (Symbols must still lie in [0, alphabet) — codes
+		// are indexed by symbol during encoding.)
+		var sum int64
+		for _, f := range freq {
+			if f < 0 {
+				return nil, fmt.Errorf("huffman: negative histogram count %d", f)
+			}
+			sum += f
+		}
+		if sum != int64(len(symbols)) {
+			return nil, fmt.Errorf("huffman: histogram sums to %d for %d symbols", sum, len(symbols))
+		}
 	}
-	lens, err := buildLengths(freq)
+	lens, err := s.buildLengths(freq)
 	if err != nil {
 		return nil, err
 	}
-	codes := canonicalCodes(lens)
+	codes := s.canonicalCodes(lens)
 
 	chunk := DefaultChunk
 	nChunks := (len(symbols) + chunk - 1) / chunk
-	if nChunks == 0 {
-		nChunks = 0
+	if cap(s.chunkBufs) < nChunks {
+		s.chunkBufs = append(s.chunkBufs[:cap(s.chunkBufs)], make([][]byte, nChunks-cap(s.chunkBufs))...)
 	}
-	chunkBufs := make([][]byte, nChunks)
-	dev.Launch(nChunks, func(b int) {
-		lo := b * chunk
-		hi := lo + chunk
-		if hi > len(symbols) {
-			hi = len(symbols)
+	s.chunkBufs = s.chunkBufs[:nChunks] // encJob indexes via s.chunkBufs
+	chunkBufs := s.chunkBufs
+	// Size each chunk's writer from the histogram's exact total bit count.
+	// A skewed chunk may still grow once; the grown buffer is kept in the
+	// scratch slot, so steady-state reuse converges to zero growth.
+	if nChunks > 0 {
+		var totalBits uint64
+		for sym, f := range freq {
+			totalBits += uint64(f) * uint64(lens[sym])
 		}
-		w := bitio.NewWriter((hi - lo) / 2)
-		for _, s := range symbols[lo:hi] {
-			cd := codes[s]
-			w.WriteBits(uint64(cd.bits), uint(cd.len))
+		perChunk := int(totalBits / uint64(nChunks) / 8)
+		est := perChunk + perChunk/8 + 64
+		for b := range chunkBufs {
+			if cap(chunkBufs[b]) < est {
+				chunkBufs[b] = make([]byte, 0, est)
+			}
 		}
-		chunkBufs[b] = w.Bytes()
-	})
+	}
+	s.k.symbols, s.k.codes, s.k.chunk = symbols, codes, chunk
+	s.k.failed.Store(false)
+	if s.encJob == nil {
+		k := &s.k
+		s.encJob = func(b int) {
+			symbols, codes := k.symbols, k.codes
+			lo := b * k.chunk
+			hi := lo + k.chunk
+			if hi > len(symbols) {
+				hi = len(symbols)
+			}
+			var w bitio.Writer
+			w.ResetWithBuf(s.chunkBufs[b])
+			for _, sym := range symbols[lo:hi] {
+				// Both guards are only reachable via a caller histogram
+				// that disagrees with the stream (the nil-freq path
+				// validates while counting): an out-of-alphabet symbol
+				// would panic indexing codes, and a zero-length code
+				// would silently emit an undecodable container.
+				if int(sym) >= len(codes) {
+					k.failed.Store(true)
+					return
+				}
+				cd := codes[sym]
+				if cd.len == 0 {
+					k.failed.Store(true)
+					return
+				}
+				w.WriteBits(uint64(cd.bits), uint(cd.len))
+			}
+			s.chunkBufs[b] = w.Bytes()
+		}
+	}
+	dev.Launch(nChunks, s.encJob)
+	s.k.symbols = nil // drop the caller's stream so a pooled ctx never pins it
+	if s.k.failed.Load() {
+		return nil, fmt.Errorf("huffman: histogram disagrees with the symbol stream")
+	}
 
-	out := make([]byte, 0, len(symbols)/2+64)
-	out = bitio.AppendUvarint(out, uint64(alphabet))
-	out = appendLengthsRLE(out, lens)
-	out = bitio.AppendUvarint(out, uint64(len(symbols)))
-	out = bitio.AppendUvarint(out, uint64(chunk))
-	out = bitio.AppendUvarint(out, uint64(nChunks))
+	hdr := s.hdr[:0]
+	hdr = bitio.AppendUvarint(hdr, uint64(alphabet))
+	hdr = appendLengthsRLE(hdr, lens)
+	hdr = bitio.AppendUvarint(hdr, uint64(len(symbols)))
+	hdr = bitio.AppendUvarint(hdr, uint64(chunk))
+	hdr = bitio.AppendUvarint(hdr, uint64(nChunks))
+	total := 0
 	for _, cb := range chunkBufs {
-		out = bitio.AppendUvarint(out, uint64(len(cb)))
+		hdr = bitio.AppendUvarint(hdr, uint64(len(cb)))
+		total += len(cb)
 	}
+	s.hdr = hdr
+	out := make([]byte, 0, len(hdr)+total)
+	out = append(out, hdr...)
 	for _, cb := range chunkBufs {
 		out = append(out, cb...)
 	}
 	return out, nil
 }
 
+// ---------------------------------------------------------------------------
+// Decoding.
+
 // Decode reverses Encode.
 func Decode(dev *gpusim.Device, data []byte) ([]uint16, error) {
+	return DecodeCtx(nil, dev, data)
+}
+
+// DecodeCtx is Decode with a reusable context. With a non-nil ctx the
+// returned slice is context scratch, valid until the next ctx.Reset.
+func DecodeCtx(ctx *arena.Ctx, dev *gpusim.Device, data []byte) ([]uint16, error) {
 	alphabet64, n := bitio.Uvarint(data)
 	if n == 0 || alphabet64 == 0 || alphabet64 > 1<<16 {
 		return nil, ErrCorrupt
 	}
+	s := scratchFor(ctx)
 	off := n
-	lens, used, err := parseLengthsRLE(data[off:], int(alphabet64))
+	lens, used, err := parseLengthsRLE(data[off:], int(alphabet64), s.lens)
 	if err != nil {
 		return nil, err
 	}
+	s.lens = lens
 	off += used
 	nSyms, n := bitio.Uvarint(data[off:])
 	if n == 0 {
@@ -349,88 +648,167 @@ func Decode(dev *gpusim.Device, data []byte) ([]uint16, error) {
 	if nChunks != want {
 		return nil, ErrCorrupt
 	}
-	chunkLens := make([]int, nChunks)
+	if cap(s.chunkLens) < nChunks {
+		s.chunkLens = make([]int, nChunks)
+		s.starts = make([]int, nChunks)
+	}
+	chunkLens := s.chunkLens[:nChunks]
 	total := 0
 	for i := range chunkLens {
 		l, n := bitio.Uvarint(data[off:])
-		if n == 0 {
+		// Clamp each declared length to the container size before int
+		// conversion: a 2^63-scale value would go negative, slip past the
+		// sum check below, and panic slicing the chunk.
+		if n == 0 || l > uint64(len(data)) {
 			return nil, ErrCorrupt
 		}
 		off += n
 		chunkLens[i] = int(l)
 		total += int(l)
+		if total > len(data) {
+			return nil, ErrCorrupt
+		}
 	}
 	if off+total > len(data) {
 		return nil, ErrCorrupt
 	}
-	starts := make([]int, nChunks)
+	// Every symbol costs at least one payload bit, so a header declaring
+	// more symbols than the payload can hold is hostile — reject it before
+	// sizing the output (allocation-bomb hardening).
+	if nSyms > uint64(total)*8 {
+		return nil, ErrCorrupt
+	}
+	starts := s.starts[:nChunks]
 	pos := off
 	for i, l := range chunkLens {
 		starts[i] = pos
 		pos += l
 	}
-	table, err := buildDecodeTable(lens)
-	if err != nil {
+	if _, err := s.buildDecodeTable(lens); err != nil {
 		return nil, err
 	}
-	out := make([]uint16, nSyms)
-	var failed atomic.Bool
-	dev.Launch(nChunks, func(b int) {
-		lo := b * chunk
-		hi := lo + chunk
-		if hi > len(out) {
-			hi = len(out)
+	out := ctx.U16(int(nSyms))
+	s.k.src, s.k.out, s.k.chunk = data, out, chunk
+	s.k.failed.Store(false)
+	if s.decJob == nil {
+		k := &s.k
+		s.decJob = func(b int) {
+			src, out := k.src, k.out
+			lo := b * k.chunk
+			hi := lo + k.chunk
+			if hi > len(out) {
+				hi = len(out)
+			}
+			start := s.starts[b]
+			if err := decodeChunk(src[start:start+s.chunkLens[b]], &s.table, out[lo:hi]); err != nil {
+				k.failed.Store(true)
+			}
 		}
-		if err := decodeChunk(data[starts[b]:starts[b]+chunkLens[b]], table, out[lo:hi]); err != nil {
-			failed.Store(true)
-		}
-	})
-	if failed.Load() {
+	}
+	dev.Launch(nChunks, s.decJob)
+	s.k.src = nil // drop the caller's container so a pooled ctx never pins it
+	if s.k.failed.Load() {
 		return nil, ErrCorrupt
 	}
 	return out, nil
 }
 
-// decodeChunk decodes exactly len(dst) symbols from src using a local
-// bit accumulator for speed.
-func decodeChunk(src []byte, table *decodeTable, dst []uint16) error {
+// decodeChunk decodes exactly len(dst) symbols from src. Each primary
+// probe resolves one short code, two short codes at once, or chains to a
+// sub-table for codes longer than tableBits.
+func decodeChunk(src []byte, t *decodeTable, dst []uint16) error {
 	var acc uint64
 	var nacc uint
 	pos := 0
-	for i := range dst {
-		for nacc < MaxCodeLen && pos < len(src) {
+	i := 0
+	for i < len(dst) {
+		for nacc <= 56 && pos < len(src) {
 			acc |= uint64(src[pos]) << nacc
 			pos++
 			nacc += 8
 		}
-		v := acc & (1<<MaxCodeLen - 1)
-		l := table.ln[v]
-		if l == 0 || uint(l) > nacc {
+		e := t.primary[acc&(1<<tableBits-1)]
+		switch e >> kindShift {
+		case kindPair:
+			if total := uint((e >> 40) & 0x3f); total <= nacc && i+1 < len(dst) {
+				dst[i] = uint16(e)
+				dst[i+1] = uint16(e >> 16)
+				i += 2
+				acc >>= total
+				nacc -= total
+				continue
+			}
+			fallthrough // last symbol of the chunk: emit only the first
+		case kindSingle:
+			l := uint((e >> 32) & 0x3f)
+			if l > nacc {
+				return ErrCorrupt
+			}
+			dst[i] = uint16(e)
+			i++
+			acc >>= l
+			nacc -= l
+		case kindSub:
+			gbits := uint((e >> 32) & 0xf)
+			se := t.sub[(e&0xffffff)+(acc>>tableBits)&(1<<gbits-1)]
+			l := uint(se >> 16)
+			if se == 0 || l > nacc {
+				return ErrCorrupt
+			}
+			dst[i] = uint16(se)
+			i++
+			acc >>= l
+			nacc -= l
+		default:
 			return ErrCorrupt
 		}
-		dst[i] = table.sym[v]
-		acc >>= l
-		nacc -= uint(l)
 	}
 	return nil
 }
 
+// ---------------------------------------------------------------------------
+// Byte-stream conveniences.
+
 // EncodeBytes compresses a byte stream (alphabet 256).
 func EncodeBytes(dev *gpusim.Device, p []byte) ([]byte, error) {
-	syms := make([]uint16, len(p))
-	for i, b := range p {
-		syms[i] = uint16(b)
+	return EncodeBytesCtx(nil, dev, p, nil)
+}
+
+// EncodeBytesCtx is EncodeBytes with a reusable context and an optional
+// precomputed histogram (see EncodeCtx). When freq is nil the symbol
+// widening and the histogram are fused into one sweep.
+func EncodeBytesCtx(ctx *arena.Ctx, dev *gpusim.Device, p []byte, freq []int64) ([]byte, error) {
+	syms := ctx.U16(len(p))
+	if freq == nil {
+		s := scratchFor(ctx)
+		s.freq = growI64(s.freq, 256)
+		freq = s.freq
+		clear(freq)
+		for i, b := range p {
+			syms[i] = uint16(b)
+			freq[b]++
+		}
+	} else {
+		for i, b := range p {
+			syms[i] = uint16(b)
+		}
 	}
-	return Encode(dev, syms, 256)
+	return EncodeCtx(ctx, dev, syms, 256, freq)
 }
 
 // DecodeBytes reverses EncodeBytes.
 func DecodeBytes(dev *gpusim.Device, data []byte) ([]byte, error) {
-	syms, err := Decode(dev, data)
+	return DecodeBytesCtx(nil, dev, data)
+}
+
+// DecodeBytesCtx is DecodeBytes with a reusable context. With a non-nil
+// ctx the returned slice is context scratch, valid until the next Reset.
+func DecodeBytesCtx(ctx *arena.Ctx, dev *gpusim.Device, data []byte) ([]byte, error) {
+	syms, err := DecodeCtx(ctx, dev, data)
 	if err != nil {
 		return nil, err
 	}
-	out := make([]byte, len(syms))
+	out := ctx.Bytes(len(syms))
 	for i, s := range syms {
 		if s > 255 {
 			return nil, ErrCorrupt

@@ -6,6 +6,8 @@ import (
 	"testing"
 	"testing/quick"
 
+	"repro/internal/arena"
+	"repro/internal/bitio"
 	"repro/internal/gpusim"
 )
 
@@ -168,7 +170,7 @@ func TestLengthLimiting(t *testing.T) {
 			a = 1 << 40
 		}
 	}
-	lens, err := buildLengths(freq)
+	lens, err := (&scratch{}).buildLengths(freq)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -188,11 +190,12 @@ func TestLengthLimiting(t *testing.T) {
 
 func TestCanonicalCodesPrefixFree(t *testing.T) {
 	freq := []int64{10, 3, 1, 1, 7, 0, 2, 40}
-	lens, err := buildLengths(freq)
+	s := &scratch{}
+	lens, err := s.buildLengths(freq)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := buildDecodeTable(lens); err != nil {
+	if _, err := s.buildDecodeTable(lens); err != nil {
 		t.Fatalf("codes overlap: %v", err)
 	}
 }
@@ -211,5 +214,193 @@ func TestRoundTripProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestRoundTripDeepCodes drives symbols whose Fibonacci-like skew forces
+// code lengths past tableBits, exercising the multi-symbol decoder's
+// sub-table fallback alongside its one- and two-symbol primary probes.
+func TestRoundTripDeepCodes(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	weights := make([]int, 40)
+	a, b := 1, 1
+	for i := range weights {
+		weights[i] = a
+		if a < 1<<28 {
+			a, b = b, a+b
+		}
+	}
+	total := 0
+	for _, w := range weights {
+		total += w
+	}
+	syms := make([]uint16, 120_000)
+	for i := range syms {
+		r := rng.Intn(total)
+		for s, w := range weights {
+			if r < w {
+				syms[i] = uint16(s)
+				break
+			}
+			r -= w
+		}
+	}
+	roundTrip(t, syms, 64)
+
+	// The length set really must exceed the primary probe width, or this
+	// test is not covering the sub-table path.
+	s := &scratch{}
+	freq := make([]int64, 64)
+	for _, sym := range syms {
+		freq[sym]++
+	}
+	lens, err := s.buildLengths(freq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxLen := uint8(0)
+	for _, l := range lens {
+		if l > maxLen {
+			maxLen = l
+		}
+	}
+	if int(maxLen) <= tableBits {
+		t.Fatalf("max code length %d does not exceed tableBits %d; deep-code path untested", maxLen, tableBits)
+	}
+}
+
+// TestMultiSymbolMatchesReference cross-checks the table-driven decoder
+// against a naive bit-by-bit canonical decoder on random skews.
+func TestMultiSymbolMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		alphabet := 2 + rng.Intn(300)
+		syms := make([]uint16, 3000)
+		for i := range syms {
+			v := rng.Intn(alphabet)
+			if rng.Intn(4) > 0 {
+				v = v % (1 + alphabet/8) // skew toward a small subset
+			}
+			syms[i] = uint16(v)
+		}
+		enc, err := Encode(dev, syms, alphabet)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		dec, err := Decode(dev, enc)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// Reference decode: walk the canonical codes bit by bit.
+		s := &scratch{}
+		freq := make([]int64, alphabet)
+		for _, sym := range syms {
+			freq[sym]++
+		}
+		lens, err := s.buildLengths(freq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		codes := s.canonicalCodes(lens)
+		for i, want := range syms {
+			if dec[i] != want {
+				t.Fatalf("trial %d: symbol %d decoded as %d, want %d (len %d code %b)",
+					trial, i, dec[i], want, codes[want].len, codes[want].bits)
+			}
+		}
+	}
+}
+
+// TestDecodeCtxSteadyStateAllocs: a warm context decodes with at most one
+// allocation per op (the launch bookkeeping), proving tables, outputs and
+// chunk metadata all come from the reusable scratch.
+func TestDecodeCtxSteadyStateAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	syms := make([]uint16, 100_000)
+	for i := range syms {
+		syms[i] = uint16(128 + int(rng.NormFloat64()*4))
+	}
+	enc, err := Encode(dev, syms, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev1 := gpusim.New(1)
+	ctx := arena.NewCtx()
+	if _, err := DecodeCtx(ctx, dev1, enc); err != nil {
+		t.Fatal(err)
+	}
+	n := testing.AllocsPerRun(20, func() {
+		ctx.Reset()
+		if _, err := DecodeCtx(ctx, dev1, enc); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if n > 1 {
+		t.Fatalf("warm DecodeCtx allocates %v/op, want <= 1", n)
+	}
+}
+
+// TestDecodeHostileChunkLen: a container declaring a 2^63-scale chunk
+// length must fail cleanly instead of overflowing int and panicking on a
+// negative slice bound (found by review; the overflow predates the
+// multi-symbol decoder but the guards now catch it).
+func TestDecodeHostileChunkLen(t *testing.T) {
+	syms := make([]uint16, 100)
+	enc, err := Encode(dev, syms, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Locate the chunk-length varint: header is alphabet, lens RLE,
+	// nSyms, chunk, nChunks, then one chunk length. Rebuild the prefix to
+	// find its offset.
+	s := &scratch{}
+	freq := make([]int64, 256)
+	freq[0] = 100
+	lens, err := s.buildLengths(freq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prefix := bitio.AppendUvarint(nil, 256)
+	prefix = appendLengthsRLE(prefix, lens)
+	prefix = bitio.AppendUvarint(prefix, 100)               // nSyms
+	prefix = bitio.AppendUvarint(prefix, DefaultChunk)      // chunk
+	prefix = bitio.AppendUvarint(prefix, 1)                 // nChunks
+	hostile := bitio.AppendUvarint(prefix, uint64(1)<<63+1) // chunkLen
+	hostile = append(hostile, enc[len(hostile):]...)
+	if _, err := Decode(dev, hostile); err == nil {
+		t.Fatal("hostile chunk length decoded without error")
+	}
+}
+
+// TestEncodeCtxRejectsMismatchedHistogram: a caller-supplied histogram
+// that disagrees with the symbol stream must be rejected, not trusted.
+func TestEncodeCtxRejectsMismatchedHistogram(t *testing.T) {
+	syms := []uint16{1, 2, 3}
+	short := make([]int64, 256)
+	short[1] = 1 // sums to 1, stream has 3
+	if _, err := EncodeCtx(nil, dev, syms, 256, short); err == nil {
+		t.Fatal("mismatched histogram accepted")
+	}
+	neg := make([]int64, 256)
+	neg[1], neg[2] = 5, -2
+	if _, err := EncodeCtx(nil, dev, syms, 256, neg); err == nil {
+		t.Fatal("negative histogram accepted")
+	}
+	if _, err := EncodeCtx(nil, dev, syms, 256, make([]int64, 7)); err == nil {
+		t.Fatal("wrong-length histogram accepted")
+	}
+	// Sum matches but the per-symbol counts disagree with the stream:
+	// symbol 3 would get a zero-length code and vanish from the payload.
+	skewed := make([]int64, 256)
+	skewed[1], skewed[2] = 2, 1
+	if _, err := EncodeCtx(nil, dev, syms, 256, skewed); err == nil {
+		t.Fatal("per-symbol-mismatched histogram accepted")
+	}
+	// Sum matches but a symbol lies outside the alphabet: must error, not
+	// panic indexing the code table inside a launch worker.
+	oob := make([]int64, 256)
+	oob[0] = 2
+	if _, err := EncodeCtx(nil, dev, []uint16{700, 700}, 256, oob); err == nil {
+		t.Fatal("out-of-alphabet symbol with matching histogram sum accepted")
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/arena"
 	"repro/internal/gpusim"
 	"repro/internal/quant"
 )
@@ -16,12 +17,32 @@ type Result struct {
 	Codes    []uint8
 	Anchors  []float32
 	Outliers *quant.Outliers
+	// Freq is the histogram of Codes over [0, 256), accumulated inside the
+	// quantization kernel (context scratch when a Ctx was supplied). It is
+	// permutation-invariant, so it stays valid after level-order reordering.
+	Freq []int64
+}
+
+// auxKey is this package's scratch slot in an arena.Ctx.
+var auxKey = arena.NewAuxKey()
+
+type iscratch struct {
+	freq []int64
+}
+
+func scratchFor(ctx *arena.Ctx) *iscratch {
+	if s, ok := ctx.Aux(auxKey).(*iscratch); ok {
+		return s
+	}
+	s := &iscratch{}
+	ctx.SetAux(auxKey, s)
+	return s
 }
 
 // gatherAnchors extracts the dense anchor grid from data.
-func gatherAnchors(dev *gpusim.Device, data []float32, g Grid, a int) []float32 {
+func gatherAnchors(ctx *arena.Ctx, dev *gpusim.Device, data []float32, g Grid, a int) []float32 {
 	az, ay, ax := g.AnchorDims(a)
-	out := make([]float32, az*ay*ax)
+	out := ctx.F32(az * ay * ax)
 	dev.Launch(az, func(iz int) {
 		z := iz * a
 		for iy := 0; iy < ay; iy++ {
@@ -40,6 +61,13 @@ var bufPool = sync.Pool{New: func() any { return &block{} }}
 // Compress runs the interpolation predictor over data, producing quant
 // codes, anchors and outliers. eb is the absolute error bound.
 func Compress(dev *gpusim.Device, data []float32, g Grid, cfg Config, eb float64) (*Result, error) {
+	return CompressCtx(nil, dev, data, g, cfg, eb)
+}
+
+// CompressCtx is Compress with a reusable context: the code, anchor and
+// histogram buffers of the Result are context scratch, valid until the
+// next ctx.Reset.
+func CompressCtx(ctx *arena.Ctx, dev *gpusim.Device, data []float32, g Grid, cfg Config, eb float64) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -50,15 +78,23 @@ func Compress(dev *gpusim.Device, data []float32, g Grid, cfg Config, eb float64
 		return nil, fmt.Errorf("interp: error bound %v must be positive", eb)
 	}
 	twoEB := 2 * eb
+	s := scratchFor(ctx)
+	if cap(s.freq) < 256 {
+		s.freq = make([]int64, 256)
+	}
+	freq := s.freq[:256]
+	clear(freq)
 	res := &Result{
-		Codes:    make([]uint8, g.Len()),
-		Anchors:  gatherAnchors(dev, data, g, cfg.AnchorStride),
+		Codes:    ctx.Bytes(g.Len()),
+		Anchors:  gatherAnchors(ctx, dev, data, g, cfg.AnchorStride),
 		Outliers: &quant.Outliers{},
+		Freq:     freq,
 	}
 	azd, ayd, axd := g.AnchorDims(cfg.AnchorStride)
 	nbz, nby, nbx := blockGrid(g, &cfg)
 	nBlocks := nbz * nby * nbx
 	perBlockOutliers := make([]quant.Outliers, nBlocks)
+	var freqMu sync.Mutex
 	dev.Launch(nBlocks, func(bi int) {
 		bk := bufPool.Get().(*block)
 		defer bufPool.Put(bk)
@@ -68,9 +104,14 @@ func Compress(dev *gpusim.Device, data []float32, g Grid, cfg Config, eb float64
 		bk.initBlock(g, &cfg, bz, by, bx)
 		bk.anchors = res.Anchors
 		bk.az = [3]int{azd, ayd, axd}
+		// hist fuses the code histogram into the quantization sweep; each
+		// owned point contributes exactly one code, so summing the per-block
+		// histograms reproduces a full scan of res.Codes.
+		var hist [256]uint32
 		bk.loadAnchors(func(z, y, x int, v float32) {
 			if bk.owns(z, y, x) {
 				res.Codes[g.flat(z, y, x)] = quant.ZeroCode
+				hist[quant.ZeroCode]++
 			}
 		})
 		ol := &perBlockOutliers[bi]
@@ -79,12 +120,20 @@ func Compress(dev *gpusim.Device, data []float32, g Grid, cfg Config, eb float64
 			code, recon, outlier := quant.Quantize(data[idx], pred, twoEB)
 			if owned {
 				res.Codes[idx] = code
+				hist[code]++
 				if outlier {
 					ol.Append(idx, data[idx])
 				}
 			}
 			return recon
 		})
+		freqMu.Lock()
+		for c, n := range hist {
+			if n != 0 {
+				freq[c] += int64(n)
+			}
+		}
+		freqMu.Unlock()
 	})
 	// Merge per-block outliers in ascending position order.
 	order := make([]int, 0, nBlocks)
@@ -116,6 +165,12 @@ func (s byPos) Swap(i, j int) {
 
 // Decompress reconstructs the field from a Result.
 func Decompress(dev *gpusim.Device, res *Result, g Grid, cfg Config, eb float64) ([]float32, error) {
+	return DecompressCtx(nil, dev, res, g, cfg, eb)
+}
+
+// DecompressCtx is Decompress with a reusable context. With a non-nil ctx
+// the returned field is context scratch, valid until the next ctx.Reset.
+func DecompressCtx(ctx *arena.Ctx, dev *gpusim.Device, res *Result, g Grid, cfg Config, eb float64) ([]float32, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -129,8 +184,7 @@ func Decompress(dev *gpusim.Device, res *Result, g Grid, cfg Config, eb float64)
 		return nil, fmt.Errorf("interp: error bound %v must be positive", eb)
 	}
 	twoEB := 2 * eb
-	outlierAt := res.Outliers.Lookup()
-	out := make([]float32, g.Len())
+	out := ctx.F32(g.Len())
 	azd, ayd, axd := g.AnchorDims(cfg.AnchorStride)
 	nbz, nby, nbx := blockGrid(g, &cfg)
 	dev.Launch(nbz*nby*nbx, func(bi int) {
@@ -152,7 +206,7 @@ func Decompress(dev *gpusim.Device, res *Result, g Grid, cfg Config, eb float64)
 			code := res.Codes[idx]
 			var v float32
 			if code == quant.OutlierCode {
-				v = outlierAt[idx]
+				v, _ = res.Outliers.SortedGet(idx)
 			} else {
 				v = quant.Dequantize(code, pred, twoEB)
 			}

@@ -17,6 +17,11 @@
 // processes, exactly as in the paper's pipeline names. A Pipeline chains
 // components: cuSZ-Hi-CR uses HF-RRE4-TCMS8-RZE1, cuSZ-Hi-TP uses
 // TCMS1-BIT1-RRE1.
+//
+// Every stage draws its output buffer from an optional arena.Ctx, so a
+// pipeline run over a reused context performs no per-stage allocations;
+// stage outputs obtained through a context are scratch, valid until the
+// next ctx.Reset.
 package lccodec
 
 import (
@@ -26,6 +31,7 @@ import (
 	"math/bits"
 	"strings"
 
+	"repro/internal/arena"
 	"repro/internal/bitio"
 	"repro/internal/gpusim"
 	"repro/internal/huffman"
@@ -34,11 +40,11 @@ import (
 // ErrCorrupt reports a malformed component stream.
 var ErrCorrupt = errors.New("lccodec: corrupt stream")
 
-// Component is one reversible stage of a lossless pipeline.
+// Component is one reversible stage of a lossless pipeline. ctx may be nil.
 type Component interface {
 	Name() string
-	Encode(dev *gpusim.Device, src []byte) ([]byte, error)
-	Decode(dev *gpusim.Device, src []byte) ([]byte, error)
+	Encode(ctx *arena.Ctx, dev *gpusim.Device, src []byte) ([]byte, error)
+	Decode(ctx *arena.Ctx, dev *gpusim.Device, src []byte) ([]byte, error)
 }
 
 // ---------------------------------------------------------------------------
@@ -90,16 +96,33 @@ type tcms struct{ w int }
 
 func (c tcms) Name() string { return fmt.Sprintf("TCMS%d", c.w) }
 
-func (c tcms) Encode(dev *gpusim.Device, src []byte) ([]byte, error) {
-	return c.apply(dev, src, true), nil
+func (c tcms) Encode(ctx *arena.Ctx, dev *gpusim.Device, src []byte) ([]byte, error) {
+	return c.apply(ctx, dev, src, true), nil
 }
 
-func (c tcms) Decode(dev *gpusim.Device, src []byte) ([]byte, error) {
-	return c.apply(dev, src, false), nil
+func (c tcms) Decode(ctx *arena.Ctx, dev *gpusim.Device, src []byte) ([]byte, error) {
+	return c.apply(ctx, dev, src, false), nil
 }
 
-func (c tcms) apply(dev *gpusim.Device, src []byte, fwd bool) []byte {
-	out := make([]byte, len(src))
+func (c tcms) apply(ctx *arena.Ctx, dev *gpusim.Device, src []byte, fwd bool) []byte {
+	out := ctx.Bytes(len(src))
+	if c.w == 1 {
+		// Byte-wide fast path: zigzag on int8, no symbol load/store helpers.
+		dev.LaunchChunks(len(src), 1<<16, func(lo, hi int) {
+			if fwd {
+				for i := lo; i < hi; i++ {
+					b := src[i]
+					out[i] = (b << 1) ^ byte(int8(b)>>7)
+				}
+			} else {
+				for i := lo; i < hi; i++ {
+					b := src[i]
+					out[i] = byte(int8(b>>1) ^ -int8(b&1))
+				}
+			}
+		})
+		return out
+	}
 	n := len(src) / c.w
 	shift := uint(8*c.w - 1)
 	var mask uint64 = ^uint64(0)
@@ -140,8 +163,8 @@ type bitShuffle struct{}
 
 func (bitShuffle) Name() string { return "BIT1" }
 
-func (bitShuffle) Encode(dev *gpusim.Device, src []byte) ([]byte, error) {
-	out := make([]byte, len(src))
+func (bitShuffle) Encode(ctx *arena.Ctx, dev *gpusim.Device, src []byte) ([]byte, error) {
+	out := ctx.Bytes(len(src))
 	nBlocks := (len(src) + bitShuffleBlock - 1) / bitShuffleBlock
 	dev.Launch(nBlocks, func(b int) {
 		lo := b * bitShuffleBlock
@@ -154,8 +177,8 @@ func (bitShuffle) Encode(dev *gpusim.Device, src []byte) ([]byte, error) {
 	return out, nil
 }
 
-func (bitShuffle) Decode(dev *gpusim.Device, src []byte) ([]byte, error) {
-	out := make([]byte, len(src))
+func (bitShuffle) Decode(ctx *arena.Ctx, dev *gpusim.Device, src []byte) ([]byte, error) {
+	out := ctx.Bytes(len(src))
 	nBlocks := (len(src) + bitShuffleBlock - 1) / bitShuffleBlock
 	dev.Launch(nBlocks, func(b int) {
 		lo := b * bitShuffleBlock
@@ -168,14 +191,43 @@ func (bitShuffle) Decode(dev *gpusim.Device, src []byte) ([]byte, error) {
 	return out, nil
 }
 
+// transpose8x8 transposes the 8×8 bit matrix packed in x (row r = byte r,
+// column c = bit c), Hacker's Delight 7-3. It is an involution.
+func transpose8x8(x uint64) uint64 {
+	t := (x ^ (x >> 7)) & 0x00AA00AA00AA00AA
+	x = x ^ t ^ (t << 7)
+	t = (x ^ (x >> 14)) & 0x0000CCCC0000CCCC
+	x = x ^ t ^ (t << 14)
+	t = (x ^ (x >> 28)) & 0x00000000F0F0F0F0
+	return x ^ t ^ (t << 28)
+}
+
 // shuffleBlock gathers bit plane p of every byte into contiguous output
 // bits. Output layout: plane 0 of all n bytes, then plane 1, etc. A block of
-// n bytes has 8n bits; plane p occupies bits [p*n, (p+1)*n).
+// n bytes has 8n bits; plane p occupies bits [p*n, (p+1)*n). Full blocks
+// (n divisible by 8) run as 8×8 bit-matrix transposes, eight bytes per
+// step; ragged tails fall back to the bit-at-a-time loop.
 func shuffleBlock(src, dst []byte) {
+	n := len(src)
+	if n%8 == 0 {
+		ps := n >> 3 // plane stride in bytes
+		for i := 0; i+8 <= n; i += 8 {
+			y := transpose8x8(binary.LittleEndian.Uint64(src[i:]))
+			o := i >> 3
+			dst[o] = byte(y)
+			dst[ps+o] = byte(y >> 8)
+			dst[2*ps+o] = byte(y >> 16)
+			dst[3*ps+o] = byte(y >> 24)
+			dst[4*ps+o] = byte(y >> 32)
+			dst[5*ps+o] = byte(y >> 40)
+			dst[6*ps+o] = byte(y >> 48)
+			dst[7*ps+o] = byte(y >> 56)
+		}
+		return
+	}
 	for i := range dst {
 		dst[i] = 0
 	}
-	n := len(src)
 	for i, b := range src {
 		for p := 0; p < 8; p++ {
 			if b>>p&1 != 0 {
@@ -187,10 +239,27 @@ func shuffleBlock(src, dst []byte) {
 }
 
 func unshuffleBlock(src, dst []byte) {
+	n := len(dst)
+	if n%8 == 0 {
+		ps := n >> 3
+		var tmp [8]byte
+		for i := 0; i+8 <= n; i += 8 {
+			o := i >> 3
+			tmp[0] = src[o]
+			tmp[1] = src[ps+o]
+			tmp[2] = src[2*ps+o]
+			tmp[3] = src[3*ps+o]
+			tmp[4] = src[4*ps+o]
+			tmp[5] = src[5*ps+o]
+			tmp[6] = src[6*ps+o]
+			tmp[7] = src[7*ps+o]
+			binary.LittleEndian.PutUint64(dst[i:], transpose8x8(binary.LittleEndian.Uint64(tmp[:])))
+		}
+		return
+	}
 	for i := range dst {
 		dst[i] = 0
 	}
-	n := len(dst)
 	for p := 0; p < 8; p++ {
 		for i := 0; i < n; i++ {
 			bitPos := p*n + i
@@ -231,28 +300,48 @@ const (
 	minRecurseSize  = 64
 )
 
-func (c elim) Encode(dev *gpusim.Device, src []byte) ([]byte, error) {
+func (c elim) Encode(ctx *arena.Ctx, dev *gpusim.Device, src []byte) ([]byte, error) {
 	n := len(src) / c.w
 	tail := src[n*c.w:]
-	bitmap := make([]byte, (n+7)/8)
-	kept := make([]byte, 0, len(src)/4)
-	var prev uint64
-	for i := 0; i < n; i++ {
-		v := loadSym(src, i, c.w)
-		keep := false
-		if c.zero {
-			keep = v != 0
-		} else {
-			keep = i == 0 || v != prev
-			prev = v
+	bitmap := ctx.Bytes((n + 7) / 8)
+	clear(bitmap)
+	kept := ctx.Bytes(len(src))[:0]
+	if c.w == 1 {
+		// Byte-wide fast path for the pipelines' hot RRE1/RZE1 stages.
+		var prev byte
+		for i := 0; i < n; i++ {
+			v := src[i]
+			var keep bool
+			if c.zero {
+				keep = v != 0
+			} else {
+				keep = i == 0 || v != prev
+				prev = v
+			}
+			if keep {
+				bitmap[i>>3] |= 1 << (i & 7)
+				kept = append(kept, v)
+			}
 		}
-		if keep {
-			bitmap[i>>3] |= 1 << (i & 7)
-			kept = append(kept, src[i*c.w:(i+1)*c.w]...)
+	} else {
+		var prev uint64
+		for i := 0; i < n; i++ {
+			v := loadSym(src, i, c.w)
+			keep := false
+			if c.zero {
+				keep = v != 0
+			} else {
+				keep = i == 0 || v != prev
+				prev = v
+			}
+			if keep {
+				bitmap[i>>3] |= 1 << (i & 7)
+				kept = append(kept, src[i*c.w:(i+1)*c.w]...)
+			}
 		}
 	}
-	bm := encodeBitmap(dev, bitmap, c.budget())
-	out := make([]byte, 0, len(bm)+len(kept)+len(tail)+10)
+	bm := encodeBitmap(ctx, dev, bitmap, c.budget())
+	out := ctx.Bytes(len(bm) + len(kept) + len(tail) + 20)[:0]
 	out = bitio.AppendUvarint(out, uint64(len(src)))
 	out = bitio.AppendUvarint(out, uint64(len(bm)))
 	out = append(out, bm...)
@@ -261,7 +350,7 @@ func (c elim) Encode(dev *gpusim.Device, src []byte) ([]byte, error) {
 	return out, nil
 }
 
-func (c elim) Decode(dev *gpusim.Device, src []byte) ([]byte, error) {
+func (c elim) Decode(ctx *arena.Ctx, dev *gpusim.Device, src []byte) ([]byte, error) {
 	origLen, n0 := bitio.Uvarint(src)
 	if n0 == 0 {
 		return nil, ErrCorrupt
@@ -276,32 +365,56 @@ func (c elim) Decode(dev *gpusim.Device, src []byte) ([]byte, error) {
 		return nil, ErrCorrupt
 	}
 	nSym := int(origLen) / c.w
-	bitmap, err := decodeBitmap(dev, src[off:off+int(bmLen)], (nSym+7)/8, c.budget())
+	bitmap, err := decodeBitmap(ctx, dev, src[off:off+int(bmLen)], (nSym+7)/8, c.budget())
 	if err != nil {
 		return nil, err
 	}
 	off += int(bmLen)
-	out := make([]byte, origLen)
+	out := ctx.Bytes(int(origLen))
 	keptOff := off
-	var prev uint64
-	for i := 0; i < nSym; i++ {
-		if bitmap[i>>3]>>(i&7)&1 != 0 {
-			if keptOff+c.w > len(src) {
-				return nil, ErrCorrupt
-			}
-			copy(out[i*c.w:], src[keptOff:keptOff+c.w])
-			keptOff += c.w
-			if !c.zero {
-				prev = loadSym(out, i, c.w)
-			}
-		} else {
-			if c.zero {
-				storeSym(out, i, c.w, 0)
+	if c.w == 1 {
+		var prev byte
+		for i := 0; i < nSym; i++ {
+			if bitmap[i>>3]>>(i&7)&1 != 0 {
+				if keptOff >= len(src) {
+					return nil, ErrCorrupt
+				}
+				v := src[keptOff]
+				keptOff++
+				out[i] = v
+				if !c.zero {
+					prev = v
+				}
+			} else if c.zero {
+				out[i] = 0
 			} else {
 				if i == 0 {
 					return nil, ErrCorrupt // first symbol must be kept
 				}
-				storeSym(out, i, c.w, prev)
+				out[i] = prev
+			}
+		}
+	} else {
+		var prev uint64
+		for i := 0; i < nSym; i++ {
+			if bitmap[i>>3]>>(i&7)&1 != 0 {
+				if keptOff+c.w > len(src) {
+					return nil, ErrCorrupt
+				}
+				copy(out[i*c.w:], src[keptOff:keptOff+c.w])
+				keptOff += c.w
+				if !c.zero {
+					prev = loadSym(out, i, c.w)
+				}
+			} else {
+				if c.zero {
+					storeSym(out, i, c.w, 0)
+				} else {
+					if i == 0 {
+						return nil, ErrCorrupt // first symbol must be kept
+					}
+					storeSym(out, i, c.w, prev)
+				}
 			}
 		}
 	}
@@ -314,21 +427,21 @@ func (c elim) Decode(dev *gpusim.Device, src []byte) ([]byte, error) {
 }
 
 // encodeBitmap compresses a bitmap, recursing through RRE1 while it shrinks.
-func encodeBitmap(dev *gpusim.Device, bm []byte, depth int) []byte {
+func encodeBitmap(ctx *arena.Ctx, dev *gpusim.Device, bm []byte, depth int) []byte {
 	if depth > 1 && len(bm) >= minRecurseSize {
-		inner, err := elim{w: 1, depth: depth - 1}.Encode(dev, bm)
+		inner, err := elim{w: 1, depth: depth - 1}.Encode(ctx, dev, bm)
 		if err == nil && len(inner) < len(bm) {
-			out := make([]byte, 0, len(inner)+1)
+			out := ctx.Bytes(len(inner) + 1)[:0]
 			out = append(out, bitmapRecursive)
 			return append(out, inner...)
 		}
 	}
-	out := make([]byte, 0, len(bm)+1)
+	out := ctx.Bytes(len(bm) + 1)[:0]
 	out = append(out, bitmapRaw)
 	return append(out, bm...)
 }
 
-func decodeBitmap(dev *gpusim.Device, p []byte, wantLen, depth int) ([]byte, error) {
+func decodeBitmap(ctx *arena.Ctx, dev *gpusim.Device, p []byte, wantLen, depth int) ([]byte, error) {
 	if len(p) == 0 {
 		if wantLen == 0 {
 			return nil, nil
@@ -346,7 +459,7 @@ func decodeBitmap(dev *gpusim.Device, p []byte, wantLen, depth int) ([]byte, err
 		if depth <= 1 {
 			return nil, ErrCorrupt
 		}
-		bm, err := (elim{w: 1, depth: depth - 1}).Decode(dev, p[1:])
+		bm, err := (elim{w: 1, depth: depth - 1}).Decode(ctx, dev, p[1:])
 		if err != nil {
 			return nil, err
 		}
@@ -365,8 +478,8 @@ type diffms struct{}
 
 func (diffms) Name() string { return "DIFFMS1" }
 
-func (diffms) Encode(dev *gpusim.Device, src []byte) ([]byte, error) {
-	out := make([]byte, len(src))
+func (diffms) Encode(ctx *arena.Ctx, dev *gpusim.Device, src []byte) ([]byte, error) {
+	out := ctx.Bytes(len(src))
 	var prev byte
 	for i, b := range src {
 		d := int8(b - prev)
@@ -376,8 +489,8 @@ func (diffms) Encode(dev *gpusim.Device, src []byte) ([]byte, error) {
 	return out, nil
 }
 
-func (diffms) Decode(dev *gpusim.Device, src []byte) ([]byte, error) {
-	out := make([]byte, len(src))
+func (diffms) Decode(ctx *arena.Ctx, dev *gpusim.Device, src []byte) ([]byte, error) {
+	out := ctx.Bytes(len(src))
 	var prev byte
 	for i, b := range src {
 		d := byte(int8(b>>1) ^ -int8(b&1))
@@ -396,9 +509,11 @@ type clog struct{}
 
 func (clog) Name() string { return "CLOG1" }
 
-func (clog) Encode(dev *gpusim.Device, src []byte) ([]byte, error) {
-	w := bitio.NewWriter(len(src)/2 + 16)
+func (clog) Encode(ctx *arena.Ctx, dev *gpusim.Device, src []byte) ([]byte, error) {
 	nBlocks := (len(src) + clogBlock - 1) / clogBlock
+	var w bitio.Writer
+	// Worst case: every block at width 8 plus its 4-bit header.
+	w.ResetWithBuf(ctx.Bytes(len(src) + nBlocks/2 + 16)[:0])
 	for b := 0; b < nBlocks; b++ {
 		lo := b * clogBlock
 		hi := lo + clogBlock
@@ -419,17 +534,19 @@ func (clog) Encode(dev *gpusim.Device, src []byte) ([]byte, error) {
 			}
 		}
 	}
-	out := bitio.AppendUvarint(nil, uint64(len(src)))
-	return append(out, w.Bytes()...), nil
+	packed := w.Bytes()
+	out := ctx.Bytes(len(packed) + 10)[:0]
+	out = bitio.AppendUvarint(out, uint64(len(src)))
+	return append(out, packed...), nil
 }
 
-func (clog) Decode(dev *gpusim.Device, src []byte) ([]byte, error) {
+func (clog) Decode(ctx *arena.Ctx, dev *gpusim.Device, src []byte) ([]byte, error) {
 	origLen, n := bitio.Uvarint(src)
 	if n == 0 {
 		return nil, ErrCorrupt
 	}
 	r := bitio.NewReader(src[n:])
-	out := make([]byte, origLen)
+	out := ctx.Bytes(int(origLen))
 	nBlocks := (int(origLen) + clogBlock - 1) / clogBlock
 	for b := 0; b < nBlocks; b++ {
 		lo := b * clogBlock
@@ -446,7 +563,8 @@ func (clog) Decode(dev *gpusim.Device, src []byte) ([]byte, error) {
 			return nil, ErrCorrupt
 		}
 		if width == 0 {
-			continue // zeros already in place
+			clear(out[lo:hi])
+			continue
 		}
 		for i := lo; i < hi; i++ {
 			v, err := r.ReadBits(width)
@@ -473,9 +591,9 @@ func (c tupl) Name() string {
 	return fmt.Sprintf("TUPLD%d", c.w)
 }
 
-func (c tupl) Encode(dev *gpusim.Device, src []byte) ([]byte, error) {
+func (c tupl) Encode(ctx *arena.Ctx, dev *gpusim.Device, src []byte) ([]byte, error) {
 	n := len(src) / c.w
-	out := make([]byte, len(src))
+	out := ctx.Bytes(len(src))
 	pos := 0
 	for lane := 0; lane < c.k; lane++ {
 		for i := lane; i < n; i += c.k {
@@ -487,9 +605,9 @@ func (c tupl) Encode(dev *gpusim.Device, src []byte) ([]byte, error) {
 	return out, nil
 }
 
-func (c tupl) Decode(dev *gpusim.Device, src []byte) ([]byte, error) {
+func (c tupl) Decode(ctx *arena.Ctx, dev *gpusim.Device, src []byte) ([]byte, error) {
 	n := len(src) / c.w
-	out := make([]byte, len(src))
+	out := ctx.Bytes(len(src))
 	pos := 0
 	for lane := 0; lane < c.k; lane++ {
 		for i := lane; i < n; i += c.k {
@@ -508,12 +626,12 @@ type hf struct{}
 
 func (hf) Name() string { return "HF" }
 
-func (hf) Encode(dev *gpusim.Device, src []byte) ([]byte, error) {
-	return huffman.EncodeBytes(dev, src)
+func (hf) Encode(ctx *arena.Ctx, dev *gpusim.Device, src []byte) ([]byte, error) {
+	return huffman.EncodeBytesCtx(ctx, dev, src, nil)
 }
 
-func (hf) Decode(dev *gpusim.Device, src []byte) ([]byte, error) {
-	return huffman.DecodeBytes(dev, src)
+func (hf) Decode(ctx *arena.Ctx, dev *gpusim.Device, src []byte) ([]byte, error) {
+	return huffman.DecodeBytesCtx(ctx, dev, src)
 }
 
 // ---------------------------------------------------------------------------
@@ -603,9 +721,15 @@ func MustParse(spec string) *Pipeline {
 
 // Encode applies all stages in order.
 func (p *Pipeline) Encode(dev *gpusim.Device, src []byte) ([]byte, error) {
+	return p.EncodeCtx(nil, dev, src)
+}
+
+// EncodeCtx is Encode drawing stage buffers from ctx; the result is
+// context scratch when ctx is non-nil.
+func (p *Pipeline) EncodeCtx(ctx *arena.Ctx, dev *gpusim.Device, src []byte) ([]byte, error) {
 	cur := src
 	for _, st := range p.Stages {
-		next, err := st.Encode(dev, cur)
+		next, err := st.Encode(ctx, dev, cur)
 		if err != nil {
 			return nil, fmt.Errorf("lccodec: %s encode: %w", st.Name(), err)
 		}
@@ -616,10 +740,16 @@ func (p *Pipeline) Encode(dev *gpusim.Device, src []byte) ([]byte, error) {
 
 // Decode applies all stage inverses in reverse order.
 func (p *Pipeline) Decode(dev *gpusim.Device, src []byte) ([]byte, error) {
+	return p.DecodeCtx(nil, dev, src)
+}
+
+// DecodeCtx is Decode drawing stage buffers from ctx; the result is
+// context scratch when ctx is non-nil.
+func (p *Pipeline) DecodeCtx(ctx *arena.Ctx, dev *gpusim.Device, src []byte) ([]byte, error) {
 	cur := src
 	for i := len(p.Stages) - 1; i >= 0; i-- {
 		st := p.Stages[i]
-		next, err := st.Decode(dev, cur)
+		next, err := st.Decode(ctx, dev, cur)
 		if err != nil {
 			return nil, fmt.Errorf("lccodec: %s decode: %w", st.Name(), err)
 		}
@@ -630,6 +760,11 @@ func (p *Pipeline) Decode(dev *gpusim.Device, src []byte) ([]byte, error) {
 
 // HiCR is the compression-ratio-preferred pipeline of cuSZ-Hi (Fig. 7 top).
 func HiCR() *Pipeline { return MustParse("HF-RRE4-TCMS8-RZE1") }
+
+// HiCRTail is HiCR without its leading HF stage, for encoders that run the
+// entropy stage themselves with a fused (pre-computed) histogram. Composing
+// huffman.EncodeBytes with HiCRTail yields byte-identical output to HiCR.
+func HiCRTail() *Pipeline { return MustParse("RRE4-TCMS8-RZE1") }
 
 // HiTP is the throughput-preferred pipeline of cuSZ-Hi (Fig. 7 bottom).
 func HiTP() *Pipeline { return MustParse("TCMS1-BIT1-RRE1") }

@@ -61,11 +61,11 @@ func TestComponentsRoundTrip(t *testing.T) {
 			t.Fatalf("Name() = %q, want %q", c.Name(), name)
 		}
 		for vi, v := range vecs {
-			enc, err := c.Encode(dev, v)
+			enc, err := c.Encode(nil, dev, v)
 			if err != nil {
 				t.Fatalf("%s vec %d encode: %v", name, vi, err)
 			}
-			dec, err := c.Decode(dev, enc)
+			dec, err := c.Decode(nil, dev, enc)
 			if err != nil {
 				t.Fatalf("%s vec %d decode: %v", name, vi, err)
 			}
@@ -85,7 +85,7 @@ func TestUnknownComponent(t *testing.T) {
 func TestRRECompressesRuns(t *testing.T) {
 	data := bytes.Repeat([]byte{42}, 100_000)
 	c, _ := New("RRE1")
-	enc, err := c.Encode(dev, data)
+	enc, err := c.Encode(nil, dev, data)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,7 +100,7 @@ func TestRZECompressesZeros(t *testing.T) {
 		data[i] = 7
 	}
 	c, _ := New("RZE1")
-	enc, err := c.Encode(dev, data)
+	enc, err := c.Encode(nil, dev, data)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,7 +114,7 @@ func TestTCMSCentersSmallMagnitudes(t *testing.T) {
 	// near 0 in two's complement, i.e. 0, 255, 1, 254) must map to small
 	// values with mostly-zero high bits.
 	c, _ := New("TCMS1")
-	enc, err := c.Encode(dev, []byte{0, 255, 1, 254, 2})
+	enc, err := c.Encode(nil, dev, []byte{0, 255, 1, 254, 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,7 +128,7 @@ func TestTCMS8MatchesPaperFormula(t *testing.T) {
 	// §5.2.3: (word << 1) ^ (word >> 63) on 8-byte words.
 	src := []byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF} // -1
 	c, _ := New("TCMS8")
-	enc, _ := c.Encode(dev, src)
+	enc, _ := c.Encode(nil, dev, src)
 	want := []byte{1, 0, 0, 0, 0, 0, 0, 0} // zigzag(-1) = 1
 	if !bytes.Equal(enc, want) {
 		t.Fatalf("TCMS8(-1) = %v, want %v", enc, want)
@@ -141,7 +141,7 @@ func TestBitShuffleGroupsPlanes(t *testing.T) {
 	n := 4096
 	src := bytes.Repeat([]byte{1}, n)
 	c, _ := New("BIT1")
-	enc, _ := c.Encode(dev, src)
+	enc, _ := c.Encode(nil, dev, src)
 	for i := 0; i < n/8; i++ {
 		if enc[i] != 0xFF {
 			t.Fatalf("plane 0 byte %d = %#x", i, enc[i])
@@ -160,7 +160,7 @@ func TestCLOGPacksSmallValues(t *testing.T) {
 		data[i] = byte(i % 4) // needs 2 bits
 	}
 	c, _ := New("CLOG1")
-	enc, err := c.Encode(dev, data)
+	enc, err := c.Encode(nil, dev, data)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -267,11 +267,11 @@ func TestComponentsRoundTripProperty(t *testing.T) {
 	for _, name := range []string{"RRE1", "RZE1", "TCMS1", "BIT1", "DIFFMS1", "CLOG1", "TUPLQ1"} {
 		c, _ := New(name)
 		f := func(data []byte) bool {
-			enc, err := c.Encode(dev, data)
+			enc, err := c.Encode(nil, dev, data)
 			if err != nil {
 				return false
 			}
-			dec, err := c.Decode(dev, enc)
+			dec, err := c.Decode(nil, dev, enc)
 			return err == nil && bytes.Equal(dec, data)
 		}
 		if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
@@ -285,7 +285,7 @@ func TestRecursiveBitmapActuallyRecurses(t *testing.T) {
 	// recursively squeezed: output must be far below bitmap size (n/8).
 	data := bytes.Repeat([]byte{9}, 1<<20)
 	c, _ := New("RRE1")
-	enc, err := c.Encode(dev, data)
+	enc, err := c.Encode(nil, dev, data)
 	if err != nil {
 		t.Fatal(err)
 	}

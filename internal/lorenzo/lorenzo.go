@@ -8,12 +8,20 @@
 // quantized integers there is no feedback loop: compression is one parallel
 // pass and decompression is a 3-D inclusive prefix sum (one scan per
 // dimension), exactly the structure the GPU kernels exploit.
+//
+// The compression kernel histograms the quantization codes in the same
+// sweep that produces them (Result.Freq), so the downstream Huffman encoder
+// never re-scans the symbol stream. The *Ctx entry points draw all working
+// buffers — and the kernel closures themselves — from a reusable arena.Ctx,
+// so steady-state compress/decompress performs near-zero heap allocations.
 package lorenzo
 
 import (
 	"fmt"
 	"math"
+	"sync"
 
+	"repro/internal/arena"
 	"repro/internal/gpusim"
 	"repro/internal/quant"
 )
@@ -29,6 +37,56 @@ const Alphabet = 2*Radius + 2
 // the prefix-sum reconstruction; values needing a larger lattice coordinate
 // are preserved via the value-outlier list.
 const latticeCap = int64(1) << 50
+
+// chunkShift is the log2 of the compression kernel's chunk size.
+const chunkShift = 16
+
+// auxKey is this package's scratch slot in an arena.Ctx.
+var auxKey = arena.NewAuxKey()
+
+// escChunk collects one chunk's escapes and value outliers; the backing
+// arrays persist in the scratch so steady-state appends never grow.
+type escChunk struct {
+	deltas  []int64
+	valPos  []int
+	valVals []float32
+}
+
+// lscratch holds cross-op scratch: the fused histogram, per-chunk escape
+// collectors, and the kernel closures with their parameter block. Kernels
+// read their inputs from k, so one closure allocation (per context
+// lifetime) serves every subsequent launch.
+type lscratch struct {
+	freq   []int64
+	chunks []escChunk
+
+	k struct {
+		data  []float32
+		qv    []int64
+		codes []uint16
+		out   []float32
+		g     Grid
+		eb    float64
+		twoEB float64
+		freq  []int64
+		nData int
+		mu    sync.Mutex
+	}
+	prequantJob func(int)
+	deltaJob    func(int)
+	xScanJob    func(int)
+	yScanJob    func(int)
+	zScanJob    func(int)
+}
+
+func scratchFor(ctx *arena.Ctx) *lscratch {
+	if s, ok := ctx.Aux(auxKey).(*lscratch); ok {
+		return s
+	}
+	s := &lscratch{}
+	ctx.SetAux(auxKey, s)
+	return s
+}
 
 // Grid mirrors interp.Grid for package independence.
 type Grid struct {
@@ -66,32 +124,59 @@ type Result struct {
 	Escapes []int64
 	// ValOutliers holds points whose lattice reconstruction cannot meet the
 	// bound (extreme magnitudes); their original values win at decompression.
-	ValOutliers *quant.Outliers
+	ValOutliers quant.Outliers
+	// Freq is the histogram of Codes over [0, Alphabet), accumulated during
+	// the quantization sweep (context scratch when a Ctx was supplied).
+	Freq []int64
 }
 
-// Prequantize converts data to its integer lattice (round(v/2ε), clamped),
-// reporting each point whose lattice value violates the bound to outlier.
+// Prequantize converts data to its integer lattice (round(v/2ε), clamped).
 func Prequantize(dev *gpusim.Device, data []float32, twoEB float64) []int64 {
-	qv := make([]int64, len(data))
-	dev.LaunchChunks(len(data), 1<<16, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			q := math.Round(float64(data[i]) / twoEB)
-			switch {
-			case q > float64(latticeCap):
-				qv[i] = latticeCap
-			case q < -float64(latticeCap):
-				qv[i] = -latticeCap
-			default:
-				qv[i] = int64(q)
+	return PrequantizeCtx(nil, dev, data, twoEB)
+}
+
+// PrequantizeCtx is Prequantize drawing the lattice buffer from ctx (the
+// result is context scratch when ctx is non-nil).
+func PrequantizeCtx(ctx *arena.Ctx, dev *gpusim.Device, data []float32, twoEB float64) []int64 {
+	s := scratchFor(ctx)
+	qv := ctx.I64(len(data))
+	s.k.data, s.k.qv, s.k.twoEB, s.k.nData = data, qv, twoEB, len(data)
+	if s.prequantJob == nil {
+		k := &s.k
+		s.prequantJob = func(b int) {
+			lo := b << chunkShift
+			hi := lo + 1<<chunkShift
+			if hi > k.nData {
+				hi = k.nData
+			}
+			for i := lo; i < hi; i++ {
+				q := math.Round(float64(k.data[i]) / k.twoEB)
+				switch {
+				case q > float64(latticeCap):
+					k.qv[i] = latticeCap
+				case q < -float64(latticeCap):
+					k.qv[i] = -latticeCap
+				default:
+					k.qv[i] = int64(q)
+				}
 			}
 		}
-	})
+	}
+	dev.Launch((len(data)+(1<<chunkShift)-1)>>chunkShift, s.prequantJob)
+	s.k.data = nil // drop the caller's field so a pooled ctx never pins it
 	return qv
 }
 
 // Compress runs the dual-quant Lorenzo decomposition. eb is the absolute
 // error bound.
 func Compress(dev *gpusim.Device, data []float32, g Grid, eb float64) (*Result, error) {
+	return CompressCtx(nil, dev, data, g, eb)
+}
+
+// CompressCtx is Compress with a reusable context: the code, lattice and
+// side-channel buffers (and Result.Freq) are context scratch, valid until
+// ctx.Reset.
+func CompressCtx(ctx *arena.Ctx, dev *gpusim.Device, data []float32, g Grid, eb float64) (*Result, error) {
 	if g.Len() != len(data) {
 		return nil, fmt.Errorf("lorenzo: grid %dx%dx%d does not match %d values", g.Nz, g.Ny, g.Nx, len(data))
 	}
@@ -99,64 +184,109 @@ func Compress(dev *gpusim.Device, data []float32, g Grid, eb float64) (*Result, 
 		return nil, fmt.Errorf("lorenzo: error bound %v must be positive", eb)
 	}
 	twoEB := 2 * eb
-	qv := Prequantize(dev, data, twoEB)
+	qv := PrequantizeCtx(ctx, dev, data, twoEB)
+	s := scratchFor(ctx)
+	if cap(s.freq) < Alphabet {
+		s.freq = make([]int64, Alphabet)
+	}
+	freq := s.freq[:Alphabet]
+	clear(freq)
 	res := &Result{
-		Codes:       make([]uint16, len(data)),
-		ValOutliers: &quant.Outliers{},
+		Codes: ctx.U16(len(data)),
+		Freq:  freq,
 	}
-	// Pass 1 (parallel): per-point Lorenzo deltas; collect escapes per chunk.
-	type escChunk struct {
-		deltas  []int64
-		valPos  []int
-		valVals []float32
+	// Pass 1 (parallel): per-point Lorenzo deltas fused with the code
+	// histogram; escapes and value outliers collect per chunk into
+	// persistent scratch, in flat order.
+	nChunks := (len(data) + (1 << chunkShift) - 1) >> chunkShift
+	for len(s.chunks) < nChunks {
+		s.chunks = append(s.chunks, escChunk{})
 	}
-	nChunks := (len(data) + (1 << 16) - 1) >> 16
-	chunks := make([]escChunk, nChunks)
-	dev.Launch(nChunks, func(c int) {
-		lo := c << 16
-		hi := lo + (1 << 16)
-		if hi > len(data) {
-			hi = len(data)
-		}
-		ec := &chunks[c]
-		nyx := g.Ny * g.Nx
-		for i := lo; i < hi; i++ {
-			x := i % g.Nx
-			y := (i / g.Nx) % g.Ny
-			z := i / nyx
-			at := func(dz, dy, dx int) int64 {
-				if z-dz < 0 || y-dy < 0 || x-dx < 0 {
-					return 0
+	chunks := s.chunks[:nChunks]
+	for i := range chunks {
+		chunks[i].deltas = chunks[i].deltas[:0]
+		chunks[i].valPos = chunks[i].valPos[:0]
+		chunks[i].valVals = chunks[i].valVals[:0]
+	}
+	s.k.data, s.k.qv, s.k.codes, s.k.g = data, qv, res.Codes, g
+	s.k.eb, s.k.twoEB, s.k.freq, s.k.nData = eb, twoEB, freq, len(data)
+	if s.deltaJob == nil {
+		k := &s.k
+		s.deltaJob = func(c int) {
+			lo := c << chunkShift
+			hi := lo + 1<<chunkShift
+			if hi > k.nData {
+				hi = k.nData
+			}
+			ec := &s.chunks[c]
+			var hist [Alphabet]uint32
+			g := k.g
+			qv := k.qv
+			nyx := g.Ny * g.Nx
+			for i := lo; i < hi; i++ {
+				x := i % g.Nx
+				y := (i / g.Nx) % g.Ny
+				z := i / nyx
+				at := func(dz, dy, dx int) int64 {
+					if z-dz < 0 || y-dy < 0 || x-dx < 0 {
+						return 0
+					}
+					return qv[i-dz*nyx-dy*g.Nx-dx]
 				}
-				return qv[i-dz*nyx-dy*g.Nx-dx]
+				pred := at(0, 0, 1) + at(0, 1, 0) + at(1, 0, 0) -
+					at(0, 1, 1) - at(1, 0, 1) - at(1, 1, 0) + at(1, 1, 1)
+				delta := qv[i] - pred
+				if delta >= -Radius && delta < Radius {
+					code := uint16(delta+Radius) + 1
+					k.codes[i] = code
+					hist[code]++
+				} else {
+					k.codes[i] = 0
+					hist[0]++
+					ec.deltas = append(ec.deltas, delta)
+				}
+				recon := float32(float64(qv[i]) * k.twoEB)
+				if math.Abs(float64(k.data[i])-float64(recon)) > k.eb {
+					ec.valPos = append(ec.valPos, i)
+					ec.valVals = append(ec.valVals, k.data[i])
+				}
 			}
-			pred := at(0, 0, 1) + at(0, 1, 0) + at(1, 0, 0) -
-				at(0, 1, 1) - at(1, 0, 1) - at(1, 1, 0) + at(1, 1, 1)
-			delta := qv[i] - pred
-			if delta >= -Radius && delta < Radius {
-				res.Codes[i] = uint16(delta+Radius) + 1
-			} else {
-				res.Codes[i] = 0
-				ec.deltas = append(ec.deltas, delta)
+			k.mu.Lock()
+			for sym, n := range hist {
+				if n != 0 {
+					k.freq[sym] += int64(n)
+				}
 			}
-			recon := float32(float64(qv[i]) * twoEB)
-			if math.Abs(float64(data[i])-float64(recon)) > eb {
-				ec.valPos = append(ec.valPos, i)
-				ec.valVals = append(ec.valVals, data[i])
-			}
-		}
-	})
-	for _, ec := range chunks {
-		res.Escapes = append(res.Escapes, ec.deltas...)
-		for k, p := range ec.valPos {
-			res.ValOutliers.Append(p, ec.valVals[k])
+			k.mu.Unlock()
 		}
 	}
+	dev.Launch(nChunks, s.deltaJob)
+	nEsc, nOut := 0, 0
+	for i := range chunks {
+		nEsc += len(chunks[i].deltas)
+		nOut += len(chunks[i].valPos)
+	}
+	res.Escapes = ctx.I64(nEsc)[:0]
+	res.ValOutliers.Pos = ctx.Ints(nOut)[:0]
+	res.ValOutliers.Val = ctx.F32(nOut)[:0]
+	for i := range chunks {
+		ec := &chunks[i]
+		res.Escapes = append(res.Escapes, ec.deltas...)
+		res.ValOutliers.Pos = append(res.ValOutliers.Pos, ec.valPos...)
+		res.ValOutliers.Val = append(res.ValOutliers.Val, ec.valVals...)
+	}
+	s.k.data = nil // drop the caller's field so a pooled ctx never pins it
 	return res, nil
 }
 
 // Decompress reconstructs the field.
 func Decompress(dev *gpusim.Device, res *Result, g Grid, eb float64) ([]float32, error) {
+	return DecompressCtx(nil, dev, res, g, eb)
+}
+
+// DecompressCtx is Decompress with a reusable context. With a non-nil ctx
+// the returned field is context scratch, valid until the next ctx.Reset.
+func DecompressCtx(ctx *arena.Ctx, dev *gpusim.Device, res *Result, g Grid, eb float64) ([]float32, error) {
 	if len(res.Codes) != g.Len() {
 		return nil, fmt.Errorf("lorenzo: %d codes for grid of %d points", len(res.Codes), g.Len())
 	}
@@ -165,7 +295,8 @@ func Decompress(dev *gpusim.Device, res *Result, g Grid, eb float64) ([]float32,
 	}
 	twoEB := 2 * eb
 	n := g.Len()
-	qv := make([]int64, n)
+	s := scratchFor(ctx)
+	qv := ctx.I64(n)
 	// Rebuild deltas (sequential escape consumption, parallel the rest).
 	esc := 0
 	for i := 0; i < n; i++ {
@@ -186,41 +317,62 @@ func Decompress(dev *gpusim.Device, res *Result, g Grid, eb float64) ([]float32,
 	if esc != len(res.Escapes) {
 		return nil, fmt.Errorf("lorenzo: %d unused escapes", len(res.Escapes)-esc)
 	}
-	// 3-D inclusive prefix sum: x-scan, y-scan, z-scan.
+	// 3-D inclusive prefix sum: x-scan, y-scan, then a z-scan fused with
+	// the lattice-to-value conversion (a column chunk that finished its
+	// last plane holds final lattice values, so one kernel does both).
+	out := ctx.F32(n)
+	s.k.qv, s.k.out, s.k.g, s.k.twoEB = qv, out, g, twoEB
+	if s.xScanJob == nil {
+		k := &s.k
+		s.xScanJob = func(r int) {
+			qv := k.qv
+			base := r * k.g.Nx
+			var acc int64
+			for x := 0; x < k.g.Nx; x++ {
+				acc += qv[base+x]
+				qv[base+x] = acc
+			}
+		}
+		s.yScanJob = func(z int) {
+			qv := k.qv
+			g := k.g
+			base := z * g.Ny * g.Nx
+			for y := 1; y < g.Ny; y++ {
+				row := base + y*g.Nx
+				prev := row - g.Nx
+				for x := 0; x < g.Nx; x++ {
+					qv[row+x] += qv[prev+x]
+				}
+			}
+		}
+		s.zScanJob = func(b int) {
+			qv := k.qv
+			g := k.g
+			nyx := g.Ny * g.Nx
+			lo := b << 14
+			hi := lo + 1<<14
+			if hi > nyx {
+				hi = nyx
+			}
+			for z := 1; z < g.Nz; z++ {
+				base := z * nyx
+				prev := base - nyx
+				for i := lo; i < hi; i++ {
+					qv[base+i] += qv[prev+i]
+				}
+			}
+			for z := 0; z < g.Nz; z++ {
+				base := z * nyx
+				for i := lo; i < hi; i++ {
+					k.out[base+i] = float32(float64(qv[base+i]) * k.twoEB)
+				}
+			}
+		}
+	}
 	nyx := g.Ny * g.Nx
-	dev.Launch(g.Nz*g.Ny, func(r int) { // x-scan per row
-		base := r * g.Nx
-		var acc int64
-		for x := 0; x < g.Nx; x++ {
-			acc += qv[base+x]
-			qv[base+x] = acc
-		}
-	})
-	dev.Launch(g.Nz, func(z int) { // y-scan per plane, vectorized over x
-		base := z * nyx
-		for y := 1; y < g.Ny; y++ {
-			row := base + y*g.Nx
-			prev := row - g.Nx
-			for x := 0; x < g.Nx; x++ {
-				qv[row+x] += qv[prev+x]
-			}
-		}
-	})
-	dev.LaunchChunks(nyx, 1<<14, func(lo, hi int) { // z-scan per column chunk
-		for z := 1; z < g.Nz; z++ {
-			base := z * nyx
-			prev := base - nyx
-			for i := lo; i < hi; i++ {
-				qv[base+i] += qv[prev+i]
-			}
-		}
-	})
-	out := make([]float32, n)
-	dev.LaunchChunks(n, 1<<16, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			out[i] = float32(float64(qv[i]) * twoEB)
-		}
-	})
+	dev.Launch(g.Nz*g.Ny, s.xScanJob)
+	dev.Launch(g.Nz, s.yScanJob)
+	dev.Launch((nyx+(1<<14)-1)>>14, s.zScanJob)
 	for k, p := range res.ValOutliers.Pos {
 		if p < 0 || p >= n {
 			return nil, fmt.Errorf("lorenzo: outlier position %d out of range", p)

@@ -101,6 +101,14 @@ func (p *Pool[T]) Wait() { p.wg.Wait() }
 // in index order. The first error wins and is returned after all in-flight
 // jobs settle; results are then invalid.
 func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	return MapWorker(workers, n, func(_, i int) (T, error) { return fn(i) })
+}
+
+// MapWorker is Map where fn also receives the executing worker's slot id in
+// [0, workers): jobs running concurrently always see distinct slots, so
+// callers can maintain per-worker state (codec contexts, scratch arenas)
+// without locking. The slot count it passes never exceeds min(workers, n).
+func MapWorker[T any](workers, n int, fn func(worker, i int) (T, error)) ([]T, error) {
 	if n < 0 {
 		return nil, fmt.Errorf("pipeline: negative job count %d", n)
 	}
@@ -113,7 +121,7 @@ func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
 	out := make([]T, n)
 	if workers == 1 {
 		for i := 0; i < n; i++ {
-			v, err := fn(i)
+			v, err := fn(0, i)
 			if err != nil {
 				return nil, err
 			}
@@ -129,7 +137,7 @@ func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
 	)
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for {
 				mu.Lock()
@@ -140,7 +148,7 @@ func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
 				i := next
 				next++
 				mu.Unlock()
-				v, err := fn(i)
+				v, err := fn(worker, i)
 				if err != nil {
 					mu.Lock()
 					if firstErr == nil {
@@ -151,7 +159,7 @@ func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
 				}
 				out[i] = v
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	if firstErr != nil {

@@ -7,7 +7,9 @@ import (
 	"encoding/binary"
 	"errors"
 	"math"
+	"sort"
 
+	"repro/internal/arena"
 	"repro/internal/bitio"
 	"repro/internal/gpusim"
 )
@@ -83,34 +85,47 @@ func (o *Outliers) Serialize(dst []byte) []byte {
 // ParseOutliers decodes a section produced by Serialize, returning the
 // outliers and the number of bytes consumed.
 func ParseOutliers(p []byte) (*Outliers, int, error) {
+	o := &Outliers{}
+	used, err := ParseOutliersInto(nil, o, p)
+	if err != nil {
+		return nil, 0, err
+	}
+	return o, used, nil
+}
+
+// ParseOutliersInto decodes a section produced by Serialize into o, drawing
+// o's backing arrays from ctx (scratch, valid until ctx.Reset; plain
+// allocations when ctx is nil). It returns the number of bytes consumed.
+func ParseOutliersInto(ctx *arena.Ctx, o *Outliers, p []byte) (int, error) {
 	count64, n := bitio.Uvarint(p)
 	if n == 0 {
-		return nil, 0, ErrCorrupt
+		return 0, ErrCorrupt
 	}
 	off := n
 	count := int(count64)
 	if count < 0 || count > len(p) { // each entry needs >= 5 bytes
-		return nil, 0, ErrCorrupt
+		return 0, ErrCorrupt
 	}
-	o := &Outliers{Pos: make([]int, count), Val: make([]float32, count)}
+	o.Pos = ctx.Ints(count)
+	o.Val = ctx.F32(count)
 	prev := 0
 	for i := 0; i < count; i++ {
 		d, n := bitio.Uvarint(p[off:])
 		if n == 0 {
-			return nil, 0, ErrCorrupt
+			return 0, ErrCorrupt
 		}
 		off += n
 		prev += int(d)
 		o.Pos[i] = prev
 	}
 	if off+4*count > len(p) {
-		return nil, 0, ErrCorrupt
+		return 0, ErrCorrupt
 	}
 	for i := 0; i < count; i++ {
 		o.Val[i] = math.Float32frombits(binary.LittleEndian.Uint32(p[off:]))
 		off += 4
 	}
-	return o, off, nil
+	return off, nil
 }
 
 // Lookup builds a position→value map for decompression.
@@ -120,6 +135,18 @@ func (o *Outliers) Lookup() map[int]float32 {
 		m[p] = o.Val[i]
 	}
 	return m
+}
+
+// SortedGet returns the value at position pos by binary search. Positions
+// must be ascending, which both Compress (sorted merge) and the serialized
+// form (delta-coded) guarantee — it replaces the per-op Lookup map on the
+// allocation-free decompression path.
+func (o *Outliers) SortedGet(pos int) (float32, bool) {
+	i := sort.SearchInts(o.Pos, pos)
+	if i < len(o.Pos) && o.Pos[i] == pos {
+		return o.Val[i], true
+	}
+	return 0, false
 }
 
 // ---------------------------------------------------------------------------
@@ -132,7 +159,35 @@ func (o *Outliers) Lookup() map[int]float32 {
 // interpolation level in coarse-to-fine order, matching §5.1.4 ("codes from
 // the larger interpolation strides appear first").
 func LevelOrderPerm(dims []int, anchorStride int) []int32 {
+	return LevelOrderPermCtx(nil, dims, anchorStride)
+}
+
+// permMemo caches the last permutation computed through a context: shard
+// pipelines apply the same (dims, stride) permutation to every shard, so a
+// per-worker context turns the O(n) rebuild into a lookup.
+type permMemo struct {
+	nz, ny, nx, stride int
+	perm               []int32
+}
+
+var permAuxKey = arena.NewAuxKey()
+
+// LevelOrderPermCtx is LevelOrderPerm memoized on ctx: the returned slice
+// is owned by the context (do not modify) and stays valid across Resets.
+func LevelOrderPermCtx(ctx *arena.Ctx, dims []int, anchorStride int) []int32 {
 	nz, ny, nx := norm3(dims)
+	if ctx != nil {
+		if m, ok := ctx.Aux(permAuxKey).(*permMemo); ok &&
+			m.nz == nz && m.ny == ny && m.nx == nx && m.stride == anchorStride {
+			return m.perm
+		}
+	}
+	perm := levelOrderPerm(nz, ny, nx, anchorStride)
+	ctx.SetAux(permAuxKey, &permMemo{nz: nz, ny: ny, nx: nx, stride: anchorStride, perm: perm})
+	return perm
+}
+
+func levelOrderPerm(nz, ny, nx, anchorStride int) []int32 {
 	L := log2(anchorStride)
 	n := nz * ny * nx
 	perm := make([]int32, 0, n)
