@@ -13,6 +13,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -22,6 +23,8 @@ import (
 	"testing"
 	"time"
 
+	"repro/cuszhi"
+	"repro/cuszhi/stream"
 	"repro/internal/arena"
 	"repro/internal/core"
 	"repro/internal/datagen"
@@ -127,6 +130,30 @@ func suite(quick bool) ([]bench, error) {
 		return nil, err
 	}
 
+	// A seekable (v4) container of the same field for the random-access
+	// benchmark: reading the middle 32 planes through the chunk index vs
+	// decoding the whole container sequentially to reach them.
+	var v4buf bytes.Buffer
+	sw, err := stream.NewWriter(&v4buf, sField.Dims, sEB,
+		stream.WithMode(cuszhi.ModeTP), stream.WithChunkPlanes(32), stream.WithWorkers(4))
+	if err != nil {
+		return nil, err
+	}
+	if err := sw.WriteValues(sField.Data); err != nil {
+		return nil, err
+	}
+	if err := sw.Close(); err != nil {
+		return nil, err
+	}
+	v4Blob := v4buf.Bytes()
+	planeLo := sField.Dims[0]/2 - 16
+	planeHi := planeLo + 32
+	winPS := sField.Len() / sField.Dims[0] // elements per plane
+	ra, err := stream.OpenReaderAt(bytes.NewReader(v4Blob), int64(len(v4Blob)), stream.WithWorkers(4))
+	if err != nil {
+		return nil, err
+	}
+
 	return []bench{
 		{"huffman/encode-bytes", int64(hfN), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
@@ -202,6 +229,26 @@ func suite(quick bool) ([]bench, error) {
 				if _, _, err := core.Decompress(dev4, sBlobChunked); err != nil {
 					b.Fatal(err)
 				}
+			}
+		}},
+		// Random access: both sides deliver the same middle-32-plane
+		// window, so MB/s compares time-to-window directly.
+		{"stream/readplanes/middle32-v4", int64(4 * 32 * winPS), func(b *testing.B) {
+			var dst []float32
+			for i := 0; i < b.N; i++ {
+				var err error
+				if dst, err = ra.ReadPlanes(dst, planeLo, planeHi); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"stream/readplanes/middle32-fulldecode", int64(4 * 32 * winPS), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				recon, _, err := core.Decompress(dev4, v4Blob)
+				if err != nil {
+					b.Fatal(err)
+				}
+				_ = recon[planeLo*winPS : planeHi*winPS]
 			}
 		}},
 	}, nil

@@ -3,16 +3,18 @@
 // files, and can synthesize the benchmark datasets.
 //
 //	cuszhi compress   -i data.f32 -o data.cszh -dims 256x384x384 -eb 1e-3 [-mode hi-cr] [-abs] [-chunk 32] [-stream]
-//	cuszhi decompress -i data.cszh -o recon.f32 [-stream]
+//	cuszhi decompress -i data.cszh -o recon.f32 [-stream] [-planes lo:hi]
 //	cuszhi gen        -dataset miranda -o data.f32 [-dims 64x96x96] [-seed 1]
 //	cuszhi info       -i data.cszh
 //
 // Modes: hi-cr (default), hi-tp, cusz-i, cusz-ib, cusz-l.
 //
 // -chunk N shards the field into slabs of N planes compressed in parallel
-// (the format-v2 chunked container); -stream additionally pipes the file
-// through the streaming writer/reader so memory stays bounded by the
-// chunk size rather than the field size.
+// (a chunked container); -stream additionally pipes the file through the
+// streaming writer/reader so memory stays bounded by the chunk size rather
+// than the field size, emitting a seekable (format v4) container whose
+// chunk-index footer lets `decompress -planes lo:hi` extract a plane range
+// while reading only the covering shards.
 package main
 
 import (
@@ -59,7 +61,7 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   cuszhi compress   -i data.f32 -o data.cszh -dims ZxYxX -eb 1e-3 [-mode hi-cr] [-abs] [-chunk N] [-stream]
-  cuszhi decompress -i data.cszh -o recon.f32 [-stream]
+  cuszhi decompress -i data.cszh -o recon.f32 [-stream] [-planes lo:hi]
   cuszhi gen        -dataset NAME -o data.f32 [-dims ZxYxX] [-seed N] [-full]
   cuszhi info       -i data.cszh`)
 	os.Exit(2)
@@ -246,9 +248,16 @@ func cmdDecompress(args []string) error {
 	in := fs.String("i", "", "input compressed file")
 	out := fs.String("o", "", "output raw float32 file")
 	streaming := fs.Bool("stream", false, "decode chunk-by-chunk through the streaming reader (bounded memory)")
+	planes := fs.String("planes", "", "decode only planes lo:hi along the slowest dim (random access via the chunk index)")
 	fs.Parse(args)
 	if *in == "" || *out == "" {
 		return fmt.Errorf("decompress: -i and -o are required")
+	}
+	if *planes != "" {
+		if *streaming {
+			return fmt.Errorf("decompress: -planes is random access; drop -stream")
+		}
+		return decompressPlanes(*in, *out, *planes)
 	}
 	if *streaming {
 		f, err := os.Open(*in)
@@ -284,6 +293,55 @@ func cmdDecompress(args []string) error {
 		return err
 	}
 	fmt.Printf("%s: %d values, dims %v\n", *out, len(data), dims)
+	return nil
+}
+
+// parsePlaneRange parses a "lo:hi" plane range (half-open, lo < hi).
+func parsePlaneRange(s string) (lo, hi int, err error) {
+	i := strings.IndexByte(s, ':')
+	if i < 0 {
+		return 0, 0, fmt.Errorf("bad plane range %q (want lo:hi)", s)
+	}
+	lo, err = strconv.Atoi(s[:i])
+	if err == nil {
+		hi, err = strconv.Atoi(s[i+1:])
+	}
+	if err != nil || lo < 0 || hi <= lo {
+		return 0, 0, fmt.Errorf("bad plane range %q (want lo:hi with 0 <= lo < hi)", s)
+	}
+	return lo, hi, nil
+}
+
+// decompressPlanes extracts planes [lo, hi) through the random-access
+// reader: on a seekable (v4) container only the covering shards are read
+// and decoded; older formats fall back to a scan-built index.
+func decompressPlanes(in, out, spec string) error {
+	lo, hi, err := parsePlaneRange(spec)
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	r, err := stream.OpenReaderAt(f, st.Size())
+	if err != nil {
+		return err
+	}
+	vals, err := r.ReadPlanes(nil, lo, hi)
+	if err != nil {
+		return err
+	}
+	if err := writeF32(out, vals); err != nil {
+		return err
+	}
+	fmt.Printf("%s: planes %d:%d of dims %v (%d values, %d of %d chunks read)\n",
+		out, lo, hi, r.Dims(), len(vals), r.CoveringChunks(lo, hi), r.NumChunks())
 	return nil
 }
 
@@ -345,6 +403,9 @@ func cmdInfo(args []string) error {
 	fmt.Printf("file:   %s (%d bytes, format v%d)\n", *in, len(blob), hdr.Version)
 	if hdr.NumChunks > 0 {
 		fmt.Printf("chunks: %d (%d planes each)\n", hdr.NumChunks, hdr.ChunkPlanes)
+	}
+	if hdr.HasIndex {
+		fmt.Printf("index:  chunk-index footer (seekable; decompress -planes lo:hi)\n")
 	}
 	fmt.Printf("dims:   %v (%d values)\n", dims, len(data))
 	ebKind := "absolute"

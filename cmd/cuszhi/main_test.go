@@ -194,6 +194,77 @@ func TestEndToEndChunkedAndStreamed(t *testing.T) {
 	check("one-shot->streamed", out4)
 }
 
+// TestPlaneRangeExtraction drives `decompress -planes lo:hi` against the
+// seekable container `-stream` now writes, and against an old-style v2
+// container via the scan-built fallback index.
+func TestPlaneRangeExtraction(t *testing.T) {
+	dir := t.TempDir()
+	raw := filepath.Join(dir, "f.f32")
+	if err := cmdGen([]string{"-dataset", "jhtdb", "-o", raw, "-dims", "24x12x12", "-seed", "7"}); err != nil {
+		t.Fatal(err)
+	}
+
+	comp := filepath.Join(dir, "f.cszh")
+	if err := cmdCompress([]string{"-i", raw, "-o", comp, "-dims", "24x12x12",
+		"-eb", "1e-3", "-mode", "hi-tp", "-stream", "-chunk", "5"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdInfo([]string{"-i", comp}); err != nil {
+		t.Fatal(err)
+	}
+
+	full := filepath.Join(dir, "full.f32")
+	if err := cmdDecompress([]string{"-i", comp, "-o", full}); err != nil {
+		t.Fatal(err)
+	}
+	fullVals, err := readF32(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ps := 12 * 12
+	part := filepath.Join(dir, "part.f32")
+	if err := cmdDecompress([]string{"-i", comp, "-o", part, "-planes", "7:13"}); err != nil {
+		t.Fatal(err)
+	}
+	partVals, err := readF32(part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(partVals) != 6*ps {
+		t.Fatalf("extracted %d values, want %d", len(partVals), 6*ps)
+	}
+	for i := range partVals {
+		if partVals[i] != fullVals[7*ps+i] {
+			t.Fatalf("plane extraction diverges from full decode at %d", i)
+		}
+	}
+
+	// Old chunked (v2) containers work through the fallback index.
+	v2 := filepath.Join(dir, "v2.cszh")
+	if err := cmdCompress([]string{"-i", raw, "-o", v2, "-dims", "24x12x12",
+		"-eb", "1e-3", "-mode", "hi-tp", "-chunk", "5"}); err != nil {
+		t.Fatal(err)
+	}
+	part2 := filepath.Join(dir, "part2.f32")
+	if err := cmdDecompress([]string{"-i", v2, "-o", part2, "-planes", "0:5"}); err != nil {
+		t.Fatal(err)
+	}
+	if vals, err := readF32(part2); err != nil || len(vals) != 5*ps {
+		t.Fatalf("v2 extraction: %v (%d values)", err, len(vals))
+	}
+
+	// Bad ranges and flag combinations are refused.
+	for _, spec := range []string{"5", "a:b", "5:5", "9:2", "-1:4", "0:25"} {
+		if err := cmdDecompress([]string{"-i", comp, "-o", part, "-planes", spec}); err == nil {
+			t.Fatalf("plane spec %q accepted", spec)
+		}
+	}
+	if err := cmdDecompress([]string{"-i", comp, "-o", part, "-planes", "0:2", "-stream"}); err == nil {
+		t.Fatal("-planes with -stream accepted")
+	}
+}
+
 // TestStreamedConstantField covers the zero-range case: a constant field
 // has no value range, so the relative-bound pre-pass must fall back to
 // range 1 (matching metrics.AbsEB) instead of producing a zero bound.

@@ -186,9 +186,10 @@ type ContainerInfo struct {
 	Version     int
 	Dims        []int
 	AbsErrorEB  float64 // the container's bound; relative when RelativeEB
-	RelativeEB  bool    // v3 streams: bound is value-range-relative
+	RelativeEB  bool    // v3/v4 streams: bound is value-range-relative
 	NumChunks   int     // 0 for one-shot (v1) containers
 	ChunkPlanes int     // 0 for one-shot (v1) containers
+	HasIndex    bool    // v4: a chunk-index footer makes the container seekable
 }
 
 // Inspect reads a container's header (any format version).
@@ -198,7 +199,8 @@ func Inspect(blob []byte) (*ContainerInfo, error) {
 		return nil, err
 	}
 	return &ContainerInfo{Version: info.Version, Dims: info.Dims, AbsErrorEB: info.EB,
-		RelativeEB: info.RelEB, NumChunks: info.NumChunks, ChunkPlanes: info.ChunkPlanes}, nil
+		RelativeEB: info.RelEB, NumChunks: info.NumChunks, ChunkPlanes: info.ChunkPlanes,
+		HasIndex: info.HasIndex}, nil
 }
 
 // AbsEB converts a value-range-relative error bound to the absolute bound

@@ -7,8 +7,8 @@ import (
 	"repro/internal/gpusim"
 )
 
-// FuzzDecompress feeds arbitrary bytes — seeded with valid v1, v2 and v3
-// containers and systematic truncations of each — to Decompress, proving
+// FuzzDecompress feeds arbitrary bytes — seeded with valid v1, v2, v3 and
+// v4 containers and systematic truncations of each — to Decompress, proving
 // it returns errors on malformed input instead of panicking or
 // over-reading. Run with `go test -fuzz=FuzzDecompress ./cuszhi` to
 // explore beyond the seed corpus.
@@ -70,7 +70,30 @@ func FuzzDecompress(f *testing.F) {
 		f.Fatal(err) // the seed itself must be valid
 	}
 
-	for _, blob := range [][]byte{v1, v2, vl, v3} {
+	// A v4 container (seekable: v3 framing + chunk-index footer), built the
+	// way the streaming writer builds it.
+	v4, err := core.AppendChunkedHeaderV4(nil, dims, 0.05, false, 2)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var v4idx []core.IndexEntry
+	for off := 0; off < dims[0]; off += 2 {
+		shard := data[off*64 : (off+2)*64]
+		minV, maxV, _ := core.ShardRange(shard)
+		shardDims := []int{2, 8, 8}
+		payload, err := core.Compress(gpusim.Default, shard, shardDims, 0.05, lOpts)
+		if err != nil {
+			f.Fatal(err)
+		}
+		v4idx = append(v4idx, core.IndexEntry{FrameOff: int64(len(v4)), PlaneOff: off, Planes: 2})
+		v4 = core.AppendChunkFrameV3(v4, lOpts, off, shardDims, minV, maxV, payload)
+	}
+	v4 = core.AppendChunkIndexFooter(v4, int64(len(v4)), v4idx)
+	if _, _, err := Decompress(v4); err != nil {
+		f.Fatal(err) // the seed itself must be valid
+	}
+
+	for _, blob := range [][]byte{v1, v2, vl, v3, v4} {
 		f.Add(blob)
 		for _, cut := range []int{0, 3, 5, 9, len(blob) / 3, len(blob) / 2, len(blob) - 1} {
 			f.Add(blob[:cut])

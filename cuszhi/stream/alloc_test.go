@@ -80,7 +80,9 @@ func TestRelativeEBStreamRoundTrip(t *testing.T) {
 	}
 	relEB := 0.01
 	var buf bytes.Buffer
-	w, err := NewWriter(&buf, dims, relEB, WithMode(cuszhi.ModeCuszL), WithChunkPlanes(8), WithRelativeEB())
+	// WithIndex(false) pins the plain v3 layout; the default (v4) adds the
+	// seekable chunk-index footer and is covered by the ReaderAt tests.
+	w, err := NewWriter(&buf, dims, relEB, WithMode(cuszhi.ModeCuszL), WithChunkPlanes(8), WithRelativeEB(), WithIndex(false))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,375 @@
+// Random access into compressed containers: OpenReaderAt builds (or
+// loads) a chunk index over an io.ReaderAt and ReadPlanes decodes an
+// arbitrary plane range while reading only the shards that cover it.
+//
+// Seekable (v4) containers carry the index as a footer, so opening one
+// touches the header, the fixed 12-byte tail and the index body — no
+// payload bytes. Older chunked containers (v2/v3) have no footer; the
+// open walks their frame headers once, skipping every payload by offset
+// arithmetic, and serves the same API from the scan-built index. One-shot
+// v1 blobs have a single monolithic payload, so the first ReadPlanes
+// decodes the whole field once and later calls slice the cached
+// reconstruction.
+package stream
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"repro/internal/arena"
+	"repro/internal/core"
+	"repro/internal/gpusim"
+	"repro/internal/pipeline"
+)
+
+// maxFrameHeaderLen bounds a chunk frame header (offset + up to 8 dim
+// uvarints + codec byte + 8-byte range + payload-length uvarint + CRC),
+// so the index scan can fetch one header with a single small ReadAt.
+const maxFrameHeaderLen = 96
+
+// ReaderAt serves random-access plane reads from a compressed container.
+// It is safe for concurrent use: the index is immutable after Open and
+// every ReadPlanes call works on its own buffers.
+type ReaderAt struct {
+	src     io.ReaderAt
+	size    int64
+	dev     *gpusim.Device
+	version int
+	dims    []int
+	ps      int // elements per plane
+	eb      float64
+	relEB   bool
+
+	// Chunked containers (v2/v3/v4).
+	h        *core.ChunkedInfo
+	index    []core.IndexEntry
+	frameEnd []int64 // frame i spans [index[i].FrameOff, frameEnd[i])
+
+	// One-shot (v1) blobs: the whole field, decoded once on demand.
+	v1once  sync.Once
+	v1field []float32
+	v1err   error
+}
+
+// countReader counts the bytes an io.Reader delivers, so the open can
+// learn the variable-length header's size.
+type countReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// readFullAt reads len(p) bytes at off. The io.ReaderAt contract allows a
+// full read that ends exactly at EOF to return io.EOF alongside the data,
+// so that case counts as success here.
+func readFullAt(src io.ReaderAt, p []byte, off int64) error {
+	n, err := src.ReadAt(p, off)
+	if n == len(p) {
+		return nil
+	}
+	if err == nil {
+		err = io.ErrUnexpectedEOF
+	}
+	return err
+}
+
+// OpenReaderAt indexes the container held by src (size bytes long) for
+// random access. v4 containers are opened from their chunk-index footer
+// without touching any chunk payload; v2/v3 containers get an equivalent
+// index from one scan of their frame headers; v1 blobs fall back to a
+// whole-field decode on first use. Only WithWorkers among the options
+// affects a ReaderAt.
+func OpenReaderAt(src io.ReaderAt, size int64, opt ...Option) (*ReaderAt, error) {
+	cfg := newConfig(opt)
+	var pre [5]byte
+	if size < int64(len(pre)) {
+		return nil, core.ErrCorrupt
+	}
+	if err := readFullAt(src, pre[:], 0); err != nil {
+		return nil, core.ErrCorrupt
+	}
+	version, ok := core.SniffVersion(pre[:])
+	if !ok {
+		return nil, core.ErrCorrupt
+	}
+	r := &ReaderAt{src: src, size: size, dev: cfg.dev, version: version}
+	if version == 1 {
+		// Parse dims/eb from the prefix; the payload stays untouched until
+		// the first ReadPlanes.
+		head := make([]byte, min(size, 4096))
+		if err := readFullAt(src, head, 0); err != nil {
+			return nil, core.ErrCorrupt
+		}
+		info, err := core.Inspect(head)
+		if err != nil {
+			return nil, err
+		}
+		r.dims, r.eb = info.Dims, info.EB
+		r.ps = planeElems(r.dims)
+		return r, nil
+	}
+	cr := &countReader{r: io.NewSectionReader(src, 0, size)}
+	h, err := core.ReadChunkedHeader(cr)
+	if err != nil {
+		return nil, err
+	}
+	r.h, r.dims, r.eb, r.relEB = h, h.Dims, h.EB, h.RelEB
+	r.ps = planeElems(r.dims)
+	headerLen := cr.n
+	if h.Version >= 4 {
+		err = r.loadIndex(headerLen)
+	} else {
+		err = r.scanIndex(headerLen)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// loadIndex reads a v4 container's chunk index from its footer: the fixed
+// tail at EOF yields the backpointer, the index body yields the entries.
+// No chunk payload bytes are read.
+func (r *ReaderAt) loadIndex(headerLen int64) error {
+	if r.size < headerLen+core.IndexTailLen {
+		return core.ErrCorrupt
+	}
+	var tail [core.IndexTailLen]byte
+	if err := readFullAt(r.src, tail[:], r.size-core.IndexTailLen); err != nil {
+		return core.ErrCorrupt
+	}
+	footerOff, err := core.ParseChunkIndexTail(tail[:])
+	if err != nil {
+		return err
+	}
+	if footerOff < headerLen || footerOff > r.size-core.IndexTailLen {
+		return core.ErrCorrupt
+	}
+	regionLen := r.size - core.IndexTailLen - footerOff
+	// Three uvarints per entry plus the count and CRC: a region wildly
+	// larger than that is hostile, not an index.
+	if regionLen > int64(r.h.NumChunks)*30+64 {
+		return core.ErrCorrupt
+	}
+	region := make([]byte, regionLen)
+	if err := readFullAt(r.src, region, footerOff); err != nil {
+		return core.ErrCorrupt
+	}
+	entries, err := core.ParseChunkIndex(region, r.h, footerOff)
+	if err != nil {
+		return err
+	}
+	if entries[0].FrameOff != headerLen {
+		return core.ErrCorrupt
+	}
+	return r.setIndex(entries, footerOff)
+}
+
+// scanIndex builds the index for a v2/v3 container by walking its frame
+// headers, skipping every payload by offset arithmetic.
+func (r *ReaderAt) scanIndex(headerLen int64) error {
+	entries := make([]core.IndexEntry, 0, r.h.NumChunks)
+	off := headerLen
+	nextPlane := 0
+	var buf [maxFrameHeaderLen]byte
+	for i := 0; i < r.h.NumChunks; i++ {
+		want := min(int64(len(buf)), r.size-off)
+		if want <= 0 {
+			return core.ErrCorrupt
+		}
+		if err := readFullAt(r.src, buf[:want], off); err != nil {
+			return core.ErrCorrupt
+		}
+		c, payStart, plen, err := core.ScanFrameHeader(buf[:want], r.h)
+		if err != nil {
+			return err
+		}
+		if c.Offset != nextPlane {
+			return core.ErrCorrupt
+		}
+		entries = append(entries, core.IndexEntry{FrameOff: off, PlaneOff: c.Offset, Planes: c.Dims[0]})
+		off += int64(payStart) + int64(plen)
+		if off > r.size {
+			return core.ErrCorrupt
+		}
+		nextPlane += c.Dims[0]
+	}
+	if nextPlane != r.h.Dims[0] || off != r.size {
+		return core.ErrCorrupt
+	}
+	return r.setIndex(entries, off)
+}
+
+// setIndex installs the entries and derives each frame's end offset (the
+// next frame's start; the last frame ends where the frames end).
+func (r *ReaderAt) setIndex(entries []core.IndexEntry, framesEnd int64) error {
+	r.index = entries
+	r.frameEnd = make([]int64, len(entries))
+	for i := range entries {
+		if i+1 < len(entries) {
+			r.frameEnd[i] = entries[i+1].FrameOff
+		} else {
+			r.frameEnd[i] = framesEnd
+		}
+		if r.frameEnd[i] <= entries[i].FrameOff {
+			return core.ErrCorrupt
+		}
+	}
+	return nil
+}
+
+// Dims returns the field's dims, slowest first.
+func (r *ReaderAt) Dims() []int { return append([]int(nil), r.dims...) }
+
+// EB returns the container's error bound: absolute, or value-range-
+// relative when RelativeEB reports true.
+func (r *ReaderAt) EB() float64 { return r.eb }
+
+// RelativeEB reports whether the container's bound is value-range-relative,
+// resolved per shard from each shard's own range.
+func (r *ReaderAt) RelativeEB() bool { return r.relEB }
+
+// Version reports the container's format version.
+func (r *ReaderAt) Version() int { return r.version }
+
+// NumChunks reports how many independently decodable shards the container
+// holds (0 for a one-shot v1 blob).
+func (r *ReaderAt) NumChunks() int { return len(r.index) }
+
+// coveringRange returns the run [a, b) of index entries whose shards
+// overlap planes [lo, hi). The index tiles [0, dims[0]) contiguously, so
+// the covering shards are always one run.
+func (r *ReaderAt) coveringRange(lo, hi int) (a, b int) {
+	a = sort.Search(len(r.index), func(i int) bool { return r.index[i].PlaneOff+r.index[i].Planes > lo })
+	b = sort.Search(len(r.index), func(i int) bool { return r.index[i].PlaneOff >= hi })
+	return a, b
+}
+
+// CoveringChunks reports how many shards a ReadPlanes(lo, hi) call would
+// decode (0 for a one-shot v1 blob, which decodes whole).
+func (r *ReaderAt) CoveringChunks(lo, hi int) int {
+	a, b := r.coveringRange(lo, hi)
+	return b - a
+}
+
+// ReadPlanes decodes planes [lo, hi) of the field into dst (grown if its
+// capacity is short) and returns it. Only the ⌈(hi−lo+skew)/chunkPlanes⌉
+// shards covering the range are read and decoded, concurrently, each
+// through a pooled codec context; the result is trimmed to exactly the
+// requested planes. Calls may run concurrently as long as their dst
+// buffers are distinct.
+func (r *ReaderAt) ReadPlanes(dst []float32, lo, hi int) ([]float32, error) {
+	if lo < 0 || hi > r.dims[0] || lo >= hi {
+		return nil, fmt.Errorf("stream: plane range %d:%d outside field with %d planes", lo, hi, r.dims[0])
+	}
+	need := (hi - lo) * r.ps
+	if cap(dst) < need {
+		dst = make([]float32, need)
+	} else {
+		dst = dst[:need]
+	}
+	if r.version == 1 {
+		field, err := r.v1Field()
+		if err != nil {
+			return nil, err
+		}
+		copy(dst, field[lo*r.ps:hi*r.ps])
+		return dst, nil
+	}
+	a, b := r.coveringRange(lo, hi)
+	_, err := pipeline.MapWorker(r.dev.Workers(), b-a, func(_, j int) (struct{}, error) {
+		return struct{}{}, r.decodeChunkInto(dst, a+j, lo, hi)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return dst, nil
+}
+
+// decodeChunkInto reads, verifies and decodes chunk i, copying the planes
+// it contributes to [lo, hi) into their place in dst.
+func (r *ReaderAt) decodeChunkInto(dst []float32, i, lo, hi int) error {
+	e := r.index[i]
+	buf := make([]byte, r.frameEnd[i]-e.FrameOff)
+	if err := readFullAt(r.src, buf, e.FrameOff); err != nil {
+		return core.ErrCorrupt
+	}
+	br := bytes.NewReader(buf)
+	c, payload, err := core.ReadChunkFrame(br, r.h)
+	if err != nil {
+		return err
+	}
+	if br.Len() != 0 || c.Offset != e.PlaneOff || c.Dims[0] != e.Planes {
+		return fmt.Errorf("stream: chunk index disagrees with frame at plane %d: %w", e.PlaneOff, core.ErrCorrupt)
+	}
+	ctx := arena.Get()
+	defer arena.Put(ctx)
+	recon, err := core.DecompressShardCtx(ctx, r.dev, c, payload)
+	if err != nil {
+		return err
+	}
+	s0, s1 := e.PlaneOff, e.PlaneOff+e.Planes
+	if s0 < lo {
+		s0 = lo
+	}
+	if s1 > hi {
+		s1 = hi
+	}
+	copy(dst[(s0-lo)*r.ps:(s1-lo)*r.ps], recon[(s0-e.PlaneOff)*r.ps:(s1-e.PlaneOff)*r.ps])
+	return nil
+}
+
+// v1Field decodes a one-shot blob's whole field once, caching it for later
+// ReadPlanes calls.
+func (r *ReaderAt) v1Field() ([]float32, error) {
+	r.v1once.Do(func() {
+		blob := make([]byte, r.size)
+		if err := readFullAt(r.src, blob, 0); err != nil {
+			r.v1err = core.ErrCorrupt
+			return
+		}
+		field, dims, err := core.Decompress(r.dev, blob)
+		if err != nil {
+			r.v1err = err
+			return
+		}
+		if len(dims) != len(r.dims) || dims[0] != r.dims[0] {
+			r.v1err = core.ErrCorrupt
+			return
+		}
+		r.v1field = field
+	})
+	return r.v1field, r.v1err
+}
+
+// planeElems returns the element count of one plane along dims[0].
+func planeElems(dims []int) int {
+	ps := 1
+	for _, d := range dims[1:] {
+		ps *= d
+	}
+	return ps
+}
+
+// ReadPlanesAt is a one-shot convenience: it opens src and reads planes
+// [lo, hi) in a single call. Callers issuing repeated reads should keep
+// the ReaderAt instead, amortizing the index load.
+func ReadPlanesAt(src io.ReaderAt, size int64, lo, hi int, opt ...Option) ([]float32, []int, error) {
+	r, err := OpenReaderAt(src, size, opt...)
+	if err != nil {
+		return nil, nil, err
+	}
+	vals, err := r.ReadPlanes(nil, lo, hi)
+	if err != nil {
+		return nil, nil, err
+	}
+	return vals, r.Dims(), nil
+}

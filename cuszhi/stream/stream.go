@@ -5,12 +5,14 @@
 // A Writer accepts raw little-endian float32 bytes (or values), shards
 // them into slabs of chunkPlanes planes along the slowest dimension,
 // compresses the shards concurrently on a worker pool, and frames them
-// into a format-v2 multi-chunk container on the underlying io.Writer —
-// with the frames emitted in order, so the output is deterministic. A
-// Reader reverses the process, decompressing chunks concurrently while
-// serving the reconstruction as a sequential byte stream. Both formats
-// interoperate with the one-shot API: cuszhi.Decompress reads v2
-// containers and stream.NewReader reads v1 blobs.
+// into a multi-chunk container on the underlying io.Writer — with the
+// frames emitted in order, so the output is deterministic. By default the
+// container is seekable format v4: a chunk-index footer at the tail lets
+// OpenReaderAt decode any plane range while reading only the covering
+// shards. A Reader reverses the process sequentially, decompressing chunks
+// concurrently while serving the reconstruction as a byte stream. All
+// formats interoperate with the one-shot API: cuszhi.Decompress reads
+// every container version and stream.NewReader reads v1 blobs.
 //
 //	w, _ := stream.NewWriter(f, dims, absEB, stream.WithMode(cuszhi.ModeTP))
 //	io.Copy(w, rawFile) // little-endian float32 bytes
@@ -47,6 +49,7 @@ type config struct {
 	dev         *gpusim.Device
 	chunkPlanes int
 	relative    bool
+	index       bool
 }
 
 // Option customizes a Writer, Reader, or one-shot call.
@@ -77,8 +80,16 @@ func WithRelativeEB() Option {
 	return func(c *config) { c.relative = true }
 }
 
+// WithIndex controls whether the Writer finishes its container with a
+// chunk-index footer (format v4), making the output seekable through
+// OpenReaderAt. It is on by default; WithIndex(false) reverts to the plain
+// v2/v3 layout for consumers pinned to the older formats.
+func WithIndex(on bool) Option {
+	return func(c *config) { c.index = on }
+}
+
 func newConfig(opts []Option) config {
-	c := config{mode: cuszhi.ModeCR, dev: gpusim.Default, chunkPlanes: DefaultChunkPlanes}
+	c := config{mode: cuszhi.ModeCR, dev: gpusim.Default, chunkPlanes: DefaultChunkPlanes, index: true}
 	for _, o := range opts {
 		o(&c)
 	}
@@ -88,27 +99,42 @@ func newConfig(opts []Option) config {
 // ---------------------------------------------------------------------------
 // Writer.
 
+// wframe is a compressed chunk frame annotated with its plane span, so the
+// flusher can build the v4 chunk index as the frames stream out.
+type wframe struct {
+	data     []byte
+	planeOff int
+	planes   int
+}
+
 // Writer streams a field into a chunked container. Feed it exactly
 // prod(dims) float32 values (as little-endian bytes via Write, or directly
 // via WriteValues), then Close.
 type Writer struct {
-	w     io.Writer
-	dev   *gpusim.Device
-	opts  core.Options
-	dims  []int
-	eb    float64 // absolute bound, or relative when rel
-	rel   bool    // per-shard relative bounds (format v3)
-	ps    int     // elements per plane
-	cp    int     // planes per shard
-	tot   int     // elements in the whole field
-	plane int     // planes submitted so far
+	w        io.Writer
+	dev      *gpusim.Device
+	opts     core.Options
+	dims     []int
+	eb       float64 // absolute bound, or relative when rel
+	rel      bool    // per-shard relative bounds (format v3/v4)
+	index    bool    // finish with a chunk-index footer (format v4)
+	rangeHdr bool    // frames carry per-shard min/max (v3 layout)
+	ps       int     // elements per plane
+	cp       int     // planes per shard
+	tot      int     // elements in the whole field
+	plane    int     // planes submitted so far
 
 	partial []byte         // trailing bytes of an incomplete value (<4)
 	vals    []float32      // accumulating current shard
 	conv    []float32      // scratch for Write's byte->float conversion
 	slabs   chan []float32 // recycled shard slabs from completed jobs
 
-	pool    *pipeline.Pool[[]byte]
+	// idx/wOff are owned by the flusher goroutine until flushed closes;
+	// Close reads them afterwards (the channel close orders the accesses).
+	idx  []core.IndexEntry
+	wOff int64 // bytes written to w so far
+
+	pool    *pipeline.Pool[wframe]
 	flushed chan struct{}
 	mu      sync.Mutex
 	werr    error // first flusher error
@@ -117,10 +143,11 @@ type Writer struct {
 
 // NewWriter writes the container header to w and returns a Writer for a
 // field of the given dims (slowest first) under error bound eb — absolute
-// by default (format v2), or value-range-relative with WithRelativeEB
-// (format v3, resolved per shard). ModeAuto is not supported when
-// streaming — auto-selection needs the whole field; pick a fixed mode or
-// use the one-shot API.
+// by default, or value-range-relative with WithRelativeEB (resolved per
+// shard). The container is seekable format v4 (chunk-index footer) unless
+// WithIndex(false) selects the plain v2/v3 layout. ModeAuto is not
+// supported when streaming — auto-selection needs the whole field; pick a
+// fixed mode or use the one-shot API.
 func NewWriter(w io.Writer, dims []int, eb float64, opt ...Option) (*Writer, error) {
 	cfg := newConfig(opt)
 	if cfg.mode == cuszhi.ModeAuto {
@@ -131,9 +158,12 @@ func NewWriter(w io.Writer, dims []int, eb float64, opt ...Option) (*Writer, err
 		return nil, fmt.Errorf("stream: unknown mode %q", cfg.mode)
 	}
 	var header []byte
-	if cfg.relative {
+	switch {
+	case cfg.index:
+		header, err = core.AppendChunkedHeaderV4(nil, dims, eb, cfg.relative, cfg.chunkPlanes)
+	case cfg.relative:
 		header, err = core.AppendChunkedHeaderV3(nil, dims, eb, true, cfg.chunkPlanes)
-	} else {
+	default:
 		header, err = core.AppendChunkedHeader(nil, dims, eb, cfg.chunkPlanes)
 	}
 	if err != nil {
@@ -142,23 +172,23 @@ func NewWriter(w io.Writer, dims []int, eb float64, opt ...Option) (*Writer, err
 	if _, err := w.Write(header); err != nil {
 		return nil, err
 	}
-	ps := 1
-	for _, d := range dims[1:] {
-		ps *= d
-	}
+	ps := planeElems(dims)
 	sw := &Writer{
-		w:       w,
-		dev:     cfg.dev,
-		opts:    opts,
-		dims:    append([]int(nil), dims...),
-		eb:      eb,
-		rel:     cfg.relative,
-		ps:      ps,
-		cp:      cfg.chunkPlanes,
-		tot:     ps * dims[0],
-		slabs:   make(chan []float32, 2*cfg.dev.Workers()+2),
-		pool:    pipeline.New[[]byte](cfg.dev.Workers(), 0),
-		flushed: make(chan struct{}),
+		w:        w,
+		dev:      cfg.dev,
+		opts:     opts,
+		dims:     append([]int(nil), dims...),
+		eb:       eb,
+		rel:      cfg.relative,
+		index:    cfg.index,
+		rangeHdr: cfg.index || cfg.relative,
+		ps:       ps,
+		cp:       cfg.chunkPlanes,
+		tot:      ps * dims[0],
+		wOff:     int64(len(header)),
+		slabs:    make(chan []float32, 2*cfg.dev.Workers()+2),
+		pool:     pipeline.New[wframe](cfg.dev.Workers(), 0),
+		flushed:  make(chan struct{}),
 	}
 	sw.vals = make([]float32, 0, sw.cp*ps)
 	go sw.flusher()
@@ -166,7 +196,8 @@ func NewWriter(w io.Writer, dims []int, eb float64, opt ...Option) (*Writer, err
 }
 
 // flusher drains compressed frames in submission order and writes them to
-// the underlying writer. After an error it keeps draining (discarding
+// the underlying writer, recording each frame's byte offset and plane span
+// for the chunk index. After an error it keeps draining (discarding
 // results) so submitters never block on a full backlog.
 func (w *Writer) flusher() {
 	defer close(w.flushed)
@@ -176,7 +207,11 @@ func (w *Writer) flusher() {
 			return
 		}
 		if err == nil && w.err() == nil {
-			_, err = w.w.Write(frame)
+			if _, err = w.w.Write(frame.data); err == nil {
+				w.idx = append(w.idx, core.IndexEntry{
+					FrameOff: w.wOff, PlaneOff: frame.planeOff, Planes: frame.planes})
+				w.wOff += int64(len(frame.data))
+			}
 		}
 		if err != nil {
 			w.setErr(err)
@@ -199,7 +234,11 @@ func (w *Writer) setErr(err error) {
 }
 
 // Write accepts little-endian float32 bytes. It implements io.Writer so a
-// raw field file can be piped in with io.Copy.
+// raw field file can be piped in with io.Copy. The consumed-byte count it
+// returns always matches the stream's state: bytes count as consumed once
+// they sit in the pending-partial buffer or in a value the shard
+// accumulator absorbed — a value rejected outright (e.g. overfeeding the
+// declared dims) leaves its bytes unconsumed.
 func (w *Writer) Write(p []byte) (int, error) {
 	if w.closed {
 		return 0, fmt.Errorf("stream: write after Close")
@@ -214,10 +253,19 @@ func (w *Writer) Write(p []byte) (int, error) {
 		w.partial = append(w.partial, p[:need]...)
 		p = p[need:]
 		v := math.Float32frombits(binary.LittleEndian.Uint32(w.partial))
-		if err := w.WriteValues([]float32{v}); err != nil {
-			return n - len(p), err
+		before := w.plane*w.ps + len(w.vals)
+		err := w.WriteValues([]float32{v})
+		if err != nil && w.plane*w.ps+len(w.vals) == before {
+			// The assembled value was rejected before being absorbed, so
+			// the bytes this call moved into the partial buffer were not
+			// consumed: put the buffer back and report them unconsumed.
+			w.partial = w.partial[:4-need]
+			return 0, err
 		}
 		w.partial = w.partial[:0]
+		if err != nil {
+			return n - len(p), err
+		}
 	}
 	if w.conv == nil {
 		w.conv = make([]float32, 1<<14)
@@ -230,8 +278,11 @@ func (w *Writer) Write(p []byte) (int, error) {
 		for i := 0; i < c; i++ {
 			w.conv[i] = math.Float32frombits(binary.LittleEndian.Uint32(p[4*i:]))
 		}
+		before := w.plane*w.ps + len(w.vals)
 		if err := w.WriteValues(w.conv[:c]); err != nil {
-			return n - len(p), err
+			// Count whatever prefix of this batch was absorbed before the
+			// failure; the rest of p stays unconsumed.
+			return n - len(p) + 4*(w.plane*w.ps+len(w.vals)-before), err
 		}
 		p = p[4*c:]
 	}
@@ -284,15 +335,17 @@ func (w *Writer) submitShard() {
 	default:
 		w.vals = make([]float32, 0, w.cp*w.ps)
 	}
-	dev, eb, rel, opts := w.dev, w.eb, w.rel, w.opts
+	dev, eb, rel, rangeHdr, opts := w.dev, w.eb, w.rel, w.rangeHdr, w.opts
 	shardDims := append([]int{planes}, w.dims[1:]...)
-	w.pool.Submit(func() ([]byte, error) {
+	w.pool.Submit(func() (wframe, error) {
 		ctx := arena.Get()
 		defer arena.Put(ctx)
 		absEB := eb
 		var minV, maxV float32
-		if rel {
+		if rangeHdr {
 			minV, maxV, _ = core.ShardRange(shard) // all-NaN: zero range below
+		}
+		if rel {
 			rng := float64(maxV) - float64(minV)
 			if rng > 0 {
 				absEB = eb * rng
@@ -312,10 +365,10 @@ func (w *Writer) submitShard() {
 		}
 		payload, err := core.CompressCtx(ctx, dev, shard, shardDims, absEB, opts)
 		if err != nil {
-			return nil, fmt.Errorf("stream: shard at plane %d: %w", offset, err)
+			return wframe{}, fmt.Errorf("stream: shard at plane %d: %w", offset, err)
 		}
 		var frame []byte
-		if rel {
+		if rangeHdr {
 			frame = core.AppendChunkFrameV3(nil, opts, offset, shardDims, minV, maxV, payload)
 		} else {
 			frame = core.AppendChunkFrame(nil, opts, offset, shardDims, payload)
@@ -324,7 +377,7 @@ func (w *Writer) submitShard() {
 		case w.slabs <- shard: // recycle the slab for a future shard
 		default:
 		}
-		return frame, nil
+		return wframe{data: frame, planeOff: offset, planes: planes}, nil
 	})
 }
 
@@ -355,6 +408,14 @@ func (w *Writer) Close() error {
 	if closeErr != nil {
 		w.setErr(closeErr) // sticky: a repeated Close reports the failure too
 	}
+	if w.index && w.err() == nil {
+		// Every frame reached the sink; finish the container with the
+		// chunk-index footer so the output is seekable from its tail.
+		footer := core.AppendChunkIndexFooter(nil, w.wOff, w.idx)
+		if _, err := w.w.Write(footer); err != nil {
+			w.setErr(err)
+		}
+	}
 	return w.err()
 }
 
@@ -362,16 +423,17 @@ func (w *Writer) Close() error {
 // Reader.
 
 // Reader streams the reconstruction of a compressed container as
-// little-endian float32 bytes. It decodes v2 containers chunk-by-chunk
-// with concurrent workers; v1 (one-shot) blobs are decoded whole, so the
-// two formats are interchangeable at this API.
+// little-endian float32 bytes. It decodes chunked (v2/v3/v4) containers
+// chunk-by-chunk with concurrent workers; v1 (one-shot) blobs are decoded
+// whole, so the formats are interchangeable at this API.
 //
-// A v2 Reader decodes exactly one container and then reports EOF without
-// requiring the source to end (so it works on sockets and pipes held open
-// by the producer). It buffers internally, so it may read ahead past the
-// container's end — don't expect the source to be positioned exactly after
-// the container. To reject trailing bytes strictly, decode the blob with
-// Decompress instead.
+// A chunked Reader decodes exactly one container and then reports EOF
+// without requiring the source to end (so it works on sockets and pipes
+// held open by the producer). It buffers internally, so it may read ahead
+// past the container's end — don't expect the source to be positioned
+// exactly after the container; in particular a v4 container's chunk-index
+// footer is simply left behind (or buffered over), never decoded. To
+// reject trailing bytes strictly, decode the blob with Decompress instead.
 type Reader struct {
 	dims  []int
 	eb    float64
@@ -408,10 +470,14 @@ func NewReader(r io.Reader, opt ...Option) (*Reader, error) {
 			return nil, err
 		}
 		sr := &Reader{dims: dims, done: true}
+		// The blob just decoded, so a failing Inspect means the header is
+		// corrupt in a way the decoder tolerated — surface it rather than
+		// silently reporting EB() == 0.
 		info, err := core.Inspect(blob)
-		if err == nil {
-			sr.eb = info.EB
+		if err != nil {
+			return nil, err
 		}
+		sr.eb = info.EB
 		sr.cur = valueBytes(recon)
 		return sr, nil
 	}

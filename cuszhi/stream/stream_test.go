@@ -145,6 +145,64 @@ func TestWriterErrors(t *testing.T) {
 	}
 }
 
+// TestWriteAccountingOverfeedPartialPath locks Write's consumed-byte
+// accounting on the path where a buffered partial value completes and is
+// then rejected (overfeed): the completing bytes must be reported
+// unconsumed, so the total consumed across calls never exceeds the field
+// size plus a pending partial (regression: the old code reported the
+// rejected value's bytes as consumed and left them queued for replay).
+func TestWriteAccountingOverfeedPartialPath(t *testing.T) {
+	dims := []int{4, 4, 4} // 64 values = 256 bytes
+	w, err := NewWriter(io.Discard, dims, 0.1, WithMode(cuszhi.ModeTP))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := valueBytes(make([]float32, 66))
+	// The whole field plus 2 bytes of a 65th value: all consumed (the
+	// stray bytes wait in the partial buffer).
+	n1, err := w.Write(raw[:258])
+	if err != nil || n1 != 258 {
+		t.Fatalf("Write #1 = (%d, %v), want (258, nil)", n1, err)
+	}
+	// Completing the 65th value overfeeds the declared dims. The value is
+	// rejected, so none of these bytes may count as consumed.
+	n2, err := w.Write(raw[258:262])
+	if err == nil {
+		t.Fatal("overfeed through the partial path accepted")
+	}
+	if n2 != 0 {
+		t.Fatalf("Write #2 reported %d bytes consumed for a rejected value", n2)
+	}
+	if total := n1 + n2; total > 4*64+3 {
+		t.Fatalf("consumed %d bytes of a %d-byte field (+3 partial max)", total, 4*64)
+	}
+	// The error stays sticky through further writes and Close.
+	if n, err := w.Write(raw[262:]); err == nil || n != 0 {
+		t.Fatalf("Write after overfeed = (%d, %v)", n, err)
+	}
+	if err := w.Close(); err == nil {
+		t.Fatal("Close swallowed the overfeed error")
+	}
+}
+
+// TestWriteAccountingBatchOverfeed: when one big Write overfeeds mid-batch,
+// the count must cover exactly the prefix that was absorbed — not zero.
+func TestWriteAccountingBatchOverfeed(t *testing.T) {
+	dims := []int{4, 4, 4}
+	w, err := NewWriter(io.Discard, dims, 0.1, WithMode(cuszhi.ModeTP))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := w.Write(valueBytes(make([]float32, 100))) // 64 fit, 36 overflow
+	if err == nil {
+		t.Fatal("overfeed accepted")
+	}
+	if n != 4*64 {
+		t.Fatalf("Write = %d bytes consumed, want %d (the absorbed prefix)", n, 4*64)
+	}
+	w.Close()
+}
+
 func TestWriterCloseErrorIsSticky(t *testing.T) {
 	w, err := NewWriter(io.Discard, []int{4, 4, 4}, 0.1)
 	if err != nil {
@@ -196,6 +254,45 @@ func TestReaderCloseAbandonsEarly(t *testing.T) {
 		time.Sleep(50 * time.Millisecond)
 	}
 	t.Fatalf("goroutines: %d before, %d after abandoning 20 readers", before, runtime.NumGoroutine())
+}
+
+// TestReaderCloseWithoutRead abandons readers before a single Read, while
+// the feeder may still be blocked submitting into a full backlog — the
+// harshest mid-stream abandonment. Feeders, workers and drainers must all
+// wind down rather than leak.
+func TestReaderCloseWithoutRead(t *testing.T) {
+	dims := []int{40, 8, 8}
+	data, _ := genField(t, "miranda", dims)
+	blob, err := CompressAbs(data, dims, 0.1, WithChunkPlanes(1)) // 40 chunks
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := runtime.NumGoroutine()
+	for trial := 0; trial < 25; trial++ {
+		r, err := NewReader(bytes.NewReader(blob), WithWorkers(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := r.Close(); err != nil {
+			t.Fatal(err)
+		}
+		// Close is idempotent and Read stays dead.
+		if err := r.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.Read(make([]byte, 4)); err == nil || err == io.EOF {
+			t.Fatalf("Read after immediate Close: err = %v", err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		runtime.GC()
+		if runtime.NumGoroutine() <= before+4 {
+			return
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatalf("goroutines: %d before, %d after abandoning 25 unread readers", before, runtime.NumGoroutine())
 }
 
 type failingWriter struct{ after int }

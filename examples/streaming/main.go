@@ -3,9 +3,10 @@
 // whole raw field) in memory — the pattern for fields larger than RAM.
 //
 // The writer shards the field into slabs of planes along the slowest
-// dimension, compresses shards concurrently, and frames them into the
-// multi-chunk (v2) container; the reader decompresses chunk-by-chunk,
-// also concurrently. Both sides interoperate with the one-shot API.
+// dimension, compresses shards concurrently, and frames them into a
+// multi-chunk container (seekable v4 by default; see examples/seek); the
+// reader decompresses chunk-by-chunk, also concurrently. Both sides
+// interoperate with the one-shot API.
 package main
 
 import (

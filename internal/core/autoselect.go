@@ -11,7 +11,6 @@ import (
 	"fmt"
 
 	"repro/internal/gpusim"
-	"repro/internal/interp"
 )
 
 // Selection is the outcome of AutoSelect.
@@ -28,21 +27,24 @@ func autoSelectCandidates() []Options {
 }
 
 // sampleSlab extracts a contiguous central slab of roughly frac of the
-// data (at least one full block row of the Hi predictor), returning the
-// slab and its dims.
+// data (at least one full block row of the Hi predictor) along the slowest
+// dimension, returning the slab and its dims. The slab keeps the field's
+// original rank — collapsing a rank-4 field to 3-D slab dims would score
+// the candidates on a different-shaped field than they will compress.
 func sampleSlab(data []float32, dims []int, frac float64) ([]float32, []int) {
-	g := interp.NewGrid(dims)
-	planes := int(frac * float64(g.Nz))
+	ps := planeSize(dims)
+	planes := int(frac * float64(dims[0]))
 	minPlanes := 17 // one Hi block extent
 	if planes < minPlanes {
 		planes = minPlanes
 	}
-	if planes >= g.Nz {
+	if planes >= dims[0] {
 		return data, dims
 	}
-	z0 := (g.Nz - planes) / 2
-	slab := data[z0*g.Ny*g.Nx : (z0+planes)*g.Ny*g.Nx]
-	return slab, []int{planes, g.Ny, g.Nx}
+	z0 := (dims[0] - planes) / 2
+	slab := data[z0*ps : (z0+planes)*ps]
+	slabDims := append([]int{planes}, dims[1:]...)
+	return slab, slabDims
 }
 
 // AutoSelect compresses a sample of data with every candidate assembly

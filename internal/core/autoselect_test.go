@@ -89,3 +89,33 @@ func TestSampleSlab(t *testing.T) {
 		t.Fatalf("tiny slab = %d %v", len(slab), dims)
 	}
 }
+
+// TestSampleSlabPreservesRank: the slab must keep the field's original
+// rank, so candidates are scored on the same-shaped field they will
+// compress — a rank-4 field must not collapse to 3-D slab dims.
+func TestSampleSlabPreservesRank(t *testing.T) {
+	dims4 := []int{40, 3, 4, 5}
+	data := make([]float32, 40*3*4*5)
+	for i := range data {
+		data[i] = float32(i % 31)
+	}
+	slab, sdims := sampleSlab(data, dims4, 0.1)
+	if len(sdims) != 4 {
+		t.Fatalf("rank collapsed: slab dims = %v", sdims)
+	}
+	if sdims[0] != 17 || sdims[1] != 3 || sdims[2] != 4 || sdims[3] != 5 {
+		t.Fatalf("slab dims = %v", sdims)
+	}
+	if len(slab) != 17*3*4*5 {
+		t.Fatalf("slab len = %d", len(slab))
+	}
+	// 2-D fields keep their rank too.
+	slab2, sdims2 := sampleSlab(make([]float32, 200*16), []int{200, 16}, 0.1)
+	if len(sdims2) != 2 || sdims2[0] != 20 || sdims2[1] != 16 || len(slab2) != 20*16 {
+		t.Fatalf("2-D slab = %d %v", len(slab2), sdims2)
+	}
+	// And AutoSelect itself works end to end on a rank-4 field.
+	if _, err := AutoSelect(dev, data, dims4, 0.05); err != nil {
+		t.Fatalf("AutoSelect on rank-4 field: %v", err)
+	}
+}

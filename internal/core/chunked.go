@@ -39,6 +39,30 @@
 //
 // v1 and v2 blobs keep decoding forever; v3 is additive (the golden tests
 // lock all three layouts).
+//
+// Format v4 makes the container seekable: the body is v3 framing (every
+// chunk frame carries its value range, whether or not the bound is
+// relative) followed by a chunk-index footer, so a reader holding an
+// io.ReaderAt can locate and decode any shard without scanning its
+// predecessors. The footer is discoverable from the end of the file:
+//
+//	version  byte = 4
+//	flags    byte: bit 0 as in v3; other bits 0
+//	nchunks × chunk frame (v3 layout)
+//	index body:
+//	    nchunks
+//	    nchunks × { frameOff, planeOff, planes }   (uvarints; frameOff is
+//	                the byte offset of the chunk frame from the container
+//	                start, planeOff/planes its plane span along dims[0])
+//	crc      uint32 LE, CRC-32 (IEEE) of the index body
+//	backptr  uint64 LE, byte offset of the index body from the container
+//	         start (= where the frames end)
+//	magic[4] "cSZi"
+//
+// The last IndexTailLen bytes (backptr + magic) are fixed-size, so a
+// reader seeks to EOF−12, follows the backpointer, and verifies the index
+// CRC. Sequential decoders instead scan the frames as in v2/v3 and then
+// verify the footer agrees with what they saw.
 package core
 
 import (
@@ -58,11 +82,21 @@ import (
 const (
 	version2 = 2
 	version3 = 3
+	version4 = 4
 
-	// flagRelEB (v3) marks the header eb field as value-range-relative;
+	// flagRelEB (v3/v4) marks the header eb field as value-range-relative;
 	// each shard payload then carries its own absolute bound.
 	flagRelEB = 0x01
 )
+
+// indexMagic ends a v4 container; together with the 8-byte backpointer it
+// forms the fixed-size tail that makes the index footer discoverable from
+// the end of a file.
+var indexMagic = [4]byte{'c', 'S', 'Z', 'i'}
+
+// IndexTailLen is the fixed size of the v4 container tail: an 8-byte
+// little-endian backpointer to the index body plus the index magic.
+const IndexTailLen = 12
 
 // maxChunks bounds the frame count a chunked container may declare,
 // protecting the sequential frame scan from absurd headers.
@@ -73,9 +107,9 @@ func CodecMode(opts Options) byte {
 	return byte(opts.Predictor)<<4 | byte(opts.Pipeline)&0x0f
 }
 
-// ChunkedInfo describes a chunked (v2/v3) container's global header.
+// ChunkedInfo describes a chunked (v2/v3/v4) container's global header.
 type ChunkedInfo struct {
-	Version     int // 2 or 3
+	Version     int // 2, 3 or 4
 	Dims        []int
 	EB          float64 // error bound: absolute, or relative when RelEB
 	RelEB       bool    // v3 only: EB is value-range-relative
@@ -132,6 +166,17 @@ func AppendChunkedHeaderV3(dst []byte, dims []int, eb float64, relative bool, ch
 		flags = flagRelEB
 	}
 	return appendChunkedHeader(dst, version3, flags, dims, eb, chunkPlanes)
+}
+
+// AppendChunkedHeaderV4 serializes a v4 (seekable) global header. The body
+// uses v3 framing — every chunk frame carries its value range — and the
+// container must be finished with AppendChunkIndexFooter.
+func AppendChunkedHeaderV4(dst []byte, dims []int, eb float64, relative bool, chunkPlanes int) ([]byte, error) {
+	var flags byte
+	if relative {
+		flags = flagRelEB
+	}
+	return appendChunkedHeader(dst, version4, flags, dims, eb, chunkPlanes)
 }
 
 func appendChunkedHeader(dst []byte, ver, flags byte, dims []int, eb float64, chunkPlanes int) ([]byte, error) {
@@ -193,6 +238,99 @@ func AppendChunkFrameV3(dst []byte, opts Options, offset int, shardDims []int, m
 	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(payload))
 	dst = append(dst, crc[:]...)
 	return append(dst, payload...)
+}
+
+// IndexEntry locates one chunk inside a v4 container: where its frame
+// starts and which planes it reconstructs.
+type IndexEntry struct {
+	FrameOff int64 // byte offset of the chunk frame from the container start
+	PlaneOff int   // first plane the chunk covers along Dims[0]
+	Planes   int   // planes the chunk covers
+}
+
+// AppendChunkIndexFooter serializes the v4 chunk-index footer. footerOff is
+// the byte offset at which the footer itself begins (i.e. the container
+// length so far — where the last chunk frame ended); it becomes the
+// backpointer stored in the fixed-size tail.
+func AppendChunkIndexFooter(dst []byte, footerOff int64, entries []IndexEntry) []byte {
+	body := bitio.AppendUvarint(nil, uint64(len(entries)))
+	for _, e := range entries {
+		body = bitio.AppendUvarint(body, uint64(e.FrameOff))
+		body = bitio.AppendUvarint(body, uint64(e.PlaneOff))
+		body = bitio.AppendUvarint(body, uint64(e.Planes))
+	}
+	dst = append(dst, body...)
+	dst = bitio.AppendUint32(dst, crc32.ChecksumIEEE(body))
+	dst = bitio.AppendUint64(dst, uint64(footerOff))
+	return append(dst, indexMagic[:]...)
+}
+
+// ParseChunkIndexTail reads the fixed-size v4 tail (the last IndexTailLen
+// bytes of a container), returning the backpointer to the index body.
+func ParseChunkIndexTail(tail []byte) (footerOff int64, err error) {
+	if len(tail) != IndexTailLen || !bytes.Equal(tail[8:], indexMagic[:]) {
+		return 0, ErrCorrupt
+	}
+	v := binary.LittleEndian.Uint64(tail[:8])
+	if v > 1<<62 {
+		return 0, ErrCorrupt
+	}
+	return int64(v), nil
+}
+
+// ParseChunkIndex decodes and validates a v4 index region — the bytes from
+// the backpointer up to (not including) the fixed tail, i.e. the index
+// body plus its CRC. The entries must agree with the global header: one
+// entry per chunk, frame offsets strictly increasing and below footerOff,
+// plane spans tiling [0, Dims[0]) contiguously with no chunk thicker than
+// ChunkPlanes.
+func ParseChunkIndex(region []byte, h *ChunkedInfo, footerOff int64) ([]IndexEntry, error) {
+	if len(region) < 5 {
+		return nil, ErrCorrupt
+	}
+	body := region[:len(region)-4]
+	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(region[len(region)-4:]) {
+		return nil, fmt.Errorf("core: chunk index checksum mismatch: %w", ErrCorrupt)
+	}
+	off := 0
+	readUv := func() (uint64, bool) {
+		v, n := bitio.Uvarint(body[off:])
+		if n == 0 {
+			return 0, false
+		}
+		off += n
+		return v, true
+	}
+	nc, ok := readUv()
+	if !ok || int(nc) != h.NumChunks {
+		return nil, ErrCorrupt
+	}
+	entries := make([]IndexEntry, h.NumChunks)
+	nextPlane := 0
+	prevOff := int64(-1)
+	for i := range entries {
+		fo, ok1 := readUv()
+		po, ok2 := readUv()
+		pl, ok3 := readUv()
+		if !ok1 || !ok2 || !ok3 {
+			return nil, ErrCorrupt
+		}
+		e := IndexEntry{FrameOff: int64(fo), PlaneOff: int(po), Planes: int(pl)}
+		if fo > 1<<62 || e.FrameOff <= prevOff || e.FrameOff >= footerOff {
+			return nil, ErrCorrupt
+		}
+		if e.PlaneOff != nextPlane || e.Planes <= 0 || e.Planes > h.ChunkPlanes ||
+			e.PlaneOff+e.Planes > h.Dims[0] {
+			return nil, ErrCorrupt
+		}
+		prevOff = e.FrameOff
+		nextPlane += e.Planes
+		entries[i] = e
+	}
+	if nextPlane != h.Dims[0] || off != len(body) {
+		return nil, ErrCorrupt
+	}
+	return entries, nil
 }
 
 // ShardRange scans one slab of values for its min/max — the v3 per-shard
@@ -330,7 +468,7 @@ func SniffVersion(prefix []byte) (int, bool) {
 	return int(prefix[4]), true
 }
 
-// ReadChunkedHeader parses a chunked (v2 or v3) global header from r
+// ReadChunkedHeader parses a chunked (v2, v3 or v4) global header from r
 // (including the magic and version bytes).
 func ReadChunkedHeader(r io.Reader) (*ChunkedInfo, error) {
 	var pre [6]byte
@@ -340,7 +478,7 @@ func ReadChunkedHeader(r io.Reader) (*ChunkedInfo, error) {
 	if !bytes.Equal(pre[:4], magic[:]) {
 		return nil, ErrCorrupt
 	}
-	if pre[4] != version2 && pre[4] != version3 {
+	if pre[4] != version2 && pre[4] != version3 && pre[4] != version4 {
 		return nil, fmt.Errorf("core: not a chunked container (version %d)", pre[4])
 	}
 	return readChunkedHeaderBody(r, pre[4], pre[5])
@@ -351,7 +489,7 @@ func readChunkedHeaderBody(r io.Reader, ver, flags byte) (*ChunkedInfo, error) {
 	if ver == version2 && flags != 0 {
 		return nil, ErrCorrupt // v2 reserves the flags byte as zero
 	}
-	if ver == version3 && flags&^byte(flagRelEB) != 0 {
+	if ver >= version3 && flags&^byte(flagRelEB) != 0 {
 		return nil, ErrCorrupt
 	}
 	nd, err := readUvarint(r)
@@ -360,7 +498,7 @@ func readChunkedHeaderBody(r io.Reader, ver, flags byte) (*ChunkedInfo, error) {
 	}
 	h := &ChunkedInfo{
 		Version: int(ver),
-		RelEB:   ver == version3 && flags&flagRelEB != 0,
+		RelEB:   ver >= version3 && flags&flagRelEB != 0,
 		Dims:    make([]int, nd),
 	}
 	total := 1
@@ -555,13 +693,16 @@ func DecompressShardCtx(ctx *arena.Ctx, dev *gpusim.Device, c *ChunkInfo, payloa
 	return recon, nil
 }
 
-// scanChunkFrame parses the chunk frame at blob[off:] without copying the
-// payload (it is returned as a subslice), sharing validateChunkFrame and
-// verifyChunkPayload with ReadChunkFrame. It returns the offset just past
-// the frame.
-func scanChunkFrame(blob []byte, off int, h *ChunkedInfo) (*ChunkInfo, []byte, int, error) {
+// ScanFrameHeader parses a chunk frame header from the front of buf, which
+// need only hold the header bytes — not the payload. It returns the frame
+// info (checksum included), the offset within buf at which the payload
+// begins, and the payload length, applying the same validation as the full
+// frame readers. Index builders use it to walk a container's frames by
+// offset arithmetic without touching any payload bytes.
+func ScanFrameHeader(buf []byte, h *ChunkedInfo) (*ChunkInfo, int, int, error) {
+	off := 0
 	readUv := func() (uint64, bool) {
-		v, n := bitio.Uvarint(blob[off:])
+		v, n := bitio.Uvarint(buf[off:])
 		if n == 0 || v > 1<<31 {
 			return 0, false
 		}
@@ -570,50 +711,69 @@ func scanChunkFrame(blob []byte, off int, h *ChunkedInfo) (*ChunkInfo, []byte, i
 	}
 	o, ok := readUv()
 	if !ok {
-		return nil, nil, 0, ErrCorrupt
+		return nil, 0, 0, ErrCorrupt
 	}
 	c := &ChunkInfo{Offset: int(o), Dims: make([]int, len(h.Dims))}
 	for i := range c.Dims {
 		v, ok := readUv()
 		if !ok {
-			return nil, nil, 0, ErrCorrupt
+			return nil, 0, 0, ErrCorrupt
 		}
 		c.Dims[i] = int(v)
 	}
-	if off >= len(blob) {
-		return nil, nil, 0, ErrCorrupt
+	if off >= len(buf) {
+		return nil, 0, 0, ErrCorrupt
 	}
-	c.CodecMode = blob[off]
+	c.CodecMode = buf[off]
 	off++
 	if h.Version >= version3 {
-		if off+8 > len(blob) {
-			return nil, nil, 0, ErrCorrupt
+		if off+8 > len(buf) {
+			return nil, 0, 0, ErrCorrupt
 		}
-		c.Min = math.Float32frombits(binary.LittleEndian.Uint32(blob[off:]))
-		c.Max = math.Float32frombits(binary.LittleEndian.Uint32(blob[off+4:]))
+		c.Min = math.Float32frombits(binary.LittleEndian.Uint32(buf[off:]))
+		c.Max = math.Float32frombits(binary.LittleEndian.Uint32(buf[off+4:]))
 		off += 8
 	}
 	plen, ok := readUv()
 	if !ok {
-		return nil, nil, 0, ErrCorrupt
+		return nil, 0, 0, ErrCorrupt
 	}
 	if err := validateChunkFrame(h, c, plen); err != nil {
-		return nil, nil, 0, err
+		return nil, 0, 0, err
 	}
-	if off+4+int(plen) > len(blob) {
+	if off+4 > len(buf) {
+		return nil, 0, 0, ErrCorrupt
+	}
+	c.Checksum = binary.LittleEndian.Uint32(buf[off:])
+	off += 4
+	return c, off, int(plen), nil
+}
+
+// scanChunkFrame parses the chunk frame at blob[off:] without copying the
+// payload (it is returned as a subslice), sharing ScanFrameHeader and
+// verifyChunkPayload with the other decode paths. It returns the offset
+// just past the frame.
+func scanChunkFrame(blob []byte, off int, h *ChunkedInfo) (*ChunkInfo, []byte, int, error) {
+	if off < 0 || off > len(blob) {
 		return nil, nil, 0, ErrCorrupt
 	}
-	c.Checksum = binary.LittleEndian.Uint32(blob[off:])
-	off += 4
-	payload := blob[off : off+int(plen)]
-	off += int(plen)
+	c, payStart, plen, err := ScanFrameHeader(blob[off:], h)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	off += payStart
+	if off+plen > len(blob) {
+		return nil, nil, 0, ErrCorrupt
+	}
+	payload := blob[off : off+plen]
+	off += plen
 	if err := verifyChunkPayload(c, payload); err != nil {
 		return nil, nil, 0, err
 	}
 	return c, payload, off, nil
 }
 
-// decompressChunked decodes a chunked (v2/v3) container: the frames are
+// decompressChunked decodes a chunked (v2/v3/v4) container: the frames are
 // scanned sequentially (cheap, zero-copy — payloads stay subslices of
 // blob), then decoded concurrently into the output field, each worker
 // reusing its own pooled codec context across shards. The output field is
@@ -630,8 +790,10 @@ func decompressChunked(ctx *arena.Ctx, dev *gpusim.Device, blob []byte) ([]float
 		payload []byte
 	}
 	chunks := make([]chunk, h.NumChunks)
+	frameOffs := make([]int, h.NumChunks)
 	nextPlane := 0
 	for i := range chunks {
+		frameOffs[i] = off
 		c, payload, next, err := scanChunkFrame(blob, off, h)
 		if err != nil {
 			return nil, nil, err
@@ -643,7 +805,35 @@ func decompressChunked(ctx *arena.Ctx, dev *gpusim.Device, blob []byte) ([]float
 		nextPlane += c.Dims[0]
 		chunks[i] = chunk{c, payload}
 	}
-	if nextPlane != h.Dims[0] || off != len(blob) {
+	if nextPlane != h.Dims[0] {
+		return nil, nil, ErrCorrupt
+	}
+	if h.Version >= version4 {
+		// The index footer must occupy the rest of the blob exactly, point
+		// back at where the frames ended, and agree with the frames the
+		// scan just saw — a v4 container whose index lies is corrupt even
+		// when decoded sequentially.
+		if len(blob)-off < IndexTailLen {
+			return nil, nil, ErrCorrupt
+		}
+		footerOff, err := ParseChunkIndexTail(blob[len(blob)-IndexTailLen:])
+		if err != nil {
+			return nil, nil, err
+		}
+		if footerOff != int64(off) {
+			return nil, nil, ErrCorrupt
+		}
+		entries, err := ParseChunkIndex(blob[off:len(blob)-IndexTailLen], h, footerOff)
+		if err != nil {
+			return nil, nil, err
+		}
+		for i, e := range entries {
+			if e.FrameOff != int64(frameOffs[i]) || e.PlaneOff != chunks[i].info.Offset ||
+				e.Planes != chunks[i].info.Dims[0] {
+				return nil, nil, fmt.Errorf("core: chunk index disagrees with frame %d: %w", i, ErrCorrupt)
+			}
+		}
+	} else if off != len(blob) {
 		return nil, nil, ErrCorrupt
 	}
 	// Decode the first shard before allocating the full output, so a
@@ -687,9 +877,10 @@ type Info struct {
 	Version     int
 	Dims        []int
 	EB          float64
-	RelEB       bool // v3 only: EB is value-range-relative
+	RelEB       bool // v3/v4: EB is value-range-relative
 	NumChunks   int  // 0 for v1 containers
 	ChunkPlanes int  // 0 for v1 containers
+	HasIndex    bool // v4: a chunk-index footer makes the container seekable
 }
 
 // Inspect reads a container's headers (any format version).
@@ -718,13 +909,29 @@ func Inspect(blob []byte) (*Info, error) {
 		}
 		info.EB = math.Float64frombits(binary.LittleEndian.Uint64(ebb[:]))
 		return info, nil
-	case version2, version3:
+	case version2, version3, version4:
 		h, err := ReadChunkedHeader(bytes.NewReader(blob))
 		if err != nil {
 			return nil, err
 		}
-		return &Info{Version: h.Version, Dims: h.Dims, EB: h.EB, RelEB: h.RelEB,
-			NumChunks: h.NumChunks, ChunkPlanes: h.ChunkPlanes}, nil
+		info := &Info{Version: h.Version, Dims: h.Dims, EB: h.EB, RelEB: h.RelEB,
+			NumChunks: h.NumChunks, ChunkPlanes: h.ChunkPlanes}
+		if h.Version >= version4 {
+			// Headers-only check of the seekable tail: the backpointer must
+			// land inside the blob ahead of the fixed tail.
+			if len(blob) < IndexTailLen {
+				return nil, ErrCorrupt
+			}
+			footerOff, err := ParseChunkIndexTail(blob[len(blob)-IndexTailLen:])
+			if err != nil {
+				return nil, err
+			}
+			if footerOff >= int64(len(blob)-IndexTailLen) {
+				return nil, ErrCorrupt
+			}
+			info.HasIndex = true
+		}
+		return info, nil
 	}
 	return nil, fmt.Errorf("core: unsupported version %d", blob[4])
 }

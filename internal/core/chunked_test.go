@@ -364,6 +364,166 @@ func TestV3RejectsBadRange(t *testing.T) {
 	}
 }
 
+// makeV4 assembles a valid v4 container shard by shard, the way the
+// streaming writer does, returning the blob and its index entries.
+func makeV4(t testing.TB, data []float32, dims []int, eb float64, cp int) ([]byte, []IndexEntry) {
+	t.Helper()
+	opts := CuszL()
+	blob, err := AppendChunkedHeaderV4(nil, dims, eb, false, cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := planeSize(dims)
+	var entries []IndexEntry
+	for off := 0; off < dims[0]; off += cp {
+		planes := cp
+		if off+planes > dims[0] {
+			planes = dims[0] - off
+		}
+		shard := data[off*ps : (off+planes)*ps]
+		shardDims := append([]int{planes}, dims[1:]...)
+		minV, maxV, _ := ShardRange(shard)
+		payload, err := Compress(dev, shard, shardDims, eb, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		entries = append(entries, IndexEntry{FrameOff: int64(len(blob)), PlaneOff: off, Planes: planes})
+		blob = AppendChunkFrameV3(blob, opts, off, shardDims, minV, maxV, payload)
+	}
+	return AppendChunkIndexFooter(blob, int64(len(blob)), entries), entries
+}
+
+// TestV4HeaderGolden locks the v4 container layout byte-for-byte: v3
+// framing under version byte 4, finished with the chunk-index footer
+// (index body, CRC-32 of the body, 8-byte backpointer, tail magic).
+func TestV4HeaderGolden(t *testing.T) {
+	dims := []int{4, 2, 2}
+	blob, entries := makeV4(t, rampField(16), dims, 0.25, 2)
+	want := []byte{
+		'c', 'S', 'Z', 'h', // magic
+		4, 0, // version, flags (absolute bound)
+		3, 4, 2, 2, // ndims, dims
+	}
+	if !bytes.Equal(blob[:len(want)], want) {
+		t.Fatalf("header prefix = % x, want % x", blob[:len(want)], want)
+	}
+	// Fixed-size tail: backpointer (uint64 LE) + "cSZi".
+	tail := blob[len(blob)-IndexTailLen:]
+	if !bytes.Equal(tail[8:], []byte("cSZi")) {
+		t.Fatalf("tail magic = % x", tail[8:])
+	}
+	footerOff := binary.LittleEndian.Uint64(tail[:8])
+	body := blob[footerOff : len(blob)-IndexTailLen-4]
+	gotCRC := binary.LittleEndian.Uint32(blob[len(blob)-IndexTailLen-4:])
+	if crc32.ChecksumIEEE(body) != gotCRC {
+		t.Fatal("index CRC does not cover the index body")
+	}
+	// Index body: nchunks, then {frameOff, planeOff, planes} per chunk.
+	if body[0] != 2 {
+		t.Fatalf("index count byte = %d", body[0])
+	}
+	off := 1
+	for i, e := range entries {
+		for field, wantV := range []uint64{uint64(e.FrameOff), uint64(e.PlaneOff), uint64(e.Planes)} {
+			v, n := binary.Uvarint(body[off:])
+			if n <= 0 || v != wantV {
+				t.Fatalf("entry %d field %d = %d, want %d", i, field, v, wantV)
+			}
+			off += n
+		}
+	}
+	if off != len(body) {
+		t.Fatalf("index body has %d trailing bytes", len(body)-off)
+	}
+	// The container decodes like any other, and the tail parses back.
+	recon, gotDims, err := Decompress(dev, blob)
+	if err != nil || len(recon) != 16 || gotDims[0] != 4 {
+		t.Fatalf("v4 round trip: %v", err)
+	}
+	parsedOff, err := ParseChunkIndexTail(tail)
+	if err != nil || parsedOff != int64(footerOff) {
+		t.Fatalf("tail parse: off=%d err=%v", parsedOff, err)
+	}
+}
+
+func TestV4Inspect(t *testing.T) {
+	dims := []int{6, 4, 4}
+	blob, _ := makeV4(t, rampField(96), dims, 0.1, 2)
+	info, err := Inspect(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Version != 4 || !info.HasIndex || info.NumChunks != 3 || info.Dims[0] != 6 {
+		t.Fatalf("info = %+v", info)
+	}
+	// v2 containers report no index.
+	v2, err := CompressChunked(dev, rampField(96), dims, 0.1, HiTP(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info2, err := Inspect(v2)
+	if err != nil || info2.HasIndex {
+		t.Fatalf("v2 info = %+v (err %v)", info2, err)
+	}
+}
+
+// TestV4HostileFooters drives the sequential decoder through mutilated v4
+// footers: every corruption must surface as an error, never a silent
+// success or panic.
+func TestV4HostileFooters(t *testing.T) {
+	dims := []int{8, 4, 4}
+	data := rampField(8 * 4 * 4)
+	blob, entries := makeV4(t, data, dims, 0.1, 2)
+	if _, _, err := Decompress(dev, blob); err != nil {
+		t.Fatal(err) // the uncorrupted container must decode
+	}
+	framesEnd := int(binary.LittleEndian.Uint64(blob[len(blob)-IndexTailLen:]))
+
+	t.Run("truncated footer", func(t *testing.T) {
+		for _, cut := range []int{1, 4, IndexTailLen, IndexTailLen + 3, len(blob) - framesEnd - 1} {
+			if _, _, err := Decompress(dev, blob[:len(blob)-cut]); err == nil {
+				t.Fatalf("footer truncated by %d decoded without error", cut)
+			}
+		}
+	})
+	t.Run("index crc mismatch", func(t *testing.T) {
+		bad := append([]byte(nil), blob...)
+		bad[framesEnd+1] ^= 0x40 // a byte inside the index body
+		if _, _, err := Decompress(dev, bad); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("backpointer past EOF", func(t *testing.T) {
+		bad := append([]byte(nil), blob...)
+		binary.LittleEndian.PutUint64(bad[len(bad)-IndexTailLen:], uint64(len(bad)))
+		if _, _, err := Decompress(dev, bad); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("index disagrees with frames", func(t *testing.T) {
+		// Rebuild the footer (valid CRC) with a lying frame offset.
+		lie := append([]IndexEntry(nil), entries...)
+		lie[1].FrameOff++
+		bad := AppendChunkIndexFooter(append([]byte(nil), blob[:framesEnd]...), int64(framesEnd), lie)
+		if _, _, err := Decompress(dev, bad); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("index plane tiling broken", func(t *testing.T) {
+		lie := append([]IndexEntry(nil), entries...)
+		lie[2].PlaneOff++ // gap in coverage
+		bad := AppendChunkIndexFooter(append([]byte(nil), blob[:framesEnd]...), int64(framesEnd), lie)
+		if _, _, err := Decompress(dev, bad); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("footer missing entirely", func(t *testing.T) {
+		if _, _, err := Decompress(dev, blob[:framesEnd]); err == nil {
+			t.Fatal("v4 without footer decoded without error")
+		}
+	})
+}
+
 // TestV2RejectsNonzeroFlags: the v2 flags byte is reserved as zero; a
 // nonzero value must be refused rather than silently reinterpreted.
 func TestV2RejectsNonzeroFlags(t *testing.T) {

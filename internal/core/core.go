@@ -389,7 +389,7 @@ func DecompressCtx(ctx *arena.Ctx, dev *gpusim.Device, blob []byte) ([]float32, 
 	if len(blob) < 6 || !bytes.Equal(blob[:4], magic[:]) {
 		return nil, nil, ErrCorrupt
 	}
-	if blob[4] == version2 || blob[4] == version3 {
+	if blob[4] == version2 || blob[4] == version3 || blob[4] == version4 {
 		return decompressChunked(ctx, dev, blob)
 	}
 	if blob[4] != version {
@@ -550,7 +550,9 @@ func decompressLorenzo(ctx *arena.Ctx, dev *gpusim.Device, blob []byte, off int,
 	}
 	off += used
 	payLen64, n := bitio.Uvarint(blob[off:])
-	if n == 0 || off+n+int(payLen64) > len(blob) {
+	// Cap before the int conversion: a huge wire length would overflow
+	// negative and slip past the bounds check into a panicking slice.
+	if n == 0 || payLen64 > 1<<31 || off+n+int(payLen64) > len(blob) {
 		return nil, nil, ErrCorrupt
 	}
 	off += n

@@ -351,13 +351,17 @@ func (c elim) Encode(ctx *arena.Ctx, dev *gpusim.Device, src []byte) ([]byte, er
 }
 
 func (c elim) Decode(ctx *arena.Ctx, dev *gpusim.Device, src []byte) ([]byte, error) {
+	// Both lengths come off the wire: cap them before converting to int so
+	// a hostile stream can neither overflow to a negative slice bound nor
+	// force an absurd allocation (1<<35 = the container element cap times
+	// the widest symbol these stages carry).
 	origLen, n0 := bitio.Uvarint(src)
-	if n0 == 0 {
+	if n0 == 0 || origLen > 1<<35 {
 		return nil, ErrCorrupt
 	}
 	off := n0
 	bmLen, n1 := bitio.Uvarint(src[off:])
-	if n1 == 0 {
+	if n1 == 0 || bmLen > uint64(len(src)) {
 		return nil, ErrCorrupt
 	}
 	off += n1
@@ -542,12 +546,18 @@ func (clog) Encode(ctx *arena.Ctx, dev *gpusim.Device, src []byte) ([]byte, erro
 
 func (clog) Decode(ctx *arena.Ctx, dev *gpusim.Device, src []byte) ([]byte, error) {
 	origLen, n := bitio.Uvarint(src)
-	if n == 0 {
+	if n == 0 || origLen > 1<<35 { // wire length: cap before int conversion
+		return nil, ErrCorrupt
+	}
+	// Every block costs at least its 4-bit width header, so a stream
+	// shorter than half a byte per block is lying about origLen — reject
+	// it before the output allocation, not after.
+	nBlocks := int((origLen + clogBlock - 1) / clogBlock)
+	if nBlocks > 2*(len(src)-n) {
 		return nil, ErrCorrupt
 	}
 	r := bitio.NewReader(src[n:])
 	out := ctx.Bytes(int(origLen))
-	nBlocks := (int(origLen) + clogBlock - 1) / clogBlock
 	for b := 0; b < nBlocks; b++ {
 		lo := b * clogBlock
 		hi := lo + clogBlock

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"repro/internal/bitio"
 	"repro/internal/gpusim"
 )
 
@@ -259,6 +260,35 @@ func TestDecodeCorruptNoPanic(t *testing.T) {
 			bad := append([]byte(nil), enc...)
 			bad[rng.Intn(len(bad))] ^= byte(1 + rng.Intn(255))
 			p.Decode(dev, bad) // must not panic
+		}
+	}
+}
+
+// TestDecodeHostileLengthsNoPanic locks the wire-length caps: a stream
+// declaring a near-2^64 original length used to overflow int conversion
+// into a negative slice bound and panic (found by FuzzDecompress; the
+// crasher lives on as cuszhi/testdata/fuzz corpus entry ed65e944…).
+func TestDecodeHostileLengthsNoPanic(t *testing.T) {
+	huge := bitio.AppendUvarint(nil, 1<<63+1<<40+5) // origLen far past any cap
+	huge = bitio.AppendUvarint(huge, 4)             // bmLen
+	huge = append(huge, 0, 1, 2, 3, 4, 5, 6, 7)
+	for _, spec := range []string{"RRE1", "RRE4", "RZE1", "CLOG1"} {
+		c, err := New(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Decode(nil, dev, huge); err == nil {
+			t.Fatalf("%s: hostile origLen decoded without error", spec)
+		}
+	}
+	// And a bitmap length that overflows int must be refused, not sliced.
+	badBM := bitio.AppendUvarint(nil, 64)       // plausible origLen
+	badBM = bitio.AppendUvarint(badBM, 1<<63+9) // bmLen overflows int
+	badBM = append(badBM, make([]byte, 32)...)
+	for _, spec := range []string{"RRE1", "RZE1"} {
+		c, _ := New(spec)
+		if _, err := c.Decode(nil, dev, badBM); err == nil {
+			t.Fatalf("%s: hostile bmLen decoded without error", spec)
 		}
 	}
 }
