@@ -6,10 +6,13 @@
 //
 // The suite mirrors the root `go test -bench` hot-path benchmarks: the
 // Huffman entropy stage, one-shot compress/decompress through a reused
-// codec context, and the serial-vs-sharded chunked pipeline (the
-// BenchmarkStreamChunked shapes). -quick shrinks the field sizes for CI
-// smoke runs; -baseline embeds a previous run and reports speedups against
-// it, keeping the cross-PR trajectory in one file.
+// codec context, the serial-vs-sharded chunked pipeline (the
+// BenchmarkStreamChunked shapes), and the stream/automode entries — a
+// mixed smooth/noisy field compressed with per-chunk adaptive codec
+// selection vs the best single fixed mode, reporting ratio alongside
+// throughput. -quick shrinks the field sizes for CI smoke runs; -baseline
+// embeds a previous run and reports speedups against it, keeping the
+// cross-PR trajectory in one file.
 package main
 
 import (
@@ -41,6 +44,10 @@ type Result struct {
 	AllocsOp int64   `json:"allocs_per_op"`
 	BytesOp  int64   `json:"bytes_per_op"`
 	N        int     `json:"iterations"`
+	// Ratio is the compression ratio the benchmarked path achieves on its
+	// input (set for the stream/automode entries, where ratio — not just
+	// throughput — is what auto mode is traded against).
+	Ratio float64 `json:"ratio,omitempty"`
 	// Against -baseline (0 when the baseline lacks this benchmark):
 	BaselineMBPerSec float64 `json:"baseline_mb_per_s,omitempty"`
 	Speedup          float64 `json:"speedup,omitempty"`
@@ -61,6 +68,7 @@ type Report struct {
 type bench struct {
 	name  string
 	bytes int64
+	ratio float64 // compression ratio of the benchmarked path, if meaningful
 	run   func(b *testing.B)
 }
 
@@ -154,22 +162,87 @@ func suite(quick bool) ([]bench, error) {
 		return nil, err
 	}
 
+	// A mixed-character field for the auto-mode benchmark: the first half
+	// is smooth and separable (interpolation-friendly), the second half is
+	// small-scale noise (Lorenzo territory), so per-chunk codec selection
+	// has a real decision to make. Auto mode is compared against the best
+	// single fixed mode on both ratio and throughput.
+	mixDims := streamDims
+	mixPS := mixDims[1] * mixDims[2]
+	mix := make([]float32, mixDims[0]*mixPS)
+	mrng := rand.New(rand.NewSource(7))
+	for z := 0; z < mixDims[0]; z++ {
+		for i := 0; i < mixPS; i++ {
+			if z < mixDims[0]/2 {
+				y, x := i/mixDims[2], i%mixDims[2]
+				mix[z*mixPS+i] = float32(z)*0.5 + float32(y)*0.25 + float32(x)*0.125
+			} else {
+				mix[z*mixPS+i] = float32(mrng.NormFloat64() * 10)
+			}
+		}
+	}
+	mixEB := metrics.AbsEB(mix, 1e-2)
+	bestFixed := core.Options{}
+	bestFixedLen := -1
+	for _, name := range []string{"hi-cr", "hi-tp", "cusz-l"} {
+		opts, err := core.ModeOptions(name)
+		if err != nil {
+			return nil, err
+		}
+		blob, err := core.CompressChunked(dev4, mix, mixDims, mixEB, opts, 32)
+		if err != nil {
+			return nil, err
+		}
+		if bestFixedLen < 0 || len(blob) < bestFixedLen {
+			bestFixedLen = len(blob)
+			bestFixed = opts
+		}
+	}
+	autoBlob, err := core.CompressChunkedAuto(dev4, mix, mixDims, mixEB, 32)
+	if err != nil {
+		return nil, err
+	}
+	mixBytes := int64(4 * len(mix))
+	autoRatio := float64(mixBytes) / float64(len(autoBlob))
+	fixedRatio := float64(mixBytes) / float64(bestFixedLen)
+
 	return []bench{
-		{"huffman/encode-bytes", int64(hfN), func(b *testing.B) {
+		{"stream/automode/compress-auto-4w", mixBytes, autoRatio, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.CompressChunkedAuto(dev4, mix, mixDims, mixEB, 32); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"stream/automode/compress-best-fixed-4w", mixBytes, fixedRatio, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.CompressChunked(dev4, mix, mixDims, mixEB, bestFixed, 32); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"stream/automode/decompress-4w", mixBytes, autoRatio, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := core.Decompress(dev4, autoBlob); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"huffman/encode-bytes", int64(hfN), 0, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, err := huffman.EncodeBytes(dev, hfData); err != nil {
 					b.Fatal(err)
 				}
 			}
 		}},
-		{"huffman/decode-bytes", int64(hfN), func(b *testing.B) {
+		{"huffman/decode-bytes", int64(hfN), 0, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, err := huffman.DecodeBytes(dev, hfEnc); err != nil {
 					b.Fatal(err)
 				}
 			}
 		}},
-		{"huffman/decode-symbols-ctx", int64(2 * hfN), func(b *testing.B) {
+		{"huffman/decode-symbols-ctx", int64(2 * hfN), 0, func(b *testing.B) {
 			ctx := arena.NewCtx()
 			for i := 0; i < b.N; i++ {
 				ctx.Reset()
@@ -178,7 +251,7 @@ func suite(quick bool) ([]bench, error) {
 				}
 			}
 		}},
-		{"huffman/encode-symbols-fused", int64(2 * hfN), func(b *testing.B) {
+		{"huffman/encode-symbols-fused", int64(2 * hfN), 0, func(b *testing.B) {
 			ctx := arena.NewCtx()
 			for i := 0; i < b.N; i++ {
 				ctx.Reset()
@@ -187,7 +260,7 @@ func suite(quick bool) ([]bench, error) {
 				}
 			}
 		}},
-		{"core/oneshot-cusz-l-64/compress-ctx", int64(4 * len(osField)), func(b *testing.B) {
+		{"core/oneshot-cusz-l-64/compress-ctx", int64(4 * len(osField)), 0, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				osCtx.Reset()
 				if _, err := core.CompressCtx(osCtx, dev1, osField, oneShot, 0.01, osOpts); err != nil {
@@ -195,7 +268,7 @@ func suite(quick bool) ([]bench, error) {
 				}
 			}
 		}},
-		{"core/oneshot-cusz-l-64/decompress-ctx", int64(4 * len(osField)), func(b *testing.B) {
+		{"core/oneshot-cusz-l-64/decompress-ctx", int64(4 * len(osField)), 0, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				osCtx.Reset()
 				if _, _, err := core.DecompressCtx(osCtx, dev1, osBlob); err != nil {
@@ -203,28 +276,28 @@ func suite(quick bool) ([]bench, error) {
 				}
 			}
 		}},
-		{"stream/compress/serial", int64(sField.SizeBytes()), func(b *testing.B) {
+		{"stream/compress/serial", int64(sField.SizeBytes()), 0, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, err := core.Compress(dev1, sField.Data, sField.Dims, sEB, sOpts); err != nil {
 					b.Fatal(err)
 				}
 			}
 		}},
-		{"stream/compress/sharded-4w", int64(sField.SizeBytes()), func(b *testing.B) {
+		{"stream/compress/sharded-4w", int64(sField.SizeBytes()), 0, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, err := core.CompressChunked(dev4, sField.Data, sField.Dims, sEB, sOpts, 32); err != nil {
 					b.Fatal(err)
 				}
 			}
 		}},
-		{"stream/decompress/serial", int64(sField.SizeBytes()), func(b *testing.B) {
+		{"stream/decompress/serial", int64(sField.SizeBytes()), 0, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, _, err := core.Decompress(dev1, sBlobSerial); err != nil {
 					b.Fatal(err)
 				}
 			}
 		}},
-		{"stream/decompress/sharded-4w", int64(sField.SizeBytes()), func(b *testing.B) {
+		{"stream/decompress/sharded-4w", int64(sField.SizeBytes()), 0, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, _, err := core.Decompress(dev4, sBlobChunked); err != nil {
 					b.Fatal(err)
@@ -233,7 +306,7 @@ func suite(quick bool) ([]bench, error) {
 		}},
 		// Random access: both sides deliver the same middle-32-plane
 		// window, so MB/s compares time-to-window directly.
-		{"stream/readplanes/middle32-v4", int64(4 * 32 * winPS), func(b *testing.B) {
+		{"stream/readplanes/middle32-v4", int64(4 * 32 * winPS), 0, func(b *testing.B) {
 			var dst []float32
 			for i := 0; i < b.N; i++ {
 				var err error
@@ -242,7 +315,7 @@ func suite(quick bool) ([]bench, error) {
 				}
 			}
 		}},
-		{"stream/readplanes/middle32-fulldecode", int64(4 * 32 * winPS), func(b *testing.B) {
+		{"stream/readplanes/middle32-fulldecode", int64(4 * 32 * winPS), 0, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				recon, _, err := core.Decompress(dev4, v4Blob)
 				if err != nil {
@@ -306,6 +379,7 @@ func main() {
 			AllocsOp: r.AllocsPerOp(),
 			BytesOp:  r.AllocedBytesPerOp(),
 			N:        r.N,
+			Ratio:    bm.ratio,
 		}
 		if base != nil {
 			for _, b := range base.Benchmarks {
@@ -316,6 +390,9 @@ func main() {
 			}
 		}
 		fmt.Printf("%-42s %12.0f ns/op %9.2f MB/s %7d allocs/op", res.Name, res.NsPerOp, res.MBPerSec, res.AllocsOp)
+		if res.Ratio > 0 {
+			fmt.Printf("  CR %.2f", res.Ratio)
+		}
 		if res.Speedup > 0 {
 			fmt.Printf("  %+.1f%% vs baseline", (res.Speedup-1)*100)
 		}

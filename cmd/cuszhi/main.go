@@ -7,14 +7,17 @@
 //	cuszhi gen        -dataset miranda -o data.f32 [-dims 64x96x96] [-seed 1]
 //	cuszhi info       -i data.cszh
 //
-// Modes: hi-cr (default), hi-tp, cusz-i, cusz-ib, cusz-l.
+// Modes: hi-cr (default), hi-tp, cusz-i, cusz-ib, cusz-l, auto.
 //
 // -chunk N shards the field into slabs of N planes compressed in parallel
 // (a chunked container); -stream additionally pipes the file through the
 // streaming writer/reader so memory stays bounded by the chunk size rather
 // than the field size, emitting a seekable (format v4) container whose
 // chunk-index footer lets `decompress -planes lo:hi` extract a plane range
-// while reading only the covering shards.
+// while reading only the covering shards. With -mode auto and chunking (or
+// -stream), every shard is compressed by whichever codec scores best on a
+// sample of it — a heterogeneous format-v5 container; `info` prints the
+// resulting per-chunk codec histogram.
 package main
 
 import (
@@ -26,6 +29,7 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -193,10 +197,9 @@ func cmdCompress(args []string) error {
 }
 
 func compressStream(in, out string, dims []int, eb float64, abs bool, mode cuszhi.Mode, chunk int) error {
-	// Reject a bad mode before the output file is truncated.
-	if mode == cuszhi.ModeAuto {
-		return fmt.Errorf("compress: -mode auto needs the whole field; drop -stream or pick a fixed mode")
-	}
+	// Reject a bad mode before the output file is truncated. -mode auto
+	// streams as a format-v5 container: each shard is scored against the
+	// candidate codecs inside its worker and compressed by the winner.
 	if _, err := cuszhi.New(mode); err != nil {
 		return err
 	}
@@ -403,6 +406,20 @@ func cmdInfo(args []string) error {
 	fmt.Printf("file:   %s (%d bytes, format v%d)\n", *in, len(blob), hdr.Version)
 	if hdr.NumChunks > 0 {
 		fmt.Printf("chunks: %d (%d planes each)\n", hdr.NumChunks, hdr.ChunkPlanes)
+	}
+	if len(hdr.ChunkCodecs) > 0 {
+		// Heterogeneous (v5) container: per-chunk codec histogram, read
+		// from the chunk-index footer without touching any payload.
+		names := make([]string, 0, len(hdr.ChunkCodecs))
+		for name := range hdr.ChunkCodecs {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		parts := make([]string, 0, len(names))
+		for _, name := range names {
+			parts = append(parts, fmt.Sprintf("%s×%d", name, hdr.ChunkCodecs[name]))
+		}
+		fmt.Printf("codecs: %s (per-chunk adaptive)\n", strings.Join(parts, " "))
 	}
 	if hdr.HasIndex {
 		fmt.Printf("index:  chunk-index footer (seekable; decompress -planes lo:hi)\n")

@@ -265,6 +265,74 @@ func TestPlaneRangeExtraction(t *testing.T) {
 	}
 }
 
+// TestEndToEndAutoMode drives `-mode auto` through both chunked paths: the
+// streamed writer (per-shard codec selection, format v5) and the one-shot
+// chunked facade, then checks the bound and the info output path.
+func TestEndToEndAutoMode(t *testing.T) {
+	dir := t.TempDir()
+	raw := filepath.Join(dir, "f.f32")
+	if err := cmdGen([]string{"-dataset", "jhtdb", "-o", raw, "-dims", "24x16x16", "-seed", "11"}); err != nil {
+		t.Fatal(err)
+	}
+	orig, err := readF32(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := orig[0], orig[0]
+	for _, v := range orig {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	eb := 1e-3 * float64(hi-lo)
+
+	check := func(tag, path string) {
+		t.Helper()
+		recon, err := readF32(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range orig {
+			if math.Abs(float64(orig[i])-float64(recon[i])) > eb*(1+1e-6) {
+				t.Fatalf("%s: bound violated at %d", tag, i)
+			}
+		}
+	}
+
+	streamed := filepath.Join(dir, "auto.cszh")
+	if err := cmdCompress([]string{"-i", raw, "-o", streamed, "-dims", "24x16x16",
+		"-eb", "1e-3", "-mode", "auto", "-stream", "-chunk", "6"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdInfo([]string{"-i", streamed}); err != nil {
+		t.Fatal(err)
+	}
+	out1 := filepath.Join(dir, "r1.f32")
+	if err := cmdDecompress([]string{"-i", streamed, "-o", out1}); err != nil {
+		t.Fatal(err)
+	}
+	check("auto-streamed", out1)
+	// Random access works on the v5 container.
+	out2 := filepath.Join(dir, "r2.f32")
+	if err := cmdDecompress([]string{"-i", streamed, "-o", out2, "-planes", "5:11"}); err != nil {
+		t.Fatal(err)
+	}
+
+	chunked := filepath.Join(dir, "auto2.cszh")
+	if err := cmdCompress([]string{"-i", raw, "-o", chunked, "-dims", "24x16x16",
+		"-eb", "1e-3", "-mode", "auto", "-chunk", "6"}); err != nil {
+		t.Fatal(err)
+	}
+	out3 := filepath.Join(dir, "r3.f32")
+	if err := cmdDecompress([]string{"-i", chunked, "-o", out3, "-stream"}); err != nil {
+		t.Fatal(err)
+	}
+	check("auto-chunked", out3)
+}
+
 // TestStreamedConstantField covers the zero-range case: a constant field
 // has no value range, so the relative-bound pre-pass must fall back to
 // range 1 (matching metrics.AbsEB) instead of producing a zero bound.

@@ -118,18 +118,25 @@ func (c *Compressor) Compress(data []float32, dims []int, relEB float64) ([]byte
 
 // CompressAbs encodes data under an absolute error bound.
 func (c *Compressor) CompressAbs(data []float32, dims []int, absEB float64) ([]byte, error) {
-	opts := c.opts
 	if c.auto {
+		if c.chunkPlanes > 0 {
+			// Chunked auto mode goes per-shard: every shard gets whichever
+			// registered codec scores best on a sample of it, producing a
+			// heterogeneous (format v5) container.
+			return core.CompressChunkedAuto(c.dev, data, dims, absEB, c.chunkPlanes)
+		}
 		sel, err := core.AutoSelect(c.dev, data, dims, absEB)
 		if err != nil {
 			return nil, err
 		}
-		opts = sel.Options
+		// Compress through the selection's registered codec — the same
+		// dispatch surface the per-chunk paths use.
+		return sel.Codec.Compress(nil, c.dev, data, dims, absEB)
 	}
 	if c.chunkPlanes > 0 {
-		return core.CompressChunked(c.dev, data, dims, absEB, opts, c.chunkPlanes)
+		return core.CompressChunked(c.dev, data, dims, absEB, c.opts, c.chunkPlanes)
 	}
-	return core.Compress(c.dev, data, dims, absEB, opts)
+	return core.Compress(c.dev, data, dims, absEB, c.opts)
 }
 
 // Decompress decodes a container produced by any mode, returning the
@@ -186,10 +193,13 @@ type ContainerInfo struct {
 	Version     int
 	Dims        []int
 	AbsErrorEB  float64 // the container's bound; relative when RelativeEB
-	RelativeEB  bool    // v3/v4 streams: bound is value-range-relative
+	RelativeEB  bool    // v3+ streams: bound is value-range-relative
 	NumChunks   int     // 0 for one-shot (v1) containers
 	ChunkPlanes int     // 0 for one-shot (v1) containers
-	HasIndex    bool    // v4: a chunk-index footer makes the container seekable
+	HasIndex    bool    // v4/v5: a chunk-index footer makes the container seekable
+	// ChunkCodecs counts chunks per codec mode name for heterogeneous (v5)
+	// containers, read from the chunk-index footer alone; nil otherwise.
+	ChunkCodecs map[string]int
 }
 
 // Inspect reads a container's header (any format version).
@@ -200,7 +210,7 @@ func Inspect(blob []byte) (*ContainerInfo, error) {
 	}
 	return &ContainerInfo{Version: info.Version, Dims: info.Dims, AbsErrorEB: info.EB,
 		RelativeEB: info.RelEB, NumChunks: info.NumChunks, ChunkPlanes: info.ChunkPlanes,
-		HasIndex: info.HasIndex}, nil
+		HasIndex: info.HasIndex, ChunkCodecs: info.ChunkCodecs}, nil
 }
 
 // AbsEB converts a value-range-relative error bound to the absolute bound

@@ -93,7 +93,35 @@ func FuzzDecompress(f *testing.F) {
 		f.Fatal(err) // the seed itself must be valid
 	}
 
-	for _, blob := range [][]byte{v1, v2, vl, v3, v4} {
+	// A v5 container (heterogeneous: per-chunk codec IDs in the frames and
+	// the index footer), with the shards alternating between two codecs.
+	v5, err := core.AppendChunkedHeaderV5(nil, dims, 0.05, false, 2)
+	if err != nil {
+		f.Fatal(err)
+	}
+	v5codecs := []string{"cusz-l", "hi-tp"}
+	var v5idx []core.IndexEntry
+	for i, off := 0, 0; off < dims[0]; i, off = i+1, off+2 {
+		cd, ok := core.CodecByName(v5codecs[i%2])
+		if !ok {
+			f.Fatal(v5codecs[i%2])
+		}
+		shard := data[off*64 : (off+2)*64]
+		minV, maxV, _ := core.ShardRange(shard)
+		shardDims := []int{2, 8, 8}
+		payload, err := cd.Compress(nil, gpusim.Default, shard, shardDims, 0.05)
+		if err != nil {
+			f.Fatal(err)
+		}
+		v5idx = append(v5idx, core.IndexEntry{FrameOff: int64(len(v5)), PlaneOff: off, Planes: 2, Codec: cd.ID()})
+		v5 = core.AppendChunkFrameV5(v5, cd, off, shardDims, minV, maxV, payload)
+	}
+	v5 = core.AppendChunkIndexFooterV5(v5, int64(len(v5)), v5idx)
+	if _, _, err := Decompress(v5); err != nil {
+		f.Fatal(err) // the seed itself must be valid
+	}
+
+	for _, blob := range [][]byte{v1, v2, vl, v3, v4, v5} {
 		f.Add(blob)
 		for _, cut := range []int{0, 3, 5, 9, len(blob) / 3, len(blob) / 2, len(blob) - 1} {
 			f.Add(blob[:cut])

@@ -2,9 +2,11 @@
 // loads) a chunk index over an io.ReaderAt and ReadPlanes decodes an
 // arbitrary plane range while reading only the shards that cover it.
 //
-// Seekable (v4) containers carry the index as a footer, so opening one
+// Seekable (v4/v5) containers carry the index as a footer, so opening one
 // touches the header, the fixed 12-byte tail and the index body — no
-// payload bytes. Older chunked containers (v2/v3) have no footer; the
+// payload bytes (for heterogeneous v5 containers the footer also names
+// each chunk's codec, so dispatch needs no payload access either). Older
+// chunked containers (v2/v3) have no footer; the
 // open walks their frame headers once, skipping every payload by offset
 // arithmetic, and serves the same API from the scan-built index. One-shot
 // v1 blobs have a single monolithic payload, so the first ReadPlanes
@@ -26,8 +28,9 @@ import (
 )
 
 // maxFrameHeaderLen bounds a chunk frame header (offset + up to 8 dim
-// uvarints + codec byte + 8-byte range + payload-length uvarint + CRC),
-// so the index scan can fetch one header with a single small ReadAt.
+// uvarints + codec-mode byte + codec-ID byte (v5) + 8-byte range +
+// payload-length uvarint + CRC), so the index scan can fetch one header
+// with a single small ReadAt.
 const maxFrameHeaderLen = 96
 
 // ReaderAt serves random-access plane reads from a compressed container.
@@ -43,7 +46,7 @@ type ReaderAt struct {
 	eb      float64
 	relEB   bool
 
-	// Chunked containers (v2/v3/v4).
+	// Chunked containers (v2–v5).
 	h        *core.ChunkedInfo
 	index    []core.IndexEntry
 	frameEnd []int64 // frame i spans [index[i].FrameOff, frameEnd[i])
@@ -244,6 +247,23 @@ func (r *ReaderAt) Version() int { return r.version }
 // holds (0 for a one-shot v1 blob).
 func (r *ReaderAt) NumChunks() int { return len(r.index) }
 
+// CodecHistogram counts the container's chunks per codec name. For
+// heterogeneous (v5) containers the counts come straight from the chunk
+// index — no payload bytes are read; other versions return nil (their
+// chunks share the container-level mode).
+func (r *ReaderAt) CodecHistogram() map[string]int {
+	if r.version < 5 {
+		return nil
+	}
+	hist := make(map[string]int)
+	for _, e := range r.index {
+		if cd, ok := core.CodecByID(e.Codec); ok {
+			hist[cd.Name()]++
+		}
+	}
+	return hist
+}
+
 // coveringRange returns the run [a, b) of index entries whose shards
 // overlap planes [lo, hi). The index tiles [0, dims[0]) contiguously, so
 // the covering shards are always one run.
@@ -307,7 +327,7 @@ func (r *ReaderAt) decodeChunkInto(dst []float32, i, lo, hi int) error {
 	if err != nil {
 		return err
 	}
-	if br.Len() != 0 || c.Offset != e.PlaneOff || c.Dims[0] != e.Planes {
+	if br.Len() != 0 || c.Offset != e.PlaneOff || c.Dims[0] != e.Planes || c.CodecID != e.Codec {
 		return fmt.Errorf("stream: chunk index disagrees with frame at plane %d: %w", e.PlaneOff, core.ErrCorrupt)
 	}
 	ctx := arena.Get()

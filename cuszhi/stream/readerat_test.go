@@ -10,6 +10,7 @@ import (
 
 	"repro/cuszhi"
 	"repro/internal/core"
+	"repro/internal/gpusim"
 )
 
 // countingReaderAt records every ReadAt region, so tests can prove which
@@ -257,6 +258,145 @@ func TestOpenReaderAtFallbacks(t *testing.T) {
 	if err != nil || gotDims[0] != 20 || len(vals) != 2*ps {
 		t.Fatalf("ReadPlanesAt: %v (dims %v, %d vals)", err, gotDims, len(vals))
 	}
+}
+
+// makeMixedV5 assembles a v5 container whose shards alternate between two
+// codecs, using the core building blocks directly (the way the writer
+// does), so the mixture is deterministic.
+func makeMixedV5(t testing.TB, data []float32, dims []int, eb float64, cp int) ([]byte, []core.IndexEntry) {
+	t.Helper()
+	blob, err := core.AppendChunkedHeaderV5(nil, dims, eb, false, cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := planeElems(dims)
+	names := []string{"cusz-l", "hi-tp"}
+	var entries []core.IndexEntry
+	for i, off := 0, 0; off < dims[0]; i, off = i+1, off+cp {
+		planes := cp
+		if off+planes > dims[0] {
+			planes = dims[0] - off
+		}
+		cd, ok := core.CodecByName(names[i%2])
+		if !ok {
+			t.Fatal(names[i%2])
+		}
+		shard := data[off*ps : (off+planes)*ps]
+		shardDims := append([]int{planes}, dims[1:]...)
+		minV, maxV, _ := core.ShardRange(shard)
+		payload, err := cd.Compress(nil, gpusim.Default, shard, shardDims, eb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		entries = append(entries, core.IndexEntry{
+			FrameOff: int64(len(blob)), PlaneOff: off, Planes: planes, Codec: cd.ID()})
+		blob = core.AppendChunkFrameV5(blob, cd, off, shardDims, minV, maxV, payload)
+	}
+	return core.AppendChunkIndexFooterV5(blob, int64(len(blob)), entries), entries
+}
+
+// TestReadPlanesMixedCodecV5 is the random-access half of the acceptance
+// case: a v5 container whose chunks use two different codecs serves
+// ReadPlanes windows identical to a full sequential decode, dispatching
+// each covering shard through the registry, and reports its codec
+// histogram from the index alone.
+func TestReadPlanesMixedCodecV5(t *testing.T) {
+	dims := []int{20, 8, 8}
+	data, _ := genField(t, "hurricane", dims)
+	blob, _ := makeMixedV5(t, data, dims, 0.05, 4) // 5 shards: l,tp,l,tp,l
+	full, _, err := cuszhi.Decompress(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra, err := OpenReaderAt(bytes.NewReader(blob), int64(len(blob)), WithWorkers(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra.Version() != 5 || ra.NumChunks() != 5 {
+		t.Fatalf("ra = v%d chunks %d", ra.Version(), ra.NumChunks())
+	}
+	hist := ra.CodecHistogram()
+	if hist["cusz-l"] != 3 || hist["hi-tp"] != 2 {
+		t.Fatalf("codec histogram = %v", hist)
+	}
+	ps := 8 * 8
+	var dst []float32
+	for _, rng := range [][2]int{{0, 20}, {3, 9}, {7, 8}, {12, 20}} {
+		lo, hi := rng[0], rng[1]
+		dst, err = ra.ReadPlanes(dst, lo, hi)
+		if err != nil {
+			t.Fatalf("ReadPlanes(%d,%d): %v", lo, hi, err)
+		}
+		for i := range dst {
+			if dst[i] != full[lo*ps+i] {
+				t.Fatalf("ReadPlanes(%d,%d) diverges at %d", lo, hi, i)
+			}
+		}
+	}
+	// The sequential streaming Reader agrees too (the other acceptance
+	// consumer for mixed-codec containers).
+	r, err := NewReader(bytes.NewReader(blob), WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	seq, err := r.ReadAllValues()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range full {
+		if seq[i] != full[i] {
+			t.Fatalf("stream.Reader diverges at %d", i)
+		}
+	}
+}
+
+// TestOpenReaderAtV5Hostile: v5-specific corruptions at the random-access
+// layer — unknown codec IDs in the footer refuse to open; a lying (but
+// self-consistent) footer codec is caught when the frame is read.
+func TestOpenReaderAtV5Hostile(t *testing.T) {
+	dims := []int{16, 6, 6}
+	data, _ := genField(t, "nyx", dims)
+	blob, entries := makeMixedV5(t, data, dims, 0.1, 4)
+	framesEnd := int64(binary.LittleEndian.Uint64(blob[len(blob)-core.IndexTailLen:]))
+	open := func(b []byte) (*ReaderAt, error) {
+		return OpenReaderAt(bytes.NewReader(b), int64(len(b)))
+	}
+	if _, err := open(blob); err != nil {
+		t.Fatal(err) // the uncorrupted container must open
+	}
+
+	t.Run("unknown codec id in footer", func(t *testing.T) {
+		lie := append([]core.IndexEntry(nil), entries...)
+		lie[2].Codec = 0x7f
+		bad := core.AppendChunkIndexFooterV5(append([]byte(nil), blob[:framesEnd]...), framesEnd, lie)
+		if _, err := open(bad); !errors.Is(err, core.ErrCorrupt) {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("footer codec disagrees with frame", func(t *testing.T) {
+		lie := append([]core.IndexEntry(nil), entries...)
+		lie[0].Codec = core.CodecHiTP // valid ID, wrong chunk
+		bad := core.AppendChunkIndexFooterV5(append([]byte(nil), blob[:framesEnd]...), framesEnd, lie)
+		ra, err := open(bad)
+		if err != nil {
+			t.Fatalf("open refused a self-consistent (if lying) index: %v", err)
+		}
+		if _, err := ra.ReadPlanes(nil, 0, 4); !errors.Is(err, core.ErrCorrupt) {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("unknown codec id in frame", func(t *testing.T) {
+		bad := append([]byte(nil), blob...)
+		bad[entries[0].FrameOff+5] = 0x7f // offset + 3 dims + mode byte
+		ra, err := open(bad)
+		if err != nil {
+			t.Fatalf("open reads no frames, must succeed: %v", err)
+		}
+		if _, err := ra.ReadPlanes(nil, 0, 4); !errors.Is(err, core.ErrCorrupt) {
+			t.Fatalf("err = %v", err)
+		}
+	})
 }
 
 // eofReaderAt follows the strict io.ReaderAt contract: a full read ending

@@ -9,8 +9,12 @@
 // frames emitted in order, so the output is deterministic. By default the
 // container is seekable format v4: a chunk-index footer at the tail lets
 // OpenReaderAt decode any plane range while reading only the covering
-// shards. A Reader reverses the process sequentially, decompressing chunks
-// concurrently while serving the reconstruction as a byte stream. All
+// shards. With WithAutoMode the container is heterogeneous format v5:
+// every shard is compressed by whichever registered codec scores best on
+// a sample of it, and the chunk frames and index footer record the
+// per-chunk codec wire IDs. A Reader reverses the process sequentially,
+// decompressing chunks concurrently while serving the reconstruction as a
+// byte stream. All
 // formats interoperate with the one-shot API: cuszhi.Decompress reads
 // every container version and stream.NewReader reads v1 blobs.
 //
@@ -83,9 +87,19 @@ func WithRelativeEB() Option {
 // WithIndex controls whether the Writer finishes its container with a
 // chunk-index footer (format v4), making the output seekable through
 // OpenReaderAt. It is on by default; WithIndex(false) reverts to the plain
-// v2/v3 layout for consumers pinned to the older formats.
+// v2/v3 layout for consumers pinned to the older formats. Auto mode
+// requires the index (its v5 footer records each chunk's codec ID).
 func WithIndex(on bool) Option {
 	return func(c *config) { c.index = on }
+}
+
+// WithAutoMode makes the Writer pick the best codec per shard: each shard
+// is scored against the auto-select candidates on a sample of itself
+// inside the worker that compresses it, and the container is written as
+// format v5 with the winning codec's wire ID recorded per chunk frame and
+// in the chunk-index footer. Shorthand for WithMode(cuszhi.ModeAuto).
+func WithAutoMode() Option {
+	return func(c *config) { c.mode = cuszhi.ModeAuto }
 }
 
 func newConfig(opts []Option) config {
@@ -99,12 +113,14 @@ func newConfig(opts []Option) config {
 // ---------------------------------------------------------------------------
 // Writer.
 
-// wframe is a compressed chunk frame annotated with its plane span, so the
-// flusher can build the v4 chunk index as the frames stream out.
+// wframe is a compressed chunk frame annotated with its plane span and
+// (auto mode) its codec, so the flusher can build the v4/v5 chunk index as
+// the frames stream out.
 type wframe struct {
 	data     []byte
 	planeOff int
 	planes   int
+	codec    core.CodecID // the shard's codec wire ID (v5 containers)
 }
 
 // Writer streams a field into a chunked container. Feed it exactly
@@ -117,7 +133,8 @@ type Writer struct {
 	dims     []int
 	eb       float64 // absolute bound, or relative when rel
 	rel      bool    // per-shard relative bounds (format v3/v4)
-	index    bool    // finish with a chunk-index footer (format v4)
+	index    bool    // finish with a chunk-index footer (format v4/v5)
+	auto     bool    // per-shard codec selection (format v5)
 	rangeHdr bool    // frames carry per-shard min/max (v3 layout)
 	ps       int     // elements per plane
 	cp       int     // planes per shard
@@ -145,20 +162,30 @@ type Writer struct {
 // field of the given dims (slowest first) under error bound eb — absolute
 // by default, or value-range-relative with WithRelativeEB (resolved per
 // shard). The container is seekable format v4 (chunk-index footer) unless
-// WithIndex(false) selects the plain v2/v3 layout. ModeAuto is not
-// supported when streaming — auto-selection needs the whole field; pick a
-// fixed mode or use the one-shot API.
+// WithIndex(false) selects the plain v2/v3 layout. With WithAutoMode (or
+// WithMode(cuszhi.ModeAuto)) each shard is compressed by whichever
+// registered codec scores best on a sample of it, and the container is
+// format v5 — the per-chunk codec IDs live in the frames and the index
+// footer, so the index cannot be disabled in auto mode.
 func NewWriter(w io.Writer, dims []int, eb float64, opt ...Option) (*Writer, error) {
 	cfg := newConfig(opt)
-	if cfg.mode == cuszhi.ModeAuto {
-		return nil, fmt.Errorf("stream: mode %q needs the whole field; use a fixed mode or cuszhi.Compress", cfg.mode)
-	}
-	opts, err := core.ModeOptions(string(cfg.mode))
-	if err != nil {
-		return nil, fmt.Errorf("stream: unknown mode %q", cfg.mode)
+	auto := cfg.mode == cuszhi.ModeAuto
+	var opts core.Options
+	var err error
+	if auto {
+		if !cfg.index {
+			return nil, fmt.Errorf("stream: mode %q writes per-chunk codec IDs to the index footer; drop WithIndex(false)", cfg.mode)
+		}
+	} else {
+		opts, err = core.ModeOptions(string(cfg.mode))
+		if err != nil {
+			return nil, fmt.Errorf("stream: unknown mode %q", cfg.mode)
+		}
 	}
 	var header []byte
 	switch {
+	case auto:
+		header, err = core.AppendChunkedHeaderV5(nil, dims, eb, cfg.relative, cfg.chunkPlanes)
 	case cfg.index:
 		header, err = core.AppendChunkedHeaderV4(nil, dims, eb, cfg.relative, cfg.chunkPlanes)
 	case cfg.relative:
@@ -181,6 +208,7 @@ func NewWriter(w io.Writer, dims []int, eb float64, opt ...Option) (*Writer, err
 		eb:       eb,
 		rel:      cfg.relative,
 		index:    cfg.index,
+		auto:     auto,
 		rangeHdr: cfg.index || cfg.relative,
 		ps:       ps,
 		cp:       cfg.chunkPlanes,
@@ -209,7 +237,8 @@ func (w *Writer) flusher() {
 		if err == nil && w.err() == nil {
 			if _, err = w.w.Write(frame.data); err == nil {
 				w.idx = append(w.idx, core.IndexEntry{
-					FrameOff: w.wOff, PlaneOff: frame.planeOff, Planes: frame.planes})
+					FrameOff: w.wOff, PlaneOff: frame.planeOff, Planes: frame.planes,
+					Codec: frame.codec})
 				w.wOff += int64(len(frame.data))
 			}
 		}
@@ -335,7 +364,7 @@ func (w *Writer) submitShard() {
 	default:
 		w.vals = make([]float32, 0, w.cp*w.ps)
 	}
-	dev, eb, rel, rangeHdr, opts := w.dev, w.eb, w.rel, w.rangeHdr, w.opts
+	dev, eb, rel, rangeHdr, auto, opts := w.dev, w.eb, w.rel, w.rangeHdr, w.auto, w.opts
 	shardDims := append([]int{planes}, w.dims[1:]...)
 	w.pool.Submit(func() (wframe, error) {
 		ctx := arena.Get()
@@ -362,6 +391,20 @@ func (w *Writer) submitShard() {
 					absEB = 1e-46
 				}
 			}
+		}
+		if auto {
+			// Per-shard adaptive dispatch: score the candidates on a sample
+			// of this shard under its resolved absolute bound, compress with
+			// the winner, and frame with its wire ID (format v5).
+			frame, id, err := core.CompressShardAuto(ctx, dev, shard, shardDims, offset, absEB, minV, maxV)
+			if err != nil {
+				return wframe{}, fmt.Errorf("stream: shard at plane %d: %w", offset, err)
+			}
+			select {
+			case w.slabs <- shard:
+			default:
+			}
+			return wframe{data: frame, planeOff: offset, planes: planes, codec: id}, nil
 		}
 		payload, err := core.CompressCtx(ctx, dev, shard, shardDims, absEB, opts)
 		if err != nil {
@@ -410,8 +453,14 @@ func (w *Writer) Close() error {
 	}
 	if w.index && w.err() == nil {
 		// Every frame reached the sink; finish the container with the
-		// chunk-index footer so the output is seekable from its tail.
-		footer := core.AppendChunkIndexFooter(nil, w.wOff, w.idx)
+		// chunk-index footer so the output is seekable from its tail. Auto
+		// mode writes the v5 footer, whose entries carry the codec IDs.
+		var footer []byte
+		if w.auto {
+			footer = core.AppendChunkIndexFooterV5(nil, w.wOff, w.idx)
+		} else {
+			footer = core.AppendChunkIndexFooter(nil, w.wOff, w.idx)
+		}
 		if _, err := w.w.Write(footer); err != nil {
 			w.setErr(err)
 		}
@@ -423,7 +472,7 @@ func (w *Writer) Close() error {
 // Reader.
 
 // Reader streams the reconstruction of a compressed container as
-// little-endian float32 bytes. It decodes chunked (v2/v3/v4) containers
+// little-endian float32 bytes. It decodes chunked (v2–v5) containers
 // chunk-by-chunk with concurrent workers; v1 (one-shot) blobs are decoded
 // whole, so the formats are interchangeable at this API.
 //

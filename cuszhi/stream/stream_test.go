@@ -97,8 +97,9 @@ func TestWriterWriteValues(t *testing.T) {
 
 func TestWriterErrors(t *testing.T) {
 	dims := []int{4, 4, 4}
-	if _, err := NewWriter(io.Discard, dims, 0.1, WithMode(cuszhi.ModeAuto)); err == nil {
-		t.Fatal("ModeAuto accepted for streaming")
+	// Auto mode needs the index footer for its per-chunk codec IDs.
+	if _, err := NewWriter(io.Discard, dims, 0.1, WithAutoMode(), WithIndex(false)); err == nil {
+		t.Fatal("ModeAuto without the index footer accepted")
 	}
 	if _, err := NewWriter(io.Discard, dims, -1); err == nil {
 		t.Fatal("negative eb accepted")

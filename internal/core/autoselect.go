@@ -5,25 +5,38 @@ package core
 // pipeline to fit the data characteristics. A representative sample slab
 // is compressed with each candidate assembly and the best ratio wins —
 // the same sampling philosophy as the predictor auto-tuner (§5.1.3),
-// lifted to whole-assembly granularity.
+// lifted to whole-assembly granularity. SelectShardCodec applies the same
+// scoring per shard, which is what makes heterogeneous (format v5)
+// containers adaptive: a field whose character changes along the slow
+// dimension gets a different codec where a different codec wins.
 
 import (
 	"fmt"
 
+	"repro/internal/arena"
 	"repro/internal/gpusim"
 )
 
 // Selection is the outcome of AutoSelect.
 type Selection struct {
+	Codec   Codec // the winning registered codec
 	Options Options
 	// SampleCR is each candidate's compression ratio on the sample slab,
 	// keyed by Options.Name, for reporting.
 	SampleCR map[string]float64
 }
 
-// autoSelectCandidates returns the assemblies AutoSelect evaluates.
-func autoSelectCandidates() []Options {
-	return []Options{HiCR(), HiTP(), CuszL()}
+// autoSelectCandidates returns the registered codecs AutoSelect evaluates.
+func autoSelectCandidates() []Codec {
+	out := make([]Codec, 0, 3)
+	for _, name := range []string{"hi-cr", "hi-tp", "cusz-l"} {
+		c, ok := CodecByName(name)
+		if !ok {
+			panic("core: auto-select candidate " + name + " not registered")
+		}
+		out = append(out, c)
+	}
+	return out
 }
 
 // sampleSlab extracts a contiguous central slab of roughly frac of the
@@ -50,22 +63,74 @@ func sampleSlab(data []float32, dims []int, frac float64) ([]float32, []int) {
 // AutoSelect compresses a sample of data with every candidate assembly
 // under the absolute bound eb and returns the winner.
 func AutoSelect(dev *gpusim.Device, data []float32, dims []int, eb float64) (*Selection, error) {
+	return AutoSelectCtx(nil, dev, data, dims, eb)
+}
+
+// scoreCandidates compresses a central sample (frac of data along the
+// slow dimension) with every candidate codec through ctx, returning the
+// smallest-output winner. sampleCR, when non-nil, collects each
+// candidate's compression ratio on the sample, keyed by display name.
+// The context is Reset between candidates and before returning, so any
+// scratch the caller obtained from it earlier is invalidated.
+func scoreCandidates(ctx *arena.Ctx, dev *gpusim.Device, data []float32, dims []int, eb, frac float64, sampleCR map[string]float64) (Codec, error) {
+	slab, slabDims := sampleSlab(data, dims, frac)
+	var best Codec
+	bestSize := -1
+	for _, cand := range autoSelectCandidates() {
+		ctx.Reset()
+		blob, err := cand.Compress(ctx, dev, slab, slabDims, eb)
+		if err != nil {
+			return nil, fmt.Errorf("core: candidate %s: %w", codecDisplayName(cand), err)
+		}
+		if sampleCR != nil {
+			sampleCR[codecDisplayName(cand)] = float64(4*len(slab)) / float64(len(blob))
+		}
+		if bestSize < 0 || len(blob) < bestSize {
+			bestSize = len(blob)
+			best = cand
+		}
+	}
+	ctx.Reset()
+	return best, nil
+}
+
+// AutoSelectCtx is AutoSelect drawing candidate scratch from a reusable
+// codec context, so repeated selections stop allocating working sets. The
+// context is Reset between candidates (and left reset on return): any
+// scratch the caller obtained from it earlier is invalidated.
+func AutoSelectCtx(ctx *arena.Ctx, dev *gpusim.Device, data []float32, dims []int, eb float64) (*Selection, error) {
 	if len(data) == 0 {
 		return nil, fmt.Errorf("core: cannot auto-select on empty data")
 	}
-	slab, slabDims := sampleSlab(data, dims, 0.1)
-	sel := &Selection{SampleCR: map[string]float64{}}
-	bestSize := -1
-	for _, cand := range autoSelectCandidates() {
-		blob, err := Compress(dev, slab, slabDims, eb, cand)
-		if err != nil {
-			return nil, fmt.Errorf("core: auto-select candidate %s: %w", cand.Name, err)
-		}
-		sel.SampleCR[cand.Name] = float64(4*len(slab)) / float64(len(blob))
-		if bestSize < 0 || len(blob) < bestSize {
-			bestSize = len(blob)
-			sel.Options = cand
-		}
+	sel := &Selection{SampleCR: make(map[string]float64, 3)}
+	best, err := scoreCandidates(ctx, dev, data, dims, eb, 0.1, sel.SampleCR)
+	if err != nil {
+		return nil, fmt.Errorf("core: auto-select: %w", err)
+	}
+	sel.Codec = best
+	if oc, ok := best.(optioned); ok {
+		sel.Options = oc.Options()
 	}
 	return sel, nil
+}
+
+// SelectShardCodec scores the auto-select candidates on a central sample
+// of one shard (through ctx, which it Resets between candidates and
+// before returning) and returns the winner — the per-chunk selector the
+// v5 streaming writer and CompressChunkedAuto run inside their pipeline
+// workers. eb is the shard's absolute bound.
+func SelectShardCodec(ctx *arena.Ctx, dev *gpusim.Device, shard []float32, dims []int, eb float64) (Codec, error) {
+	if len(shard) == 0 {
+		return nil, fmt.Errorf("core: cannot select a codec for an empty shard")
+	}
+	return scoreCandidates(ctx, dev, shard, dims, eb, 0.25, nil)
+}
+
+// codecDisplayName reports a codec's assembly display name (Options.Name)
+// when it has one, falling back to the wire name.
+func codecDisplayName(c Codec) string {
+	if oc, ok := c.(optioned); ok {
+		return oc.Options().Name
+	}
+	return c.Name()
 }

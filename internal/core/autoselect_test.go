@@ -3,7 +3,9 @@ package core
 import (
 	"testing"
 
+	"repro/internal/arena"
 	"repro/internal/datagen"
+	"repro/internal/gpusim"
 	"repro/internal/metrics"
 )
 
@@ -30,6 +32,58 @@ func TestAutoSelectPicksAWinner(t *testing.T) {
 	// On smooth data at a large bound, Hi-CR should win.
 	if sel.Options.Name != "cuSZ-Hi-CR" {
 		t.Fatalf("expected cuSZ-Hi-CR on smooth data, got %s (%v)", sel.Options.Name, sel.SampleCR)
+	}
+	// The winning registered codec travels with the selection.
+	if sel.Codec == nil || sel.Codec.ID() != CodecHiCR {
+		t.Fatalf("selection codec = %v", sel.Codec)
+	}
+}
+
+// TestAutoSelectCtxReusesScratch is the arena-threading guard: repeated
+// selections through one warm context must stop allocating candidate
+// working sets. The ceiling (300) sits between the warm-context cost
+// (~220/op: auto-tune error matrices, Options construction, the trial
+// containers themselves) and the context-free cost (~390/op with every
+// quant/huffman buffer re-made), so regressing to fresh scratch per
+// candidate trips it.
+func TestAutoSelectCtxReusesScratch(t *testing.T) {
+	dims := []int{32, 24, 24}
+	data := rampField(32 * 24 * 24)
+	dev1 := gpusim.New(1) // single worker: no per-launch goroutine allocs
+	ctx := arena.NewCtx()
+	cd, err := SelectShardCodec(ctx, dev1, data, dims, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := testing.AllocsPerRun(10, func() {
+		got, err := SelectShardCodec(ctx, dev1, data, dims, 0.02)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.ID() != cd.ID() {
+			t.Fatalf("selection flapped: %s vs %s", got.Name(), cd.Name())
+		}
+	})
+	if n > 300 {
+		t.Fatalf("steady-state SelectShardCodec allocates %v/op, want <= 300", n)
+	}
+
+	// AutoSelectCtx agrees with the context-free path on the same data.
+	want, err := AutoSelect(dev1, data, dims, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := AutoSelectCtx(ctx, dev1, data, dims, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Options.Name != want.Options.Name || len(got.SampleCR) != len(want.SampleCR) {
+		t.Fatalf("ctx selection %s diverges from context-free %s", got.Options.Name, want.Options.Name)
+	}
+	for name, cr := range want.SampleCR {
+		if got.SampleCR[name] != cr {
+			t.Fatalf("%s: sample CR %v != %v", name, got.SampleCR[name], cr)
+		}
 	}
 }
 

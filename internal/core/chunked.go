@@ -63,6 +63,23 @@
 // reader seeks to EOF−12, follows the backpointer, and verifies the index
 // CRC. Sequential decoders instead scan the frames as in v2/v3 and then
 // verify the footer agrees with what they saw.
+//
+// Format v5 makes chunked containers heterogeneous: each chunk may be
+// compressed by a different registered codec (per-chunk adaptive mode
+// dispatch), identified by the codec's 1-byte wire ID. The layout is v4
+// plus that ID in two places:
+//
+//	version  byte = 5
+//	every chunk frame gains, between codecMode and the value range:
+//	    codecID  byte   registered CodecID of the chunk's assembly
+//	index body entries become { frameOff, planeOff, planes, codecID }
+//
+// The chunk-index footer therefore records every chunk's codec without any
+// payload access — readers dispatch (and report codec histograms) from the
+// index alone. An unknown codec ID fails with ErrCorrupt, never a panic;
+// the codecID must also agree with the frame's codecMode byte and the
+// footer's entry (none of these bytes are CRC-protected, so they
+// cross-check each other). v1–v4 blobs keep decoding forever.
 package core
 
 import (
@@ -83,6 +100,7 @@ const (
 	version2 = 2
 	version3 = 3
 	version4 = 4
+	version5 = 5
 
 	// flagRelEB (v3/v4) marks the header eb field as value-range-relative;
 	// each shard payload then carries its own absolute bound.
@@ -107,9 +125,9 @@ func CodecMode(opts Options) byte {
 	return byte(opts.Predictor)<<4 | byte(opts.Pipeline)&0x0f
 }
 
-// ChunkedInfo describes a chunked (v2/v3/v4) container's global header.
+// ChunkedInfo describes a chunked (v2–v5) container's global header.
 type ChunkedInfo struct {
-	Version     int // 2, 3 or 4
+	Version     int // 2, 3, 4 or 5
 	Dims        []int
 	EB          float64 // error bound: absolute, or relative when RelEB
 	RelEB       bool    // v3 only: EB is value-range-relative
@@ -145,7 +163,8 @@ type ChunkInfo struct {
 	Offset    int   // plane index along dims[0]
 	Dims      []int // shard dims
 	CodecMode byte
-	Min, Max  float32 // shard value range (v3 frames only)
+	CodecID   CodecID // registered codec wire ID (v5 frames; 0 otherwise)
+	Min, Max  float32 // shard value range (v3+ frames only)
 	Checksum  uint32
 }
 
@@ -177,6 +196,17 @@ func AppendChunkedHeaderV4(dst []byte, dims []int, eb float64, relative bool, ch
 		flags = flagRelEB
 	}
 	return appendChunkedHeader(dst, version4, flags, dims, eb, chunkPlanes)
+}
+
+// AppendChunkedHeaderV5 serializes a v5 (heterogeneous, seekable) global
+// header. Frames must be written with AppendChunkFrameV5 and the container
+// finished with AppendChunkIndexFooterV5.
+func AppendChunkedHeaderV5(dst []byte, dims []int, eb float64, relative bool, chunkPlanes int) ([]byte, error) {
+	var flags byte
+	if relative {
+		flags = flagRelEB
+	}
+	return appendChunkedHeader(dst, version5, flags, dims, eb, chunkPlanes)
 }
 
 func appendChunkedHeader(dst []byte, ver, flags byte, dims []int, eb float64, chunkPlanes int) ([]byte, error) {
@@ -240,12 +270,35 @@ func AppendChunkFrameV3(dst []byte, opts Options, offset int, shardDims []int, m
 	return append(dst, payload...)
 }
 
-// IndexEntry locates one chunk inside a v4 container: where its frame
-// starts and which planes it reconstructs.
+// AppendChunkFrameV5 serializes one v5 chunk frame: the v3 layout with the
+// chunk's registered codec wire ID between the codec-mode byte and the
+// value range, so readers can dispatch the chunk without inspecting its
+// payload. For a codec without Options the codec-mode byte is written as
+// 0 — it is advisory there, and frame validation then rests on the codec
+// ID and its footer cross-check alone.
+func AppendChunkFrameV5(dst []byte, cd Codec, offset int, shardDims []int, minV, maxV float32, payload []byte) []byte {
+	dst = bitio.AppendUvarint(dst, uint64(offset))
+	for _, d := range shardDims {
+		dst = bitio.AppendUvarint(dst, uint64(d))
+	}
+	mode, _ := codecFrameMode(cd.ID())
+	dst = append(dst, mode, byte(cd.ID()))
+	dst = bitio.AppendUint32(dst, math.Float32bits(minV))
+	dst = bitio.AppendUint32(dst, math.Float32bits(maxV))
+	dst = bitio.AppendUvarint(dst, uint64(len(payload)))
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(payload))
+	dst = append(dst, crc[:]...)
+	return append(dst, payload...)
+}
+
+// IndexEntry locates one chunk inside a v4/v5 container: where its frame
+// starts, which planes it reconstructs and (v5) which codec wrote it.
 type IndexEntry struct {
-	FrameOff int64 // byte offset of the chunk frame from the container start
-	PlaneOff int   // first plane the chunk covers along Dims[0]
-	Planes   int   // planes the chunk covers
+	FrameOff int64   // byte offset of the chunk frame from the container start
+	PlaneOff int     // first plane the chunk covers along Dims[0]
+	Planes   int     // planes the chunk covers
+	Codec    CodecID // the chunk's codec wire ID (v5 indexes; 0 otherwise)
 }
 
 // AppendChunkIndexFooter serializes the v4 chunk-index footer. footerOff is
@@ -253,11 +306,24 @@ type IndexEntry struct {
 // length so far — where the last chunk frame ended); it becomes the
 // backpointer stored in the fixed-size tail.
 func AppendChunkIndexFooter(dst []byte, footerOff int64, entries []IndexEntry) []byte {
+	return appendChunkIndexFooter(dst, footerOff, entries, false)
+}
+
+// AppendChunkIndexFooterV5 serializes the v5 chunk-index footer, whose
+// entries additionally record each chunk's codec wire ID.
+func AppendChunkIndexFooterV5(dst []byte, footerOff int64, entries []IndexEntry) []byte {
+	return appendChunkIndexFooter(dst, footerOff, entries, true)
+}
+
+func appendChunkIndexFooter(dst []byte, footerOff int64, entries []IndexEntry, withCodec bool) []byte {
 	body := bitio.AppendUvarint(nil, uint64(len(entries)))
 	for _, e := range entries {
 		body = bitio.AppendUvarint(body, uint64(e.FrameOff))
 		body = bitio.AppendUvarint(body, uint64(e.PlaneOff))
 		body = bitio.AppendUvarint(body, uint64(e.Planes))
+		if withCodec {
+			body = bitio.AppendUvarint(body, uint64(e.Codec))
+		}
 	}
 	dst = append(dst, body...)
 	dst = bitio.AppendUint32(dst, crc32.ChecksumIEEE(body))
@@ -316,6 +382,16 @@ func ParseChunkIndex(region []byte, h *ChunkedInfo, footerOff int64) ([]IndexEnt
 			return nil, ErrCorrupt
 		}
 		e := IndexEntry{FrameOff: int64(fo), PlaneOff: int(po), Planes: int(pl)}
+		if h.Version >= version5 {
+			cv, ok := readUv()
+			if !ok || cv == 0 || cv > 255 {
+				return nil, ErrCorrupt
+			}
+			if _, ok := CodecByID(CodecID(cv)); !ok {
+				return nil, fmt.Errorf("core: chunk index entry %d: unknown codec id %d: %w", i, cv, ErrCorrupt)
+			}
+			e.Codec = CodecID(cv)
+		}
 		if fo > 1<<62 || e.FrameOff <= prevOff || e.FrameOff >= footerOff {
 			return nil, ErrCorrupt
 		}
@@ -413,6 +489,79 @@ func CompressChunked(dev *gpusim.Device, data []float32, dims []int, eb float64,
 	return out, nil
 }
 
+// CompressShardAuto selects the best codec for one shard (sampled scoring
+// through ctx) and compresses it into a framed v5 chunk, returning the
+// frame and the winning codec's wire ID. minV/maxV are the shard's value
+// range for the frame header; eb is the shard's absolute bound. It is the
+// per-shard worker body shared by CompressChunkedAuto and the streaming
+// writer's auto mode.
+func CompressShardAuto(ctx *arena.Ctx, dev *gpusim.Device, shard []float32, shardDims []int, offset int, eb float64, minV, maxV float32) ([]byte, CodecID, error) {
+	cd, err := SelectShardCodec(ctx, dev, shard, shardDims, eb)
+	if err != nil {
+		return nil, codecInvalid, err
+	}
+	payload, err := cd.Compress(ctx, dev, shard, shardDims, eb)
+	if err != nil {
+		return nil, codecInvalid, err
+	}
+	return AppendChunkFrameV5(nil, cd, offset, shardDims, minV, maxV, payload), cd.ID(), nil
+}
+
+// CompressChunkedAuto encodes data into a heterogeneous (format v5)
+// container: every shard is scored against the auto-select candidate
+// codecs on a sample of itself and compressed by the winner, concurrently
+// on dev's worker pool through reusable codec contexts. The chunk-index
+// footer records each shard's codec wire ID, so readers dispatch (and
+// report per-chunk codec histograms) without touching payloads.
+func CompressChunkedAuto(dev *gpusim.Device, data []float32, dims []int, eb float64, chunkPlanes int) ([]byte, error) {
+	total := 1
+	for _, d := range dims {
+		total *= d
+	}
+	if len(dims) == 0 || total != len(data) {
+		return nil, fmt.Errorf("core: dims %v do not match %d values", dims, len(data))
+	}
+	out, err := AppendChunkedHeaderV5(nil, dims, eb, false, chunkPlanes)
+	if err != nil {
+		return nil, err
+	}
+	n := numChunks(dims, chunkPlanes)
+	ps := planeSize(dims)
+	ctxs := workerCtxs(dev.Workers(), n)
+	defer releaseCtxs(ctxs)
+	type aframe struct {
+		data   []byte
+		offset int
+		planes int
+		codec  CodecID
+	}
+	frames, err := pipeline.MapWorker(dev.Workers(), n, func(w, i int) (aframe, error) {
+		ctx := ctxs[w]
+		offset := i * chunkPlanes
+		planes := chunkPlanes
+		if offset+planes > dims[0] {
+			planes = dims[0] - offset
+		}
+		shard := data[offset*ps : (offset+planes)*ps]
+		shardDims := append([]int{planes}, dims[1:]...)
+		minV, maxV, _ := ShardRange(shard)
+		frame, id, err := CompressShardAuto(ctx, dev, shard, shardDims, offset, eb, minV, maxV)
+		if err != nil {
+			return aframe{}, fmt.Errorf("core: shard at plane %d: %w", offset, err)
+		}
+		return aframe{data: frame, offset: offset, planes: planes, codec: id}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	entries := make([]IndexEntry, len(frames))
+	for i, f := range frames {
+		entries[i] = IndexEntry{FrameOff: int64(len(out)), PlaneOff: f.offset, Planes: f.planes, Codec: f.codec}
+		out = append(out, f.data...)
+	}
+	return AppendChunkIndexFooterV5(out, int64(len(out)), entries), nil
+}
+
 // workerCtxs draws one codec context per worker slot from the arena pool.
 func workerCtxs(workers, jobs int) []*arena.Ctx {
 	if workers <= 0 || workers > jobs {
@@ -468,7 +617,7 @@ func SniffVersion(prefix []byte) (int, bool) {
 	return int(prefix[4]), true
 }
 
-// ReadChunkedHeader parses a chunked (v2, v3 or v4) global header from r
+// ReadChunkedHeader parses a chunked (v2–v5) global header from r
 // (including the magic and version bytes).
 func ReadChunkedHeader(r io.Reader) (*ChunkedInfo, error) {
 	var pre [6]byte
@@ -478,7 +627,7 @@ func ReadChunkedHeader(r io.Reader) (*ChunkedInfo, error) {
 	if !bytes.Equal(pre[:4], magic[:]) {
 		return nil, ErrCorrupt
 	}
-	if pre[4] != version2 && pre[4] != version3 && pre[4] != version4 {
+	if pre[4] < version2 || pre[4] > version5 {
 		return nil, fmt.Errorf("core: not a chunked container (version %d)", pre[4])
 	}
 	return readChunkedHeaderBody(r, pre[4], pre[5])
@@ -548,6 +697,18 @@ func validateChunkFrame(h *ChunkedInfo, c *ChunkInfo, plen uint64) error {
 		// The v3 range header must be an ordered, finite pair.
 		if math.IsNaN(float64(c.Min)) || math.IsNaN(float64(c.Max)) || c.Min > c.Max {
 			return ErrCorrupt
+		}
+	}
+	if h.Version >= version5 {
+		// The codec ID must resolve in the registry, and (neither byte is
+		// CRC-protected) agree with the frame's packed codec-mode byte.
+		cd, ok := CodecByID(c.CodecID)
+		if !ok {
+			return fmt.Errorf("core: chunk at plane %d: unknown codec id %d: %w", c.Offset, c.CodecID, ErrCorrupt)
+		}
+		if mode, ok := codecFrameMode(cd.ID()); ok && mode != c.CodecMode {
+			return fmt.Errorf("core: chunk at plane %d: codec id %d disagrees with codec mode %#x: %w",
+				c.Offset, c.CodecID, c.CodecMode, ErrCorrupt)
 		}
 	}
 	elems := 1
@@ -629,6 +790,13 @@ func ReadChunkFrame(r io.Reader, h *ChunkedInfo) (*ChunkInfo, []byte, error) {
 		return nil, nil, ErrCorrupt
 	}
 	c.CodecMode = mode[0]
+	if h.Version >= version5 {
+		var id [1]byte
+		if _, err := io.ReadFull(r, id[:]); err != nil {
+			return nil, nil, ErrCorrupt
+		}
+		c.CodecID = CodecID(id[0])
+	}
 	if h.Version >= version3 {
 		var rng [8]byte
 		if _, err := io.ReadFull(r, rng[:]); err != nil {
@@ -668,17 +836,49 @@ func DecompressShard(dev *gpusim.Device, c *ChunkInfo, payload []byte) ([]float3
 	return DecompressShardCtx(nil, dev, c, payload)
 }
 
-// DecompressShardCtx is DecompressShard with a reusable context. With a
-// non-nil ctx the returned slab is context scratch, valid until ctx.Reset.
-func DecompressShardCtx(ctx *arena.Ctx, dev *gpusim.Device, c *ChunkInfo, payload []byte) ([]float32, error) {
+// verifyV1ShardPayload cross-checks a frame header against the v1
+// container payload it carries: the payload must self-describe as v1 and
+// its predictor byte must match the frame's codec-mode nibble (the frame
+// header is outside the CRC, so the two must corroborate each other).
+func verifyV1ShardPayload(c *ChunkInfo, payload []byte) error {
 	if len(payload) < 6 || payload[4] != version {
-		return nil, ErrCorrupt
+		return ErrCorrupt
 	}
 	if payload[5] != c.CodecMode>>4 {
-		return nil, fmt.Errorf("core: chunk at plane %d: codec mode %#x disagrees with payload predictor %d: %w",
+		return fmt.Errorf("core: chunk at plane %d: codec mode %#x disagrees with payload predictor %d: %w",
 			c.Offset, c.CodecMode, payload[5], ErrCorrupt)
 	}
-	recon, rdims, err := DecompressCtx(ctx, dev, payload)
+	return nil
+}
+
+// DecompressShardCtx is DecompressShard with a reusable context. With a
+// non-nil ctx the returned slab is context scratch, valid until ctx.Reset.
+// v5 chunks dispatch through the codec registry by their wire ID; an
+// unknown ID fails with ErrCorrupt. The v1-payload cross-checks apply to
+// v2–v4 chunks and to assembly codecs (which wrap v1 containers); a
+// registered codec without Options owns its own payload format and only
+// its Decompress judges the bytes.
+func DecompressShardCtx(ctx *arena.Ctx, dev *gpusim.Device, c *ChunkInfo, payload []byte) ([]float32, error) {
+	var recon []float32
+	var rdims []int
+	var err error
+	if c.CodecID != codecInvalid {
+		cd, ok := CodecByID(c.CodecID)
+		if !ok {
+			return nil, fmt.Errorf("core: chunk at plane %d: unknown codec id %d: %w", c.Offset, c.CodecID, ErrCorrupt)
+		}
+		if _, isAssembly := cd.(optioned); isAssembly {
+			if err := verifyV1ShardPayload(c, payload); err != nil {
+				return nil, err
+			}
+		}
+		recon, rdims, err = cd.Decompress(ctx, dev, payload)
+	} else {
+		if err := verifyV1ShardPayload(c, payload); err != nil {
+			return nil, err
+		}
+		recon, rdims, err = DecompressCtx(ctx, dev, payload)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -726,6 +926,13 @@ func ScanFrameHeader(buf []byte, h *ChunkedInfo) (*ChunkInfo, int, int, error) {
 	}
 	c.CodecMode = buf[off]
 	off++
+	if h.Version >= version5 {
+		if off >= len(buf) {
+			return nil, 0, 0, ErrCorrupt
+		}
+		c.CodecID = CodecID(buf[off])
+		off++
+	}
 	if h.Version >= version3 {
 		if off+8 > len(buf) {
 			return nil, 0, 0, ErrCorrupt
@@ -773,7 +980,7 @@ func scanChunkFrame(blob []byte, off int, h *ChunkedInfo) (*ChunkInfo, []byte, i
 	return c, payload, off, nil
 }
 
-// decompressChunked decodes a chunked (v2/v3/v4) container: the frames are
+// decompressChunked decodes a chunked (v2–v5) container: the frames are
 // scanned sequentially (cheap, zero-copy — payloads stay subslices of
 // blob), then decoded concurrently into the output field, each worker
 // reusing its own pooled codec context across shards. The output field is
@@ -829,7 +1036,7 @@ func decompressChunked(ctx *arena.Ctx, dev *gpusim.Device, blob []byte) ([]float
 		}
 		for i, e := range entries {
 			if e.FrameOff != int64(frameOffs[i]) || e.PlaneOff != chunks[i].info.Offset ||
-				e.Planes != chunks[i].info.Dims[0] {
+				e.Planes != chunks[i].info.Dims[0] || e.Codec != chunks[i].info.CodecID {
 				return nil, nil, fmt.Errorf("core: chunk index disagrees with frame %d: %w", i, ErrCorrupt)
 			}
 		}
@@ -877,10 +1084,13 @@ type Info struct {
 	Version     int
 	Dims        []int
 	EB          float64
-	RelEB       bool // v3/v4: EB is value-range-relative
+	RelEB       bool // v3+: EB is value-range-relative
 	NumChunks   int  // 0 for v1 containers
 	ChunkPlanes int  // 0 for v1 containers
-	HasIndex    bool // v4: a chunk-index footer makes the container seekable
+	HasIndex    bool // v4/v5: a chunk-index footer makes the container seekable
+	// ChunkCodecs counts chunks per codec name (v5 containers only),
+	// computed from the chunk-index footer without touching any payload.
+	ChunkCodecs map[string]int
 }
 
 // Inspect reads a container's headers (any format version).
@@ -909,7 +1119,7 @@ func Inspect(blob []byte) (*Info, error) {
 		}
 		info.EB = math.Float64frombits(binary.LittleEndian.Uint64(ebb[:]))
 		return info, nil
-	case version2, version3, version4:
+	case version2, version3, version4, version5:
 		h, err := ReadChunkedHeader(bytes.NewReader(blob))
 		if err != nil {
 			return nil, err
@@ -930,6 +1140,19 @@ func Inspect(blob []byte) (*Info, error) {
 				return nil, ErrCorrupt
 			}
 			info.HasIndex = true
+			if h.Version >= version5 {
+				// The v5 footer records every chunk's codec ID, so the
+				// per-chunk codec histogram comes from the index alone.
+				entries, err := ParseChunkIndex(blob[footerOff:len(blob)-IndexTailLen], h, footerOff)
+				if err != nil {
+					return nil, err
+				}
+				info.ChunkCodecs = make(map[string]int)
+				for _, e := range entries {
+					cd, _ := CodecByID(e.Codec) // registered: ParseChunkIndex validated it
+					info.ChunkCodecs[cd.Name()]++
+				}
+			}
 		}
 		return info, nil
 	}

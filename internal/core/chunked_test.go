@@ -524,6 +524,221 @@ func TestV4HostileFooters(t *testing.T) {
 	})
 }
 
+// makeV5 assembles a valid heterogeneous v5 container, cycling the shards
+// through the named codecs, returning the blob and its index entries.
+func makeV5(t testing.TB, data []float32, dims []int, eb float64, cp int, codecs []string) ([]byte, []IndexEntry) {
+	t.Helper()
+	blob, err := AppendChunkedHeaderV5(nil, dims, eb, false, cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := planeSize(dims)
+	var entries []IndexEntry
+	for i, off := 0, 0; off < dims[0]; i, off = i+1, off+cp {
+		planes := cp
+		if off+planes > dims[0] {
+			planes = dims[0] - off
+		}
+		cd, ok := CodecByName(codecs[i%len(codecs)])
+		if !ok {
+			t.Fatalf("codec %q not registered", codecs[i%len(codecs)])
+		}
+		shard := data[off*ps : (off+planes)*ps]
+		shardDims := append([]int{planes}, dims[1:]...)
+		minV, maxV, _ := ShardRange(shard)
+		payload, err := cd.Compress(nil, dev, shard, shardDims, eb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		entries = append(entries, IndexEntry{FrameOff: int64(len(blob)), PlaneOff: off, Planes: planes, Codec: cd.ID()})
+		blob = AppendChunkFrameV5(blob, cd, off, shardDims, minV, maxV, payload)
+	}
+	return AppendChunkIndexFooterV5(blob, int64(len(blob)), entries), entries
+}
+
+// TestV5HeaderGolden locks the v5 container layout byte-for-byte: v4
+// framing under version byte 5 with a codec wire ID in every chunk frame
+// (between the codec-mode byte and the value range) and in every
+// chunk-index entry. The container under test mixes two codecs — the
+// heterogeneous case the format exists for.
+func TestV5HeaderGolden(t *testing.T) {
+	dims := []int{4, 2, 2}
+	blob, entries := makeV5(t, rampField(16), dims, 0.25, 2, []string{"cusz-l", "hi-tp"})
+	want := []byte{
+		'c', 'S', 'Z', 'h', // magic
+		5, 0, // version, flags (absolute bound)
+		3, 4, 2, 2, // ndims, dims
+	}
+	if !bytes.Equal(blob[:len(want)], want) {
+		t.Fatalf("header prefix = % x, want % x", blob[:len(want)], want)
+	}
+	off := len(want)
+	if eb := math.Float64frombits(binary.LittleEndian.Uint64(blob[off:])); eb != 0.25 {
+		t.Fatalf("eb = %v", eb)
+	}
+	off += 8
+	if blob[off] != 2 || blob[off+1] != 2 { // chunkPlanes, nchunks
+		t.Fatalf("chunkPlanes/nchunks = %d %d", blob[off], blob[off+1])
+	}
+	off += 2
+	// Chunk 0 (cusz-l): offset 0, shard dims {2,2,2}, codec mode
+	// (PredLorenzo<<4 | PipeHuff = 0x12), codec ID 5, then the range.
+	if blob[off] != 0 || blob[off+1] != 2 || blob[off+2] != 2 || blob[off+3] != 2 {
+		t.Fatalf("chunk0 header = % x", blob[off:off+4])
+	}
+	if blob[off+4] != CodecMode(CuszL()) || blob[off+4] != 0x12 {
+		t.Fatalf("chunk0 codec mode = %#x", blob[off+4])
+	}
+	if CodecID(blob[off+5]) != CodecCuszL {
+		t.Fatalf("chunk0 codec id = %d", blob[off+5])
+	}
+	// Chunk 1 (hi-tp) sits at the second index entry's frame offset.
+	f1 := entries[1].FrameOff
+	if blob[f1] != 2 { // plane offset 2
+		t.Fatalf("chunk1 offset byte = %d", blob[f1])
+	}
+	if blob[f1+4] != CodecMode(HiTP()) || blob[f1+4] != 0x01 {
+		t.Fatalf("chunk1 codec mode = %#x", blob[f1+4])
+	}
+	if CodecID(blob[f1+5]) != CodecHiTP {
+		t.Fatalf("chunk1 codec id = %d", blob[f1+5])
+	}
+	// Footer: index body entries are {frameOff, planeOff, planes, codecID}.
+	tail := blob[len(blob)-IndexTailLen:]
+	if !bytes.Equal(tail[8:], []byte("cSZi")) {
+		t.Fatalf("tail magic = % x", tail[8:])
+	}
+	footerOff := binary.LittleEndian.Uint64(tail[:8])
+	body := blob[footerOff : len(blob)-IndexTailLen-4]
+	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(blob[len(blob)-IndexTailLen-4:]) {
+		t.Fatal("index CRC does not cover the index body")
+	}
+	if body[0] != 2 {
+		t.Fatalf("index count byte = %d", body[0])
+	}
+	bo := 1
+	for i, e := range entries {
+		for field, wantV := range []uint64{uint64(e.FrameOff), uint64(e.PlaneOff), uint64(e.Planes), uint64(e.Codec)} {
+			v, n := binary.Uvarint(body[bo:])
+			if n <= 0 || v != wantV {
+				t.Fatalf("entry %d field %d = %d, want %d", i, field, v, wantV)
+			}
+			bo += n
+		}
+	}
+	if bo != len(body) {
+		t.Fatalf("index body has %d trailing bytes", len(body)-bo)
+	}
+	// And the mixed container decodes.
+	recon, gotDims, err := Decompress(dev, blob)
+	if err != nil || len(recon) != 16 || gotDims[0] != 4 {
+		t.Fatalf("v5 round trip: %v", err)
+	}
+}
+
+// TestV5MixedCodecRoundTrip is the acceptance case: a v5 container whose
+// chunks use two different codecs reconstructs within the bound through
+// the sequential decoder, and Inspect reports the per-chunk histogram
+// from the footer alone.
+func TestV5MixedCodecRoundTrip(t *testing.T) {
+	dims := []int{24, 10, 10}
+	data := rampField(24 * 10 * 10)
+	blob, _ := makeV5(t, data, dims, 0.05, 6, []string{"hi-cr", "cusz-l"})
+	recon, gotDims, err := Decompress(dev, blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotDims[0] != 24 {
+		t.Fatalf("dims = %v", gotDims)
+	}
+	if i := metrics.FirstViolation(data, recon, 0.05); i >= 0 {
+		t.Fatalf("bound violated at %d", i)
+	}
+	info, err := Inspect(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Version != 5 || !info.HasIndex ||
+		info.ChunkCodecs["hi-cr"] != 2 || info.ChunkCodecs["cusz-l"] != 2 {
+		t.Fatalf("info = %+v", info)
+	}
+	// CompressChunkedAuto produces the same format end to end.
+	auto, err := CompressChunkedAuto(dev, data, dims, 0.05, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auto[4] != 5 {
+		t.Fatalf("auto container version = %d", auto[4])
+	}
+	areon, _, err := Decompress(dev, auto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i := metrics.FirstViolation(data, areon, 0.05); i >= 0 {
+		t.Fatalf("auto bound violated at %d", i)
+	}
+}
+
+// TestV5HostileCodecIDs drives the decoder through mutilated v5 codec
+// metadata: unknown wire IDs, frame/footer disagreements and mode/ID
+// mismatches must all surface as ErrCorrupt, never a panic or a silent
+// wrong-codec decode.
+func TestV5HostileCodecIDs(t *testing.T) {
+	dims := []int{8, 4, 4}
+	data := rampField(8 * 4 * 4)
+	blob, entries := makeV5(t, data, dims, 0.1, 2, []string{"cusz-l", "hi-tp"})
+	if _, _, err := Decompress(dev, blob); err != nil {
+		t.Fatal(err) // the uncorrupted container must decode
+	}
+	framesEnd := int(binary.LittleEndian.Uint64(blob[len(blob)-IndexTailLen:]))
+	idAt := func(i int) int { return int(entries[i].FrameOff) + 5 } // offset+3 dims+mode
+
+	t.Run("unknown codec id in frame", func(t *testing.T) {
+		bad := append([]byte(nil), blob...)
+		bad[idAt(0)] = 0x7f
+		if _, _, err := Decompress(dev, bad); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("zero codec id in frame", func(t *testing.T) {
+		bad := append([]byte(nil), blob...)
+		bad[idAt(0)] = 0
+		if _, _, err := Decompress(dev, bad); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("codec id disagrees with mode byte", func(t *testing.T) {
+		bad := append([]byte(nil), blob...)
+		bad[idAt(0)] = byte(CodecHiTP) // frame 0 carries cusz-l's mode byte
+		if _, _, err := Decompress(dev, bad); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("footer codec disagrees with frame", func(t *testing.T) {
+		lie := append([]IndexEntry(nil), entries...)
+		lie[0].Codec = CodecHiTP // registered and self-consistent, but wrong
+		bad := AppendChunkIndexFooterV5(append([]byte(nil), blob[:framesEnd]...), int64(framesEnd), lie)
+		if _, _, err := Decompress(dev, bad); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("unknown codec id in footer", func(t *testing.T) {
+		lie := append([]IndexEntry(nil), entries...)
+		lie[1].Codec = 0x7f
+		bad := AppendChunkIndexFooterV5(append([]byte(nil), blob[:framesEnd]...), int64(framesEnd), lie)
+		if _, _, err := Decompress(dev, bad); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("v4 footer on a v5 body", func(t *testing.T) {
+		// Entries without codec IDs cannot satisfy a v5 parse.
+		bad := AppendChunkIndexFooter(append([]byte(nil), blob[:framesEnd]...), int64(framesEnd), entries)
+		if _, _, err := Decompress(dev, bad); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("err = %v", err)
+		}
+	})
+}
+
 // TestV2RejectsNonzeroFlags: the v2 flags byte is reserved as zero; a
 // nonzero value must be refused rather than silently reinterpreted.
 func TestV2RejectsNonzeroFlags(t *testing.T) {

@@ -41,6 +41,103 @@ var (
 	pipeHiTP     = lccodec.HiTP()
 )
 
+// predictorEntry is one registered lossy decomposition stage. compress
+// appends the predictor header and payload to the container under
+// construction; decompress resumes at blob[off:], just past the shared
+// container header.
+type predictorEntry struct {
+	compress   func(ctx *arena.Ctx, dev *gpusim.Device, out []byte, data []float32, dims []int, eb float64, opts Options) ([]byte, error)
+	decompress func(ctx *arena.Ctx, dev *gpusim.Device, blob []byte, off int, dims []int, total int, eb float64) ([]float32, []int, error)
+}
+
+// predictors is the predictor registry: Compress/Decompress dispatch
+// through it instead of switching on the Predictor byte, so an unknown
+// wire value fails cleanly (invalid option on encode, ErrCorrupt on
+// decode) and new decomposition stages plug in without touching dispatch.
+var predictors = map[Predictor]predictorEntry{
+	PredInterp:  {compressInterp, decompressInterp},
+	PredLorenzo: {compressLorenzo, decompressLorenzo},
+}
+
+// pipelineEntry is one registered lossless encoding stage. encode/decode
+// run over byte-wide quant codes (the interpolation predictor); the Syms
+// variants run over uint16 symbols (the Lorenzo predictor) and are nil for
+// pipelines that predictor cannot drive.
+type pipelineEntry struct {
+	name       string
+	encode     func(ctx *arena.Ctx, dev *gpusim.Device, codes []byte, freq []int64) ([]byte, error)
+	decode     func(ctx *arena.Ctx, dev *gpusim.Device, payload []byte) ([]byte, error)
+	encodeSyms func(ctx *arena.Ctx, dev *gpusim.Device, syms []uint16, alphabet int, freq []int64) ([]byte, error)
+	decodeSyms func(ctx *arena.Ctx, dev *gpusim.Device, payload []byte) ([]uint16, error)
+}
+
+// pipelines is the lossless-pipeline registry, replacing the per-call
+// switch ladders over the Pipeline byte.
+var pipelines = map[Pipeline]pipelineEntry{
+	PipeHiCR: {
+		name: "HF-RRE4-TCMS8-RZE1",
+		// HF first, fed the fused histogram, then the rest of the chain —
+		// byte-identical to running the full HF-RRE4-TCMS8-RZE1 pipeline.
+		encode: func(ctx *arena.Ctx, dev *gpusim.Device, codes []byte, freq []int64) ([]byte, error) {
+			hf, err := huffman.EncodeBytesCtx(ctx, dev, codes, freq)
+			if err != nil {
+				return nil, err
+			}
+			return pipeHiCRTail.EncodeCtx(ctx, dev, hf)
+		},
+		decode: func(ctx *arena.Ctx, dev *gpusim.Device, payload []byte) ([]byte, error) {
+			return pipeHiCR.DecodeCtx(ctx, dev, payload)
+		},
+	},
+	PipeHiTP: {
+		name: "TCMS1-BIT1-RRE1",
+		encode: func(ctx *arena.Ctx, dev *gpusim.Device, codes []byte, _ []int64) ([]byte, error) {
+			return pipeHiTP.EncodeCtx(ctx, dev, codes)
+		},
+		decode: func(ctx *arena.Ctx, dev *gpusim.Device, payload []byte) ([]byte, error) {
+			return pipeHiTP.DecodeCtx(ctx, dev, payload)
+		},
+	},
+	PipeHuff: {
+		name:       "HF",
+		encode:     huffman.EncodeBytesCtx,
+		decode:     huffman.DecodeBytesCtx,
+		encodeSyms: huffman.EncodeCtx,
+		decodeSyms: huffman.DecodeCtx,
+	},
+	PipeHuffBitcomp: {
+		name: "HF+Bitcomp",
+		encode: func(ctx *arena.Ctx, dev *gpusim.Device, codes []byte, freq []int64) ([]byte, error) {
+			hf, err := huffman.EncodeBytesCtx(ctx, dev, codes, freq)
+			if err != nil {
+				return nil, err
+			}
+			return bitcomp.Compress(dev, hf)
+		},
+		decode: func(ctx *arena.Ctx, dev *gpusim.Device, payload []byte) ([]byte, error) {
+			hf, err := bitcomp.Decompress(dev, payload)
+			if err != nil {
+				return nil, err
+			}
+			return huffman.DecodeBytesCtx(ctx, dev, hf)
+		},
+		encodeSyms: func(ctx *arena.Ctx, dev *gpusim.Device, syms []uint16, alphabet int, freq []int64) ([]byte, error) {
+			hf, err := huffman.EncodeCtx(ctx, dev, syms, alphabet, freq)
+			if err != nil {
+				return nil, err
+			}
+			return bitcomp.Compress(dev, hf)
+		},
+		decodeSyms: func(ctx *arena.Ctx, dev *gpusim.Device, payload []byte) ([]uint16, error) {
+			hf, err := bitcomp.Decompress(dev, payload)
+			if err != nil {
+				return nil, err
+			}
+			return huffman.DecodeCtx(ctx, dev, hf)
+		},
+	},
+}
+
 // ErrCorrupt reports a malformed container.
 var ErrCorrupt = errors.New("core: corrupt stream")
 
@@ -73,15 +170,8 @@ const (
 )
 
 func (p Pipeline) String() string {
-	switch p {
-	case PipeHiCR:
-		return "HF-RRE4-TCMS8-RZE1"
-	case PipeHiTP:
-		return "TCMS1-BIT1-RRE1"
-	case PipeHuff:
-		return "HF"
-	case PipeHuffBitcomp:
-		return "HF+Bitcomp"
+	if e, ok := pipelines[p]; ok {
+		return e.name
 	}
 	return fmt.Sprintf("Pipeline(%d)", uint8(p))
 }
@@ -133,22 +223,18 @@ func CuszL() Options {
 }
 
 // ModeOptions maps a public mode name (the cuszhi Mode strings) to its
-// compressor assembly — the single source of truth shared by the cuszhi
-// facade, the streaming subsystem and the CLI.
+// compressor assembly through the codec registry — the single source of
+// truth shared by the cuszhi facade, the streaming subsystem and the CLI.
 func ModeOptions(name string) (Options, error) {
-	switch name {
-	case "hi-cr":
-		return HiCR(), nil
-	case "hi-tp":
-		return HiTP(), nil
-	case "cusz-i":
-		return CuszI(), nil
-	case "cusz-ib":
-		return CuszIB(), nil
-	case "cusz-l":
-		return CuszL(), nil
+	c, ok := CodecByName(name)
+	if !ok {
+		return Options{}, fmt.Errorf("core: unknown mode %q", name)
 	}
-	return Options{}, fmt.Errorf("core: unknown mode %q", name)
+	oc, ok := c.(optioned)
+	if !ok {
+		return Options{}, fmt.Errorf("core: codec %q exposes no Options assembly", name)
+	}
+	return oc.Options(), nil
 }
 
 // SZ3Like returns a CPU-style high-ratio configuration: the cuSZ-Hi
@@ -225,13 +311,11 @@ func CompressCtx(ctx *arena.Ctx, dev *gpusim.Device, data []float32, dims []int,
 		out = bitio.AppendUvarint(out, uint64(d))
 	}
 	out = bitio.AppendUint64(out, math.Float64bits(eb))
-	switch opts.Predictor {
-	case PredInterp:
-		return compressInterp(ctx, dev, out, data, dims, eb, opts)
-	case PredLorenzo:
-		return compressLorenzo(ctx, dev, out, data, dims, eb, opts)
+	pc, ok := predictors[opts.Predictor]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown predictor %d", opts.Predictor)
 	}
-	return nil, fmt.Errorf("core: unknown predictor %d", opts.Predictor)
+	return pc.compress(ctx, dev, out, data, dims, eb, opts)
 }
 
 // encodeCodes runs the lossless pipeline over the quant codes. freq, when
@@ -239,45 +323,19 @@ func CompressCtx(ctx *arena.Ctx, dev *gpusim.Device, data []float32, dims []int,
 // whose first stage is the Huffman coder consume it instead of re-scanning
 // the codes (the quantize+histogram fusion).
 func encodeCodes(ctx *arena.Ctx, dev *gpusim.Device, codes []byte, freq []int64, p Pipeline) ([]byte, error) {
-	switch p {
-	case PipeHiCR:
-		// HF first, fed the fused histogram, then the rest of the chain —
-		// byte-identical to running the full HF-RRE4-TCMS8-RZE1 pipeline.
-		hf, err := huffman.EncodeBytesCtx(ctx, dev, codes, freq)
-		if err != nil {
-			return nil, err
-		}
-		return pipeHiCRTail.EncodeCtx(ctx, dev, hf)
-	case PipeHiTP:
-		return pipeHiTP.EncodeCtx(ctx, dev, codes)
-	case PipeHuff:
-		return huffman.EncodeBytesCtx(ctx, dev, codes, freq)
-	case PipeHuffBitcomp:
-		hf, err := huffman.EncodeBytesCtx(ctx, dev, codes, freq)
-		if err != nil {
-			return nil, err
-		}
-		return bitcomp.Compress(dev, hf)
+	e, ok := pipelines[p]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown pipeline %d", p)
 	}
-	return nil, fmt.Errorf("core: unknown pipeline %d", p)
+	return e.encode(ctx, dev, codes, freq)
 }
 
 func decodeCodes(ctx *arena.Ctx, dev *gpusim.Device, payload []byte, p Pipeline) ([]byte, error) {
-	switch p {
-	case PipeHiCR:
-		return pipeHiCR.DecodeCtx(ctx, dev, payload)
-	case PipeHiTP:
-		return pipeHiTP.DecodeCtx(ctx, dev, payload)
-	case PipeHuff:
-		return huffman.DecodeBytesCtx(ctx, dev, payload)
-	case PipeHuffBitcomp:
-		hf, err := bitcomp.Decompress(dev, payload)
-		if err != nil {
-			return nil, err
-		}
-		return huffman.DecodeBytesCtx(ctx, dev, hf)
+	e, ok := pipelines[p]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown pipeline %d: %w", p, ErrCorrupt)
 	}
-	return nil, fmt.Errorf("core: unknown pipeline %d", p)
+	return e.decode(ctx, dev, payload)
 }
 
 func compressInterp(ctx *arena.Ctx, dev *gpusim.Device, out []byte, data []float32, dims []int, eb float64, opts Options) ([]byte, error) {
@@ -353,18 +411,11 @@ func compressLorenzo(ctx *arena.Ctx, dev *gpusim.Device, out []byte, data []floa
 		out = bitio.AppendUvarint(out, bitio.ZigZag(e))
 	}
 	out = res.ValOutliers.Serialize(out)
-	var payload []byte
-	switch opts.Pipeline {
-	case PipeHuff:
-		payload, err = huffman.EncodeCtx(ctx, dev, res.Codes, lorenzo.Alphabet, res.Freq)
-	case PipeHuffBitcomp:
-		payload, err = huffman.EncodeCtx(ctx, dev, res.Codes, lorenzo.Alphabet, res.Freq)
-		if err == nil {
-			payload, err = bitcomp.Compress(dev, payload)
-		}
-	default:
+	e, ok := pipelines[opts.Pipeline]
+	if !ok || e.encodeSyms == nil {
 		return nil, fmt.Errorf("core: pipeline %v unsupported with the Lorenzo predictor", opts.Pipeline)
 	}
+	payload, err := e.encodeSyms(ctx, dev, res.Codes, lorenzo.Alphabet, res.Freq)
 	if err != nil {
 		return nil, err
 	}
@@ -389,7 +440,7 @@ func DecompressCtx(ctx *arena.Ctx, dev *gpusim.Device, blob []byte) ([]float32, 
 	if len(blob) < 6 || !bytes.Equal(blob[:4], magic[:]) {
 		return nil, nil, ErrCorrupt
 	}
-	if blob[4] == version2 || blob[4] == version3 || blob[4] == version4 {
+	if blob[4] >= version2 && blob[4] <= version5 {
 		return decompressChunked(ctx, dev, blob)
 	}
 	if blob[4] != version {
@@ -424,13 +475,11 @@ func DecompressCtx(ctx *arena.Ctx, dev *gpusim.Device, blob []byte) ([]float32, 
 	if !(eb > 0) || math.IsInf(eb, 0) {
 		return nil, nil, ErrCorrupt
 	}
-	switch pred {
-	case PredInterp:
-		return decompressInterp(ctx, dev, blob, off, dims, total, eb)
-	case PredLorenzo:
-		return decompressLorenzo(ctx, dev, blob, off, dims, total, eb)
+	pc, ok := predictors[pred]
+	if !ok {
+		return nil, nil, ErrCorrupt // unknown predictor wire value
 	}
-	return nil, nil, ErrCorrupt
+	return pc.decompress(ctx, dev, blob, off, dims, total, eb)
 }
 
 func decompressInterp(ctx *arena.Ctx, dev *gpusim.Device, blob []byte, off int, dims []int, total int, eb float64) ([]float32, []int, error) {
@@ -557,18 +606,11 @@ func decompressLorenzo(ctx *arena.Ctx, dev *gpusim.Device, blob []byte, off int,
 	}
 	off += n
 	payload := blob[off : off+int(payLen64)]
-	switch pipe {
-	case PipeHuff:
-		res.Codes, err = huffman.DecodeCtx(ctx, dev, payload)
-	case PipeHuffBitcomp:
-		var hf []byte
-		hf, err = bitcomp.Decompress(dev, payload)
-		if err == nil {
-			res.Codes, err = huffman.DecodeCtx(ctx, dev, hf)
-		}
-	default:
+	e, ok := pipelines[pipe]
+	if !ok || e.decodeSyms == nil {
 		return nil, nil, ErrCorrupt
 	}
+	res.Codes, err = e.decodeSyms(ctx, dev, payload)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -11,13 +11,27 @@ package gpusim
 
 import (
 	"runtime"
-	"sync"
 	"sync/atomic"
+	"time"
 )
 
+// helperIdle is how long a pooled helper goroutine waits for the next
+// kernel launch before exiting. Long enough that steady-state streaming
+// reuses the same goroutines across every launch; short enough that an
+// abandoned Device sheds its pool promptly (the stream goroutine-leak
+// tests rely on that).
+const helperIdle = 200 * time.Millisecond
+
 // Device is a simulated accelerator with a fixed degree of parallelism.
+// Kernel launches run on a persistent pool of helper goroutines (plus the
+// launching goroutine itself), mirroring a GPU's resident SMs: helpers are
+// spawned on demand, reused across launches, and expire after helperIdle
+// without work.
 type Device struct {
 	workers int
+	tasks   chan *launchTask
+	live    atomic.Int64 // helpers currently alive
+	spawned atomic.Int64 // helpers ever spawned (regression-test hook)
 }
 
 // Default is the process-wide device sized to the available CPUs.
@@ -29,16 +43,95 @@ func New(workers int) *Device {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	return &Device{workers: workers}
+	return &Device{workers: workers, tasks: make(chan *launchTask, workers)}
 }
 
 // Workers reports the device's parallel width.
 func (d *Device) Workers() int { return d.workers }
 
+// launchTask is one kernel launch being drained by the pool: a work-
+// stealing block counter plus a completion latch. Helpers that dequeue an
+// already-exhausted task return immediately, so stale tasks left in the
+// channel after their launch completed are harmless.
+type launchTask struct {
+	blocks int
+	body   func(block int)
+	next   atomic.Int64
+	done   atomic.Int64
+	fin    chan struct{}
+}
+
+// run grabs block indices until the task is exhausted. Whoever completes
+// the final block closes the latch.
+func (t *launchTask) run() {
+	for {
+		b := int(t.next.Add(1)) - 1
+		if b >= t.blocks {
+			return
+		}
+		t.body(b)
+		if int(t.done.Add(1)) == t.blocks {
+			close(t.fin)
+		}
+	}
+}
+
+// offer hands the task to up to n pooled helpers. Helpers are ensured
+// FIRST: the task channel is buffered, so a successful send proves
+// nothing about anyone being alive to drain it — spawning must be driven
+// by the live count, up to the n this launch wants (never more than
+// workers−1; the caller is the remaining worker). The sends themselves
+// are non-blocking: if every helper is busy with another launch the
+// caller simply runs more of the blocks itself, so Launch can never
+// deadlock on pool capacity.
+func (d *Device) offer(t *launchTask, n int) {
+	for {
+		live := d.live.Load()
+		if live >= int64(n) || live >= int64(d.workers-1) {
+			break
+		}
+		if d.live.CompareAndSwap(live, live+1) {
+			d.spawned.Add(1)
+			go d.helper()
+		}
+	}
+	for i := 0; i < n; i++ {
+		select {
+		case d.tasks <- t:
+		default:
+			return // pool saturated; the caller covers the rest
+		}
+	}
+}
+
+// helper is one pooled worker goroutine: it drains launch tasks until it
+// has been idle for helperIdle, then exits (a later launch respawns it).
+func (d *Device) helper() {
+	defer d.live.Add(-1)
+	idle := time.NewTimer(helperIdle)
+	defer idle.Stop()
+	for {
+		select {
+		case t := <-d.tasks:
+			t.run()
+			if !idle.Stop() {
+				select {
+				case <-idle.C:
+				default:
+				}
+			}
+			idle.Reset(helperIdle)
+		case <-idle.C:
+			return
+		}
+	}
+}
+
 // Launch runs body(block) for every block index in [0, blocks), distributing
 // blocks across the worker pool. It corresponds to a CUDA kernel launch with
 // a 1-D grid and returns when all blocks have completed (implicit device
-// synchronization).
+// synchronization). Concurrent launches on one Device share its helper
+// pool; each launching goroutine also executes blocks itself.
 func (d *Device) Launch(blocks int, body func(block int)) {
 	if blocks <= 0 {
 		return
@@ -53,22 +146,10 @@ func (d *Device) Launch(blocks int, body func(block int)) {
 		}
 		return
 	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(nw)
-	for w := 0; w < nw; w++ {
-		go func() {
-			defer wg.Done()
-			for {
-				b := int(next.Add(1)) - 1
-				if b >= blocks {
-					return
-				}
-				body(b)
-			}
-		}()
-	}
-	wg.Wait()
+	t := &launchTask{blocks: blocks, body: body, fin: make(chan struct{})}
+	d.offer(t, nw-1)
+	t.run()
+	<-t.fin
 }
 
 // Launch3D runs body over a 3-D grid of blocks, mirroring dim3 grids.

@@ -1,8 +1,10 @@
 package gpusim
 
 import (
+	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestLaunchCoversAllBlocks(t *testing.T) {
@@ -112,4 +114,68 @@ func TestDefaultDevice(t *testing.T) {
 	if Default.Workers() < 1 {
 		t.Fatal("default device has no workers")
 	}
+}
+
+// TestLaunchReusesPoolGoroutines is the persistent-pool regression test: a
+// burst of back-to-back launches must be served by reused helper
+// goroutines, not one spawn wave per launch (the pre-pool behavior spawned
+// workers−1 goroutines on every Launch).
+func TestLaunchReusesPoolGoroutines(t *testing.T) {
+	d := New(4)
+	const launches = 200
+	for i := 0; i < launches; i++ {
+		var n atomic.Int64
+		d.Launch(64, func(int) { n.Add(1) })
+		if n.Load() != 64 {
+			t.Fatalf("launch %d ran %d of 64 blocks", i, n.Load())
+		}
+	}
+	// Helpers may be respawned a handful of times if the scheduler lets one
+	// idle out mid-burst, but anything near one spawn wave per launch means
+	// pooling is broken.
+	if spawned := d.spawned.Load(); spawned > int64(4*d.workers) {
+		t.Fatalf("%d launches spawned %d helper goroutines, want ≈ %d reused helpers",
+			launches, spawned, d.workers-1)
+	}
+	if live := d.live.Load(); live > int64(d.workers-1) {
+		t.Fatalf("%d helpers alive, cap is %d", live, d.workers-1)
+	}
+}
+
+// TestHelpersExpireWhenIdle: an abandoned Device must shed its helper
+// goroutines after the idle window rather than pinning them forever.
+func TestHelpersExpireWhenIdle(t *testing.T) {
+	d := New(4)
+	d.Launch(256, func(int) {})
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if d.live.Load() == 0 {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("%d helpers still alive after idle window", d.live.Load())
+}
+
+// TestConcurrentLaunchesShareDevice: many goroutines launching on one
+// Device must all complete correctly (the pool is shared, and each caller
+// participates in its own launch).
+func TestConcurrentLaunchesShareDevice(t *testing.T) {
+	d := New(4)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				var n atomic.Int64
+				d.Launch(37, func(int) { n.Add(1) })
+				if n.Load() != 37 {
+					t.Errorf("ran %d of 37 blocks", n.Load())
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
 }

@@ -13,6 +13,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/arena"
 	"repro/internal/gpusim"
 )
 
@@ -36,6 +37,15 @@ var DefaultSearchComponents = []string{
 // enumeration tractable (the paper notes pipelines beyond 3-4 stages are
 // not necessary).
 func Search(dev *gpusim.Device, sample []byte, components []string, maxStages int) ([]SearchResult, error) {
+	return SearchCtx(nil, dev, sample, components, maxStages)
+}
+
+// SearchCtx is Search drawing every candidate's trial buffers from a
+// reusable codec context instead of allocating fresh working sets per
+// pipeline: the context is Reset before each candidate, so one warm set of
+// slots serves the whole enumeration. The context is left reset on return;
+// scratch the caller obtained from it earlier is invalidated.
+func SearchCtx(ctx *arena.Ctx, dev *gpusim.Device, sample []byte, components []string, maxStages int) ([]SearchResult, error) {
 	if len(components) == 0 {
 		components = DefaultSearchComponents
 	}
@@ -80,22 +90,25 @@ func Search(dev *gpusim.Device, sample []byte, components []string, maxStages in
 	results := make([]SearchResult, 0, len(specs))
 	for _, spec := range specs {
 		p := MustParse(spec)
+		ctx.Reset()
 		t0 := time.Now()
-		enc, err := p.Encode(dev, sample)
+		enc, err := p.EncodeCtx(ctx, dev, sample)
 		if err != nil {
 			return nil, fmt.Errorf("lccodec: search %s: %w", spec, err)
 		}
-		dec, err := p.Decode(dev, enc)
+		encLen := len(enc)
+		dec, err := p.DecodeCtx(ctx, dev, enc)
 		secs := time.Since(t0).Seconds()
 		if err != nil || !bytes.Equal(dec, sample) {
 			return nil, fmt.Errorf("lccodec: search %s: round trip failed: %v", spec, err)
 		}
 		results = append(results, SearchResult{
 			Spec:    spec,
-			Ratio:   float64(len(sample)) / float64(len(enc)),
+			Ratio:   float64(len(sample)) / float64(encLen),
 			Seconds: secs,
 		})
 	}
+	ctx.Reset()
 	sort.Slice(results, func(i, j int) bool { return results[i].Ratio > results[j].Ratio })
 	// Pareto: no other pipeline is both faster and higher-ratio.
 	for i := range results {

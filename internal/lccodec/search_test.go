@@ -4,6 +4,8 @@ import (
 	"math/rand"
 	"strings"
 	"testing"
+
+	"repro/internal/arena"
 )
 
 func quantCodeLike(n int, seed int64) []byte {
@@ -74,6 +76,46 @@ func TestSearchStageClamp(t *testing.T) {
 		if strings.Count(r.Spec, "-") > 2 {
 			t.Fatalf("pipeline %s exceeds 3 stages", r.Spec)
 		}
+	}
+}
+
+// TestSearchCtxMatchesSearch: the context-threaded search must produce the
+// same rankings and ratios as the allocating one, and a warm context must
+// cut steady-state allocations dramatically (trial buffers come from the
+// arena slots instead of per-candidate make calls).
+func TestSearchCtxMatchesSearch(t *testing.T) {
+	sample := quantCodeLike(1<<14, 4)
+	comps := []string{"HF", "RRE1", "TCMS1", "BIT1"}
+	want, err := Search(dev, sample, comps, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := arena.NewCtx()
+	got, err := SearchCtx(ctx, dev, sample, comps, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%d results, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Spec != want[i].Spec || got[i].Ratio != want[i].Ratio {
+			t.Fatalf("result %d: %s %.3f, want %s %.3f",
+				i, got[i].Spec, got[i].Ratio, want[i].Spec, want[i].Ratio)
+		}
+	}
+
+	// Steady state: the warm context serves every candidate's trial
+	// buffers; what remains is spec parsing and kernel-launch latches
+	// (~150/op for these 14 pipelines). The ceiling catches any return to
+	// per-candidate working-set allocation, which costs thousands.
+	allocs := testing.AllocsPerRun(5, func() {
+		if _, err := SearchCtx(ctx, dev, sample, comps, 2); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 250 {
+		t.Fatalf("steady-state SearchCtx allocates %v/op, want <= 250", allocs)
 	}
 }
 
