@@ -206,7 +206,50 @@ func suite(quick bool) ([]bench, error) {
 	autoRatio := float64(mixBytes) / float64(len(autoBlob))
 	fixedRatio := float64(mixBytes) / float64(bestFixedLen)
 
-	return []bench{
+	// Per-backend chunk codecs (format v5, fixed codec per container) on
+	// the same streaming field: throughput and ratio for each registered
+	// backend next to the assembly numbers above.
+	type backendBench struct {
+		name string
+		blob []byte
+		cd   core.Codec
+	}
+	var backends []backendBench
+	for _, name := range []string{"fzgpu", "szp", "szx"} {
+		cd, ok := core.CodecByName(name)
+		if !ok {
+			return nil, fmt.Errorf("backend codec %q not registered", name)
+		}
+		blob, err := core.CompressChunkedCodec(dev4, sField.Data, sField.Dims, sEB, cd, 32)
+		if err != nil {
+			return nil, err
+		}
+		backends = append(backends, backendBench{name: name, blob: blob, cd: cd})
+	}
+
+	benches := []bench{}
+	for _, bb := range backends {
+		bb := bb
+		ratio := float64(sField.SizeBytes()) / float64(len(bb.blob))
+		benches = append(benches,
+			bench{"backend/" + bb.name + "/compress-4w", int64(sField.SizeBytes()), ratio, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := core.CompressChunkedCodec(dev4, sField.Data, sField.Dims, sEB, bb.cd, 32); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}},
+			bench{"backend/" + bb.name + "/decompress-4w", int64(sField.SizeBytes()), ratio, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, _, err := core.Decompress(dev4, bb.blob); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}},
+		)
+	}
+
+	return append(benches, []bench{
 		{"stream/automode/compress-auto-4w", mixBytes, autoRatio, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, err := core.CompressChunkedAuto(dev4, mix, mixDims, mixEB, 32); err != nil {
@@ -324,7 +367,7 @@ func suite(quick bool) ([]bench, error) {
 				_ = recon[planeLo*winPS : planeHi*winPS]
 			}
 		}},
-	}, nil
+	}...), nil
 }
 
 func main() {

@@ -7,7 +7,10 @@
 //	cuszhi gen        -dataset miranda -o data.f32 [-dims 64x96x96] [-seed 1]
 //	cuszhi info       -i data.cszh
 //
-// Modes: hi-cr (default), hi-tp, cusz-i, cusz-ib, cusz-l, auto.
+// Modes: hi-cr (default), hi-tp, cusz-i, cusz-ib, cusz-l, fzgpu, szp,
+// szx, auto. The backend modes (fzgpu, szp, szx) dispatch through the
+// codec registry and always emit format-v5 containers — single-chunk
+// unless -chunk/-stream shards the field.
 //
 // -chunk N shards the field into slabs of N planes compressed in parallel
 // (a chunked container); -stream additionally pipes the file through the
@@ -16,7 +19,8 @@
 // chunk-index footer lets `decompress -planes lo:hi` extract a plane range
 // while reading only the covering shards. With -mode auto and chunking (or
 // -stream), every shard is compressed by whichever codec scores best on a
-// sample of it — a heterogeneous format-v5 container; `info` prints the
+// sample of it — the candidates span the assemblies and the backend
+// codecs — a heterogeneous format-v5 container; `info` prints the
 // resulting per-chunk codec histogram.
 package main
 
@@ -419,7 +423,11 @@ func cmdInfo(args []string) error {
 		for _, name := range names {
 			parts = append(parts, fmt.Sprintf("%s×%d", name, hdr.ChunkCodecs[name]))
 		}
-		fmt.Printf("codecs: %s (per-chunk adaptive)\n", strings.Join(parts, " "))
+		kind := "per-chunk"
+		if len(names) > 1 {
+			kind = "per-chunk adaptive"
+		}
+		fmt.Printf("codecs: %s (%s)\n", strings.Join(parts, " "), kind)
 	}
 	if hdr.HasIndex {
 		fmt.Printf("index:  chunk-index footer (seekable; decompress -planes lo:hi)\n")

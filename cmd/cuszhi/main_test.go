@@ -379,3 +379,74 @@ func TestCommandValidation(t *testing.T) {
 		t.Fatal("want unknown-dataset error")
 	}
 }
+
+// TestEndToEndBackendModes drives -mode fzgpu|szp|szx through every CLI
+// path: one-shot (single-chunk v5), chunked, streamed, random access, and
+// info — the front-end face of the backend chunk codecs.
+func TestEndToEndBackendModes(t *testing.T) {
+	dir := t.TempDir()
+	raw := filepath.Join(dir, "f.f32")
+	if err := cmdGen([]string{"-dataset", "miranda", "-o", raw, "-dims", "16x12x12", "-seed", "5"}); err != nil {
+		t.Fatal(err)
+	}
+	orig, err := readF32(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := orig[0], orig[0]
+	for _, v := range orig {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	eb := 1e-3 * float64(hi-lo)
+	check := func(tag, path string) {
+		t.Helper()
+		recon, err := readF32(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(recon) != len(orig) {
+			t.Fatalf("%s: %d values, want %d", tag, len(recon), len(orig))
+		}
+		for i := range orig {
+			if math.Abs(float64(orig[i])-float64(recon[i])) > eb*(1+1e-6) {
+				t.Fatalf("%s: bound violated at %d", tag, i)
+			}
+		}
+	}
+	for _, mode := range []string{"fzgpu", "szp", "szx"} {
+		oneShot := filepath.Join(dir, mode+".cszh")
+		if err := cmdCompress([]string{"-i", raw, "-o", oneShot, "-dims", "16x12x12",
+			"-eb", "1e-3", "-mode", mode}); err != nil {
+			t.Fatal(err)
+		}
+		out := filepath.Join(dir, mode+"-r.f32")
+		if err := cmdDecompress([]string{"-i", oneShot, "-o", out}); err != nil {
+			t.Fatal(err)
+		}
+		check(mode+"/one-shot", out)
+		if err := cmdInfo([]string{"-i", oneShot}); err != nil {
+			t.Fatal(err)
+		}
+
+		streamed := filepath.Join(dir, mode+"-s.cszh")
+		if err := cmdCompress([]string{"-i", raw, "-o", streamed, "-dims", "16x12x12",
+			"-eb", "1e-3", "-mode", mode, "-stream", "-chunk", "4"}); err != nil {
+			t.Fatal(err)
+		}
+		out2 := filepath.Join(dir, mode+"-rs.f32")
+		if err := cmdDecompress([]string{"-i", streamed, "-o", out2, "-stream"}); err != nil {
+			t.Fatal(err)
+		}
+		check(mode+"/streamed", out2)
+		// The v5 index serves random access over backend-coded chunks.
+		out3 := filepath.Join(dir, mode+"-rp.f32")
+		if err := cmdDecompress([]string{"-i", streamed, "-o", out3, "-planes", "5:9"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

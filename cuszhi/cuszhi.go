@@ -41,14 +41,34 @@ const (
 	ModeCuszIB Mode = "cusz-ib"
 	// ModeCuszL is the cuSZ-L baseline (Lorenzo + Huffman).
 	ModeCuszL Mode = "cusz-l"
+	// ModeFzGPU is the FZ-GPU baseline (Lorenzo dual-quant + bit-shuffle
+	// de-redundancy), a throughput-oriented backend chunk codec. Backend
+	// modes always write heterogeneous-capable (format v5) containers —
+	// single-chunk unless WithChunkPlanes shards the field.
+	ModeFzGPU Mode = "fzgpu"
+	// ModeSZp is the cuSZp2 surrogate (1-D delta prediction + per-block
+	// fixed-length packing), a backend chunk codec.
+	ModeSZp Mode = "szp"
+	// ModeSZx is the cuSZx/SZx surrogate (constant/truncated-mantissa
+	// blocks), a backend chunk codec.
+	ModeSZx Mode = "szx"
 	// ModeAuto selects an assembly per input by sample compression — the
 	// auto-selection mechanism sketched as future work in §7 of the paper.
 	ModeAuto Mode = "auto"
 )
 
-// Modes lists every fixed-assembly mode (ModeAuto composes these).
+// Modes lists every fixed-assembly mode (ModeAuto composes these together
+// with the backend modes).
 func Modes() []Mode {
 	return []Mode{ModeCR, ModeTP, ModeCuszI, ModeCuszIB, ModeCuszL}
+}
+
+// BackendModes lists the alternate-backend chunk codecs: registry-
+// dispatched compressors without a predictor/pipeline assembly, whose
+// containers are always format v5 (the codec wire ID lives in the chunk
+// frames and the index footer).
+func BackendModes() []Mode {
+	return []Mode{ModeFzGPU, ModeSZp, ModeSZx}
 }
 
 func options(m Mode) (core.Options, error) {
@@ -82,6 +102,7 @@ type Compressor struct {
 	mode        Mode
 	auto        bool
 	opts        core.Options
+	codec       core.Codec // backend chunk codec (fzgpu/szp/szx) modes
 	dev         *gpusim.Device
 	chunkPlanes int
 }
@@ -89,11 +110,18 @@ type Compressor struct {
 // New returns a Compressor for the given mode.
 func New(mode Mode, opts ...Option) (*Compressor, error) {
 	c := &Compressor{mode: mode, dev: gpusim.Default}
-	if mode == ModeAuto {
+	switch {
+	case mode == ModeAuto:
 		c.auto = true
-	} else {
+	default:
 		co, err := options(mode)
 		if err != nil {
+			// Not an assembly: backend chunk codecs (fzgpu/szp/szx) resolve
+			// through the registry and compress via format-v5 containers.
+			if cd, ok := core.CodecByName(string(mode)); ok {
+				c.codec = cd
+				break
+			}
 			return nil, err
 		}
 		c.opts = co
@@ -129,9 +157,26 @@ func (c *Compressor) CompressAbs(data []float32, dims []int, absEB float64) ([]b
 		if err != nil {
 			return nil, err
 		}
+		if sel.Options.Name == "" {
+			// A backend codec won: its payload only lives inside v5 chunk
+			// frames, so wrap the field as a single-chunk v5 container.
+			return core.CompressChunkedCodec(c.dev, data, dims, absEB, sel.Codec, dims[0])
+		}
 		// Compress through the selection's registered codec — the same
 		// dispatch surface the per-chunk paths use.
 		return sel.Codec.Compress(nil, c.dev, data, dims, absEB)
+	}
+	if c.codec != nil {
+		// Backend chunk codecs always emit format v5 — a single chunk
+		// unless WithChunkPlanes shards the field.
+		cp := c.chunkPlanes
+		if cp <= 0 {
+			if len(dims) == 0 {
+				return nil, fmt.Errorf("cuszhi: empty dims")
+			}
+			cp = dims[0]
+		}
+		return core.CompressChunkedCodec(c.dev, data, dims, absEB, c.codec, cp)
 	}
 	if c.chunkPlanes > 0 {
 		return core.CompressChunked(c.dev, data, dims, absEB, c.opts, c.chunkPlanes)

@@ -121,7 +121,60 @@ func FuzzDecompress(f *testing.F) {
 		f.Fatal(err) // the seed itself must be valid
 	}
 
-	for _, blob := range [][]byte{v1, v2, vl, v3, v4, v5} {
+	// A v5 container whose chunks use the backend codecs (fzgpu, szx):
+	// the registry dispatches them by wire ID and their payloads are
+	// self-contained, so the corpus must cover that path too.
+	v5b, err := core.AppendChunkedHeaderV5(nil, dims, 0.05, false, 3)
+	if err != nil {
+		f.Fatal(err)
+	}
+	backendCodecs := []string{"fzgpu", "szx"}
+	var v5bIdx []core.IndexEntry
+	for i, off := 0, 0; off < dims[0]; i, off = i+1, off+3 {
+		cd, ok := core.CodecByName(backendCodecs[i%2])
+		if !ok {
+			f.Fatal(backendCodecs[i%2])
+		}
+		shard := data[off*64 : (off+3)*64]
+		minV, maxV, _ := core.ShardRange(shard)
+		shardDims := []int{3, 8, 8}
+		payload, err := cd.Compress(nil, gpusim.Default, shard, shardDims, 0.05)
+		if err != nil {
+			f.Fatal(err)
+		}
+		v5bIdx = append(v5bIdx, core.IndexEntry{FrameOff: int64(len(v5b)), PlaneOff: off, Planes: 3, Codec: cd.ID()})
+		v5b = core.AppendChunkFrameV5(v5b, cd, off, shardDims, minV, maxV, payload)
+	}
+	v5b = core.AppendChunkIndexFooterV5(v5b, int64(len(v5b)), v5bIdx)
+	if _, _, err := Decompress(v5b); err != nil {
+		f.Fatal(err) // the seed itself must be valid
+	}
+
+	// A v5 frame carrying a TRUNCATED backend payload under a valid CRC:
+	// the container framing checks all pass, so the corpus reaches the
+	// backend decoder's own hostile-input validation.
+	for _, name := range []string{"fzgpu", "szp", "szx"} {
+		cd, ok := core.CodecByName(name)
+		if !ok {
+			f.Fatal(name)
+		}
+		shard := data[:3*64]
+		shardDims := []int{3, 8, 8}
+		minV, maxV, _ := core.ShardRange(shard)
+		payload, err := cd.Compress(nil, gpusim.Default, shard, shardDims, 0.05)
+		if err != nil {
+			f.Fatal(err)
+		}
+		trunc, err := core.AppendChunkedHeaderV5(nil, shardDims, 0.05, false, 3)
+		if err != nil {
+			f.Fatal(err)
+		}
+		idx := []core.IndexEntry{{FrameOff: int64(len(trunc)), PlaneOff: 0, Planes: 3, Codec: cd.ID()}}
+		trunc = core.AppendChunkFrameV5(trunc, cd, 0, shardDims, minV, maxV, payload[:len(payload)/2])
+		f.Add(core.AppendChunkIndexFooterV5(trunc, int64(len(trunc)), idx))
+	}
+
+	for _, blob := range [][]byte{v1, v2, vl, v3, v4, v5, v5b} {
 		f.Add(blob)
 		for _, cut := range []int{0, 3, 5, 9, len(blob) / 3, len(blob) / 2, len(blob) - 1} {
 			f.Add(blob[:cut])

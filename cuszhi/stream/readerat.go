@@ -327,7 +327,11 @@ func (r *ReaderAt) decodeChunkInto(dst []float32, i, lo, hi int) error {
 	if err != nil {
 		return err
 	}
-	if br.Len() != 0 || c.Offset != e.PlaneOff || c.Dims[0] != e.Planes || c.CodecID != e.Codec {
+	if c.CodecID != e.Codec {
+		return fmt.Errorf("stream: chunk index codec %s disagrees with frame codec %s at plane %d: %w",
+			core.CodecLabel(e.Codec), core.CodecLabel(c.CodecID), e.PlaneOff, core.ErrCorrupt)
+	}
+	if br.Len() != 0 || c.Offset != e.PlaneOff || c.Dims[0] != e.Planes {
 		return fmt.Errorf("stream: chunk index disagrees with frame at plane %d: %w", e.PlaneOff, core.ErrCorrupt)
 	}
 	ctx := arena.Get()

@@ -130,6 +130,7 @@ type Writer struct {
 	w        io.Writer
 	dev      *gpusim.Device
 	opts     core.Options
+	cd       core.Codec // fixed backend chunk codec (format v5), nil otherwise
 	dims     []int
 	eb       float64 // absolute bound, or relative when rel
 	rel      bool    // per-shard relative bounds (format v3/v4)
@@ -171,6 +172,7 @@ func NewWriter(w io.Writer, dims []int, eb float64, opt ...Option) (*Writer, err
 	cfg := newConfig(opt)
 	auto := cfg.mode == cuszhi.ModeAuto
 	var opts core.Options
+	var cd core.Codec
 	var err error
 	if auto {
 		if !cfg.index {
@@ -179,12 +181,21 @@ func NewWriter(w io.Writer, dims []int, eb float64, opt ...Option) (*Writer, err
 	} else {
 		opts, err = core.ModeOptions(string(cfg.mode))
 		if err != nil {
-			return nil, fmt.Errorf("stream: unknown mode %q", cfg.mode)
+			// Backend chunk codecs (fzgpu/szp/szx) have no Options assembly;
+			// they stream as format v5 with the codec's wire ID per chunk.
+			backend, ok := core.CodecByName(string(cfg.mode))
+			if !ok {
+				return nil, fmt.Errorf("stream: unknown mode %q", cfg.mode)
+			}
+			if !cfg.index {
+				return nil, fmt.Errorf("stream: mode %q writes per-chunk codec IDs to the index footer; drop WithIndex(false)", cfg.mode)
+			}
+			cd = backend
 		}
 	}
 	var header []byte
 	switch {
-	case auto:
+	case auto || cd != nil:
 		header, err = core.AppendChunkedHeaderV5(nil, dims, eb, cfg.relative, cfg.chunkPlanes)
 	case cfg.index:
 		header, err = core.AppendChunkedHeaderV4(nil, dims, eb, cfg.relative, cfg.chunkPlanes)
@@ -204,6 +215,7 @@ func NewWriter(w io.Writer, dims []int, eb float64, opt ...Option) (*Writer, err
 		w:        w,
 		dev:      cfg.dev,
 		opts:     opts,
+		cd:       cd,
 		dims:     append([]int(nil), dims...),
 		eb:       eb,
 		rel:      cfg.relative,
@@ -364,7 +376,7 @@ func (w *Writer) submitShard() {
 	default:
 		w.vals = make([]float32, 0, w.cp*w.ps)
 	}
-	dev, eb, rel, rangeHdr, auto, opts := w.dev, w.eb, w.rel, w.rangeHdr, w.auto, w.opts
+	dev, eb, rel, rangeHdr, auto, opts, cd := w.dev, w.eb, w.rel, w.rangeHdr, w.auto, w.opts, w.cd
 	shardDims := append([]int{planes}, w.dims[1:]...)
 	w.pool.Submit(func() (wframe, error) {
 		ctx := arena.Get()
@@ -391,6 +403,20 @@ func (w *Writer) submitShard() {
 					absEB = 1e-46
 				}
 			}
+		}
+		if cd != nil {
+			// Fixed backend codec: every shard is compressed by the one
+			// registered codec and framed with its wire ID (format v5).
+			payload, err := cd.Compress(ctx, dev, shard, shardDims, absEB)
+			if err != nil {
+				return wframe{}, fmt.Errorf("stream: shard at plane %d: %w", offset, err)
+			}
+			frame := core.AppendChunkFrameV5(nil, cd, offset, shardDims, minV, maxV, payload)
+			select {
+			case w.slabs <- shard:
+			default:
+			}
+			return wframe{data: frame, planeOff: offset, planes: planes, codec: cd.ID()}, nil
 		}
 		if auto {
 			// Per-shard adaptive dispatch: score the candidates on a sample
@@ -454,9 +480,10 @@ func (w *Writer) Close() error {
 	if w.index && w.err() == nil {
 		// Every frame reached the sink; finish the container with the
 		// chunk-index footer so the output is seekable from its tail. Auto
-		// mode writes the v5 footer, whose entries carry the codec IDs.
+		// and backend-codec modes write the v5 footer, whose entries carry
+		// the codec IDs.
 		var footer []byte
-		if w.auto {
+		if w.auto || w.cd != nil {
 			footer = core.AppendChunkIndexFooterV5(nil, w.wOff, w.idx)
 		} else {
 			footer = core.AppendChunkIndexFooter(nil, w.wOff, w.idx)

@@ -13,11 +13,16 @@
 // then zero-elimination with a recursively compressed presence bitmap
 // (internal/lccodec's RZE1), with a raw-passthrough fallback whenever that
 // would not shrink the input.
+//
+// The *Ctx entry points thread a reusable arena.Ctx through the RZE
+// pipeline stages, so warm contexts re-code stream after stream with
+// near-zero heap allocations.
 package bitcomp
 
 import (
 	"errors"
 
+	"repro/internal/arena"
 	"repro/internal/bitio"
 	"repro/internal/gpusim"
 	"repro/internal/lccodec"
@@ -35,21 +40,37 @@ var rze = lccodec.MustParse("DIFFMS1-RZE1")
 
 // Compress encodes src.
 func Compress(dev *gpusim.Device, src []byte) ([]byte, error) {
-	enc, err := rze.Encode(dev, src)
+	return CompressCtx(nil, dev, src)
+}
+
+// CompressCtx is Compress drawing pipeline stage buffers from a reusable
+// codec context (nil behaves like Compress). The returned stream is a
+// fresh allocation owned by the caller.
+func CompressCtx(ctx *arena.Ctx, dev *gpusim.Device, src []byte) ([]byte, error) {
+	enc, err := rze.EncodeCtx(ctx, dev, src)
 	if err != nil {
 		return nil, err
 	}
-	out := bitio.AppendUvarint(nil, uint64(len(src)))
+	body := src
+	mode := byte(modeRaw)
 	if len(enc) < len(src) {
-		out = append(out, modeDeltaZE)
-		return append(out, enc...), nil
+		body = enc
+		mode = modeDeltaZE
 	}
-	out = append(out, modeRaw)
-	return append(out, src...), nil
+	out := make([]byte, 0, len(body)+12)
+	out = bitio.AppendUvarint(out, uint64(len(src)))
+	out = append(out, mode)
+	return append(out, body...), nil
 }
 
 // Decompress reverses Compress.
 func Decompress(dev *gpusim.Device, data []byte) ([]byte, error) {
+	return DecompressCtx(nil, dev, data)
+}
+
+// DecompressCtx is Decompress with a reusable context. With a non-nil ctx
+// the returned stream is context scratch, valid until the next ctx.Reset.
+func DecompressCtx(ctx *arena.Ctx, dev *gpusim.Device, data []byte) ([]byte, error) {
 	origLen64, n := bitio.Uvarint(data)
 	if n == 0 || n >= len(data)+1 {
 		return nil, ErrCorrupt
@@ -68,11 +89,11 @@ func Decompress(dev *gpusim.Device, data []byte) ([]byte, error) {
 		if len(body) != origLen {
 			return nil, ErrCorrupt
 		}
-		out := make([]byte, origLen)
+		out := ctx.Bytes(origLen)
 		copy(out, body)
 		return out, nil
 	case modeDeltaZE:
-		out, err := rze.Decode(dev, body)
+		out, err := rze.DecodeCtx(ctx, dev, body)
 		if err != nil {
 			return nil, err
 		}

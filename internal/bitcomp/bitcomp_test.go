@@ -6,6 +6,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"repro/internal/arena"
 	"repro/internal/gpusim"
 )
 
@@ -135,5 +136,70 @@ func TestRoundTripProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestCtxMatchesContextFree: the arena-context entry points must produce
+// byte-identical streams to the context-free wrappers.
+func TestCtxMatchesContextFree(t *testing.T) {
+	src := make([]byte, 1<<15)
+	for i := range src {
+		src[i] = byte(i % 7 * (i % 5))
+	}
+	want, err := Compress(dev, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := arena.NewCtx()
+	got, err := CompressCtx(ctx, dev, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("context compression diverges from context-free compression")
+	}
+	ctx.Reset()
+	dec, err := DecompressCtx(ctx, dev, got)
+	if err != nil || !bytes.Equal(dec, src) {
+		t.Fatalf("ctx round trip: %v", err)
+	}
+}
+
+// TestAllocsWarmCtx is the arena-refactor guard: warm contexts re-code
+// stream after stream with a near-constant handful of allocations.
+func TestAllocsWarmCtx(t *testing.T) {
+	src := make([]byte, 1<<16)
+	for i := range src {
+		src[i] = byte(i % 9 * (i % 4))
+	}
+	dev1 := gpusim.New(1) // single worker: no per-launch goroutine allocs
+	ctx := arena.NewCtx()
+	blob, err := CompressCtx(ctx, dev1, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx.Reset()
+	if _, err := DecompressCtx(ctx, dev1, blob); err != nil {
+		t.Fatal(err)
+	}
+	comp := testing.AllocsPerRun(20, func() {
+		ctx.Reset()
+		if _, err := CompressCtx(ctx, dev1, src); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Logf("warm compress: %v allocs/op", comp)
+	if comp > 8 {
+		t.Fatalf("steady-state compress allocates %v/op, want <= 8", comp)
+	}
+	decomp := testing.AllocsPerRun(20, func() {
+		ctx.Reset()
+		if _, err := DecompressCtx(ctx, dev1, blob); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Logf("warm decompress: %v allocs/op", decomp)
+	if decomp > 6 {
+		t.Fatalf("steady-state decompress allocates %v/op, want <= 6", decomp)
 	}
 }

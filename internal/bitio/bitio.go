@@ -163,6 +163,16 @@ func NewReader(p []byte) *Reader {
 	return &Reader{buf: p}
 }
 
+// ResetBytes rebinds the reader to p, discarding any pending bits. It lets
+// stack- or arena-resident Reader values be reused across payloads without
+// reallocating (the zero value plus ResetBytes is equivalent to NewReader).
+func (r *Reader) ResetBytes(p []byte) {
+	r.buf = p
+	r.pos = 0
+	r.acc = 0
+	r.nacc = 0
+}
+
 func (r *Reader) fill() {
 	for r.nacc <= 56 && r.pos < len(r.buf) {
 		r.acc |= uint64(r.buf[r.pos]) << r.nacc

@@ -19,17 +19,28 @@ import (
 
 // Selection is the outcome of AutoSelect.
 type Selection struct {
-	Codec   Codec // the winning registered codec
+	Codec Codec // the winning registered codec
+	// Options is the winner's assembly configuration; it is the zero value
+	// when a backend chunk codec (fzgpu/szp/szx) wins, since those expose
+	// no Options — compress through Codec instead.
 	Options Options
 	// SampleCR is each candidate's compression ratio on the sample slab,
-	// keyed by Options.Name, for reporting.
+	// keyed by display name (Options.Name for assemblies, the wire name
+	// for backend codecs), for reporting.
 	SampleCR map[string]float64
 }
 
-// autoSelectCandidates returns the registered codecs AutoSelect evaluates.
+// autoSelectCandidates returns the registered codecs AutoSelect evaluates:
+// the three canonical assemblies plus the backend chunk codecs (fzgpu,
+// szp, szx). The backends are error-bound-compatible here even though they
+// take absolute bounds only, because every selection path scores under a
+// resolved absolute bound: one-shot callers convert relative bounds before
+// selecting, and relative-EB streams derive each shard's absolute bound
+// from the shard's value range before scoring (stream.Writer.submitShard).
 func autoSelectCandidates() []Codec {
-	out := make([]Codec, 0, 3)
-	for _, name := range []string{"hi-cr", "hi-tp", "cusz-l"} {
+	names := []string{"hi-cr", "hi-tp", "cusz-l", "fzgpu", "szp", "szx"}
+	out := make([]Codec, 0, len(names))
+	for _, name := range names {
 		c, ok := CodecByName(name)
 		if !ok {
 			panic("core: auto-select candidate " + name + " not registered")
@@ -102,7 +113,7 @@ func AutoSelectCtx(ctx *arena.Ctx, dev *gpusim.Device, data []float32, dims []in
 	if len(data) == 0 {
 		return nil, fmt.Errorf("core: cannot auto-select on empty data")
 	}
-	sel := &Selection{SampleCR: make(map[string]float64, 3)}
+	sel := &Selection{SampleCR: make(map[string]float64, 6)}
 	best, err := scoreCandidates(ctx, dev, data, dims, eb, 0.1, sel.SampleCR)
 	if err != nil {
 		return nil, fmt.Errorf("core: auto-select: %w", err)

@@ -19,7 +19,7 @@ func TestAutoSelectPicksAWinner(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(sel.SampleCR) != 3 {
+	if len(sel.SampleCR) != 6 { // three assemblies + fzgpu/szp/szx backends
 		t.Fatalf("sample CRs: %v", sel.SampleCR)
 	}
 	// The winner's sample CR must be the max.

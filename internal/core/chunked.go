@@ -707,8 +707,8 @@ func validateChunkFrame(h *ChunkedInfo, c *ChunkInfo, plen uint64) error {
 			return fmt.Errorf("core: chunk at plane %d: unknown codec id %d: %w", c.Offset, c.CodecID, ErrCorrupt)
 		}
 		if mode, ok := codecFrameMode(cd.ID()); ok && mode != c.CodecMode {
-			return fmt.Errorf("core: chunk at plane %d: codec id %d disagrees with codec mode %#x: %w",
-				c.Offset, c.CodecID, c.CodecMode, ErrCorrupt)
+			return fmt.Errorf("core: chunk at plane %d: codec %s disagrees with codec mode %#x: %w",
+				c.Offset, CodecLabel(c.CodecID), c.CodecMode, ErrCorrupt)
 		}
 	}
 	elems := 1
@@ -1035,8 +1035,12 @@ func decompressChunked(ctx *arena.Ctx, dev *gpusim.Device, blob []byte) ([]float
 			return nil, nil, err
 		}
 		for i, e := range entries {
+			if e.Codec != chunks[i].info.CodecID {
+				return nil, nil, fmt.Errorf("core: chunk index codec %s disagrees with frame %d codec %s: %w",
+					CodecLabel(e.Codec), i, CodecLabel(chunks[i].info.CodecID), ErrCorrupt)
+			}
 			if e.FrameOff != int64(frameOffs[i]) || e.PlaneOff != chunks[i].info.Offset ||
-				e.Planes != chunks[i].info.Dims[0] || e.Codec != chunks[i].info.CodecID {
+				e.Planes != chunks[i].info.Dims[0] {
 				return nil, nil, fmt.Errorf("core: chunk index disagrees with frame %d: %w", i, ErrCorrupt)
 			}
 		}

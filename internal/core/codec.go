@@ -128,6 +128,16 @@ func Codecs() []Codec {
 	return out
 }
 
+// CodecLabel formats a codec wire ID for diagnostics: "name (id N)" for a
+// registered codec, "unknown id N" otherwise. Cross-check error messages
+// use it so a frame/footer disagreement names the codecs involved.
+func CodecLabel(id CodecID) string {
+	if e, ok := codecsByID[id]; ok {
+		return fmt.Sprintf("%s (id %d)", e.codec.Name(), id)
+	}
+	return fmt.Sprintf("unknown id %d", id)
+}
+
 // codecFrameMode returns the packed predictor/pipeline byte the registered
 // codec's v5 frames carry, or ok=false when the codec exposes no Options.
 func codecFrameMode(id CodecID) (byte, bool) {

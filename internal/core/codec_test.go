@@ -18,6 +18,9 @@ func TestCodecRegistryLookups(t *testing.T) {
 		CodecCuszI:  "cusz-i",
 		CodecCuszIB: "cusz-ib",
 		CodecCuszL:  "cusz-l",
+		CodecFzGPU:  "fzgpu",
+		CodecSZp:    "szp",
+		CodecSZx:    "szx",
 	}
 	for id, name := range want {
 		c, ok := CodecByID(id)

@@ -112,10 +112,10 @@ var pipelines = map[Pipeline]pipelineEntry{
 			if err != nil {
 				return nil, err
 			}
-			return bitcomp.Compress(dev, hf)
+			return bitcomp.CompressCtx(ctx, dev, hf)
 		},
 		decode: func(ctx *arena.Ctx, dev *gpusim.Device, payload []byte) ([]byte, error) {
-			hf, err := bitcomp.Decompress(dev, payload)
+			hf, err := bitcomp.DecompressCtx(ctx, dev, payload)
 			if err != nil {
 				return nil, err
 			}
@@ -126,10 +126,10 @@ var pipelines = map[Pipeline]pipelineEntry{
 			if err != nil {
 				return nil, err
 			}
-			return bitcomp.Compress(dev, hf)
+			return bitcomp.CompressCtx(ctx, dev, hf)
 		},
 		decodeSyms: func(ctx *arena.Ctx, dev *gpusim.Device, payload []byte) ([]uint16, error) {
-			hf, err := bitcomp.Decompress(dev, payload)
+			hf, err := bitcomp.DecompressCtx(ctx, dev, payload)
 			if err != nil {
 				return nil, err
 			}

@@ -1,10 +1,12 @@
 package fzgpu
 
 import (
+	"bytes"
 	"math"
 	"math/rand"
 	"testing"
 
+	"repro/internal/arena"
 	"repro/internal/datagen"
 	"repro/internal/gpusim"
 	"repro/internal/metrics"
@@ -95,5 +97,81 @@ func TestDecompressCorrupt(t *testing.T) {
 		bad := append([]byte(nil), blob...)
 		bad[rng.Intn(len(bad))] ^= byte(1 + rng.Intn(255))
 		Decompress(dev, bad) // must not panic
+	}
+}
+
+// TestCtxMatchesContextFree: the arena-context entry points must produce
+// byte-identical containers to the context-free wrappers, and the ctx
+// decoder must report the container's own dims.
+func TestCtxMatchesContextFree(t *testing.T) {
+	dims := []int{12, 16, 16}
+	data := make([]float32, 12*16*16)
+	for i := range data {
+		data[i] = float32(math.Sin(float64(i) * 0.01))
+	}
+	want, err := Compress(dev, data, dims, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := arena.NewCtx()
+	got, err := CompressCtx(ctx, dev, data, dims, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("context compression diverges from context-free compression")
+	}
+	ctx.Reset()
+	recon, rdims, err := DecompressCtx(ctx, dev, got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rdims) != 3 || rdims[0] != 12 || rdims[1] != 16 || rdims[2] != 16 {
+		t.Fatalf("ctx decode dims = %v", rdims)
+	}
+	if i := metrics.FirstViolation(data, recon, 1e-3); i >= 0 {
+		t.Fatalf("bound violated at %d", i)
+	}
+}
+
+// TestAllocsWarmCtx is the arena-refactor guard: a warm context must run
+// the compress and decompress hot paths with a near-constant handful of
+// allocations (the fresh output container, kernel closures, pool
+// bookkeeping), independent of the field size.
+func TestAllocsWarmCtx(t *testing.T) {
+	dims := []int{16, 24, 24}
+	data := make([]float32, 16*24*24)
+	for i := range data {
+		data[i] = float32(i%37)*0.25 + float32(i%11)
+	}
+	dev1 := gpusim.New(1) // single worker: no per-launch goroutine allocs
+	ctx := arena.NewCtx()
+	blob, err := CompressCtx(ctx, dev1, data, dims, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx.Reset()
+	if _, _, err := DecompressCtx(ctx, dev1, blob); err != nil {
+		t.Fatal(err)
+	}
+	comp := testing.AllocsPerRun(20, func() {
+		ctx.Reset()
+		if _, err := CompressCtx(ctx, dev1, data, dims, 1e-3); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Logf("warm compress: %v allocs/op", comp)
+	if comp > 12 {
+		t.Fatalf("steady-state compress allocates %v/op, want <= 12", comp)
+	}
+	decomp := testing.AllocsPerRun(20, func() {
+		ctx.Reset()
+		if _, _, err := DecompressCtx(ctx, dev1, blob); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Logf("warm decompress: %v allocs/op", decomp)
+	if decomp > 8 {
+		t.Fatalf("steady-state decompress allocates %v/op, want <= 8", decomp)
 	}
 }

@@ -10,6 +10,12 @@
 // All variants share one hash-chain matcher; they differ in window size,
 // match economics and entropy back-end, which is what separates the real
 // codecs' Pareto positions.
+//
+// The *Ctx entry points thread a reusable arena.Ctx through the matcher
+// (hash heads, chain links, sequence list) and the decoders' output
+// buffers, so warm contexts re-code stream after stream with near-zero
+// heap allocations on the byte-aligned variants (the entropy variants
+// additionally pay their back-end's costs).
 package lz
 
 import (
@@ -17,6 +23,7 @@ import (
 	"fmt"
 
 	"repro/internal/ans"
+	"repro/internal/arena"
 	"repro/internal/bitio"
 	"repro/internal/gpusim"
 	"repro/internal/huffman"
@@ -57,6 +64,12 @@ const (
 	hashShift = 32 - hashBits
 )
 
+// maxOrigLen caps the declared decoded length of any container, so a
+// hostile header cannot force a huge allocation or an unbounded expansion
+// loop before real bytes are validated. It also fits int on 32-bit
+// platforms, so the int conversions below can never wrap negative.
+const maxOrigLen = 1<<31 - 1
+
 // seq is one LZ sequence: litLen literals followed by a match.
 type seq struct {
 	litLen   int
@@ -64,14 +77,36 @@ type seq struct {
 	dist     int
 }
 
+// auxKey is this package's scratch slot in an arena.Ctx.
+var auxKey = arena.NewAuxKey()
+
+// lzScratch holds the cross-op sequence list; its backing array persists
+// so steady-state parses stop growing it.
+type lzScratch struct {
+	seqs []seq
+}
+
+func scratchFor(ctx *arena.Ctx) *lzScratch {
+	if s, ok := ctx.Aux(auxKey).(*lzScratch); ok {
+		return s
+	}
+	s := &lzScratch{}
+	ctx.SetAux(auxKey, s)
+	return s
+}
+
 func hash4(p []byte) uint32 {
 	v := uint32(p[0]) | uint32(p[1])<<8 | uint32(p[2])<<16 | uint32(p[3])<<24
 	return (v * 2654435761) >> hashShift
 }
 
-// parse runs a greedy hash-chain parse of src.
-func parse(src []byte, window, maxChain, maxMatch int) []seq {
-	var seqs []seq
+// parse runs a greedy hash-chain parse of src. The hash heads, chain links
+// and the returned sequence list are context scratch (valid until the next
+// parse through the same context).
+func parse(ctx *arena.Ctx, src []byte, window, maxChain, maxMatch int) []seq {
+	s := scratchFor(ctx)
+	seqs := s.seqs[:0]
+	defer func() { s.seqs = seqs }()
 	n := len(src)
 	if n < minMatch {
 		if n > 0 {
@@ -79,11 +114,11 @@ func parse(src []byte, window, maxChain, maxMatch int) []seq {
 		}
 		return seqs
 	}
-	head := make([]int32, 1<<hashBits)
+	head := ctx.I32(1 << hashBits)
 	for i := range head {
 		head[i] = -1
 	}
-	prev := make([]int32, n)
+	prev := ctx.I32(n)
 	litStart := 0
 	i := 0
 	insert := func(pos int) {
@@ -137,9 +172,21 @@ func matchLen(src []byte, a, b, maxMatch int) int {
 	return l
 }
 
+// outBuf reserves a decode output buffer from ctx: the declared length is
+// honored up to a sanity multiple of the input size, so a hostile header
+// cannot force a huge up-front allocation (legitimate extreme expansions
+// simply regrow through append).
+func outBuf(ctx *arena.Ctx, origLen, inLen int) []byte {
+	reserve := origLen
+	if lim := 1024*inLen + 1024; reserve > lim {
+		reserve = lim
+	}
+	return ctx.Bytes(reserve)[:0]
+}
+
 // expand reconstructs the original data from sequences and a literal stream.
-func expand(seqs []seq, lits []byte, origLen int) ([]byte, error) {
-	out := make([]byte, 0, origLen)
+func expand(ctx *arena.Ctx, seqs []seq, lits []byte, origLen, inLen int) ([]byte, error) {
+	out := outBuf(ctx, origLen, inLen)
 	lp := 0
 	for _, s := range seqs {
 		if s.litLen < 0 || lp+s.litLen > len(lits) {
@@ -150,7 +197,8 @@ func expand(seqs []seq, lits []byte, origLen int) ([]byte, error) {
 		if s.matchLen == 0 {
 			continue
 		}
-		if s.dist <= 0 || s.dist > len(out) || s.matchLen < 0 {
+		if s.dist <= 0 || s.dist > len(out) || s.matchLen < 0 ||
+			s.matchLen > origLen-len(out) {
 			return nil, ErrCorrupt
 		}
 		start := len(out) - s.dist
@@ -169,30 +217,43 @@ func expand(seqs []seq, lits []byte, origLen int) ([]byte, error) {
 
 // Encode compresses src with the chosen variant.
 func Encode(dev *gpusim.Device, src []byte, v Variant) ([]byte, error) {
+	return EncodeCtx(nil, dev, src, v)
+}
+
+// EncodeCtx is Encode drawing matcher and stage scratch from a reusable
+// codec context (nil behaves like Encode). The returned stream is a fresh
+// allocation owned by the caller.
+func EncodeCtx(ctx *arena.Ctx, dev *gpusim.Device, src []byte, v Variant) ([]byte, error) {
 	switch v {
 	case LZ4Lite:
-		return encodeVarint(src, 1<<16, 32, 1<<16), nil
+		return encodeVarint(ctx, src, 1<<16, 32, 1<<16), nil
 	case GPULZLite:
-		return encodeLZSS(src), nil
+		return encodeLZSS(ctx, src), nil
 	case ZstdLite:
-		return encodeEntropy(dev, src, true)
+		return encodeEntropy(ctx, dev, src, true)
 	case GDeflateLite:
-		return encodeEntropy(dev, src, false)
+		return encodeEntropy(ctx, dev, src, false)
 	}
 	return nil, fmt.Errorf("lz: unknown variant %d", v)
 }
 
 // Decode reverses Encode for the same variant.
 func Decode(dev *gpusim.Device, data []byte, v Variant) ([]byte, error) {
+	return DecodeCtx(nil, dev, data, v)
+}
+
+// DecodeCtx is Decode with a reusable context. With a non-nil ctx the
+// returned stream is context scratch, valid until the next ctx.Reset.
+func DecodeCtx(ctx *arena.Ctx, dev *gpusim.Device, data []byte, v Variant) ([]byte, error) {
 	switch v {
 	case LZ4Lite:
-		return decodeVarint(data)
+		return decodeVarint(ctx, data)
 	case GPULZLite:
-		return decodeLZSS(data)
+		return decodeLZSS(ctx, data)
 	case ZstdLite:
-		return decodeEntropy(dev, data, true)
+		return decodeEntropy(ctx, dev, data, true)
 	case GDeflateLite:
-		return decodeEntropy(dev, data, false)
+		return decodeEntropy(ctx, dev, data, false)
 	}
 	return nil, fmt.Errorf("lz: unknown variant %d", v)
 }
@@ -200,9 +261,10 @@ func Decode(dev *gpusim.Device, data []byte, v Variant) ([]byte, error) {
 // encodeVarint is the byte-aligned LZ4-like container:
 // uvarint origLen, then per sequence: uvarint litLen, literals,
 // uvarint matchLen (0 terminates), uvarint dist.
-func encodeVarint(src []byte, window, maxChain, maxMatch int) []byte {
-	seqs := parse(src, window, maxChain, maxMatch)
-	out := bitio.AppendUvarint(nil, uint64(len(src)))
+func encodeVarint(ctx *arena.Ctx, src []byte, window, maxChain, maxMatch int) []byte {
+	seqs := parse(ctx, src, window, maxChain, maxMatch)
+	out := make([]byte, 0, len(src)+len(src)/8+16)
+	out = bitio.AppendUvarint(out, uint64(len(src)))
 	pos := 0
 	for _, s := range seqs {
 		out = bitio.AppendUvarint(out, uint64(s.litLen))
@@ -219,16 +281,17 @@ func encodeVarint(src []byte, window, maxChain, maxMatch int) []byte {
 	return out
 }
 
-func decodeVarint(data []byte) ([]byte, error) {
-	origLen, n := bitio.Uvarint(data)
-	if n == 0 {
+func decodeVarint(ctx *arena.Ctx, data []byte) ([]byte, error) {
+	origLen64, n := bitio.Uvarint(data)
+	if n == 0 || origLen64 > maxOrigLen {
 		return nil, ErrCorrupt
 	}
+	origLen := int(origLen64)
 	off := n
-	out := make([]byte, 0, origLen)
+	out := outBuf(ctx, origLen, len(data))
 	for {
 		litLen, n := bitio.Uvarint(data[off:])
-		if n == 0 {
+		if n == 0 || litLen > uint64(len(data)) {
 			return nil, ErrCorrupt
 		}
 		off += n
@@ -237,6 +300,9 @@ func decodeVarint(data []byte) ([]byte, error) {
 		}
 		out = append(out, data[off:off+int(litLen)]...)
 		off += int(litLen)
+		if len(out) > origLen {
+			return nil, ErrCorrupt
+		}
 		ml, n := bitio.Uvarint(data[off:])
 		if n == 0 {
 			return nil, ErrCorrupt
@@ -247,6 +313,12 @@ func decodeVarint(data []byte) ([]byte, error) {
 				break // terminator
 			}
 			continue
+		}
+		// Bound the match before replaying it: a hostile length must fail
+		// here, not after an unbounded append loop. len(out) <= origLen is
+		// guaranteed above, so the subtraction cannot wrap.
+		if ml > uint64(origLen-len(out)) {
+			return nil, ErrCorrupt
 		}
 		dist, n := bitio.Uvarint(data[off:])
 		if n == 0 {
@@ -260,11 +332,8 @@ func decodeVarint(data []byte) ([]byte, error) {
 		for k := 0; k < int(ml); k++ {
 			out = append(out, out[start+k])
 		}
-		if len(out) > int(origLen) {
-			return nil, ErrCorrupt
-		}
 	}
-	if len(out) != int(origLen) {
+	if len(out) != origLen {
 		return nil, ErrCorrupt
 	}
 	return out, nil
@@ -277,8 +346,8 @@ const (
 	lzssMaxLen  = minMatch + (1 << lzssLenBits) - 1
 )
 
-func encodeLZSS(src []byte) []byte {
-	seqs := parse(src, lzssWindow-1, 16, lzssMaxLen)
+func encodeLZSS(ctx *arena.Ctx, src []byte) []byte {
+	seqs := parse(ctx, src, lzssWindow-1, 16, lzssMaxLen)
 	w := bitio.NewWriter(len(src)/2 + 16)
 	pos := 0
 	for _, s := range seqs {
@@ -298,14 +367,16 @@ func encodeLZSS(src []byte) []byte {
 	return append(out, w.Bytes()...)
 }
 
-func decodeLZSS(data []byte) ([]byte, error) {
-	origLen, n := bitio.Uvarint(data)
-	if n == 0 {
+func decodeLZSS(ctx *arena.Ctx, data []byte) ([]byte, error) {
+	origLen64, n := bitio.Uvarint(data)
+	if n == 0 || origLen64 > maxOrigLen {
 		return nil, ErrCorrupt
 	}
-	r := bitio.NewReader(data[n:])
-	out := make([]byte, 0, origLen)
-	for len(out) < int(origLen) {
+	origLen := int(origLen64)
+	var r bitio.Reader
+	r.ResetBytes(data[n:])
+	out := outBuf(ctx, origLen, len(data))
+	for len(out) < origLen {
 		flag, err := r.ReadBit()
 		if err != nil {
 			return nil, ErrCorrupt
@@ -327,7 +398,7 @@ func decodeLZSS(data []byte) ([]byte, error) {
 			return nil, ErrCorrupt
 		}
 		l := int(ml) + minMatch
-		if dist == 0 || int(dist) > len(out) || len(out)+l > int(origLen) {
+		if dist == 0 || int(dist) > len(out) || len(out)+l > origLen {
 			return nil, ErrCorrupt
 		}
 		start := len(out) - int(dist)
@@ -340,10 +411,10 @@ func decodeLZSS(data []byte) ([]byte, error) {
 
 // encodeEntropy is the zstd/gdeflate-like container: the parse is split into
 // a literal stream and a sequence stream, each entropy-coded.
-func encodeEntropy(dev *gpusim.Device, src []byte, useANS bool) ([]byte, error) {
-	seqs := parse(src, 1<<17, 64, 1<<16)
-	lits := make([]byte, 0, len(src)/2)
-	seqBuf := make([]byte, 0, len(seqs)*4)
+func encodeEntropy(ctx *arena.Ctx, dev *gpusim.Device, src []byte, useANS bool) ([]byte, error) {
+	seqs := parse(ctx, src, 1<<17, 64, 1<<16)
+	lits := ctx.Bytes(len(src))[:0]
+	seqBuf := ctx.Bytes(4*len(seqs) + 16)[:0]
 	pos := 0
 	for _, s := range seqs {
 		lits = append(lits, src[pos:pos+s.litLen]...)
@@ -360,16 +431,19 @@ func encodeEntropy(dev *gpusim.Device, src []byte, useANS bool) ([]byte, error) 
 		litBlob = ans.Encode(lits)
 		seqBlob = ans.Encode(seqBuf)
 	} else {
-		litBlob, err = huffman.EncodeBytes(dev, lits)
+		// Huffman containers are fresh allocations, so both streams can
+		// draw stage scratch from the same context back to back.
+		litBlob, err = huffman.EncodeBytesCtx(ctx, dev, lits, nil)
 		if err != nil {
 			return nil, err
 		}
-		seqBlob, err = huffman.EncodeBytes(dev, seqBuf)
+		seqBlob, err = huffman.EncodeBytesCtx(ctx, dev, seqBuf, nil)
 		if err != nil {
 			return nil, err
 		}
 	}
-	out := bitio.AppendUvarint(nil, uint64(len(src)))
+	out := make([]byte, 0, len(litBlob)+len(seqBlob)+24)
+	out = bitio.AppendUvarint(out, uint64(len(src)))
 	out = bitio.AppendUvarint(out, uint64(len(seqs)))
 	out = bitio.AppendUvarint(out, uint64(len(litBlob)))
 	out = append(out, litBlob...)
@@ -377,9 +451,9 @@ func encodeEntropy(dev *gpusim.Device, src []byte, useANS bool) ([]byte, error) 
 	return append(out, seqBlob...), nil
 }
 
-func decodeEntropy(dev *gpusim.Device, data []byte, useANS bool) ([]byte, error) {
-	origLen, n := bitio.Uvarint(data)
-	if n == 0 {
+func decodeEntropy(ctx *arena.Ctx, dev *gpusim.Device, data []byte, useANS bool) ([]byte, error) {
+	origLen64, n := bitio.Uvarint(data)
+	if n == 0 || origLen64 > maxOrigLen {
 		return nil, ErrCorrupt
 	}
 	off := n
@@ -389,14 +463,14 @@ func decodeEntropy(dev *gpusim.Device, data []byte, useANS bool) ([]byte, error)
 	}
 	off += n
 	litLen, n := bitio.Uvarint(data[off:])
-	if n == 0 || off+n+int(litLen) > len(data) {
+	if n == 0 || litLen > uint64(len(data)) || off+n+int(litLen) > len(data) {
 		return nil, ErrCorrupt
 	}
 	off += n
 	litBlob := data[off : off+int(litLen)]
 	off += int(litLen)
 	seqLen, n := bitio.Uvarint(data[off:])
-	if n == 0 || off+n+int(seqLen) > len(data) {
+	if n == 0 || seqLen > uint64(len(data)) || off+n+int(seqLen) > len(data) {
 		return nil, ErrCorrupt
 	}
 	off += n
@@ -411,38 +485,47 @@ func decodeEntropy(dev *gpusim.Device, data []byte, useANS bool) ([]byte, error)
 		}
 		seqBuf, err = ans.Decode(seqBlob)
 	} else {
-		lits, err = huffman.DecodeBytes(dev, litBlob)
+		// Arena slots advance in call order (no Reset between the two
+		// streams), so the second decode never recycles the first's bytes.
+		lits, err = huffman.DecodeBytesCtx(ctx, dev, litBlob)
 		if err != nil {
 			return nil, err
 		}
-		seqBuf, err = huffman.DecodeBytes(dev, seqBlob)
+		seqBuf, err = huffman.DecodeBytesCtx(ctx, dev, seqBlob)
 	}
 	if err != nil {
 		return nil, err
 	}
-	seqs := make([]seq, 0, nSeqs)
+	// Every sequence spends at least two seqBuf bytes, so a count beyond
+	// that is hostile — reject before sizing anything by it.
+	if nSeqs > uint64(len(seqBuf)) {
+		return nil, ErrCorrupt
+	}
+	s := scratchFor(ctx)
+	seqs := s.seqs[:0]
+	defer func() { s.seqs = seqs }()
 	sp := 0
 	for i := uint64(0); i < nSeqs; i++ {
 		ll, n := bitio.Uvarint(seqBuf[sp:])
-		if n == 0 {
+		if n == 0 || ll > maxOrigLen {
 			return nil, ErrCorrupt
 		}
 		sp += n
 		ml, n := bitio.Uvarint(seqBuf[sp:])
-		if n == 0 {
+		if n == 0 || ml > maxOrigLen {
 			return nil, ErrCorrupt
 		}
 		sp += n
-		s := seq{litLen: int(ll), matchLen: int(ml)}
+		sq := seq{litLen: int(ll), matchLen: int(ml)}
 		if ml > 0 {
 			d, n := bitio.Uvarint(seqBuf[sp:])
-			if n == 0 {
+			if n == 0 || d > maxOrigLen {
 				return nil, ErrCorrupt
 			}
 			sp += n
-			s.dist = int(d)
+			sq.dist = int(d)
 		}
-		seqs = append(seqs, s)
+		seqs = append(seqs, sq)
 	}
-	return expand(seqs, lits, int(origLen))
+	return expand(ctx, seqs, lits, int(origLen64), len(data))
 }

@@ -5,7 +5,10 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+	"time"
 
+	"repro/internal/arena"
+	"repro/internal/bitio"
 	"repro/internal/gpusim"
 )
 
@@ -162,5 +165,102 @@ func TestRoundTripProperty(t *testing.T) {
 		if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
 			t.Fatalf("%s: %v", v, err)
 		}
+	}
+}
+
+// TestCtxMatchesContextFree: every variant's arena-context entry points
+// must produce byte-identical streams to the context-free wrappers.
+func TestCtxMatchesContextFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, v := range variants {
+		ctx := arena.NewCtx()
+		for _, src := range testVectors(rng) {
+			want, err := Encode(dev, src, v)
+			if err != nil {
+				t.Fatalf("%v: %v", v, err)
+			}
+			ctx.Reset()
+			got, err := EncodeCtx(ctx, dev, src, v)
+			if err != nil {
+				t.Fatalf("%v: %v", v, err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("%v: context encode diverges from context-free encode", v)
+			}
+			ctx.Reset()
+			dec, err := DecodeCtx(ctx, dev, got, v)
+			if err != nil || !bytes.Equal(dec, src) {
+				t.Fatalf("%v: ctx round trip: %v", v, err)
+			}
+		}
+	}
+}
+
+// TestAllocsWarmCtx is the arena-refactor guard for the byte-aligned
+// variants: a warm context re-codes stream after stream with a
+// near-constant handful of allocations (the entropy variants pay their
+// rANS/Huffman back-ends and are guarded loosely).
+func TestAllocsWarmCtx(t *testing.T) {
+	src := bytes.Repeat([]byte("the quick brown fox jumps over 0123456789 "), 1500)
+	dev1 := gpusim.New(1) // single worker: no per-launch goroutine allocs
+	ceilings := map[Variant][2]float64{
+		LZ4Lite:   {6, 4},
+		GPULZLite: {6, 4},
+	}
+	for v, lim := range ceilings {
+		ctx := arena.NewCtx()
+		blob, err := EncodeCtx(ctx, dev1, src, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx.Reset()
+		if _, err := DecodeCtx(ctx, dev1, blob, v); err != nil {
+			t.Fatal(err)
+		}
+		enc := testing.AllocsPerRun(10, func() {
+			ctx.Reset()
+			if _, err := EncodeCtx(ctx, dev1, src, v); err != nil {
+				t.Fatal(err)
+			}
+		})
+		t.Logf("%v warm encode: %v allocs/op", v, enc)
+		if enc > lim[0] {
+			t.Fatalf("%v: steady-state encode allocates %v/op, want <= %v", v, enc, lim[0])
+		}
+		dec := testing.AllocsPerRun(10, func() {
+			ctx.Reset()
+			if _, err := DecodeCtx(ctx, dev1, blob, v); err != nil {
+				t.Fatal(err)
+			}
+		})
+		t.Logf("%v warm decode: %v allocs/op", v, dec)
+		if dec > lim[1] {
+			t.Fatalf("%v: steady-state decode allocates %v/op, want <= %v", v, dec, lim[1])
+		}
+	}
+}
+
+// TestDecodeVarintHostileMatchLen is the regression guard for the
+// unsigned-wrap match bound: a stream whose literals overshoot origLen
+// followed by a huge matchLen must fail fast with ErrCorrupt instead of
+// replaying ~10^12 bytes through the append loop.
+func TestDecodeVarintHostileMatchLen(t *testing.T) {
+	bad := bitio.AppendUvarint(nil, 1) // origLen 1
+	bad = bitio.AppendUvarint(bad, 5)  // 5 literals (already > origLen)
+	bad = append(bad, "abcde"...)
+	bad = bitio.AppendUvarint(bad, 1<<40) // hostile matchLen
+	bad = bitio.AppendUvarint(bad, 1)     // dist
+	done := make(chan error, 1)
+	go func() {
+		_, err := Decode(dev, bad, LZ4Lite)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("hostile matchLen decoded")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("decoder hung on hostile matchLen")
 	}
 }

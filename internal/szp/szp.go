@@ -9,12 +9,19 @@
 // bitmap bit — that sparsification is where cuSZp2's ratio comes from on
 // smooth fields, while its 1-D prediction keeps its ratio well below the
 // interpolation compressors', matching Table 4.
+//
+// The *Ctx entry points thread a reusable arena.Ctx: per-chunk bit writers
+// and outlier collectors persist across calls (each parallel kernel owns
+// its own chunk slot, so the shared context is never touched concurrently),
+// and decode buffers come from the arena, so warm contexts run the whole
+// round trip with near-zero heap allocations.
 package szp
 
 import (
 	"errors"
 	"math"
 
+	"repro/internal/arena"
 	"repro/internal/bitio"
 	"repro/internal/gpusim"
 )
@@ -30,8 +37,41 @@ const (
 	chunkBlocks = 512
 )
 
+// auxKey is this package's scratch slot in an arena.Ctx.
+var auxKey = arena.NewAuxKey()
+
+// encChunk is one chunk's persistent encode scratch: its packed payload
+// writer and outlier collectors. Exactly one kernel invocation touches a
+// given chunk slot per launch, so the slots need no locking.
+type encChunk struct {
+	w      bitio.Writer
+	outPos []int
+	outVal []float32
+}
+
+// scratch is the cross-op encode scratch attached to a context.
+type scratch struct {
+	chunks []encChunk
+}
+
+func scratchFor(ctx *arena.Ctx) *scratch {
+	if s, ok := ctx.Aux(auxKey).(*scratch); ok {
+		return s
+	}
+	s := &scratch{}
+	ctx.SetAux(auxKey, s)
+	return s
+}
+
 // Compress encodes data under absolute error bound eb.
 func Compress(dev *gpusim.Device, data []float32, eb float64) ([]byte, error) {
+	return CompressCtx(nil, dev, data, eb)
+}
+
+// CompressCtx is Compress drawing all working memory from a reusable codec
+// context (nil behaves like Compress). The returned container is a fresh
+// allocation owned by the caller; only internal scratch is pooled.
+func CompressCtx(ctx *arena.Ctx, dev *gpusim.Device, data []float32, eb float64) ([]byte, error) {
 	if eb <= 0 {
 		return nil, errors.New("szp: error bound must be positive")
 	}
@@ -39,15 +79,19 @@ func Compress(dev *gpusim.Device, data []float32, eb float64) ([]byte, error) {
 	n := len(data)
 	nBlocks := (n + blockVals - 1) / blockVals
 	nChunks := (nBlocks + chunkBlocks - 1) / chunkBlocks
-	type chunkOut struct {
-		payload []byte
-		outPos  []int
-		outVal  []float32
+	s := scratchFor(ctx)
+	for len(s.chunks) < nChunks {
+		s.chunks = append(s.chunks, encChunk{})
 	}
-	chunks := make([]chunkOut, nChunks)
+	chunks := s.chunks[:nChunks]
+	for i := range chunks {
+		chunks[i].w.Reset()
+		chunks[i].outPos = chunks[i].outPos[:0]
+		chunks[i].outVal = chunks[i].outVal[:0]
+	}
 	dev.Launch(nChunks, func(c int) {
-		w := bitio.NewWriter(chunkBlocks * blockVals / 2)
 		co := &chunks[c]
+		w := &co.w
 		for b := c * chunkBlocks; b < (c+1)*chunkBlocks && b < nBlocks; b++ {
 			lo := b * blockVals
 			hi := lo + blockVals
@@ -94,15 +138,17 @@ func Compress(dev *gpusim.Device, data []float32, eb float64) ([]byte, error) {
 				w.WriteBits(deltas[i-lo], width)
 			}
 		}
-		co.payload = w.Bytes()
 	})
-	out := bitio.AppendUvarint(nil, uint64(n))
-	out = bitio.AppendUint64(out, math.Float64bits(eb))
-	// Value outliers (rare): positions + raw values.
 	totalOut := 0
+	totalPay := 0
 	for i := range chunks {
 		totalOut += len(chunks[i].outPos)
+		totalPay += len(chunks[i].w.Bytes())
 	}
+	out := make([]byte, 0, totalPay+8*totalOut+4*nChunks+32)
+	out = bitio.AppendUvarint(out, uint64(n))
+	out = bitio.AppendUint64(out, math.Float64bits(eb))
+	// Value outliers (rare): positions + raw values.
 	out = bitio.AppendUvarint(out, uint64(totalOut))
 	prevPos := 0
 	for i := range chunks {
@@ -114,23 +160,31 @@ func Compress(dev *gpusim.Device, data []float32, eb float64) ([]byte, error) {
 	}
 	out = bitio.AppendUvarint(out, uint64(nChunks))
 	for i := range chunks {
-		out = bitio.AppendUvarint(out, uint64(len(chunks[i].payload)))
+		out = bitio.AppendUvarint(out, uint64(len(chunks[i].w.Bytes())))
 	}
 	for i := range chunks {
-		out = append(out, chunks[i].payload...)
+		out = append(out, chunks[i].w.Bytes()...)
 	}
 	return out, nil
 }
 
 // Decompress reverses Compress.
 func Decompress(dev *gpusim.Device, blob []byte) ([]float32, error) {
+	return DecompressCtx(nil, dev, blob)
+}
+
+// DecompressCtx is Decompress with a reusable context. With a non-nil ctx
+// the returned field is context scratch, valid until the next ctx.Reset.
+func DecompressCtx(ctx *arena.Ctx, dev *gpusim.Device, blob []byte) ([]float32, error) {
 	n64, nn := bitio.Uvarint(blob)
-	if nn == 0 {
+	// Cap the element count before any conversion or allocation sized by
+	// it: a hostile count must fail cheaply, not force a huge make.
+	if nn == 0 || n64 > 1<<33 {
 		return nil, ErrCorrupt
 	}
 	off := nn
 	n := int(n64)
-	if n < 0 {
+	if n < 0 { // int wrap on 32-bit platforms
 		return nil, ErrCorrupt
 	}
 	if off+8 > len(blob) {
@@ -151,12 +205,12 @@ func Decompress(dev *gpusim.Device, blob []byte) ([]float32, error) {
 		return nil, ErrCorrupt
 	}
 	off += nn
-	nOut := int(nOut64)
-	if nOut < 0 || nOut > n {
+	if nOut64 > uint64(n) {
 		return nil, ErrCorrupt
 	}
-	outPos := make([]int, nOut)
-	outVal := make([]float32, nOut)
+	nOut := int(nOut64)
+	outPos := ctx.Ints(nOut)
+	outVal := ctx.F32(nOut)
 	prevPos := 0
 	for i := 0; i < nOut; i++ {
 		d, nn := bitio.Uvarint(blob[off:])
@@ -165,7 +219,7 @@ func Decompress(dev *gpusim.Device, blob []byte) ([]float32, error) {
 		}
 		off += nn
 		prevPos += int(d)
-		if prevPos >= n || off+4 > len(blob) {
+		if d > 1<<33 || prevPos < 0 || prevPos >= n || off+4 > len(blob) {
 			return nil, ErrCorrupt
 		}
 		outPos[i] = prevPos
@@ -186,33 +240,41 @@ func Decompress(dev *gpusim.Device, blob []byte) ([]float32, error) {
 	if n == 0 {
 		wantChunks = 0
 	}
-	if int(nChunks64) != wantChunks {
+	if nChunks64 != uint64(wantChunks) {
 		return nil, ErrCorrupt
 	}
-	lens := make([]int, wantChunks)
+	lens := ctx.Ints(wantChunks)
 	total := 0
 	for i := range lens {
 		l, nn := bitio.Uvarint(blob[off:])
-		if nn == 0 {
+		// Cap each chunk length before the int conversion: a huge wire
+		// value would overflow the running total negative and slip past
+		// the bounds check into panicking slice expressions below.
+		if nn == 0 || l > uint64(len(blob)) {
 			return nil, ErrCorrupt
 		}
 		off += nn
 		lens[i] = int(l)
 		total += int(l)
+		if total > len(blob) {
+			return nil, ErrCorrupt
+		}
 	}
 	if off+total > len(blob) {
 		return nil, ErrCorrupt
 	}
-	starts := make([]int, wantChunks)
+	starts := ctx.Ints(wantChunks)
 	pos := off
 	for i, l := range lens {
 		starts[i] = pos
 		pos += l
 	}
-	out := make([]float32, n)
-	ok := make([]bool, wantChunks)
+	out := ctx.F32(n)
+	ok := ctx.Bytes(wantChunks)
+	clear(ok)
 	dev.Launch(wantChunks, func(c int) {
-		r := bitio.NewReader(blob[starts[c] : starts[c]+lens[c]])
+		var r bitio.Reader
+		r.ResetBytes(blob[starts[c] : starts[c]+lens[c]])
 		for b := c * chunkBlocks; b < (c+1)*chunkBlocks && b < nBlocks; b++ {
 			lo := b * blockVals
 			hi := lo + blockVals
@@ -244,10 +306,10 @@ func Decompress(dev *gpusim.Device, blob []byte) ([]float32, error) {
 				out[i] = float32(float64(prev) * twoEB)
 			}
 		}
-		ok[c] = true
+		ok[c] = 1
 	})
 	for _, o := range ok {
-		if !o {
+		if o == 0 {
 			return nil, ErrCorrupt
 		}
 	}

@@ -1,10 +1,12 @@
 package szp
 
 import (
+	"bytes"
 	"math"
 	"math/rand"
 	"testing"
 
+	"repro/internal/arena"
 	"repro/internal/datagen"
 	"repro/internal/gpusim"
 	"repro/internal/metrics"
@@ -117,5 +119,74 @@ func TestDecompressCorrupt(t *testing.T) {
 		bad := append([]byte(nil), blob...)
 		bad[rng.Intn(len(bad))] ^= byte(1 + rng.Intn(255))
 		Decompress(dev, bad) // must not panic
+	}
+}
+
+// TestCtxMatchesContextFree: the arena-context entry points must produce
+// byte-identical containers to the context-free wrappers.
+func TestCtxMatchesContextFree(t *testing.T) {
+	data := make([]float32, 40_000)
+	for i := range data {
+		data[i] = float32(math.Sin(float64(i) * 0.002))
+	}
+	want, err := Compress(dev, data, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := arena.NewCtx()
+	got, err := CompressCtx(ctx, dev, data, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("context compression diverges from context-free compression")
+	}
+	ctx.Reset()
+	recon, err := DecompressCtx(ctx, dev, got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i := metrics.FirstViolation(data, recon, 1e-3); i >= 0 {
+		t.Fatalf("bound violated at %d", i)
+	}
+}
+
+// TestAllocsWarmCtx is the arena-refactor guard: warm contexts must run
+// the round trip with a near-constant handful of allocations (output
+// container, kernel closure), independent of the stream length.
+func TestAllocsWarmCtx(t *testing.T) {
+	data := make([]float32, 60_000)
+	for i := range data {
+		data[i] = float32(i%23) * 0.5
+	}
+	dev1 := gpusim.New(1) // single worker: no per-launch goroutine allocs
+	ctx := arena.NewCtx()
+	blob, err := CompressCtx(ctx, dev1, data, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx.Reset()
+	if _, err := DecompressCtx(ctx, dev1, blob); err != nil {
+		t.Fatal(err)
+	}
+	comp := testing.AllocsPerRun(20, func() {
+		ctx.Reset()
+		if _, err := CompressCtx(ctx, dev1, data, 1e-3); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Logf("warm compress: %v allocs/op", comp)
+	if comp > 6 {
+		t.Fatalf("steady-state compress allocates %v/op, want <= 6", comp)
+	}
+	decomp := testing.AllocsPerRun(20, func() {
+		ctx.Reset()
+		if _, err := DecompressCtx(ctx, dev1, blob); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Logf("warm decompress: %v allocs/op", decomp)
+	if decomp > 4 {
+		t.Fatalf("steady-state decompress allocates %v/op, want <= 4", decomp)
 	}
 }

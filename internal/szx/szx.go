@@ -10,6 +10,12 @@
 // float) or "non-constant" (values stored with truncated mantissas:
 // leading sign/exponent bits plus only the mantissa bits needed to meet
 // eb). Both paths are a single cheap pass, which is the entire point.
+//
+// The *Ctx entry points thread a reusable arena.Ctx: blocks are grouped
+// into chunks whose body buffers, length tables and bit writers persist in
+// the context (each parallel kernel owns its own chunk slot), and decode
+// buffers come from the arena, so warm contexts run the whole round trip
+// with near-zero heap allocations. The wire format is unchanged.
 package szx
 
 import (
@@ -17,6 +23,7 @@ import (
 	"errors"
 	"math"
 
+	"repro/internal/arena"
 	"repro/internal/bitio"
 	"repro/internal/gpusim"
 )
@@ -24,7 +31,36 @@ import (
 // ErrCorrupt reports a malformed container.
 var ErrCorrupt = errors.New("szx: corrupt stream")
 
-const blockVals = 128
+const (
+	blockVals = 128
+	// chunkBlocks groups blocks for parallel encode; per-chunk scratch
+	// (body buffer, block lengths, bit writer) persists in the context.
+	chunkBlocks = 64
+)
+
+// auxKey is this package's scratch slot in an arena.Ctx.
+var auxKey = arena.NewAuxKey()
+
+// encChunk is one chunk's persistent encode scratch. Exactly one kernel
+// invocation touches a given chunk slot per launch.
+type encChunk struct {
+	body []byte // concatenated block bodies of this chunk
+	lens []int  // per-block body lengths
+	w    bitio.Writer
+}
+
+type scratch struct {
+	chunks []encChunk
+}
+
+func scratchFor(ctx *arena.Ctx) *scratch {
+	if s, ok := ctx.Aux(auxKey).(*scratch); ok {
+		return s
+	}
+	s := &scratch{}
+	ctx.SetAux(auxKey, s)
+	return s
+}
 
 // mantissaBitsFor returns how many of the 23 mantissa bits must be kept so
 // that truncation error stays below eb for values up to maxAbs.
@@ -46,94 +82,130 @@ func mantissaBitsFor(maxAbs float32, eb float64) int {
 
 // Compress encodes data under absolute error bound eb.
 func Compress(dev *gpusim.Device, data []float32, eb float64) ([]byte, error) {
+	return CompressCtx(nil, dev, data, eb)
+}
+
+// CompressCtx is Compress drawing all working memory from a reusable codec
+// context (nil behaves like Compress). The returned container is a fresh
+// allocation owned by the caller; only internal scratch is pooled.
+func CompressCtx(ctx *arena.Ctx, dev *gpusim.Device, data []float32, eb float64) ([]byte, error) {
 	if eb <= 0 {
 		return nil, errors.New("szx: error bound must be positive")
 	}
 	n := len(data)
 	nBlocks := (n + blockVals - 1) / blockVals
-	blockBufs := make([][]byte, nBlocks)
-	dev.Launch(nBlocks, func(b int) {
-		lo := b * blockVals
-		hi := lo + blockVals
-		if hi > n {
-			hi = n
-		}
-		vals := data[lo:hi]
-		// Mean and range test for the constant path.
-		var sum float64
-		finite := true
-		for _, v := range vals {
-			f := float64(v)
-			if math.IsNaN(f) || math.IsInf(f, 0) {
-				finite = false
-				break
+	nChunks := (nBlocks + chunkBlocks - 1) / chunkBlocks
+	s := scratchFor(ctx)
+	for len(s.chunks) < nChunks {
+		s.chunks = append(s.chunks, encChunk{})
+	}
+	chunks := s.chunks[:nChunks]
+	for i := range chunks {
+		chunks[i].body = chunks[i].body[:0]
+		chunks[i].lens = chunks[i].lens[:0]
+	}
+	dev.Launch(nChunks, func(c int) {
+		co := &chunks[c]
+		for b := c * chunkBlocks; b < (c+1)*chunkBlocks && b < nBlocks; b++ {
+			lo := b * blockVals
+			hi := lo + blockVals
+			if hi > n {
+				hi = n
 			}
-			sum += f
-		}
-		if finite {
-			mean := float32(sum / float64(len(vals)))
-			constant := true
+			vals := data[lo:hi]
+			// Mean and range test for the constant path.
+			var sum float64
+			finite := true
 			for _, v := range vals {
-				if math.Abs(float64(v)-float64(mean)) > eb {
-					constant = false
+				f := float64(v)
+				if math.IsNaN(f) || math.IsInf(f, 0) {
+					finite = false
 					break
 				}
+				sum += f
 			}
-			if constant {
-				buf := make([]byte, 5)
-				buf[0] = 0x01 // constant block
-				binary.LittleEndian.PutUint32(buf[1:], math.Float32bits(mean))
-				blockBufs[b] = buf
-				return
+			if finite {
+				mean := float32(sum / float64(len(vals)))
+				constant := true
+				for _, v := range vals {
+					if math.Abs(float64(v)-float64(mean)) > eb {
+						constant = false
+						break
+					}
+				}
+				if constant {
+					var mb [4]byte
+					binary.LittleEndian.PutUint32(mb[:], math.Float32bits(mean))
+					co.body = append(co.body, 0x01) // constant block
+					co.body = append(co.body, mb[:]...)
+					co.lens = append(co.lens, 5)
+					continue
+				}
 			}
-		}
-		// Non-constant: keep sign+exponent (9 bits) plus enough mantissa.
-		var maxAbs float32
-		for _, v := range vals {
-			if a := float32(math.Abs(float64(v))); a > maxAbs {
-				maxAbs = a
+			// Non-constant: keep sign+exponent (9 bits) plus enough mantissa.
+			var maxAbs float32
+			for _, v := range vals {
+				if a := float32(math.Abs(float64(v))); a > maxAbs {
+					maxAbs = a
+				}
 			}
-		}
-		keep := mantissaBitsFor(maxAbs, eb)
-		if !finite {
-			keep = 23 // store losslessly when non-finite values are present
-		}
-		w := bitio.NewWriter(len(vals) * (9 + keep) / 8)
-		w.WriteBits(uint64(keep), 5)
-		for _, v := range vals {
-			bits := math.Float32bits(v)
-			// sign+exponent then the kept high mantissa bits.
-			w.WriteBits(uint64(bits>>23), 9)
-			if keep > 0 {
-				w.WriteBits(uint64(bits>>(23-uint(keep)))&((1<<uint(keep))-1), uint(keep))
+			keep := mantissaBitsFor(maxAbs, eb)
+			if !finite {
+				keep = 23 // store losslessly when non-finite values are present
 			}
+			w := &co.w
+			w.Reset()
+			w.WriteBits(uint64(keep), 5)
+			for _, v := range vals {
+				bits := math.Float32bits(v)
+				// sign+exponent then the kept high mantissa bits.
+				w.WriteBits(uint64(bits>>23), 9)
+				if keep > 0 {
+					w.WriteBits(uint64(bits>>(23-uint(keep)))&((1<<uint(keep))-1), uint(keep))
+				}
+			}
+			payload := w.Bytes()
+			co.body = append(co.body, 0x00)
+			co.body = append(co.body, payload...)
+			co.lens = append(co.lens, 1+len(payload))
 		}
-		payload := w.Bytes()
-		buf := make([]byte, 1, 1+len(payload))
-		buf[0] = 0x00
-		blockBufs[b] = append(buf, payload...)
 	})
-	out := bitio.AppendUvarint(nil, uint64(n))
+	totalBody := 0
+	for i := range chunks {
+		totalBody += len(chunks[i].body)
+	}
+	out := make([]byte, 0, totalBody+2*nBlocks+32)
+	out = bitio.AppendUvarint(out, uint64(n))
 	out = bitio.AppendUint64(out, math.Float64bits(eb))
 	out = bitio.AppendUvarint(out, uint64(nBlocks))
-	for _, bb := range blockBufs {
-		out = bitio.AppendUvarint(out, uint64(len(bb)))
+	for i := range chunks {
+		for _, l := range chunks[i].lens {
+			out = bitio.AppendUvarint(out, uint64(l))
+		}
 	}
-	for _, bb := range blockBufs {
-		out = append(out, bb...)
+	for i := range chunks {
+		out = append(out, chunks[i].body...)
 	}
 	return out, nil
 }
 
 // Decompress reverses Compress.
 func Decompress(dev *gpusim.Device, blob []byte) ([]float32, error) {
+	return DecompressCtx(nil, dev, blob)
+}
+
+// DecompressCtx is Decompress with a reusable context. With a non-nil ctx
+// the returned field is context scratch, valid until the next ctx.Reset.
+func DecompressCtx(ctx *arena.Ctx, dev *gpusim.Device, blob []byte) ([]float32, error) {
 	n64, nn := bitio.Uvarint(blob)
-	if nn == 0 {
+	// Cap the element count before any conversion or allocation sized by
+	// it: a hostile count must fail cheaply, not force a huge make.
+	if nn == 0 || n64 > 1<<33 {
 		return nil, ErrCorrupt
 	}
 	off := nn
 	n := int(n64)
-	if n < 0 {
+	if n < 0 { // int wrap on 32-bit platforms
 		return nil, ErrCorrupt
 	}
 	if off+8 > len(blob) {
@@ -146,31 +218,38 @@ func Decompress(dev *gpusim.Device, blob []byte) ([]float32, error) {
 	}
 	off += nn
 	want := (n + blockVals - 1) / blockVals
-	if int(nBlocks64) != want {
+	if nBlocks64 != uint64(want) {
 		return nil, ErrCorrupt
 	}
-	lens := make([]int, want)
+	lens := ctx.Ints(want)
 	total := 0
 	for i := range lens {
 		l, nn := bitio.Uvarint(blob[off:])
-		if nn == 0 {
+		// Cap each block length before the int conversion: a huge wire
+		// value would overflow the running total negative and slip past
+		// the bounds check into panicking slice expressions below.
+		if nn == 0 || l > uint64(len(blob)) {
 			return nil, ErrCorrupt
 		}
 		off += nn
 		lens[i] = int(l)
 		total += int(l)
+		if total > len(blob) {
+			return nil, ErrCorrupt
+		}
 	}
 	if off+total > len(blob) {
 		return nil, ErrCorrupt
 	}
-	starts := make([]int, want)
+	starts := ctx.Ints(want)
 	pos := off
 	for i, l := range lens {
 		starts[i] = pos
 		pos += l
 	}
-	out := make([]float32, n)
-	ok := make([]bool, want)
+	out := ctx.F32(n)
+	ok := ctx.Bytes(want)
+	clear(ok)
 	dev.Launch(want, func(b int) {
 		lo := b * blockVals
 		hi := lo + blockVals
@@ -190,9 +269,10 @@ func Decompress(dev *gpusim.Device, blob []byte) ([]float32, error) {
 			for i := lo; i < hi; i++ {
 				out[i] = mean
 			}
-			ok[b] = true
+			ok[b] = 1
 		case 0x00:
-			r := bitio.NewReader(body[1:])
+			var r bitio.Reader
+			r.ResetBytes(body[1:])
 			keep64, err := r.ReadBits(5)
 			if err != nil || keep64 > 23 {
 				return
@@ -213,11 +293,11 @@ func Decompress(dev *gpusim.Device, blob []byte) ([]float32, error) {
 				}
 				out[i] = math.Float32frombits(bits)
 			}
-			ok[b] = true
+			ok[b] = 1
 		}
 	})
 	for _, o := range ok {
-		if !o {
+		if o == 0 {
 			return nil, ErrCorrupt
 		}
 	}
