@@ -39,6 +39,7 @@ import (
 
 	"repro/cuszhi"
 	"repro/cuszhi/stream"
+	"repro/internal/core"
 	"repro/internal/datagen"
 	"repro/internal/metrics"
 )
@@ -57,6 +58,10 @@ func main() {
 		err = cmdGen(os.Args[2:])
 	case "info":
 		err = cmdInfo(os.Args[2:])
+	case "append":
+		err = cmdAppend(os.Args[2:])
+	case "repair":
+		err = cmdRepair(os.Args[2:])
 	default:
 		usage()
 	}
@@ -71,7 +76,9 @@ func usage() {
   cuszhi compress   -i data.f32 -o data.cszh -dims ZxYxX -eb 1e-3 [-mode hi-cr] [-abs] [-chunk N] [-stream]
   cuszhi decompress -i data.cszh -o recon.f32 [-stream] [-planes lo:hi]
   cuszhi gen        -dataset NAME -o data.f32 [-dims ZxYxX] [-seed N] [-full]
-  cuszhi info       -i data.cszh`)
+  cuszhi info       -i data.cszh
+  cuszhi append     -store data.cszh -i more.f32 [-mode hi-cr]
+  cuszhi repair     -i data.cszh [-dry-run]`)
 	os.Exit(2)
 }
 
@@ -350,6 +357,95 @@ func decompressPlanes(in, out, spec string) error {
 	fmt.Printf("%s: planes %d:%d of dims %v (%d values, %d of %d chunks read)\n",
 		out, lo, hi, r.Dims(), len(vals), r.CoveringChunks(lo, hi), r.NumChunks())
 	return nil
+}
+
+// cmdAppend grows an existing chunked store with more planes of raw
+// float32 data. Opening repairs first (any torn tail from a crashed
+// writer is truncated at the last CRC-valid frame boundary), and Close
+// reseals the store — header and chunk-index footer rewritten and
+// fsynced — around the old and new chunks together.
+func cmdAppend(args []string) error {
+	fs := flag.NewFlagSet("append", flag.ExitOnError)
+	store := fs.String("store", "", "existing chunked container to grow")
+	in := fs.String("i", "", "raw float32 file of whole planes to append")
+	mode := fs.String("mode", "", "compressor mode for the new chunks (default: continue the store's)")
+	fs.Parse(args)
+	if *store == "" || *in == "" {
+		return fmt.Errorf("append: -store and -i are required")
+	}
+	src, err := os.Open(*in)
+	if err != nil {
+		return err
+	}
+	defer src.Close()
+	f, err := os.OpenFile(*store, os.O_RDWR, 0)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var opts []stream.Option
+	if *mode != "" {
+		opts = append(opts, stream.WithMode(cuszhi.Mode(*mode)))
+	}
+	w, err := stream.OpenAppend(f, opts...)
+	if err != nil {
+		return err
+	}
+	before := w.Planes()
+	n, err := io.Copy(w, bufio.NewReaderSize(src, 1<<16))
+	if cerr := w.Close(); err == nil { // always Close: releases the worker pool
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: +%d bytes, planes %d -> %d (%d bytes total)\n",
+		*store, n, before, w.Planes(), st.Size())
+	return nil
+}
+
+// cmdRepair reseals a store a crashed writer left torn: everything past
+// the last CRC-valid frame boundary is truncated and the header/footer are
+// rewritten to cover exactly the recovered chunks. -dry-run only reports.
+func cmdRepair(args []string) error {
+	fs := flag.NewFlagSet("repair", flag.ExitOnError)
+	in := fs.String("i", "", "chunked container to repair")
+	dry := fs.Bool("dry-run", false, "report what repair would do without modifying the file")
+	fs.Parse(args)
+	if *in == "" {
+		return fmt.Errorf("repair: -i is required")
+	}
+	flags := os.O_RDWR
+	if *dry {
+		flags = os.O_RDONLY
+	}
+	f, err := os.OpenFile(*in, flags, 0)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var rec *core.RecoveryInfo
+	if *dry {
+		rec, err = stream.CheckStore(f)
+	} else {
+		rec, err = stream.Repair(f)
+	}
+	if rec != nil {
+		action := "repaired:"
+		if *dry {
+			action = "would repair:"
+		}
+		if rec.Sealed() {
+			action = "sealed:"
+		}
+		fmt.Printf("%s: %s %d chunks, %d planes valid; %d trailing bytes dropped\n",
+			*in, action, len(rec.Entries), rec.Planes, rec.TailBytes())
+	}
+	return err
 }
 
 func cmdGen(args []string) error {

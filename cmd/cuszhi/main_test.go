@@ -380,6 +380,152 @@ func TestCommandValidation(t *testing.T) {
 	}
 }
 
+// TestEndToEndAppendRepair drives the append and repair verbs: a store is
+// torn at several offsets the way a crashed writer would leave it, repair
+// reseals the CRC-valid prefix, and append grows the repaired store back to
+// the full field — which then decodes within the bound.
+func TestEndToEndAppendRepair(t *testing.T) {
+	dir := t.TempDir()
+	raw := filepath.Join(dir, "f.f32")
+	dims := "18x12x12"
+	ps := 12 * 12
+	if err := cmdGen([]string{"-dataset", "nyx", "-o", raw, "-dims", dims, "-seed", "13"}); err != nil {
+		t.Fatal(err)
+	}
+	orig, err := readF32(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := orig[0], orig[0]
+	for _, v := range orig {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	eb := 1e-3 * float64(hi-lo)
+
+	store := filepath.Join(dir, "f.cszh")
+	if err := cmdCompress([]string{"-i", raw, "-o", store, "-dims", dims,
+		"-eb", "1e-3", "-mode", "szx", "-stream", "-chunk", "4"}); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullOut := filepath.Join(dir, "full.f32")
+	if err := cmdDecompress([]string{"-i", store, "-o", fullOut}); err != nil {
+		t.Fatal(err)
+	}
+	fullVals, err := readF32(fullOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Tear the footer only: every frame survives, repair reseals all 18
+	// planes and the decode is bit-identical to the intact store's.
+	torn := filepath.Join(dir, "torn.cszh")
+	if err := os.WriteFile(torn, blob[:len(blob)-9], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdRepair([]string{"-i", torn, "-dry-run"}); err != nil {
+		t.Fatal(err)
+	}
+	if after, err := os.ReadFile(torn); err != nil || len(after) != len(blob)-9 {
+		t.Fatalf("dry-run modified the store: %v, %d bytes", err, len(after))
+	}
+	if err := cmdRepair([]string{"-i", torn}); err != nil {
+		t.Fatal(err)
+	}
+	out1 := filepath.Join(dir, "r1.f32")
+	if err := cmdDecompress([]string{"-i", torn, "-o", out1}); err != nil {
+		t.Fatal(err)
+	}
+	vals, err := readF32(out1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != len(fullVals) {
+		t.Fatalf("footer-only tear lost planes: %d values, want %d", len(vals), len(fullVals))
+	}
+	for i := range vals {
+		if vals[i] != fullVals[i] {
+			t.Fatalf("repaired decode diverges from intact decode at %d", i)
+		}
+	}
+
+	// Cut mid-frame: repair keeps the CRC-valid prefix, append grows the
+	// store back to the full field with the store's own mode.
+	cutStore := filepath.Join(dir, "cut.cszh")
+	if err := os.WriteFile(cutStore, blob[:len(blob)*3/5], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdRepair([]string{"-i", cutStore}); err != nil {
+		t.Fatal(err)
+	}
+	out2 := filepath.Join(dir, "r2.f32")
+	if err := cmdDecompress([]string{"-i", cutStore, "-o", out2}); err != nil {
+		t.Fatal(err)
+	}
+	prefix, err := readF32(out2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	planes := len(prefix) / ps
+	if planes == 0 || planes >= 18 || len(prefix)%ps != 0 {
+		t.Fatalf("repaired prefix covers %d values (%d planes)", len(prefix), planes)
+	}
+	for i := range prefix {
+		if prefix[i] != fullVals[i] {
+			t.Fatalf("prefix decode diverges from intact decode at %d", i)
+		}
+	}
+
+	rest := filepath.Join(dir, "rest.f32")
+	if err := writeF32(rest, orig[planes*ps:]); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdAppend([]string{"-store", cutStore, "-i", rest}); err != nil {
+		t.Fatal(err)
+	}
+	out3 := filepath.Join(dir, "r3.f32")
+	if err := cmdDecompress([]string{"-i", cutStore, "-o", out3}); err != nil {
+		t.Fatal(err)
+	}
+	grown, err := readF32(out3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(grown) != len(orig) {
+		t.Fatalf("grown store holds %d values, want %d", len(grown), len(orig))
+	}
+	for i := range grown {
+		if math.Abs(float64(orig[i])-float64(grown[i])) > eb*(1+1e-6) {
+			t.Fatalf("bound violated at %d after append", i)
+		}
+	}
+	if err := cmdInfo([]string{"-i", cutStore}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Validation: both verbs refuse missing arguments and absent files.
+	if err := cmdAppend([]string{"-store", "", "-i", ""}); err == nil {
+		t.Fatal("append without args accepted")
+	}
+	if err := cmdRepair([]string{"-i", ""}); err == nil {
+		t.Fatal("repair without args accepted")
+	}
+	if err := cmdRepair([]string{"-i", filepath.Join(dir, "nope.cszh")}); err == nil {
+		t.Fatal("repair of a missing file accepted")
+	}
+	if err := cmdAppend([]string{"-store", cutStore, "-i", rest, "-mode", "bogus"}); err == nil {
+		t.Fatal("append with an unknown mode accepted")
+	}
+}
+
 // TestEndToEndBackendModes drives -mode fzgpu|szp|szx through every CLI
 // path: one-shot (single-chunk v5), chunked, streamed, random access, and
 // info — the front-end face of the backend chunk codecs.

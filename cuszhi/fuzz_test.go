@@ -1,6 +1,7 @@
 package cuszhi
 
 import (
+	"encoding/binary"
 	"testing"
 
 	"repro/internal/core"
@@ -188,6 +189,20 @@ func FuzzDecompress(f *testing.F) {
 	}
 	f.Add([]byte("cSZh"))
 	f.Add([]byte{'c', 'S', 'Z', 'h', 2, 0, 0xff, 0xff, 0xff, 0xff, 0xff})
+
+	// Hostile index tails on otherwise healthy v4/v5 containers: the
+	// 8-byte backpointer patched to run past EOF, to zero (before the
+	// header), and a file consisting of nothing but a valid-looking tail.
+	for _, blob := range [][]byte{v4, v5} {
+		past := append([]byte(nil), blob...)
+		binary.LittleEndian.PutUint64(past[len(past)-core.IndexTailLen:], uint64(len(past))*4)
+		f.Add(past)
+		zero := append([]byte(nil), blob...)
+		binary.LittleEndian.PutUint64(zero[len(zero)-core.IndexTailLen:], 0)
+		f.Add(zero)
+		f.Add(blob[len(blob)-core.IndexTailLen:])
+		f.Add(blob[:len(blob)-core.IndexTailLen+3]) // tail cut mid-magic
+	}
 
 	f.Fuzz(func(t *testing.T, blob []byte) {
 		recon, dims, err := Decompress(blob) // must never panic

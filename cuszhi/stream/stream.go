@@ -50,6 +50,7 @@ const DefaultChunkPlanes = 32
 
 type config struct {
 	mode        cuszhi.Mode
+	modeSet     bool // an explicit WithMode/WithAutoMode was passed
 	dev         *gpusim.Device
 	chunkPlanes int
 	relative    bool
@@ -61,7 +62,7 @@ type Option func(*config)
 
 // WithMode selects the compressor assembly (default cuszhi.ModeCR).
 func WithMode(m cuszhi.Mode) Option {
-	return func(c *config) { c.mode = m }
+	return func(c *config) { c.mode, c.modeSet = m, true }
 }
 
 // WithWorkers sets the parallel width (default: GOMAXPROCS).
@@ -99,7 +100,7 @@ func WithIndex(on bool) Option {
 // format v5 with the winning codec's wire ID recorded per chunk frame and
 // in the chunk-index footer. Shorthand for WithMode(cuszhi.ModeAuto).
 func WithAutoMode() Option {
-	return func(c *config) { c.mode = cuszhi.ModeAuto }
+	return func(c *config) { c.mode, c.modeSet = cuszhi.ModeAuto, true }
 }
 
 func newConfig(opts []Option) config {
@@ -125,22 +126,29 @@ type wframe struct {
 
 // Writer streams a field into a chunked container. Feed it exactly
 // prod(dims) float32 values (as little-endian bytes via Write, or directly
-// via WriteValues), then Close.
+// via WriteValues), then Close. A Writer from OpenAppend instead grows an
+// existing store: it takes any number of whole planes, and its Close
+// reseals the store (header rewrite + fsync-ordered footer) rather than
+// just finishing a fixed-size container.
 type Writer struct {
-	w        io.Writer
-	dev      *gpusim.Device
-	opts     core.Options
-	cd       core.Codec // fixed backend chunk codec (format v5), nil otherwise
-	dims     []int
-	eb       float64 // absolute bound, or relative when rel
-	rel      bool    // per-shard relative bounds (format v3/v4)
-	index    bool    // finish with a chunk-index footer (format v4/v5)
-	auto     bool    // per-shard codec selection (format v5)
-	rangeHdr bool    // frames carry per-shard min/max (v3 layout)
-	ps       int     // elements per plane
-	cp       int     // planes per shard
-	tot      int     // elements in the whole field
-	plane    int     // planes submitted so far
+	w         io.Writer
+	f         File  // appendable sink (grow mode); nil for plain writers
+	grow      bool  // appendable store: no declared total, Close reseals
+	ver       int   // container version being continued (grow mode)
+	headerLen int64 // global header length on f (grow mode)
+	dev       *gpusim.Device
+	opts      core.Options
+	cd        core.Codec // fixed backend chunk codec (format v5), nil otherwise
+	dims      []int
+	eb        float64 // absolute bound, or relative when rel
+	rel       bool    // per-shard relative bounds (format v3/v4)
+	index     bool    // finish with a chunk-index footer (format v4/v5)
+	auto      bool    // per-shard codec selection (format v5)
+	rangeHdr  bool    // frames carry per-shard min/max (v3 layout)
+	ps        int     // elements per plane
+	cp        int     // planes per shard
+	tot       int     // elements in the whole field (0 in grow mode)
+	plane     int     // planes submitted so far
 
 	partial []byte         // trailing bytes of an incomplete value (<4)
 	vals    []float32      // accumulating current shard
@@ -154,8 +162,9 @@ type Writer struct {
 
 	pool    *pipeline.Pool[wframe]
 	flushed chan struct{}
-	mu      sync.Mutex
-	werr    error // first flusher error
+	closeMu sync.Mutex // serializes Close end to end
+	mu      sync.Mutex // guards werr and closed
+	werr    error      // first flusher error
 	closed  bool
 }
 
@@ -274,6 +283,12 @@ func (w *Writer) setErr(err error) {
 	w.mu.Unlock()
 }
 
+func (w *Writer) isClosed() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.closed
+}
+
 // Write accepts little-endian float32 bytes. It implements io.Writer so a
 // raw field file can be piped in with io.Copy. The consumed-byte count it
 // returns always matches the stream's state: bytes count as consumed once
@@ -281,7 +296,7 @@ func (w *Writer) setErr(err error) {
 // accumulator absorbed — a value rejected outright (e.g. overfeeding the
 // declared dims) leaves its bytes unconsumed.
 func (w *Writer) Write(p []byte) (int, error) {
-	if w.closed {
+	if w.isClosed() {
 		return 0, fmt.Errorf("stream: write after Close")
 	}
 	n := len(p)
@@ -334,19 +349,23 @@ func (w *Writer) Write(p []byte) (int, error) {
 // WriteValues accepts float32 values directly, copying them slab-wise into
 // the accumulating shard (no per-value bookkeeping on the ingest path).
 func (w *Writer) WriteValues(vs []float32) error {
-	if w.closed {
+	if w.isClosed() {
 		return fmt.Errorf("stream: write after Close")
 	}
 	for len(vs) > 0 {
+		// A grow-mode writer has no declared total: every whole plane is
+		// welcome, and Close seals however many arrived.
 		pushed := w.plane*w.ps + len(w.vals)
-		if pushed >= w.tot {
+		if !w.grow && pushed >= w.tot {
 			err := fmt.Errorf("stream: more than %d values written for dims %v", w.tot, w.dims)
 			w.setErr(err) // sticky: Close must report it too
 			return err
 		}
 		space := w.cp*w.ps - len(w.vals)
-		if rem := w.tot - pushed; space > rem {
-			space = rem
+		if !w.grow {
+			if rem := w.tot - pushed; space > rem {
+				space = rem
+			}
 		}
 		c := space
 		if c > len(vs) {
@@ -452,11 +471,20 @@ func (w *Writer) submitShard() {
 
 // Close flushes the final (possibly short) shard, waits for all frames to
 // reach the underlying writer, and verifies the full field was supplied.
+// For a grow-mode Writer (OpenAppend) it instead reseals the store around
+// the old and new chunks together. Close is idempotent and safe to race
+// with itself: every call returns the writer's first error, and the worker
+// pool is shut down exactly once.
 func (w *Writer) Close() error {
+	w.closeMu.Lock()
+	defer w.closeMu.Unlock()
+	w.mu.Lock()
 	if w.closed {
+		w.mu.Unlock()
 		return w.err()
 	}
 	w.closed = true
+	w.mu.Unlock()
 	var closeErr error
 	switch {
 	case len(w.partial) != 0:
@@ -467,7 +495,7 @@ func (w *Writer) Close() error {
 		if len(w.vals) > 0 {
 			w.submitShard()
 		}
-		if w.plane != w.dims[0] {
+		if !w.grow && w.plane != w.dims[0] {
 			closeErr = fmt.Errorf("stream: got %d of %d planes for dims %v", w.plane, w.dims[0], w.dims)
 		}
 	}
@@ -476,6 +504,17 @@ func (w *Writer) Close() error {
 	w.pool.Wait()
 	if closeErr != nil {
 		w.setErr(closeErr) // sticky: a repeated Close reports the failure too
+	}
+	if w.grow {
+		// Reseal the store around old + new chunks. On any prior error the
+		// store is left unsealed instead: a footer must never bless a tail
+		// the flusher did not finish — Repair recovers the CRC-valid prefix.
+		if w.err() == nil {
+			if err := w.seal(); err != nil {
+				w.setErr(err)
+			}
+		}
+		return w.err()
 	}
 	if w.index && w.err() == nil {
 		// Every frame reached the sink; finish the container with the
@@ -493,6 +532,28 @@ func (w *Writer) Close() error {
 		}
 	}
 	return w.err()
+}
+
+// Planes reports how many whole planes the writer's container covers so
+// far: shards already submitted plus, once Close flushes it, the final
+// short shard. For an OpenAppend writer this starts at the store's
+// recovered plane count.
+func (w *Writer) Planes() int { return w.plane }
+
+// seal commits a grow-mode store: header rewritten for the grown plane
+// count, stale tail truncated, footer written tail-last, all fsync-ordered.
+// Only called after the flusher drained cleanly, so idx and wOff are
+// final and every frame is on the sink.
+func (w *Writer) seal() error {
+	if w.plane == 0 {
+		return errors.New("stream: store holds no complete chunks")
+	}
+	dims := append([]int(nil), w.dims...)
+	dims[0] = w.plane
+	return sealStore(w.f, &sealSpec{
+		ver: w.ver, dims: dims, eb: w.eb, rel: w.rel, cp: w.cp,
+		headerLen: w.headerLen, entries: w.idx, framesEnd: w.wOff,
+	})
 }
 
 // ---------------------------------------------------------------------------

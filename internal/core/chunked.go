@@ -239,6 +239,97 @@ func appendChunkedHeader(dst []byte, ver, flags byte, dims []int, eb float64, ch
 	return dst, nil
 }
 
+// appendUvarintWide serializes v as a LEB128 uvarint of exactly width
+// bytes, padding with zero continuation groups. Every uvarint reader
+// (binary.ReadUvarint, bitio.Uvarint) accepts the non-minimal form, so a
+// widened field can later be rewritten in place with a larger value.
+func appendUvarintWide(dst []byte, v uint64, width int) []byte {
+	for i := 0; i < width-1; i++ {
+		dst = append(dst, byte(v&0x7f)|0x80)
+		v >>= 7
+	}
+	return append(dst, byte(v))
+}
+
+// uvarintLen returns the minimal LEB128 encoding length of v.
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// AppendChunkedHeaderSized serializes a chunked global header (any v2–v5
+// version) with an explicit chunk count and, when padTo > 0, an exact byte
+// length. Appendable stores use it to rewrite their header in place as
+// they grow: nchunks may exceed the ceiling division (earlier append
+// sessions can seal short interior chunks), and the dims[0]/nchunks
+// uvarints are widened — non-minimal LEB128, which every uvarint reader
+// accepts — until the header is exactly padTo bytes, so the frames behind
+// it never move. It fails when the minimal header would not fit padTo.
+func AppendChunkedHeaderSized(dst []byte, ver int, dims []int, eb float64, relative bool, chunkPlanes, nchunks, padTo int) ([]byte, error) {
+	if ver < version2 || ver > version5 {
+		return nil, fmt.Errorf("core: version %d is not a chunked format", ver)
+	}
+	var flags byte
+	if relative {
+		if ver == version2 {
+			return nil, fmt.Errorf("core: v2 containers cannot carry a relative bound")
+		}
+		flags = flagRelEB
+	}
+	if eb <= 0 || math.IsInf(eb, 0) || math.IsNaN(eb) {
+		return nil, fmt.Errorf("core: invalid error bound %v", eb)
+	}
+	if len(dims) == 0 || len(dims) > 8 {
+		return nil, fmt.Errorf("core: invalid dims %v", dims)
+	}
+	for _, d := range dims {
+		if d <= 0 || d > 1<<31 {
+			return nil, fmt.Errorf("core: invalid dims %v", dims)
+		}
+	}
+	if chunkPlanes <= 0 {
+		return nil, fmt.Errorf("core: chunk planes %d must be positive", chunkPlanes)
+	}
+	if nchunks < numChunks(dims, chunkPlanes) || nchunks > dims[0] || nchunks > maxChunks {
+		return nil, fmt.Errorf("core: %d chunks is invalid for %d planes of %d", nchunks, dims[0], chunkPlanes)
+	}
+	// The two growing fields, dims[0] and nchunks, absorb the padding.
+	w0, wn := uvarintLen(uint64(dims[0])), uvarintLen(uint64(nchunks))
+	if padTo > 0 {
+		minimal := len(magic) + 2 + uvarintLen(uint64(len(dims))) + w0
+		for _, d := range dims[1:] {
+			minimal += uvarintLen(uint64(d))
+		}
+		minimal += 8 + uvarintLen(uint64(chunkPlanes)) + wn
+		pad := padTo - minimal
+		if pad < 0 || w0+pad > 2*10 {
+			return nil, fmt.Errorf("core: header needs %d bytes, cannot pad to %d", minimal, padTo)
+		}
+		if grow := min(pad, 10-w0); grow > 0 {
+			w0 += grow
+			pad -= grow
+		}
+		wn += pad
+		if wn > 10 {
+			return nil, fmt.Errorf("core: header cannot pad to %d", padTo)
+		}
+	}
+	dst = append(dst, magic[:]...)
+	dst = append(dst, byte(ver), flags)
+	dst = bitio.AppendUvarint(dst, uint64(len(dims)))
+	dst = appendUvarintWide(dst, uint64(dims[0]), w0)
+	for _, d := range dims[1:] {
+		dst = bitio.AppendUvarint(dst, uint64(d))
+	}
+	dst = bitio.AppendUint64(dst, math.Float64bits(eb))
+	dst = bitio.AppendUvarint(dst, uint64(chunkPlanes))
+	return appendUvarintWide(dst, uint64(nchunks), wn), nil
+}
+
 // AppendChunkFrame serializes one v2 chunk frame (header + payload).
 func AppendChunkFrame(dst []byte, opts Options, offset int, shardDims []int, payload []byte) []byte {
 	dst = bitio.AppendUvarint(dst, uint64(offset))
@@ -680,7 +771,13 @@ func readChunkedHeaderBody(r io.Reader, ver, flags byte) (*ChunkedInfo, error) {
 		return nil, ErrCorrupt
 	}
 	h.NumChunks = int(nc)
-	if h.NumChunks != numChunks(h.Dims, h.ChunkPlanes) {
+	// Appendable stores reseal after every session, and a session may end
+	// on a short shard, so a container can legally hold MORE chunks than
+	// the ceiling division implies (short interior chunks) — but never
+	// fewer, and never more than one per plane. Every decode path still
+	// requires the chunks to tile [0, Dims[0]) contiguously with no chunk
+	// thicker than ChunkPlanes.
+	if h.NumChunks < numChunks(h.Dims, h.ChunkPlanes) || h.NumChunks > h.Dims[0] {
 		return nil, ErrCorrupt
 	}
 	return h, nil

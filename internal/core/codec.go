@@ -148,6 +148,20 @@ func codecFrameMode(id CodecID) (byte, bool) {
 	return e.mode, true
 }
 
+// OptionsForFrameMode maps a chunk frame's packed codec-mode byte back to
+// the canonical Options of the registered assembly that writes it, or
+// ok=false when no registered assembly uses that byte. Appendable-store
+// recovery uses it to re-derive a crashed v4 writer's codec set from the
+// frames already on disk.
+func OptionsForFrameMode(mode byte) (Options, bool) {
+	for _, e := range codecsByID {
+		if e.hasMode && e.mode == mode {
+			return e.codec.(optioned).Options(), true
+		}
+	}
+	return Options{}, false
+}
+
 // ResolveCodec maps a compressor assembly back to its registered codec (by
 // the assembly's display name, which the Options constructors set and the
 // registry caches at registration). It is the library-facing reverse
