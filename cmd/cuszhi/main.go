@@ -27,6 +27,7 @@ package main
 import (
 	"bufio"
 	"encoding/binary"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -36,6 +37,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/cuszhi"
 	"repro/cuszhi/stream"
@@ -62,6 +64,10 @@ func main() {
 		err = cmdAppend(os.Args[2:])
 	case "repair":
 		err = cmdRepair(os.Args[2:])
+	case "scrub":
+		// scrub has three-way exit semantics (0 clean / 1 damaged / 2
+		// unreadable), so it reports and exits on its own.
+		os.Exit(cmdScrub(os.Args[2:]))
 	default:
 		usage()
 	}
@@ -78,7 +84,8 @@ func usage() {
   cuszhi gen        -dataset NAME -o data.f32 [-dims ZxYxX] [-seed N] [-full]
   cuszhi info       -i data.cszh
   cuszhi append     -store data.cszh -i more.f32 [-mode hi-cr]
-  cuszhi repair     -i data.cszh [-dry-run]`)
+  cuszhi repair     -i data.cszh [-dry-run]
+  cuszhi scrub      -i data.cszh [-json] [-retry N]`)
 	os.Exit(2)
 }
 
@@ -446,6 +453,90 @@ func cmdRepair(args []string) error {
 			*in, action, len(rec.Entries), rec.Planes, rec.TailBytes())
 	}
 	return err
+}
+
+// scrubJSON is the -json rendering of a stream.ScrubReport: errors become
+// strings so the report round-trips through any JSON consumer.
+type scrubJSON struct {
+	File      string           `json:"file"`
+	Clean     bool             `json:"clean"`
+	Version   int              `json:"version"`
+	SizeBytes int64            `json:"size_bytes"`
+	Chunks    int              `json:"chunks"`
+	Verified  int              `json:"verified"`
+	Damaged   []scrubChunkJSON `json:"damaged,omitempty"`
+	FooterErr string           `json:"footer_error,omitempty"`
+	HeaderErr string           `json:"header_error,omitempty"`
+}
+
+type scrubChunkJSON struct {
+	Chunk    int    `json:"chunk"`
+	Offset   int64  `json:"offset"`
+	PlaneOff int    `json:"plane_off"`
+	Planes   int    `json:"planes"`
+	Error    string `json:"error"`
+}
+
+// cmdScrub deep-verifies a sealed store without decoding it to floats:
+// every frame CRC, the footer CRC, frame-vs-footer cross-checks, and
+// header consistency. Exit code 0 = clean, 1 = damage found (localized per
+// chunk in the output), 2 = the file is not a scrubbable container.
+func cmdScrub(args []string) int {
+	fs := flag.NewFlagSet("scrub", flag.ExitOnError)
+	in := fs.String("i", "", "sealed chunked container to verify")
+	jsonOut := fs.Bool("json", false, "emit the report as JSON")
+	retry := fs.Int("retry", 0, "retry transient I/O up to N attempts per read")
+	fs.Parse(args)
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "cuszhi: scrub: -i is required")
+		return 2
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cuszhi: scrub:", err)
+		return 2
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cuszhi: scrub:", err)
+		return 2
+	}
+	var opts []stream.Option
+	if *retry > 1 {
+		opts = append(opts, stream.WithRetry(*retry, 10*time.Millisecond))
+	}
+	rep, err := stream.Scrub(f, st.Size(), opts...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cuszhi: scrub: %s: %v\n", *in, err)
+		return 2
+	}
+	if *jsonOut {
+		out := scrubJSON{
+			File: *in, Clean: rep.Clean(), Version: rep.Version,
+			SizeBytes: rep.SizeBytes, Chunks: rep.Chunks, Verified: rep.Verified,
+		}
+		for _, d := range rep.Damaged {
+			out.Damaged = append(out.Damaged, scrubChunkJSON{
+				Chunk: d.Chunk, Offset: d.Offset, PlaneOff: d.PlaneOff,
+				Planes: d.Planes, Error: d.Err.Error()})
+		}
+		if rep.FooterErr != nil {
+			out.FooterErr = rep.FooterErr.Error()
+		}
+		if rep.HeaderErr != nil {
+			out.HeaderErr = rep.HeaderErr.Error()
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		enc.Encode(out)
+	} else {
+		fmt.Printf("%s: %s\n", *in, rep.Summary())
+	}
+	if rep.Clean() {
+		return 0
+	}
+	return 1
 }
 
 func cmdGen(args []string) error {

@@ -1,0 +1,102 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// captureStdout runs fn with os.Stdout redirected into a buffer.
+func captureStdout(t *testing.T, fn func()) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		var b bytes.Buffer
+		io.Copy(&b, r)
+		done <- b.String()
+	}()
+	fn()
+	w.Close()
+	os.Stdout = old
+	return <-done
+}
+
+// TestScrubCommand locks the verb's three-way exit semantics: 0 for a
+// clean store, 1 for a damaged one (naming the damaged chunk), 2 for a
+// file that is not a scrubbable container.
+func TestScrubCommand(t *testing.T) {
+	dir := t.TempDir()
+	raw := filepath.Join(dir, "f.f32")
+	store := filepath.Join(dir, "f.cszh")
+	if err := cmdGen([]string{"-dataset", "nyx", "-o", raw, "-dims", "16x12x12", "-seed", "2"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdCompress([]string{"-i", raw, "-o", store, "-dims", "16x12x12",
+		"-eb", "1e-3", "-mode", "szx", "-stream", "-chunk", "4"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := cmdScrub([]string{"-i", store}); got != 0 {
+		t.Fatalf("clean store: exit %d, want 0", got)
+	}
+
+	// Flip one byte in the interior of chunk 1's frame (its payload) and
+	// the verb must exit 1, naming that chunk.
+	blob, err := os.ReadFile(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := core.ScanRecovery(bytes.NewReader(blob), int64(len(blob)))
+	if err != nil || len(rec.Entries) < 3 {
+		t.Fatalf("recovery scan: %d entries (err %v)", len(rec.Entries), err)
+	}
+	mut := append([]byte(nil), blob...)
+	mut[(rec.Entries[1].FrameOff+rec.Entries[2].FrameOff)/2] ^= 0x81
+	if err := os.WriteFile(store, mut, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var got int
+	out := captureStdout(t, func() { got = cmdScrub([]string{"-i", store}) })
+	if got != 1 {
+		t.Fatalf("damaged store: exit %d, want 1 (output %q)", got, out)
+	}
+	if !strings.Contains(out, "chunk 1") {
+		t.Fatalf("scrub output does not name the damaged chunk: %q", out)
+	}
+
+	// -json carries the same localization, machine-readably.
+	out = captureStdout(t, func() { got = cmdScrub([]string{"-i", store, "-json"}) })
+	if got != 1 {
+		t.Fatalf("damaged store (-json): exit %d, want 1", got)
+	}
+	var rep scrubJSON
+	if err := json.Unmarshal([]byte(out), &rep); err != nil {
+		t.Fatalf("scrub -json output is not JSON: %v (%q)", err, out)
+	}
+	if rep.Clean || len(rep.Damaged) != 1 || rep.Damaged[0].Chunk != 1 {
+		t.Fatalf("scrub -json report = %+v", rep)
+	}
+
+	// Not a container at all: exit 2.
+	garbage := filepath.Join(dir, "garbage")
+	if err := os.WriteFile(garbage, []byte("not a container"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got := cmdScrub([]string{"-i", garbage}); got != 2 {
+		t.Fatalf("garbage file: exit %d, want 2", got)
+	}
+	if got := cmdScrub([]string{"-i", filepath.Join(dir, "missing")}); got != 2 {
+		t.Fatalf("missing file: exit %d, want 2", got)
+	}
+}

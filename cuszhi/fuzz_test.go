@@ -1,6 +1,7 @@
 package cuszhi
 
 import (
+	"bytes"
 	"encoding/binary"
 	"testing"
 
@@ -189,6 +190,28 @@ func FuzzDecompress(f *testing.F) {
 	}
 	f.Add([]byte("cSZh"))
 	f.Add([]byte{'c', 'S', 'Z', 'h', 2, 0, 0xff, 0xff, 0xff, 0xff, 0xff})
+
+	// Bit-rotted sealed stores: one flipped byte inside each chunk frame's
+	// interior (payload rot, CRC-detected) and one inside the index footer
+	// body, aimed using the recovery scan's frame map.
+	for _, blob := range [][]byte{v4, v5, v5b} {
+		rec, err := core.ScanRecovery(bytes.NewReader(blob), int64(len(blob)))
+		if err != nil {
+			f.Fatal(err)
+		}
+		for i, e := range rec.Entries {
+			end := rec.FramesEnd
+			if i+1 < len(rec.Entries) {
+				end = rec.Entries[i+1].FrameOff
+			}
+			mut := append([]byte(nil), blob...)
+			mut[(e.FrameOff+end)/2] ^= 0x81
+			f.Add(mut)
+		}
+		mut := append([]byte(nil), blob...)
+		mut[(rec.FramesEnd+int64(len(blob)))/2] ^= 0x81
+		f.Add(mut)
+	}
 
 	// Hostile index tails on otherwise healthy v4/v5 containers: the
 	// 8-byte backpointer patched to run past EOF, to zero (before the

@@ -351,7 +351,7 @@ func shiftFrames(f File, start, end, delta int64) error {
 			n = pos - start
 		}
 		pos -= n
-		if err := readFullAt(f, buf[:n], pos); err != nil {
+		if err := core.ReadFullAt(f, buf[:n], pos); err != nil {
 			return err
 		}
 		if _, err := f.WriteAt(buf[:n], pos+delta); err != nil {

@@ -693,6 +693,24 @@ func FuzzOpenAppend(f *testing.F) {
 	hostile := append([]byte(nil), blob...)
 	putUint64(hostile[len(hostile)-core.IndexTailLen:], uint64(len(blob)+999))
 	f.Add(hostile) // backpointer past EOF
+	// Bit-rotted sealed stores: a flipped byte inside each frame's interior
+	// (recovery must stop at the rotten frame, not resume over it) and one
+	// inside the footer body (recovery must fall back to the frame scan).
+	if rec, err := core.ScanRecovery(bytes.NewReader(blob), int64(len(blob))); err == nil {
+		flip := func(at int64) []byte {
+			mut := append([]byte(nil), blob...)
+			mut[at] ^= 0x81
+			return mut
+		}
+		for i, e := range rec.Entries {
+			end := rec.FramesEnd
+			if i+1 < len(rec.Entries) {
+				end = rec.Entries[i+1].FrameOff
+			}
+			f.Add(flip((e.FrameOff + end) / 2))
+		}
+		f.Add(flip(rec.FramesEnd + 2))
+	}
 	f.Fuzz(func(t *testing.T, b []byte) {
 		// Recovery trusts frame CRCs, so hostile bytes can fabricate a
 		// "valid" chunk whose payload no codec accepts — repair will seal

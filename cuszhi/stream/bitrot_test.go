@@ -1,0 +1,427 @@
+// Bit-rot resilience tests: byte flips across every region of a sealed
+// container must never panic, strict decodes must refuse damaged data,
+// degraded reads must recover exactly the undamaged chunks, and scrub must
+// localize the damage — with transient I/O faults absorbed by WithRetry.
+package stream
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/cuszhi"
+	"repro/internal/core"
+	"repro/internal/faultio"
+)
+
+// frameSpan locates one chunk frame's header and payload bytes.
+type frameSpan struct {
+	off    int64 // frame start
+	payOff int64 // payload start
+	payEnd int64 // payload end (== next frame start)
+}
+
+// storeLayout maps a sealed chunked store into its byte regions, so tests
+// can aim bit flips at a chosen region class.
+type storeLayout struct {
+	headerLen int64
+	frames    []frameSpan
+	framesEnd int64 // end of the frame region == footer start (v4/v5)
+	size      int64
+}
+
+func layoutOf(t testing.TB, blob []byte) storeLayout {
+	t.Helper()
+	rec, err := core.ScanRecovery(bytes.NewReader(blob), int64(len(blob)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.Sealed() {
+		t.Fatal("test store is not sealed")
+	}
+	l := storeLayout{headerLen: rec.HeaderLen, framesEnd: rec.FramesEnd, size: rec.Size}
+	for i, e := range rec.Entries {
+		end := rec.FramesEnd
+		if i+1 < len(rec.Entries) {
+			end = rec.Entries[i+1].FrameOff
+		}
+		c, payStart, plen, err := core.ScanFrameHeader(blob[e.FrameOff:end], rec.Header)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		_ = c
+		sp := frameSpan{off: e.FrameOff, payOff: e.FrameOff + int64(payStart), payEnd: e.FrameOff + int64(payStart) + int64(plen)}
+		if sp.payEnd != end {
+			t.Fatalf("frame %d: payload ends at %d, frame at %d", i, sp.payEnd, end)
+		}
+		l.frames = append(l.frames, sp)
+	}
+	return l
+}
+
+// sealedV5Store builds a sealed per-chunk-codec (v5) container and returns
+// it with its exact strict reconstruction as the baseline.
+func sealedV5Store(t testing.TB) (blob []byte, baseline []float32, dims []int) {
+	t.Helper()
+	dims = []int{20, 12, 12}
+	data, _ := genField(t, "nyx", dims)
+	blob = writeV4(t, data, dims, 1e-2, 4, WithAutoMode(), WithWorkers(2))
+	info, err := cuszhi.Inspect(blob)
+	if err != nil || info.Version != 5 {
+		t.Fatalf("want a v5 store, got version %d (err %v)", info.Version, err)
+	}
+	baseline, gotDims, err := cuszhi.Decompress(blob)
+	if err != nil || gotDims[0] != dims[0] {
+		t.Fatalf("baseline decode: %v", err)
+	}
+	return blob, baseline, dims
+}
+
+// TestBitRotEveryRegion flips a byte in every region class of a sealed v5
+// store and asserts the decode paths never panic and never return wrong
+// data unflagged: each strict decode either errors or reproduces the
+// baseline bit-exactly. (Frame-header and footer bytes are not all
+// CRC-covered, so a flip there may be benign — but it must never corrupt
+// the output silently.)
+func TestBitRotEveryRegion(t *testing.T) {
+	blob, baseline, dims := sealedV5Store(t)
+	l := layoutOf(t, blob)
+	mid := l.frames[2]
+	regions := []struct {
+		name string
+		offs []int64
+	}{
+		{"header", []int64{1, l.headerLen / 2, l.headerLen - 1}},
+		{"frame-header", []int64{mid.off, mid.off + 1, mid.payOff - 1}},
+		{"payload", []int64{mid.payOff, (mid.payOff + mid.payEnd) / 2, mid.payEnd - 1}},
+		{"footer-body", []int64{l.framesEnd, (l.framesEnd + l.size - core.IndexTailLen) / 2, l.size - core.IndexTailLen - 1}},
+		{"tail", []int64{l.size - core.IndexTailLen, l.size - 1}},
+	}
+	for _, reg := range regions {
+		t.Run(reg.name, func(t *testing.T) {
+			for _, off := range reg.offs {
+				mut := append([]byte(nil), blob...)
+				mut[off] ^= 0x81
+				// One-shot strict decode: error, or bit-exact.
+				if vals, _, err := cuszhi.Decompress(mut); err == nil {
+					if !bytes.Equal(valueBytes(vals), valueBytes(baseline)) {
+						t.Fatalf("flip @%d: one-shot decode returned wrong data without error", off)
+					}
+				}
+				// Sequential strict decode.
+				if r, err := NewReader(bytes.NewReader(mut)); err == nil {
+					if vals, err := r.ReadAllValues(); err == nil {
+						if !bytes.Equal(valueBytes(vals), valueBytes(baseline)) {
+							t.Fatalf("flip @%d: sequential decode returned wrong data without error", off)
+						}
+					}
+					r.Close()
+				}
+				// Random-access strict decode, through the fault harness for
+				// variety (the backing blob stays pristine).
+				fr := faultio.NewReaderAt(bytes.NewReader(blob), faultio.FlipByte(off, 0x81))
+				if r, err := OpenReaderAt(fr, int64(len(blob))); err == nil {
+					if vals, err := r.ReadPlanes(nil, 0, dims[0]); err == nil {
+						if !bytes.Equal(valueBytes(vals), valueBytes(baseline)) {
+							t.Fatalf("flip @%d: ReadPlanes returned wrong data without error", off)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestBitRotPayloadFlip is the strong half of the property: payload bytes
+// are CRC-covered, so a flip there must be detected by strict mode,
+// recovered around by degraded mode (exactly the undamaged chunks,
+// bit-exact), and localized by scrub — all naming the same chunk.
+func TestBitRotPayloadFlip(t *testing.T) {
+	blob, baseline, dims := sealedV5Store(t)
+	l := layoutOf(t, blob)
+	const dmgChunk = 2
+	sp := l.frames[dmgChunk]
+	cp := 4 // writer's chunk thickness in sealedV5Store
+	ps := dims[1] * dims[2]
+	mut := append([]byte(nil), blob...)
+	mut[(sp.payOff+sp.payEnd)/2] ^= 0x81
+
+	// Strict one-shot: ErrCorrupt.
+	if _, _, err := cuszhi.Decompress(mut); !errors.Is(err, core.ErrCorrupt) {
+		t.Fatalf("one-shot decode of payload flip: want ErrCorrupt, got %v", err)
+	}
+	// Strict random access: ErrCorrupt, localized in the error text.
+	r, err := OpenReaderAt(bytes.NewReader(mut), int64(len(mut)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = r.ReadPlanes(nil, 0, dims[0])
+	if !errors.Is(err, core.ErrCorrupt) {
+		t.Fatalf("strict ReadPlanes: want ErrCorrupt, got %v", err)
+	}
+	locator := fmt.Sprintf("chunk %d @0x%x", dmgChunk, sp.off)
+	if !strings.Contains(err.Error(), locator) {
+		t.Fatalf("strict ReadPlanes error %q does not carry locator %q", err, locator)
+	}
+
+	// Degraded random access: every undamaged plane bit-exact, the damaged
+	// chunk's planes NaN, and the damage flagged in a DamageReport.
+	rd, err := OpenReaderAt(bytes.NewReader(mut), int64(len(mut)), WithDegraded())
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals, err := rd.ReadPlanes(nil, 0, dims[0])
+	var rep *DamageReport
+	if !errors.As(err, &rep) {
+		t.Fatalf("degraded ReadPlanes: want *DamageReport, got %v", err)
+	}
+	if len(rep.Chunks) != 1 || rep.Chunks[0].Chunk != dmgChunk || rep.Chunks[0].Offset != sp.off {
+		t.Fatalf("damage report = %+v", rep)
+	}
+	if rep.PlanesLost() != cp {
+		t.Fatalf("planes lost = %d, want %d", rep.PlanesLost(), cp)
+	}
+	checkDegraded(t, vals, baseline, dmgChunk*cp, (dmgChunk+1)*cp, ps, func(v float32) bool { return math.IsNaN(float64(v)) })
+
+	// Degraded sequential decode: same recovery, damage via Damage().
+	sr, err := NewReader(bytes.NewReader(mut), WithDegraded())
+	if err != nil {
+		t.Fatal(err)
+	}
+	svals, err := sr.ReadAllValues()
+	if err != nil {
+		t.Fatalf("degraded sequential decode: %v", err)
+	}
+	srep := sr.Damage()
+	if srep == nil || len(srep.Chunks) != 1 || srep.Chunks[0].Chunk != dmgChunk {
+		t.Fatalf("sequential damage report = %+v", srep)
+	}
+	checkDegraded(t, svals, baseline, dmgChunk*cp, (dmgChunk+1)*cp, ps, func(v float32) bool { return math.IsNaN(float64(v)) })
+
+	// A clean degraded read reports no damage and a nil error.
+	rc, err := OpenReaderAt(bytes.NewReader(blob), int64(len(blob)), WithDegraded())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cvals, err := rc.ReadPlanes(nil, 0, dims[0])
+	if err != nil {
+		t.Fatalf("degraded read of a clean store must return nil error, got %v", err)
+	}
+	if !bytes.Equal(valueBytes(cvals), valueBytes(baseline)) {
+		t.Fatal("degraded read of a clean store is not bit-exact")
+	}
+
+	// WithFillValue replaces the NaN sentinel.
+	rf, err := OpenReaderAt(bytes.NewReader(mut), int64(len(mut)), WithDegraded(), WithFillValue(-7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fvals, err := rf.ReadPlanes(nil, 0, dims[0])
+	if !errors.As(err, &rep) {
+		t.Fatalf("want *DamageReport, got %v", err)
+	}
+	checkDegraded(t, fvals, baseline, dmgChunk*cp, (dmgChunk+1)*cp, ps, func(v float32) bool { return v == -7 })
+
+	// Scrub localizes the same chunk; the clean store scrubs clean.
+	srep2, err := Scrub(bytes.NewReader(mut), int64(len(mut)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srep2.Clean() || len(srep2.Damaged) != 1 || srep2.Damaged[0].Chunk != dmgChunk {
+		t.Fatalf("scrub report = %+v", srep2)
+	}
+	clean, err := Scrub(bytes.NewReader(blob), int64(len(blob)))
+	if err != nil || !clean.Clean() {
+		t.Fatalf("clean store must scrub clean: %+v (err %v)", clean, err)
+	}
+	if clean.Verified != len(l.frames) {
+		t.Fatalf("scrub verified %d of %d chunks", clean.Verified, len(l.frames))
+	}
+}
+
+// checkDegraded asserts planes outside [dLo, dHi) match the baseline
+// bit-exactly and planes inside are all the fill sentinel.
+func checkDegraded(t testing.TB, vals, baseline []float32, dLo, dHi, ps int, isFill func(float32) bool) {
+	t.Helper()
+	if len(vals) != len(baseline) {
+		t.Fatalf("degraded decode returned %d values, want %d", len(vals), len(baseline))
+	}
+	for i, v := range vals {
+		plane := i / ps
+		if plane >= dLo && plane < dHi {
+			if !isFill(v) {
+				t.Fatalf("value %d (damaged plane %d) = %v, want fill", i, plane, v)
+			}
+		} else if math.Float32bits(v) != math.Float32bits(baseline[i]) {
+			t.Fatalf("value %d (undamaged plane %d) = %v, want %v", i, plane, v, baseline[i])
+		}
+	}
+}
+
+// TestBitRotFooterFallsBackToSequentialScrub rots the footer body: scrub
+// must report the footer damage yet still verify the frames by walking
+// them from the header.
+func TestBitRotFooterScrubFallback(t *testing.T) {
+	blob, _, _ := sealedV5Store(t)
+	l := layoutOf(t, blob)
+	mut := append([]byte(nil), blob...)
+	mut[l.framesEnd+1] ^= 0x81 // inside the index body: its CRC must catch this
+	rep, err := Scrub(bytes.NewReader(mut), int64(len(mut)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Clean() || rep.FooterErr == nil {
+		t.Fatalf("scrub must flag the rotten footer: %+v", rep)
+	}
+	if rep.Verified != len(l.frames) || len(rep.Damaged) != 0 {
+		t.Fatalf("frames are intact and must verify sequentially: %+v", rep)
+	}
+}
+
+// TestWithRetryRecoversTransientFaults proves the (N−1)-transient-faults
+// contract end to end: a reader opened with WithRetry(N, …) absorbs N−1
+// injected failures per read and still decodes bit-exactly; without the
+// option the same faults surface.
+func TestWithRetryRecoversTransientFaults(t *testing.T) {
+	blob, baseline, dims := sealedV5Store(t)
+	size := int64(len(blob))
+
+	const attempts = 3
+	fr := faultio.NewReaderAt(bytes.NewReader(blob), faultio.TransientErrors(attempts-1, nil))
+	r, err := OpenReaderAt(fr, size, WithRetry(attempts, time.Microsecond))
+	if err != nil {
+		t.Fatalf("open with retry over %d transient faults: %v", attempts-1, err)
+	}
+	vals, err := r.ReadPlanes(nil, 0, dims[0])
+	if err != nil {
+		t.Fatalf("ReadPlanes with retry: %v", err)
+	}
+	if !bytes.Equal(valueBytes(vals), valueBytes(baseline)) {
+		t.Fatal("retry-recovered decode is not bit-exact")
+	}
+	if fr.Injected() != attempts-1 {
+		t.Fatalf("injected %d faults, want %d", fr.Injected(), attempts-1)
+	}
+
+	// Without retry the very first open read fails.
+	fr2 := faultio.NewReaderAt(bytes.NewReader(blob), faultio.TransientErrors(attempts-1, nil))
+	if _, err := OpenReaderAt(fr2, size); err == nil {
+		t.Fatal("open without retry must surface the transient fault")
+	}
+
+	// The sequential Reader retries too.
+	fr3 := faultio.NewReaderAt(bytes.NewReader(blob), faultio.TransientErrors(attempts-1, nil))
+	sr, err := NewReader(io.NewSectionReader(fr3, 0, size), WithRetry(attempts, time.Microsecond))
+	if err != nil {
+		t.Fatalf("sequential open with retry: %v", err)
+	}
+	svals, err := sr.ReadAllValues()
+	if err != nil {
+		t.Fatalf("sequential decode with retry: %v", err)
+	}
+	if !bytes.Equal(valueBytes(svals), valueBytes(baseline)) {
+		t.Fatal("sequential retry-recovered decode is not bit-exact")
+	}
+
+	// Retry must not mask permanent damage: a payload flip still fails
+	// strict decode (and burns no retry budget on the way).
+	l := layoutOf(t, blob)
+	mut := append([]byte(nil), blob...)
+	mut[(l.frames[1].payOff+l.frames[1].payEnd)/2] ^= 0x81
+	rp, err := OpenReaderAt(bytes.NewReader(mut), size, WithRetry(attempts, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rp.ReadPlanes(nil, 0, dims[0]); !errors.Is(err, core.ErrCorrupt) {
+		t.Fatalf("retry over corruption: want ErrCorrupt, got %v", err)
+	}
+}
+
+// TestRetryNoAllocOverheadWhenClean guards the zero-alloc contract: on a
+// fault-free store, a reader opened with WithRetry allocates no more per
+// read than one without it.
+func TestRetryNoAllocOverheadWhenClean(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc ceilings are calibrated for normal builds")
+	}
+	blob, _, dims := sealedV5Store(t)
+	size := int64(len(blob))
+	plain, err := OpenReaderAt(bytes.NewReader(blob), size, WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	withRetry, err := OpenReaderAt(bytes.NewReader(blob), size, WithWorkers(1), WithRetry(4, time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]float32, dims[0]*dims[1]*dims[2])
+	measure := func(r *ReaderAt) float64 {
+		for i := 0; i < 2; i++ { // warm pooled contexts
+			if _, err := r.ReadPlanes(dst, 0, dims[0]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return testing.AllocsPerRun(10, func() {
+			if _, err := r.ReadPlanes(dst, 0, dims[0]); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	base := measure(plain)
+	retried := measure(withRetry)
+	if retried > base {
+		t.Fatalf("WithRetry costs allocations on the fault-free path: %.1f > %.1f per read", retried, base)
+	}
+}
+
+// TestOpenAppendBitFlippedInteriorFrame: a flipped byte inside an interior
+// frame must make OpenAppend treat everything from that frame on as
+// unrecoverable — resume from the last valid frame before the damage, not
+// silently over it.
+func TestOpenAppendBitFlippedInteriorFrame(t *testing.T) {
+	blob, baseline, dims := sealedV5Store(t)
+	const dmgChunk = 2
+	cp := 4
+	ps := dims[1] * dims[2]
+	l := layoutOf(t, blob)
+	sp := l.frames[dmgChunk]
+
+	m := &memFile{b: append([]byte(nil), blob...)}
+	// The rot is injected at read time by the fault harness; the backing
+	// bytes stay pristine until OpenAppend's repair truncates them.
+	ff := faultio.NewFile(m, faultio.FlipByte((sp.payOff+sp.payEnd)/2, 0x81))
+	w, err := OpenAppend(ff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := w.Planes(), dmgChunk*cp; got != want {
+		t.Fatalf("recovered %d planes, want %d (the prefix before the damage)", got, want)
+	}
+	fresh := make([]float32, cp*ps)
+	for i := range fresh {
+		fresh[i] = float32(i % 17)
+	}
+	if err := w.WriteValues(fresh); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	vals, gotDims := decodeStore(t, m)
+	if gotDims[0] != dmgChunk*cp+cp {
+		t.Fatalf("store covers %d planes after append, want %d", gotDims[0], dmgChunk*cp+cp)
+	}
+	// The surviving prefix is byte-identical compressed data: bit-exact.
+	if !bytes.Equal(valueBytes(vals[:dmgChunk*cp*ps]), valueBytes(baseline[:dmgChunk*cp*ps])) {
+		t.Fatal("recovered prefix is not bit-exact")
+	}
+	rep, err := Scrub(m, int64(len(m.b)))
+	if err != nil || !rep.Clean() {
+		t.Fatalf("repaired+appended store must scrub clean: %+v (err %v)", rep, err)
+	}
+}

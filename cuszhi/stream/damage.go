@@ -1,0 +1,52 @@
+// Degraded-read damage accounting. When a container has rotted, strict
+// readers abort on the first bad chunk; readers opened WithDegraded keep
+// going, fill the planes the bad chunk covered with a sentinel value, and
+// report exactly what was lost through a DamageReport. The report is the
+// contract that degraded mode never returns unflagged wrong data: a
+// degraded read either returns a nil error (every plane is bit-exact) or a
+// *DamageReport listing every filled region.
+package stream
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ChunkDamage describes one chunk a degraded read could not decode.
+type ChunkDamage struct {
+	Chunk    int   // chunk index within the container
+	Offset   int64 // byte offset of the chunk's frame
+	PlaneOff int   // first plane the chunk covers
+	Planes   int   // planes lost to this chunk (clamped to the requested range)
+	Err      error // why the chunk failed (CRC mismatch, codec disagreement, I/O)
+}
+
+// DamageReport lists the chunks a degraded read skipped and filled. It
+// implements error so damaged reads are impossible to mistake for clean
+// ones: a caller that ignores the error treats the data as suspect by
+// default, and one that expects degradation unwraps it with errors.As.
+type DamageReport struct {
+	Chunks []ChunkDamage // ascending by chunk index
+}
+
+// Error summarizes the damage: chunk count, plane count, and the first
+// chunk's locator so a bare log line already points at the damage.
+func (d *DamageReport) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "stream: degraded read: %d damaged chunk(s), %d plane(s) filled",
+		len(d.Chunks), d.PlanesLost())
+	if len(d.Chunks) > 0 {
+		c := d.Chunks[0]
+		fmt.Fprintf(&b, " (first: chunk %d @0x%x: %v)", c.Chunk, c.Offset, c.Err)
+	}
+	return b.String()
+}
+
+// PlanesLost totals the planes filled across all damaged chunks.
+func (d *DamageReport) PlanesLost() int {
+	n := 0
+	for _, c := range d.Chunks {
+		n += c.Planes
+	}
+	return n
+}

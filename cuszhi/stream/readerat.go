@@ -55,6 +55,10 @@ type ReaderAt struct {
 	v1once  sync.Once
 	v1field []float32
 	v1err   error
+
+	// Degraded mode (WithDegraded): damaged chunks are filled, not fatal.
+	degraded bool
+	fill     float32
 }
 
 // countReader counts the bytes an io.Reader delivers, so the open can
@@ -70,45 +74,34 @@ func (c *countReader) Read(p []byte) (int, error) {
 	return n, err
 }
 
-// readFullAt reads len(p) bytes at off. The io.ReaderAt contract allows a
-// full read that ends exactly at EOF to return io.EOF alongside the data,
-// so that case counts as success here.
-func readFullAt(src io.ReaderAt, p []byte, off int64) error {
-	n, err := src.ReadAt(p, off)
-	if n == len(p) {
-		return nil
-	}
-	if err == nil {
-		err = io.ErrUnexpectedEOF
-	}
-	return err
-}
-
 // OpenReaderAt indexes the container held by src (size bytes long) for
 // random access. v4 containers are opened from their chunk-index footer
 // without touching any chunk payload; v2/v3 containers get an equivalent
 // index from one scan of their frame headers; v1 blobs fall back to a
-// whole-field decode on first use. Only WithWorkers among the options
-// affects a ReaderAt.
+// whole-field decode on first use. WithWorkers, WithRetry (transient-I/O
+// retry on every read, index loads included), WithDegraded and
+// WithFillValue affect a ReaderAt; the writer-side options are ignored.
 func OpenReaderAt(src io.ReaderAt, size int64, opt ...Option) (*ReaderAt, error) {
 	cfg := newConfig(opt)
+	src = cfg.retry.WrapReaderAt(src)
 	var pre [5]byte
 	if size < int64(len(pre)) {
 		return nil, core.ErrCorrupt
 	}
-	if err := readFullAt(src, pre[:], 0); err != nil {
+	if err := core.ReadFullAt(src, pre[:], 0); err != nil {
 		return nil, core.ErrCorrupt
 	}
 	version, ok := core.SniffVersion(pre[:])
 	if !ok {
 		return nil, core.ErrCorrupt
 	}
-	r := &ReaderAt{src: src, size: size, dev: cfg.dev, version: version}
+	r := &ReaderAt{src: src, size: size, dev: cfg.dev, version: version,
+		degraded: cfg.degraded, fill: cfg.fill}
 	if version == 1 {
 		// Parse dims/eb from the prefix; the payload stays untouched until
 		// the first ReadPlanes.
 		head := make([]byte, min(size, 4096))
-		if err := readFullAt(src, head, 0); err != nil {
+		if err := core.ReadFullAt(src, head, 0); err != nil {
 			return nil, core.ErrCorrupt
 		}
 		info, err := core.Inspect(head)
@@ -146,7 +139,7 @@ func (r *ReaderAt) loadIndex(headerLen int64) error {
 		return core.ErrCorrupt
 	}
 	var tail [core.IndexTailLen]byte
-	if err := readFullAt(r.src, tail[:], r.size-core.IndexTailLen); err != nil {
+	if err := core.ReadFullAt(r.src, tail[:], r.size-core.IndexTailLen); err != nil {
 		return core.ErrCorrupt
 	}
 	footerOff, err := core.ParseChunkIndexTail(tail[:])
@@ -163,7 +156,7 @@ func (r *ReaderAt) loadIndex(headerLen int64) error {
 		return core.ErrCorrupt
 	}
 	region := make([]byte, regionLen)
-	if err := readFullAt(r.src, region, footerOff); err != nil {
+	if err := core.ReadFullAt(r.src, region, footerOff); err != nil {
 		return core.ErrCorrupt
 	}
 	entries, err := core.ParseChunkIndex(region, r.h, footerOff)
@@ -188,7 +181,7 @@ func (r *ReaderAt) scanIndex(headerLen int64) error {
 		if want <= 0 {
 			return core.ErrCorrupt
 		}
-		if err := readFullAt(r.src, buf[:want], off); err != nil {
+		if err := core.ReadFullAt(r.src, buf[:want], off); err != nil {
 			return core.ErrCorrupt
 		}
 		c, payStart, plen, err := core.ScanFrameHeader(buf[:want], r.h)
@@ -305,6 +298,9 @@ func (r *ReaderAt) ReadPlanes(dst []float32, lo, hi int) ([]float32, error) {
 		return dst, nil
 	}
 	a, b := r.coveringRange(lo, hi)
+	if r.degraded {
+		return r.readPlanesDegraded(dst, a, b, lo, hi)
+	}
 	_, err := pipeline.MapWorker(r.dev.Workers(), b-a, func(_, j int) (struct{}, error) {
 		return struct{}{}, r.decodeChunkInto(dst, a+j, lo, hi)
 	})
@@ -314,13 +310,60 @@ func (r *ReaderAt) ReadPlanes(dst []float32, lo, hi int) ([]float32, error) {
 	return dst, nil
 }
 
+// readPlanesDegraded decodes the covering chunks [a, b) like ReadPlanes
+// but survives damage: a chunk that fails to read, verify or decode has
+// its planes filled with the sentinel and is recorded instead of aborting
+// the call. When anything was filled the error is a *DamageReport, so the
+// data is never returned unflagged.
+func (r *ReaderAt) readPlanesDegraded(dst []float32, a, b, lo, hi int) ([]float32, error) {
+	var mu sync.Mutex
+	var dmg []ChunkDamage
+	_, _ = pipeline.MapWorker(r.dev.Workers(), b-a, func(_, j int) (struct{}, error) {
+		i := a + j
+		// Record the bare cause: ChunkDamage carries the chunk index and
+		// offset itself, so the locator wrap would only double the prefix.
+		if err := r.decodeChunk(dst, i, lo, hi); err != nil {
+			e := r.index[i]
+			s0, s1 := clampSpan(e.PlaneOff, e.PlaneOff+e.Planes, lo, hi)
+			for k := (s0 - lo) * r.ps; k < (s1-lo)*r.ps; k++ {
+				dst[k] = r.fill
+			}
+			mu.Lock()
+			dmg = append(dmg, ChunkDamage{
+				Chunk: i, Offset: e.FrameOff, PlaneOff: s0, Planes: s1 - s0, Err: err})
+			mu.Unlock()
+		}
+		return struct{}{}, nil
+	})
+	if len(dmg) > 0 {
+		sort.Slice(dmg, func(x, y int) bool { return dmg[x].Chunk < dmg[y].Chunk })
+		return dst, &DamageReport{Chunks: dmg}
+	}
+	return dst, nil
+}
+
 // decodeChunkInto reads, verifies and decodes chunk i, copying the planes
-// it contributes to [lo, hi) into their place in dst.
+// it contributes to [lo, hi) into their place in dst. Failures carry the
+// chunk's index and byte offset, so damage is localizable from the error
+// text alone.
 func (r *ReaderAt) decodeChunkInto(dst []float32, i, lo, hi int) error {
+	if err := r.decodeChunk(dst, i, lo, hi); err != nil {
+		return fmt.Errorf("stream: chunk %d @0x%x: %w", i, r.index[i].FrameOff, err)
+	}
+	return nil
+}
+
+func (r *ReaderAt) decodeChunk(dst []float32, i, lo, hi int) error {
 	e := r.index[i]
 	buf := make([]byte, r.frameEnd[i]-e.FrameOff)
-	if err := readFullAt(r.src, buf, e.FrameOff); err != nil {
-		return core.ErrCorrupt
+	if err := core.ReadFullAt(r.src, buf, e.FrameOff); err != nil {
+		if core.IsTransient(err) {
+			// The storage failed, not the format: surface the I/O error (the
+			// retry budget, if any, is already spent) so callers can tell a
+			// flaky device from a rotten store.
+			return err
+		}
+		return core.ErrCorrupt // truncation: the frame cannot be complete
 	}
 	br := bytes.NewReader(buf)
 	c, payload, err := core.ReadChunkFrame(br, r.h)
@@ -328,11 +371,11 @@ func (r *ReaderAt) decodeChunkInto(dst []float32, i, lo, hi int) error {
 		return err
 	}
 	if c.CodecID != e.Codec {
-		return fmt.Errorf("stream: chunk index codec %s disagrees with frame codec %s at plane %d: %w",
+		return fmt.Errorf("chunk index codec %s disagrees with frame codec %s at plane %d: %w",
 			core.CodecLabel(e.Codec), core.CodecLabel(c.CodecID), e.PlaneOff, core.ErrCorrupt)
 	}
 	if br.Len() != 0 || c.Offset != e.PlaneOff || c.Dims[0] != e.Planes {
-		return fmt.Errorf("stream: chunk index disagrees with frame at plane %d: %w", e.PlaneOff, core.ErrCorrupt)
+		return fmt.Errorf("chunk index disagrees with frame at plane %d: %w", e.PlaneOff, core.ErrCorrupt)
 	}
 	ctx := arena.Get()
 	defer arena.Put(ctx)
@@ -340,15 +383,14 @@ func (r *ReaderAt) decodeChunkInto(dst []float32, i, lo, hi int) error {
 	if err != nil {
 		return err
 	}
-	s0, s1 := e.PlaneOff, e.PlaneOff+e.Planes
-	if s0 < lo {
-		s0 = lo
-	}
-	if s1 > hi {
-		s1 = hi
-	}
+	s0, s1 := clampSpan(e.PlaneOff, e.PlaneOff+e.Planes, lo, hi)
 	copy(dst[(s0-lo)*r.ps:(s1-lo)*r.ps], recon[(s0-e.PlaneOff)*r.ps:(s1-e.PlaneOff)*r.ps])
 	return nil
+}
+
+// clampSpan intersects the plane span [s0, s1) with the request [lo, hi).
+func clampSpan(s0, s1, lo, hi int) (int, int) {
+	return max(s0, lo), min(s1, hi)
 }
 
 // v1Field decodes a one-shot blob's whole field once, caching it for later
@@ -356,7 +398,7 @@ func (r *ReaderAt) decodeChunkInto(dst []float32, i, lo, hi int) error {
 func (r *ReaderAt) v1Field() ([]float32, error) {
 	r.v1once.Do(func() {
 		blob := make([]byte, r.size)
-		if err := readFullAt(r.src, blob, 0); err != nil {
+		if err := core.ReadFullAt(r.src, blob, 0); err != nil {
 			r.v1err = core.ErrCorrupt
 			return
 		}

@@ -30,7 +30,9 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sort"
 	"sync"
+	"time"
 
 	"repro/cuszhi"
 	"repro/internal/arena"
@@ -55,6 +57,9 @@ type config struct {
 	chunkPlanes int
 	relative    bool
 	index       bool
+	retry       core.RetryPolicy
+	degraded    bool
+	fill        float32 // plane filler for degraded reads (default NaN)
 }
 
 // Option customizes a Writer, Reader, or one-shot call.
@@ -103,8 +108,35 @@ func WithAutoMode() Option {
 	return func(c *config) { c.mode, c.modeSet = cuszhi.ModeAuto, true }
 }
 
+// WithRetry makes readers reissue transiently failing I/O (an EIO from a
+// flaky device, an NFS hiccup) up to attempts total tries per read, sleeping
+// baseDelay before the second try and doubling from there (capped at 1s).
+// Permanent failures — corruption, truncation — are never retried. Default
+// off; when off the fault-free path pays nothing, not even a wrapper.
+func WithRetry(attempts int, baseDelay time.Duration) Option {
+	return func(c *config) { c.retry = core.RetryPolicy{Attempts: attempts, BaseDelay: baseDelay} }
+}
+
+// WithDegraded makes reads survive damaged chunks instead of aborting: a
+// chunk whose CRC, codec cross-check, or decode fails is skipped, the
+// planes it covered are filled with the WithFillValue sentinel (default
+// NaN), and the read reports a *DamageReport error listing every filled
+// region. Data is never returned unflagged: a nil error still means every
+// plane is bit-exact.
+func WithDegraded() Option {
+	return func(c *config) { c.degraded = true }
+}
+
+// WithFillValue sets the value degraded reads write into planes lost to
+// damaged chunks (default NaN, which no bounded-error codec emits unless
+// the input held NaN).
+func WithFillValue(v float32) Option {
+	return func(c *config) { c.fill = v }
+}
+
 func newConfig(opts []Option) config {
-	c := config{mode: cuszhi.ModeCR, dev: gpusim.Default, chunkPlanes: DefaultChunkPlanes, index: true}
+	c := config{mode: cuszhi.ModeCR, dev: gpusim.Default, chunkPlanes: DefaultChunkPlanes,
+		index: true, fill: float32(math.NaN())}
 	for _, o := range opts {
 		o(&c)
 	}
@@ -582,13 +614,21 @@ type Reader struct {
 	err    error         // sticky
 	done   bool
 	closed bool
+
+	// Degraded mode (WithDegraded): damaged chunks are filled, not fatal.
+	degraded bool
+	fill     float32
+	damageMu sync.Mutex
+	damaged  []ChunkDamage
 }
 
 // NewReader parses the container header from r and returns a Reader. The
-// field's dims are available immediately via Dims.
+// field's dims are available immediately via Dims. WithRetry reissues
+// transiently failing source reads; WithDegraded survives damaged chunks
+// (see Damage).
 func NewReader(r io.Reader, opt ...Option) (*Reader, error) {
 	cfg := newConfig(opt)
-	br := bufio.NewReader(r)
+	br := bufio.NewReader(cfg.retry.WrapReader(r))
 	pre, err := br.Peek(5)
 	if err != nil {
 		return nil, core.ErrCorrupt
@@ -618,18 +658,23 @@ func NewReader(r io.Reader, opt ...Option) (*Reader, error) {
 		sr.cur = valueBytes(recon)
 		return sr, nil
 	}
-	h, err := core.ReadChunkedHeader(br)
+	// Count the bytes consumed past this point, so the feeder knows each
+	// frame's byte offset and can localize damage in error text.
+	cr := &countReader{r: br}
+	h, err := core.ReadChunkedHeader(cr)
 	if err != nil {
 		return nil, err
 	}
 	sr := &Reader{
-		dims:  h.Dims,
-		eb:    h.EB,
-		relEB: h.RelEB,
-		pool:  pipeline.New[[]byte](cfg.dev.Workers(), 0),
-		quit:  make(chan struct{}),
+		dims:     h.Dims,
+		eb:       h.EB,
+		relEB:    h.RelEB,
+		pool:     pipeline.New[[]byte](cfg.dev.Workers(), 0),
+		quit:     make(chan struct{}),
+		degraded: cfg.degraded,
+		fill:     cfg.fill,
 	}
-	go sr.feed(br, cfg.dev, h, sr.pool)
+	go sr.feed(cr, cfg.dev, h, sr.pool)
 	return sr, nil
 }
 
@@ -671,30 +716,63 @@ func (r *Reader) Close() error {
 // pooled codec context and serializes the slab to bytes before the context
 // is recycled. The pool is passed explicitly because Close detaches r.pool
 // while the feeder may still be running.
-func (r *Reader) feed(br io.Reader, dev *gpusim.Device, h *core.ChunkedInfo, pool *pipeline.Pool[[]byte]) {
+//
+// In degraded mode the payload CRC is checked here (ReadChunkFrameRaw
+// leaves the stream positioned at the next frame even when the payload is
+// rotten), so a damaged chunk is recorded and replaced by filler planes
+// while the walk continues. Structural damage — an unparseable frame
+// header, a plane-offset mismatch — still aborts: past it the stream
+// position is indeterminate.
+func (r *Reader) feed(cr *countReader, dev *gpusim.Device, h *core.ChunkedInfo, pool *pipeline.Pool[[]byte]) {
 	defer pool.Close()
 	nextPlane := 0
+	ps := planeElems(h.Dims)
 	for i := 0; i < h.NumChunks; i++ {
 		select {
 		case <-r.quit:
 			return
 		default:
 		}
-		c, payload, err := core.ReadChunkFrame(br, h)
+		frameOff := cr.n
+		var c *core.ChunkInfo
+		var payload []byte
+		var err error
+		if r.degraded {
+			c, payload, err = core.ReadChunkFrameRaw(cr, h)
+		} else {
+			c, payload, err = core.ReadChunkFrame(cr, h)
+		}
 		if err == nil && c.Offset != nextPlane {
 			err = core.ErrCorrupt
 		}
 		if err != nil {
+			err = fmt.Errorf("stream: chunk %d @0x%x: %w", i, frameOff, err)
 			pool.Submit(func() ([]byte, error) { return nil, err })
 			return
 		}
 		nextPlane += c.Dims[0]
+		if r.degraded {
+			if verr := core.VerifyChunkPayload(c, payload); verr != nil {
+				r.recordDamage(ChunkDamage{
+					Chunk: i, Offset: frameOff, PlaneOff: c.Offset, Planes: c.Dims[0], Err: verr})
+				n := c.Dims[0] * ps
+				pool.Submit(func() ([]byte, error) { return fillBytes(n, r.fill), nil })
+				continue
+			}
+		}
 		pool.Submit(func() ([]byte, error) {
 			ctx := arena.Get()
 			defer arena.Put(ctx)
 			recon, err := core.DecompressShardCtx(ctx, dev, c, payload)
 			if err != nil {
-				return nil, err
+				if r.degraded {
+					// The payload CRC passed but decode failed (rot in the
+					// uncovered frame-header bytes): fill rather than abort.
+					r.recordDamage(ChunkDamage{
+						Chunk: i, Offset: frameOff, PlaneOff: c.Offset, Planes: c.Dims[0], Err: err})
+					return fillBytes(c.Dims[0]*ps, r.fill), nil
+				}
+				return nil, fmt.Errorf("stream: chunk %d @0x%x: %w", i, frameOff, err)
 			}
 			return valueBytes(recon), nil
 		})
@@ -706,6 +784,40 @@ func (r *Reader) feed(br io.Reader, dev *gpusim.Device, h *core.ChunkedInfo, poo
 	// a blob is exactly one container), the streaming reader stops after
 	// one container without probing for EOF: probing would block forever
 	// on a socket or pipe the producer keeps open.
+}
+
+// recordDamage appends one damaged-chunk record (decode jobs run
+// concurrently, so the slice is mutex-guarded).
+func (r *Reader) recordDamage(d ChunkDamage) {
+	r.damageMu.Lock()
+	r.damaged = append(r.damaged, d)
+	r.damageMu.Unlock()
+}
+
+// Damage reports what a degraded Reader filled instead of decoding: nil
+// when every delivered plane is bit-exact, else a report listing each
+// damaged chunk. Call it after draining the Reader — damage is recorded as
+// chunks are encountered, so a mid-stream call may miss later chunks.
+func (r *Reader) Damage() *DamageReport {
+	r.damageMu.Lock()
+	defer r.damageMu.Unlock()
+	if len(r.damaged) == 0 {
+		return nil
+	}
+	chunks := append([]ChunkDamage(nil), r.damaged...)
+	sort.Slice(chunks, func(i, j int) bool { return chunks[i].Chunk < chunks[j].Chunk })
+	return &DamageReport{Chunks: chunks}
+}
+
+// fillBytes returns n float32 values of v as little-endian bytes — the
+// filler a degraded read delivers for planes lost to a damaged chunk.
+func fillBytes(n int, v float32) []byte {
+	bits := math.Float32bits(v)
+	out := make([]byte, 4*n)
+	for i := 0; i < n; i++ {
+		binary.LittleEndian.PutUint32(out[4*i:], bits)
+	}
+	return out
 }
 
 // Dims returns the field's dims, slowest first.

@@ -859,17 +859,41 @@ func readPayload(r io.Reader, n uint64) ([]byte, error) {
 	return buf, nil
 }
 
-func verifyChunkPayload(c *ChunkInfo, payload []byte) error {
+// VerifyChunkPayload checks a chunk payload against its frame header's
+// CRC-32, wrapping ErrCorrupt on mismatch.
+func VerifyChunkPayload(c *ChunkInfo, payload []byte) error {
 	if crc32.ChecksumIEEE(payload) != c.Checksum {
 		return fmt.Errorf("core: chunk at plane %d: checksum mismatch: %w", c.Offset, ErrCorrupt)
 	}
 	return nil
 }
 
+// verifyChunkPayload is the internal spelling kept for the blob scanner.
+func verifyChunkPayload(c *ChunkInfo, payload []byte) error {
+	return VerifyChunkPayload(c, payload)
+}
+
 // ReadChunkFrame parses the next chunk frame from r, returning its header
 // and payload. The global header h supplies dimensionality and bounds; the
 // frame is validated against it (trailing dims, payload size cap, CRC).
 func ReadChunkFrame(r io.Reader, h *ChunkedInfo) (*ChunkInfo, []byte, error) {
+	c, payload, err := ReadChunkFrameRaw(r, h)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := VerifyChunkPayload(c, payload); err != nil {
+		return nil, nil, err
+	}
+	return c, payload, nil
+}
+
+// ReadChunkFrameRaw parses the next chunk frame from r — header validation
+// included — but does NOT verify the payload CRC; the caller must run
+// VerifyChunkPayload before trusting the bytes. Degraded readers use the
+// split so a bit-rotted payload leaves r positioned exactly at the next
+// frame boundary: the frame is structurally intact and fully consumed,
+// only its bytes are wrong, so the read can skip the chunk and continue.
+func ReadChunkFrameRaw(r io.Reader, h *ChunkedInfo) (*ChunkInfo, []byte, error) {
 	off, err := readUvarint(r)
 	if err != nil || off > 1<<31 {
 		return nil, nil, ErrCorrupt
@@ -916,9 +940,6 @@ func ReadChunkFrame(r io.Reader, h *ChunkedInfo) (*ChunkInfo, []byte, error) {
 	c.Checksum = binary.LittleEndian.Uint32(crc[:])
 	payload, err := readPayload(r, plen)
 	if err != nil {
-		return nil, nil, err
-	}
-	if err := verifyChunkPayload(c, payload); err != nil {
 		return nil, nil, err
 	}
 	return c, payload, nil

@@ -1,0 +1,153 @@
+// Shared positioned-I/O helpers and transient-error handling. Every layer
+// that reads containers through an io.ReaderAt — the random-access stream
+// reader, the crash-recovery scan, the scrubber — funnels through
+// ReadFullAt, and the bounded-retry/backoff logic for flaky storage exists
+// exactly once, in RetryPolicy.
+//
+// Error taxonomy. Failures a reader sees split into two families that must
+// be handled differently:
+//
+//   - permanent: the bytes themselves are wrong. Format damage wraps
+//     ErrCorrupt; file truncation surfaces as io.EOF/io.ErrUnexpectedEOF.
+//     Re-reading cannot help, so these are never retried.
+//   - transient: the storage failed to deliver bytes that may well be fine
+//     (an NFS hiccup, a flaky block device returning EIO, an interrupted
+//     read). Re-reading the same offsets can succeed; RetryPolicy does,
+//     with exponential backoff.
+package core
+
+import (
+	"errors"
+	"hash/crc32"
+	"io"
+	"time"
+)
+
+// ReadFullAt reads len(p) bytes at off. The io.ReaderAt contract allows a
+// full read that ends exactly at EOF to return io.EOF alongside the data,
+// so that case counts as success here; a genuinely short read reports
+// io.ErrUnexpectedEOF.
+func ReadFullAt(src io.ReaderAt, p []byte, off int64) error {
+	n, err := src.ReadAt(p, off)
+	if n == len(p) {
+		return nil
+	}
+	if err == nil {
+		err = io.ErrUnexpectedEOF
+	}
+	return err
+}
+
+// CRC32At computes the CRC-32 (IEEE) of the n bytes at off, reading in
+// bounded blocks so a huge payload never forces a matching allocation.
+func CRC32At(src io.ReaderAt, off, n int64) (uint32, error) {
+	const step = 1 << 20
+	buf := make([]byte, min(n, step))
+	var crc uint32
+	for n > 0 {
+		c := min(n, step)
+		if err := ReadFullAt(src, buf[:c], off); err != nil {
+			return 0, err
+		}
+		crc = crc32.Update(crc, crc32.IEEETable, buf[:c])
+		off += c
+		n -= c
+	}
+	return crc, nil
+}
+
+// IsTransient reports whether err is worth retrying: an I/O-layer failure
+// rather than proof the data is wrong. Corruption (ErrCorrupt) and
+// truncation (io.EOF, io.ErrUnexpectedEOF) are permanent — the same bytes
+// come back on every read — so retrying them only burns the backoff budget.
+func IsTransient(err error) bool {
+	return err != nil &&
+		!errors.Is(err, ErrCorrupt) &&
+		!errors.Is(err, io.EOF) &&
+		!errors.Is(err, io.ErrUnexpectedEOF)
+}
+
+// RetryPolicy bounds how a reader retries transient I/O failures. The zero
+// value (and any Attempts < 2) disables retrying entirely and costs
+// nothing on the fault-free path.
+type RetryPolicy struct {
+	// Attempts is the TOTAL number of tries per read, first included;
+	// a read that fails transiently is reissued up to Attempts−1 times.
+	Attempts int
+	// BaseDelay is slept before the second attempt and doubles each
+	// further attempt (exponential backoff), capped at maxBackoff.
+	BaseDelay time.Duration
+}
+
+// maxBackoff caps the exponential growth so a large Attempts cannot sleep
+// for minutes per read.
+const maxBackoff = time.Second
+
+// Enabled reports whether the policy retries at all.
+func (rp RetryPolicy) Enabled() bool { return rp.Attempts > 1 }
+
+// Backoff returns the delay before re-attempt number attempt (1-based: the
+// delay between the first failure and the second try is Backoff(1)).
+func (rp RetryPolicy) Backoff(attempt int) time.Duration {
+	if rp.BaseDelay <= 0 {
+		return 0
+	}
+	d := rp.BaseDelay
+	for i := 1; i < attempt && d < maxBackoff; i++ {
+		d *= 2
+	}
+	return min(d, maxBackoff)
+}
+
+// retryReaderAt reissues transiently failing ReadAt calls per its policy.
+type retryReaderAt struct {
+	src io.ReaderAt
+	rp  RetryPolicy
+}
+
+func (r retryReaderAt) ReadAt(p []byte, off int64) (int, error) {
+	n, err := r.src.ReadAt(p, off)
+	for attempt := 1; attempt < r.rp.Attempts && n < len(p) && IsTransient(err); attempt++ {
+		time.Sleep(r.rp.Backoff(attempt))
+		n, err = r.src.ReadAt(p, off)
+	}
+	return n, err
+}
+
+// WrapReaderAt returns a ReaderAt whose transiently failing reads are
+// reissued per the policy; permanent failures (corruption, truncation)
+// pass straight through. A disabled policy returns src unwrapped, so the
+// fault-free fast path pays nothing — not even an interface indirection.
+func (rp RetryPolicy) WrapReaderAt(src io.ReaderAt) io.ReaderAt {
+	if !rp.Enabled() {
+		return src
+	}
+	return retryReaderAt{src: src, rp: rp}
+}
+
+// retryReader is the sequential (io.Reader) counterpart of retryReaderAt.
+// It only retries reads that delivered nothing: once bytes have been
+// consumed from a stream the position has advanced, so reissuing the call
+// would not re-read them.
+type retryReader struct {
+	src io.Reader
+	rp  RetryPolicy
+}
+
+func (r retryReader) Read(p []byte) (int, error) {
+	n, err := r.src.Read(p)
+	for attempt := 1; attempt < r.rp.Attempts && n == 0 && IsTransient(err); attempt++ {
+		time.Sleep(r.rp.Backoff(attempt))
+		n, err = r.src.Read(p)
+	}
+	return n, err
+}
+
+// WrapReader is WrapReaderAt for sequential readers. A disabled policy
+// returns src unwrapped.
+func (rp RetryPolicy) WrapReader(src io.Reader) io.Reader {
+	if !rp.Enabled() {
+		return src
+	}
+	return retryReader{src: src, rp: rp}
+}

@@ -16,7 +16,6 @@
 package core
 
 import (
-	"hash/crc32"
 	"io"
 )
 
@@ -77,37 +76,6 @@ func (r *RecoveryInfo) Sealed() bool {
 	return r.Footer == FooterValid
 }
 
-// readFullAt reads len(p) bytes at off. A full read that ends exactly at
-// EOF may carry io.EOF per the io.ReaderAt contract; that is a success.
-func readFullAt(src io.ReaderAt, p []byte, off int64) error {
-	n, err := src.ReadAt(p, off)
-	if n == len(p) {
-		return nil
-	}
-	if err == nil {
-		err = io.ErrUnexpectedEOF
-	}
-	return err
-}
-
-// crcAt computes the CRC-32 (IEEE) of the n bytes at off, reading in
-// bounded blocks so a huge payload never forces a matching allocation.
-func crcAt(src io.ReaderAt, off, n int64) (uint32, error) {
-	const step = 1 << 20
-	buf := make([]byte, min(n, step))
-	var crc uint32
-	for n > 0 {
-		c := min(n, step)
-		if err := readFullAt(src, buf[:c], off); err != nil {
-			return 0, err
-		}
-		crc = crc32.Update(crc, crc32.IEEETable, buf[:c])
-		off += c
-		n -= c
-	}
-	return crc, nil
-}
-
 // byteCounter counts the bytes an io.Reader delivers, so the scan learns
 // the variable-length global header's size.
 type byteCounter struct {
@@ -144,7 +112,7 @@ func ScanRecovery(src io.ReaderAt, size int64) (*RecoveryInfo, error) {
 	off := rec.HeaderLen
 	for len(rec.Entries) < maxChunks && off < size {
 		want := min(int64(len(buf)), size-off)
-		if err := readFullAt(src, buf[:want], off); err != nil {
+		if err := ReadFullAt(src, buf[:want], off); err != nil {
 			break
 		}
 		c, payStart, plen, err := ScanFrameHeader(buf[:want], &hScan)
@@ -155,7 +123,7 @@ func ScanRecovery(src io.ReaderAt, size int64) (*RecoveryInfo, error) {
 		if payOff+int64(plen) > size {
 			break // the frame's payload runs past EOF: a torn tail
 		}
-		crc, err := crcAt(src, payOff, int64(plen))
+		crc, err := CRC32At(src, payOff, int64(plen))
 		if err != nil || crc != c.Checksum {
 			break
 		}
@@ -189,7 +157,7 @@ func footerState(src io.ReaderAt, rec *RecoveryInfo) FooterState {
 		return FooterTorn // wildly oversized for an index: a torn tail
 	}
 	var tail [IndexTailLen]byte
-	if readFullAt(src, tail[:], rec.Size-IndexTailLen) != nil {
+	if ReadFullAt(src, tail[:], rec.Size-IndexTailLen) != nil {
 		return FooterTorn
 	}
 	footerOff, err := ParseChunkIndexTail(tail[:])
@@ -197,7 +165,7 @@ func footerState(src io.ReaderAt, rec *RecoveryInfo) FooterState {
 		return FooterTorn
 	}
 	region := make([]byte, regionLen)
-	if readFullAt(src, region, footerOff) != nil {
+	if ReadFullAt(src, region, footerOff) != nil {
 		return FooterTorn
 	}
 	// Parse against what the scan proved, not the (possibly stale) header.

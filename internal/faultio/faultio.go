@@ -1,0 +1,337 @@
+// Package faultio wraps I/O primitives with deterministic, scriptable
+// faults, so robustness tests can prove how the container layers behave
+// under bit-rot and flaky storage without ever touching a real bad disk.
+//
+// Every fault is injected by explicit script, never by hidden randomness:
+// a test that wants random fault sites derives the offsets itself from a
+// seed (FlipOffsets helps) and passes them in, so a failure reproduces
+// from the seed alone. The wrappers inject the fault families a production
+// store actually sees:
+//
+//   - bit-rot: reads covering a chosen offset see the byte XORed with a
+//     mask (FlipBit/FlipByte) — the backing store is never modified, so
+//     one wrapper can replay many damage patterns over one good store;
+//   - transient errors: the first N operations touching a region fail
+//     with a chosen error, then succeed (TransientErrors) — the flaky-NFS
+//     shape that retry policies exist for;
+//   - permanent errors: every operation touching a region fails
+//     (PermanentErrors) — a dead sector;
+//   - short reads: the first N reads deliver one byte fewer than asked,
+//     with the error the io contract requires (ShortReads);
+//   - latency: every operation sleeps a fixed duration first (Latency).
+//
+// ReaderAt wraps an io.ReaderAt; File additionally wraps positioned
+// writes, Truncate and Sync, satisfying cuszhi/stream.File structurally so
+// append/repair paths test under the same faults. Counters (Ops, Injected)
+// let tests assert a fault actually fired.
+package faultio
+
+import (
+	"errors"
+	"io"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// ErrInjected is the default error injected faults fail with. It is
+// deliberately not io.EOF-shaped and not a format error, so the container
+// layers classify it as transient I/O.
+var ErrInjected = errors.New("faultio: injected I/O fault")
+
+// opKind selects which operation family a fault applies to.
+type opKind int
+
+const (
+	opRead opKind = iota
+	opWrite
+	opSync
+)
+
+// flip is one byte of scripted bit-rot.
+type flip struct {
+	off  int64
+	mask byte
+}
+
+// errScript fails operations overlapping [off, off+len) — the whole file
+// when len < 0 — with err, up to `left` times (forever when left < 0).
+type errScript struct {
+	kind opKind
+	off  int64
+	n    int64 // region length; <0 = whole file
+	left int   // remaining injections; <0 = permanent
+	err  error
+}
+
+func (s *errScript) covers(kind opKind, off, n int64) bool {
+	if s.kind != kind || s.left == 0 {
+		return false
+	}
+	if s.n < 0 || kind == opSync {
+		return true
+	}
+	return off < s.off+s.n && s.off < off+n
+}
+
+// state is the shared fault script behind every wrapper; a mutex makes the
+// wrappers safe for the concurrent reads ReadPlanes issues.
+type state struct {
+	mu       sync.Mutex
+	flips    []flip
+	scripts  []*errScript
+	shortN   int // remaining short reads
+	latency  time.Duration
+	ops      int
+	injected int
+}
+
+// Fault is one scripted behavior, applied at construction.
+type Fault func(*state)
+
+// FlipBit makes every read covering off see bit `bit` of that byte
+// inverted — persistent bit-rot, without modifying the backing store.
+func FlipBit(off int64, bit uint) Fault { return FlipByte(off, 1<<(bit&7)) }
+
+// FlipByte is FlipBit for an arbitrary XOR mask.
+func FlipByte(off int64, mask byte) Fault {
+	return func(s *state) { s.flips = append(s.flips, flip{off: off, mask: mask}) }
+}
+
+// TransientErrors fails the first n reads with err (ErrInjected when nil),
+// then lets every later read through — the (N−1)-failures-then-success
+// shape bounded retry must recover from.
+func TransientErrors(n int, err error) Fault { return TransientErrorsAt(0, -1, n, err) }
+
+// TransientErrorsAt is TransientErrors scoped to reads overlapping
+// [off, off+length); length < 0 covers the whole file.
+func TransientErrorsAt(off, length int64, n int, err error) Fault {
+	if err == nil {
+		err = ErrInjected
+	}
+	return func(s *state) {
+		s.scripts = append(s.scripts, &errScript{kind: opRead, off: off, n: length, left: n, err: err})
+	}
+}
+
+// PermanentErrors fails every read overlapping [off, off+length) with err
+// (ErrInjected when nil) — a dead sector; length < 0 kills the whole file.
+func PermanentErrors(off, length int64, err error) Fault {
+	if err == nil {
+		err = ErrInjected
+	}
+	return func(s *state) {
+		s.scripts = append(s.scripts, &errScript{kind: opRead, off: off, n: length, left: -1, err: err})
+	}
+}
+
+// WriteErrors fails the first n writes (n < 0: all writes) with err
+// (ErrInjected when nil).
+func WriteErrors(n int, err error) Fault {
+	if err == nil {
+		err = ErrInjected
+	}
+	return func(s *state) {
+		s.scripts = append(s.scripts, &errScript{kind: opWrite, off: 0, n: -1, left: n, err: err})
+	}
+}
+
+// SyncErrors fails the first n Sync calls (n < 0: all) with err
+// (ErrInjected when nil).
+func SyncErrors(n int, err error) Fault {
+	if err == nil {
+		err = ErrInjected
+	}
+	return func(s *state) {
+		s.scripts = append(s.scripts, &errScript{kind: opSync, off: 0, n: -1, left: n, err: err})
+	}
+}
+
+// ShortReads makes the first n reads deliver one byte fewer than asked
+// (alongside ErrInjected, as the io.ReaderAt contract requires for a
+// short read), then behave normally.
+func ShortReads(n int) Fault {
+	return func(s *state) { s.shortN = n }
+}
+
+// Latency sleeps d before every operation.
+func Latency(d time.Duration) Fault {
+	return func(s *state) { s.latency = d }
+}
+
+// FlipOffsets derives n distinct byte offsets in [0, size) from seed —
+// the deterministic, seedable way to scatter bit-rot across a store.
+func FlipOffsets(seed int64, n int, size int64) []int64 {
+	rng := rand.New(rand.NewSource(seed))
+	seen := make(map[int64]bool, n)
+	offs := make([]int64, 0, n)
+	for int64(len(offs)) < int64(n) && int64(len(offs)) < size {
+		off := rng.Int63n(size)
+		if !seen[off] {
+			seen[off] = true
+			offs = append(offs, off)
+		}
+	}
+	return offs
+}
+
+// enter applies latency and the error scripts to one operation, returning
+// the injected error (nil = proceed).
+func (s *state) enter(kind opKind, off, n int64) error {
+	s.mu.Lock()
+	s.ops++
+	var err error
+	for _, sc := range s.scripts {
+		if sc.covers(kind, off, n) {
+			if sc.left > 0 {
+				sc.left--
+			}
+			s.injected++
+			err = sc.err
+			break
+		}
+	}
+	d := s.latency
+	s.mu.Unlock()
+	if d > 0 {
+		time.Sleep(d)
+	}
+	return err
+}
+
+// corrupt applies the scripted bit flips to bytes just read into p from off.
+func (s *state) corrupt(p []byte, off int64, n int) {
+	s.mu.Lock()
+	for _, f := range s.flips {
+		if f.off >= off && f.off < off+int64(n) {
+			p[f.off-off] ^= f.mask
+		}
+	}
+	s.mu.Unlock()
+}
+
+// takeShort consumes one scripted short read, if any remain.
+func (s *state) takeShort() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.shortN > 0 {
+		s.shortN--
+		s.injected++
+		return true
+	}
+	return false
+}
+
+// Ops reports how many operations reached the wrapper.
+func (s *state) Ops() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ops
+}
+
+// Injected reports how many faults actually fired.
+func (s *state) Injected() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.injected
+}
+
+// ReaderAt wraps an io.ReaderAt with the scripted faults. It is safe for
+// concurrent use (matching the io.ReaderAt contract).
+type ReaderAt struct {
+	src io.ReaderAt
+	state
+}
+
+// NewReaderAt wraps src with the given faults.
+func NewReaderAt(src io.ReaderAt, faults ...Fault) *ReaderAt {
+	r := &ReaderAt{src: src}
+	for _, f := range faults {
+		f(&r.state)
+	}
+	return r
+}
+
+// ReadAt implements io.ReaderAt, applying error scripts, short reads and
+// bit flips in that order.
+func (r *ReaderAt) ReadAt(p []byte, off int64) (int, error) {
+	if err := r.enter(opRead, off, int64(len(p))); err != nil {
+		return 0, err
+	}
+	if len(p) > 1 && r.takeShort() {
+		n, err := r.src.ReadAt(p[:len(p)-1], off)
+		r.corrupt(p, off, n)
+		if err == nil || err == io.EOF {
+			err = ErrInjected // short read must carry an error, per contract
+		}
+		return n, err
+	}
+	n, err := r.src.ReadAt(p, off)
+	r.corrupt(p, off, n)
+	return n, err
+}
+
+// backingFile is what File wraps: the positioned-I/O surface of
+// cuszhi/stream.File, restated here so faultio depends only on stdlib.
+type backingFile interface {
+	io.ReaderAt
+	io.WriterAt
+	Truncate(size int64) error
+	Sync() error
+}
+
+// File wraps an append-store sink (anything shaped like *os.File) with the
+// scripted faults, so crash/append tests can interleave bit-rot and
+// transient failures with real truncate/seal sequences. It satisfies
+// cuszhi/stream.File structurally.
+type File struct {
+	src backingFile
+	state
+}
+
+// NewFile wraps src with the given faults.
+func NewFile(src backingFile, faults ...Fault) *File {
+	f := &File{src: src}
+	for _, fa := range faults {
+		fa(&f.state)
+	}
+	return f
+}
+
+// ReadAt implements io.ReaderAt with the same semantics as ReaderAt.ReadAt.
+func (f *File) ReadAt(p []byte, off int64) (int, error) {
+	if err := f.enter(opRead, off, int64(len(p))); err != nil {
+		return 0, err
+	}
+	n, err := f.src.ReadAt(p, off)
+	f.corrupt(p, off, n)
+	return n, err
+}
+
+// WriteAt implements io.WriterAt, applying write-error scripts.
+func (f *File) WriteAt(p []byte, off int64) (int, error) {
+	if err := f.enter(opWrite, off, int64(len(p))); err != nil {
+		return 0, err
+	}
+	return f.src.WriteAt(p, off)
+}
+
+// Truncate passes through to the backing file.
+func (f *File) Truncate(size int64) error { return f.src.Truncate(size) }
+
+// Sync applies sync-error scripts, then passes through.
+func (f *File) Sync() error {
+	if err := f.enter(opSync, 0, 0); err != nil {
+		return err
+	}
+	return f.src.Sync()
+}
+
+// Seek passes through when the backing file supports it, so size probes
+// (stream.OpenAppend) keep working on wrapped in-memory files.
+func (f *File) Seek(off int64, whence int) (int64, error) {
+	if sk, ok := f.src.(io.Seeker); ok {
+		return sk.Seek(off, whence)
+	}
+	return 0, errors.New("faultio: backing file is not seekable")
+}

@@ -1,0 +1,242 @@
+package faultio
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// memFile is a minimal in-memory backing file for the File wrapper tests.
+type memFile struct {
+	buf   []byte
+	syncs int
+}
+
+func (m *memFile) ReadAt(p []byte, off int64) (int, error) {
+	if off >= int64(len(m.buf)) {
+		return 0, io.EOF
+	}
+	n := copy(p, m.buf[off:])
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+func (m *memFile) WriteAt(p []byte, off int64) (int, error) {
+	if need := off + int64(len(p)); need > int64(len(m.buf)) {
+		m.buf = append(m.buf, make([]byte, need-int64(len(m.buf)))...)
+	}
+	return copy(m.buf[off:], p), nil
+}
+
+func (m *memFile) Truncate(size int64) error {
+	if size <= int64(len(m.buf)) {
+		m.buf = m.buf[:size]
+	}
+	return nil
+}
+
+func (m *memFile) Sync() error { m.syncs++; return nil }
+
+func (m *memFile) Seek(off int64, whence int) (int64, error) {
+	if whence != io.SeekEnd || off != 0 {
+		return 0, errors.New("unsupported seek")
+	}
+	return int64(len(m.buf)), nil
+}
+
+func data(n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(i)
+	}
+	return b
+}
+
+func TestFlipByte(t *testing.T) {
+	src := data(64)
+	r := NewReaderAt(bytes.NewReader(src), FlipBit(10, 3), FlipByte(40, 0xFF))
+	got := make([]byte, 64)
+	if _, err := r.ReadAt(got, 0); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	want := append([]byte(nil), src...)
+	want[10] ^= 1 << 3
+	want[40] ^= 0xFF
+	if !bytes.Equal(got, want) {
+		t.Fatalf("flip not applied: got[10]=%#x got[40]=%#x", got[10], got[40])
+	}
+	// A read not covering the flip offsets is untouched.
+	if _, err := r.ReadAt(got[:10], 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got[:10], src[:10]) {
+		t.Fatal("flip leaked outside its offset")
+	}
+	// The backing store itself is never modified.
+	if src[10] != 10 || src[40] != 40 {
+		t.Fatal("backing store modified")
+	}
+}
+
+func TestTransientThenSuccess(t *testing.T) {
+	src := data(32)
+	r := NewReaderAt(bytes.NewReader(src), TransientErrors(2, nil))
+	p := make([]byte, 32)
+	for i := 0; i < 2; i++ {
+		if _, err := r.ReadAt(p, 0); !errors.Is(err, ErrInjected) {
+			t.Fatalf("read %d: want ErrInjected, got %v", i, err)
+		}
+	}
+	if _, err := r.ReadAt(p, 0); err != nil && err != io.EOF {
+		t.Fatalf("third read should succeed, got %v", err)
+	}
+	if !bytes.Equal(p, src) {
+		t.Fatal("post-fault read returned wrong bytes")
+	}
+	if r.Injected() != 2 || r.Ops() != 3 {
+		t.Fatalf("counters: injected=%d ops=%d", r.Injected(), r.Ops())
+	}
+	if !core.IsTransient(ErrInjected) {
+		t.Fatal("ErrInjected must classify as transient")
+	}
+}
+
+func TestTransientErrorsAtScoped(t *testing.T) {
+	r := NewReaderAt(bytes.NewReader(data(64)), TransientErrorsAt(32, 8, 1, nil))
+	p := make([]byte, 8)
+	// Outside the region: unaffected.
+	if _, err := r.ReadAt(p, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Overlapping the region: one failure, then success.
+	if _, err := r.ReadAt(p, 30); !errors.Is(err, ErrInjected) {
+		t.Fatalf("want ErrInjected, got %v", err)
+	}
+	if _, err := r.ReadAt(p, 30); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPermanentErrors(t *testing.T) {
+	boom := errors.New("dead sector")
+	r := NewReaderAt(bytes.NewReader(data(64)), PermanentErrors(16, 4, boom))
+	p := make([]byte, 8)
+	for i := 0; i < 5; i++ {
+		if _, err := r.ReadAt(p, 12); !errors.Is(err, boom) {
+			t.Fatalf("read %d: want dead-sector error, got %v", i, err)
+		}
+	}
+	if _, err := r.ReadAt(p, 20); err != nil {
+		t.Fatalf("read past the dead sector should succeed: %v", err)
+	}
+}
+
+func TestShortReads(t *testing.T) {
+	src := data(32)
+	r := NewReaderAt(bytes.NewReader(src), ShortReads(1))
+	p := make([]byte, 16)
+	n, err := r.ReadAt(p, 0)
+	if n != 15 || err == nil {
+		t.Fatalf("want short read 15 with error, got n=%d err=%v", n, err)
+	}
+	n, err = r.ReadAt(p, 0)
+	if n != 16 || err != nil {
+		t.Fatalf("second read should be full: n=%d err=%v", n, err)
+	}
+}
+
+func TestLatency(t *testing.T) {
+	r := NewReaderAt(bytes.NewReader(data(8)), Latency(20*time.Millisecond))
+	start := time.Now()
+	if _, err := r.ReadAt(make([]byte, 8), 0); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 15*time.Millisecond {
+		t.Fatalf("latency not applied: %v", d)
+	}
+}
+
+func TestFlipOffsetsDeterministic(t *testing.T) {
+	a := FlipOffsets(42, 10, 1000)
+	b := FlipOffsets(42, 10, 1000)
+	if len(a) != 10 {
+		t.Fatalf("want 10 offsets, got %d", len(a))
+	}
+	seen := map[int64]bool{}
+	for i, off := range a {
+		if off != b[i] {
+			t.Fatal("FlipOffsets not deterministic for the same seed")
+		}
+		if off < 0 || off >= 1000 || seen[off] {
+			t.Fatalf("bad offset %d", off)
+		}
+		seen[off] = true
+	}
+	if c := FlipOffsets(43, 10, 1000); c[0] == a[0] && c[1] == a[1] && c[2] == a[2] {
+		t.Fatal("different seeds produced the same prefix")
+	}
+}
+
+func TestFileFaults(t *testing.T) {
+	mf := &memFile{buf: data(32)}
+	f := NewFile(mf, WriteErrors(1, nil), SyncErrors(1, nil), FlipByte(4, 0x80))
+	if _, err := f.WriteAt([]byte{1}, 0); !errors.Is(err, ErrInjected) {
+		t.Fatalf("first write should fail: %v", err)
+	}
+	if _, err := f.WriteAt([]byte{9}, 0); err != nil {
+		t.Fatalf("second write should pass: %v", err)
+	}
+	if mf.buf[0] != 9 {
+		t.Fatal("write did not reach backing file")
+	}
+	if err := f.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("first sync should fail: %v", err)
+	}
+	if err := f.Sync(); err != nil || mf.syncs != 1 {
+		t.Fatalf("second sync should pass: err=%v syncs=%d", err, mf.syncs)
+	}
+	p := make([]byte, 8)
+	if _, err := f.ReadAt(p, 0); err != nil {
+		t.Fatal(err)
+	}
+	if p[4] != 4^0x80 {
+		t.Fatalf("read flip not applied: %#x", p[4])
+	}
+	if err := f.Truncate(16); err != nil || len(mf.buf) != 16 {
+		t.Fatalf("truncate: err=%v len=%d", err, len(mf.buf))
+	}
+	if n, err := f.Seek(0, io.SeekEnd); err != nil || n != 16 {
+		t.Fatalf("seek: n=%d err=%v", n, err)
+	}
+}
+
+// The retry policy in core must recover from (N-1) scripted transient
+// faults when given N attempts — the contract stream.WithRetry builds on.
+func TestRetryPolicyOverFaultReader(t *testing.T) {
+	src := data(64)
+	fr := NewReaderAt(bytes.NewReader(src), TransientErrors(2, nil))
+	rp := core.RetryPolicy{Attempts: 3}
+	wrapped := rp.WrapReaderAt(fr)
+	p := make([]byte, 64)
+	if err := core.ReadFullAt(wrapped, p, 0); err != nil {
+		t.Fatalf("retry should absorb 2 transient faults: %v", err)
+	}
+	if !bytes.Equal(p, src) {
+		t.Fatal("wrong bytes after retry")
+	}
+	if fr.Injected() != 2 {
+		t.Fatalf("want 2 injections, got %d", fr.Injected())
+	}
+	// One attempt too few: the fault surfaces.
+	fr2 := NewReaderAt(bytes.NewReader(src), TransientErrors(2, nil))
+	wrapped2 := core.RetryPolicy{Attempts: 2}.WrapReaderAt(fr2)
+	if err := core.ReadFullAt(wrapped2, p, 0); !errors.Is(err, ErrInjected) {
+		t.Fatalf("want ErrInjected with too few attempts, got %v", err)
+	}
+}
