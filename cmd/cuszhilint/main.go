@@ -1,0 +1,75 @@
+// Command cuszhilint runs the repository's codec-invariant analyzers
+// (internal/lint) over the given package patterns and exits non-zero on
+// findings. It is stdlib-only and needs no build cache or type checker:
+//
+//	go run ./cmd/cuszhilint ./...
+//	go run ./cmd/cuszhilint -check wirelen,corrupterr ./internal/...
+//
+// A finding is suppressed by a `//lint:ignore <check> <reason>` comment on
+// its line or the line above; stale directives are themselves findings.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	checks := flag.String("check", "", "comma-separated analyzer subset (default: all)")
+	tests := flag.Bool("tests", false, "also lint _test.go files")
+	list := flag.Bool("list", false, "list the available analyzers and exit")
+	flag.Parse()
+
+	analyzers := lint.Analyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *checks != "" {
+		want := map[string]bool{}
+		for _, name := range strings.Split(*checks, ",") {
+			want[strings.TrimSpace(name)] = true
+		}
+		var sel []*lint.Analyzer
+		for _, a := range analyzers {
+			if want[a.Name] {
+				sel = append(sel, a)
+				delete(want, a.Name)
+			}
+		}
+		for name := range want {
+			fmt.Fprintf(os.Stderr, "cuszhilint: unknown analyzer %q\n", name)
+			os.Exit(2)
+		}
+		analyzers = sel
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	root, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cuszhilint:", err)
+		os.Exit(2)
+	}
+	pkgs, err := lint.Load(root, patterns, *tests)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cuszhilint:", err)
+		os.Exit(2)
+	}
+	res := lint.Run(pkgs, analyzers)
+	for _, f := range res.Findings {
+		fmt.Println(f)
+	}
+	if len(res.Findings) > 0 {
+		fmt.Fprintf(os.Stderr, "cuszhilint: %d finding(s), %d suppressed\n", len(res.Findings), res.Suppressed)
+		os.Exit(1)
+	}
+}

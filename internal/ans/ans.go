@@ -136,7 +136,12 @@ func Decode(data []byte) ([]byte, error) {
 	if n64 == 0 {
 		return nil, nil
 	}
-	if int(n64) < 0 {
+	// Cap the declared output length before the makes below are sized by
+	// it: rANS ratios are legitimately unbounded (a single-symbol stream
+	// decodes from a few bytes), so the cap is the shared absolute ceiling,
+	// not a multiple of the input size.
+	outLen, ok := bitio.IntLen(n64)
+	if !ok {
 		return nil, ErrCorrupt
 	}
 	if off >= len(data) {
@@ -148,7 +153,7 @@ func Decode(data []byte) ([]byte, error) {
 		if off >= len(data) {
 			return nil, ErrCorrupt
 		}
-		out := make([]byte, n64)
+		out := make([]byte, outLen)
 		for i := range out {
 			out[i] = data[off]
 		}
@@ -200,17 +205,21 @@ func Decode(data []byte) ([]byte, error) {
 	}
 	x := uint32(data[off]) | uint32(data[off+1])<<8 | uint32(data[off+2])<<16 | uint32(data[off+3])<<24
 	off += 4
-	tailLen, tn := bitio.Uvarint(data[off:])
+	tailLen64, tn := bitio.Uvarint(data[off:])
 	if tn == 0 {
 		return nil, ErrCorrupt
 	}
 	off += tn
-	if off+int(tailLen) > len(data) {
+	// Cap before converting: a 2^63-scale tail length wraps the int
+	// negative, slips past the upper-bound check as a sum, and panics the
+	// slice below.
+	tailLen, ok := bitio.IntLen(tailLen64)
+	if !ok || off+tailLen > len(data) {
 		return nil, ErrCorrupt
 	}
-	tail := data[off : off+int(tailLen)]
+	tail := data[off : off+tailLen]
 	pos := 0
-	out := make([]byte, n64)
+	out := make([]byte, outLen)
 	for i := range out {
 		slot := x & (probScale - 1)
 		s := slot2sym[slot]

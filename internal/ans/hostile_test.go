@@ -1,0 +1,43 @@
+package ans
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/bitio"
+)
+
+// TestDecodeHostileOutputLength pins the output-length cap: rANS ratios are
+// legitimately unbounded, so the declared length is checked against the
+// absolute wire ceiling rather than the input size — but a 2^40-scale value
+// must still be rejected before the output make, not after.
+func TestDecodeHostileOutputLength(t *testing.T) {
+	for _, declared := range []uint64{1 << 63, 1<<40 + 7} {
+		// Degenerate single-symbol container: header, mode 0x01, symbol.
+		blob := bitio.AppendUvarint(nil, declared)
+		blob = append(blob, 0x01, 'A')
+		out, err := Decode(blob)
+		if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("declared=%d: got (%d bytes, %v), want ErrCorrupt", declared, len(out), err)
+		}
+	}
+}
+
+// TestDecodeHostileTailLength pins the tail-length cap: int(2^63) is
+// negative, so off+int(tailLen) slipped under the upper-bound check as a
+// wrapped sum and the tail slice expression panicked.
+func TestDecodeHostileTailLength(t *testing.T) {
+	blob := bitio.AppendUvarint(nil, 4) // 4 output bytes
+	blob = append(blob, 0x00)           // table mode
+	// Frequency table: symbol 0 carries the whole probScale mass, the
+	// remaining 255 symbols are one RLE zero-run.
+	blob = bitio.AppendUvarint(blob, probScale)
+	blob = bitio.AppendUvarint(blob, 0)
+	blob = bitio.AppendUvarint(blob, 255)
+	blob = append(blob, 0, 0, 0x80, 0) // state x = ransL
+	blob = bitio.AppendUvarint(blob, 1<<63)
+	out, err := Decode(blob)
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("got (%d bytes, %v), want ErrCorrupt", len(out), err)
+	}
+}

@@ -200,6 +200,10 @@ type bufset[T any] struct {
 	next  int
 }
 
+// take returns the next pooled slot, growing it only when the request
+// outruns every prior warm-up pass.
+//
+//cuszhi:hotpath
 func (s *bufset[T]) take(n int) []T {
 	if s.next < len(s.slots) {
 		if b := s.slots[s.next]; cap(b) >= n {
@@ -207,10 +211,12 @@ func (s *bufset[T]) take(n int) []T {
 			return b[:n]
 		}
 	}
+	//lint:ignore hotpathalloc grow path: runs only until the pool is warm
 	b := make([]T, n, ceilPow2(n))
 	if s.next < len(s.slots) {
 		s.slots[s.next] = b
 	} else {
+		//lint:ignore hotpathalloc grow path: runs only until the pool is warm
 		s.slots = append(s.slots, b)
 	}
 	s.next++

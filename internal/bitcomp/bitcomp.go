@@ -70,13 +70,20 @@ func Decompress(dev *gpusim.Device, data []byte) ([]byte, error) {
 
 // DecompressCtx is Decompress with a reusable context. With a non-nil ctx
 // the returned stream is context scratch, valid until the next ctx.Reset.
+//
+//cuszhi:hotpath
 func DecompressCtx(ctx *arena.Ctx, dev *gpusim.Device, data []byte) ([]byte, error) {
 	origLen64, n := bitio.Uvarint(data)
 	if n == 0 || n >= len(data)+1 {
 		return nil, ErrCorrupt
 	}
-	origLen := int(origLen64)
-	if origLen < 0 || n >= len(data) {
+	// Cap before the int conversion: on 32-bit platforms a 2^32-scale
+	// declared length would silently truncate instead of failing.
+	origLen, lok := bitio.IntLen(origLen64)
+	if !lok {
+		return nil, ErrCorrupt
+	}
+	if n >= len(data) {
 		if origLen == 0 && n == len(data) {
 			return nil, nil
 		}

@@ -296,6 +296,27 @@ func Uvarint(p []byte) (uint64, int) {
 	return 0, 0
 }
 
+// MaxWireLen is the ceiling every length-like wire value must stay under
+// before conversion to int: it fits a 32-bit int, so the conversion can
+// never wrap negative and slip past a bounds check into a panicking slice
+// or a hostile make. It is comfortably above any legitimate shard, payload
+// or element count this repository's containers carry.
+const MaxWireLen = 1<<31 - 1
+
+// IntLen converts a 64-bit length-like wire value to int, reporting
+// ok=false when it exceeds MaxWireLen. It is the shared capping helper the
+// decode paths (and the wirelen analyzer in internal/lint) standardize on —
+// use it instead of repeating inline `v > 1<<31` guards:
+//
+//	n, ok := bitio.IntLen(n64)
+//	if !ok { return ErrCorrupt }
+func IntLen(v uint64) (int, bool) {
+	if v > MaxWireLen {
+		return 0, false
+	}
+	return int(v), true
+}
+
 // AppendUint32 appends v little-endian.
 func AppendUint32(dst []byte, v uint32) []byte {
 	var tmp [4]byte

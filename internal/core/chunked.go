@@ -1278,5 +1278,7 @@ func Inspect(blob []byte) (*Info, error) {
 		}
 		return info, nil
 	}
-	return nil, fmt.Errorf("core: unsupported version %d", blob[4])
+	// An unrecognized version byte is indistinguishable from corruption at
+	// this layer, so callers must be able to errors.Is it to ErrCorrupt.
+	return nil, fmt.Errorf("core: unsupported version %d: %w", blob[4], ErrCorrupt)
 }

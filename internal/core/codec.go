@@ -106,7 +106,10 @@ func RegisterCodec(c Codec) {
 	codecsByName[name] = e
 }
 
-// CodecByID returns the codec registered under the wire ID.
+// CodecByID returns the codec registered under the wire ID. It runs once
+// per chunk on the mixed-codec decode path.
+//
+//cuszhi:hotpath
 func CodecByID(id CodecID) (Codec, bool) {
 	e, ok := codecsByID[id]
 	return e.codec, ok
@@ -140,6 +143,8 @@ func CodecLabel(id CodecID) string {
 
 // codecFrameMode returns the packed predictor/pipeline byte the registered
 // codec's v5 frames carry, or ok=false when the codec exposes no Options.
+//
+//cuszhi:hotpath
 func codecFrameMode(id CodecID) (byte, bool) {
 	e, ok := codecsByID[id]
 	if !ok || !e.hasMode {

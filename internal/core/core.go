@@ -444,7 +444,9 @@ func DecompressCtx(ctx *arena.Ctx, dev *gpusim.Device, blob []byte) ([]float32, 
 		return decompressChunked(ctx, dev, blob)
 	}
 	if blob[4] != version {
-		return nil, nil, fmt.Errorf("core: unsupported version %d", blob[4])
+		// An unknown version byte is wire data, not API misuse: the standing
+		// invariant says it must surface as ErrCorrupt, never a bare error.
+		return nil, nil, fmt.Errorf("core: unsupported version %d: %w", blob[4], ErrCorrupt)
 	}
 	pred := Predictor(blob[5])
 	off := 6

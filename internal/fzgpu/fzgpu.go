@@ -82,6 +82,8 @@ func Decompress(dev *gpusim.Device, blob []byte) ([]float32, error) {
 // returning the dims the container self-describes (slowest first). With a
 // non-nil ctx the returned field and dims are context scratch, valid until
 // the next ctx.Reset.
+//
+//cuszhi:hotpath
 func DecompressCtx(ctx *arena.Ctx, dev *gpusim.Device, blob []byte) ([]float32, []int, error) {
 	nd64, n := bitio.Uvarint(blob)
 	if n == 0 || nd64 == 0 || nd64 > 8 {
@@ -153,6 +155,7 @@ func DecompressCtx(ctx *arena.Ctx, dev *gpusim.Device, blob []byte) ([]float32, 
 			codes[i] = uint16(bitio.UnZigZag(zz) + center)
 		}
 	})
+	//lint:ignore hotpathalloc one stack-escaping descriptor per op, amortized over the field
 	res := &lorenzo.Result{Codes: codes, Escapes: escapes, ValOutliers: outliers}
 	recon, err := lorenzo.DecompressCtx(ctx, dev, res, lorenzo.NewGrid(dims), eb)
 	if err != nil {

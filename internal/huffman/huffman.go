@@ -621,28 +621,39 @@ func DecodeCtx(ctx *arena.Ctx, dev *gpusim.Device, data []byte) ([]uint16, error
 	}
 	s.lens = lens
 	off += used
-	nSyms, n := bitio.Uvarint(data[off:])
+	// Every count below comes off the wire: cap each through the shared
+	// helper before it is converted, so a 2^63-scale value can neither wrap
+	// an int negative nor overflow the ceiling division that validates the
+	// chunk count.
+	nSyms64, n := bitio.Uvarint(data[off:])
 	if n == 0 {
 		return nil, ErrCorrupt
 	}
 	off += n
+	nSyms, ok := bitio.IntLen(nSyms64)
+	if !ok {
+		return nil, ErrCorrupt
+	}
 	chunk64, n := bitio.Uvarint(data[off:])
 	if n == 0 || chunk64 == 0 {
 		return nil, ErrCorrupt
 	}
 	off += n
+	chunk, ok := bitio.IntLen(chunk64)
+	if !ok {
+		return nil, ErrCorrupt
+	}
 	nChunks64, n := bitio.Uvarint(data[off:])
 	if n == 0 {
 		return nil, ErrCorrupt
 	}
 	off += n
-	chunk := int(chunk64)
-	nChunks := int(nChunks64)
-	if nChunks < 0 || nChunks > len(data) {
+	nChunks, ok := bitio.IntLen(nChunks64)
+	if !ok || nChunks > len(data) {
 		return nil, ErrCorrupt
 	}
-	want := (int(nSyms) + chunk - 1) / chunk
-	if int(nSyms) == 0 {
+	want := (nSyms + chunk - 1) / chunk
+	if nSyms == 0 {
 		want = 0
 	}
 	if nChunks != want {
@@ -675,7 +686,7 @@ func DecodeCtx(ctx *arena.Ctx, dev *gpusim.Device, data []byte) ([]uint16, error
 	// Every symbol costs at least one payload bit, so a header declaring
 	// more symbols than the payload can hold is hostile — reject it before
 	// sizing the output (allocation-bomb hardening).
-	if nSyms > uint64(total)*8 {
+	if int64(nSyms) > int64(total)*8 {
 		return nil, ErrCorrupt
 	}
 	starts := s.starts[:nChunks]
@@ -687,7 +698,7 @@ func DecodeCtx(ctx *arena.Ctx, dev *gpusim.Device, data []byte) ([]uint16, error
 	if _, err := s.buildDecodeTable(lens); err != nil {
 		return nil, err
 	}
-	out := ctx.U16(int(nSyms))
+	out := ctx.U16(nSyms)
 	s.k.src, s.k.out, s.k.chunk = data, out, chunk
 	s.k.failed.Store(false)
 	if s.decJob == nil {
@@ -716,6 +727,8 @@ func DecodeCtx(ctx *arena.Ctx, dev *gpusim.Device, data []byte) ([]uint16, error
 // decodeChunk decodes exactly len(dst) symbols from src. Each primary
 // probe resolves one short code, two short codes at once, or chains to a
 // sub-table for codes longer than tableBits.
+//
+//cuszhi:hotpath
 func decodeChunk(src []byte, t *decodeTable, dst []uint16) error {
 	var acc uint64
 	var nacc uint

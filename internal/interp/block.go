@@ -154,6 +154,8 @@ func (b *block) loadAnchors(visitAnchor func(z, y, x int, v float32)) {
 // at -3s, -s, +s, +3s (a, p, q, d) with availability flags, returning the
 // prediction and its spline order (3 cubic, 2 quadratic, 1 linear,
 // 0 extrapolation/copy).
+//
+//cuszhi:hotpath
 func interp1(a, p, q, d float32, ha, hp, hq, hd bool, spline Spline) (float32, int) {
 	switch {
 	case hp && hq:
@@ -191,6 +193,8 @@ func (b *block) strides() [3]int {
 // point at global coords g, interpolating along dims with stride s and
 // averaging only the highest-order directional predictions (§5.1.2).
 // idx is the point's precomputed local buffer index.
+//
+//cuszhi:hotpath
 func (b *block) predict(gz, gy, gx, idx, s int, dims []int, spline Spline) float32 {
 	gc := [3]int{gz, gy, gx}
 	st := b.strides()

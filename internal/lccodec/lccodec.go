@@ -51,6 +51,8 @@ type Component interface {
 // Symbol access helpers.
 
 // loadSym reads the w-byte little-endian symbol at index i.
+//
+//cuszhi:hotpath
 func loadSym(p []byte, i, w int) uint64 {
 	off := i * w
 	switch w {
@@ -71,6 +73,8 @@ func loadSym(p []byte, i, w int) uint64 {
 }
 
 // storeSym writes the w-byte little-endian symbol at index i.
+//
+//cuszhi:hotpath
 func storeSym(p []byte, i, w int, v uint64) {
 	off := i * w
 	switch w {
@@ -193,6 +197,8 @@ func (bitShuffle) Decode(ctx *arena.Ctx, dev *gpusim.Device, src []byte) ([]byte
 
 // transpose8x8 transposes the 8×8 bit matrix packed in x (row r = byte r,
 // column c = bit c), Hacker's Delight 7-3. It is an involution.
+//
+//cuszhi:hotpath
 func transpose8x8(x uint64) uint64 {
 	t := (x ^ (x >> 7)) & 0x00AA00AA00AA00AA
 	x = x ^ t ^ (t << 7)
@@ -207,6 +213,8 @@ func transpose8x8(x uint64) uint64 {
 // n bytes has 8n bits; plane p occupies bits [p*n, (p+1)*n). Full blocks
 // (n divisible by 8) run as 8×8 bit-matrix transposes, eight bytes per
 // step; ragged tails fall back to the bit-at-a-time loop.
+//
+//cuszhi:hotpath
 func shuffleBlock(src, dst []byte) {
 	n := len(src)
 	if n%8 == 0 {
@@ -238,6 +246,7 @@ func shuffleBlock(src, dst []byte) {
 	}
 }
 
+//cuszhi:hotpath
 func unshuffleBlock(src, dst []byte) {
 	n := len(dst)
 	if n%8 == 0 {

@@ -1,0 +1,128 @@
+// The corrupterr analyzer: wire-decode paths surface malformed input as
+// ErrCorrupt — directly, or through a %w-wrapping fmt.Errorf — and never
+// panic.
+//
+// Scope: packages that declare a package-level ErrCorrupt variable (the
+// wire-decoding packages: core and every backend). Within them, functions
+// named Decode*/Decompress*/Parse* (any case) that take a []byte somewhere
+// in their signature are decode paths: their malformed-input branches must
+// keep errors.Is(err, ErrCorrupt) working up the chain, so a bare
+// errors.New, a fmt.Errorf without %w, or any panic( is a finding.
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+func corruptErrAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "corrupterr",
+		Doc:  "decode paths must wrap ErrCorrupt (%w) and never panic",
+		Run:  runCorruptErr,
+	}
+}
+
+func runCorruptErr(pkg *Package) []Finding {
+	if !declaresErrCorrupt(pkg) {
+		return nil
+	}
+	var findings []Finding
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !isDecodeFunc(fn) {
+				continue
+			}
+			findings = append(findings, corruptErrFunc(pkg, fn)...)
+		}
+	}
+	return findings
+}
+
+// declaresErrCorrupt reports whether the package has a top-level
+// `var ErrCorrupt` — the marker of a wire-decoding package.
+func declaresErrCorrupt(pkg *Package) bool {
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					if name.Name == "ErrCorrupt" {
+						return true
+					}
+				}
+			}
+		}
+	}
+	return false
+}
+
+// isDecodeFunc matches the wire-decode entry points: Decode*/Decompress*/
+// Parse* (exported or not) taking at least one []byte parameter, which
+// separates payload decoders from same-named config parsers (e.g. a
+// pipeline-spec Parse(string)).
+func isDecodeFunc(fn *ast.FuncDecl) bool {
+	name := fn.Name.Name
+	lower := strings.ToLower(name)
+	if !strings.HasPrefix(lower, "decode") && !strings.HasPrefix(lower, "decompress") &&
+		!strings.HasPrefix(lower, "parse") {
+		return false
+	}
+	if fn.Type.Params == nil {
+		return false
+	}
+	for _, p := range fn.Type.Params.List {
+		if at, ok := p.Type.(*ast.ArrayType); ok && at.Len == nil {
+			if id, ok := at.Elt.(*ast.Ident); ok && (id.Name == "byte" || id.Name == "uint8") {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func corruptErrFunc(pkg *Package, fn *ast.FuncDecl) []Finding {
+	var findings []Finding
+	report := func(n ast.Node, msg string) {
+		findings = append(findings, Finding{
+			Check:   "corrupterr",
+			Pos:     pkg.Fset.Position(n.Pos()),
+			Message: msg,
+		})
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch fun := call.Fun.(type) {
+		case *ast.Ident:
+			if fun.Name == "panic" {
+				report(call, "decode paths must return ErrCorrupt on malformed input, never panic")
+			}
+		case *ast.SelectorExpr:
+			pkgID, ok := fun.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if pkgID.Name == "errors" && fun.Sel.Name == "New" {
+				report(call, "decode paths must not invent bare errors: return ErrCorrupt or %w-wrap it")
+			}
+			if pkgID.Name == "fmt" && fun.Sel.Name == "Errorf" && len(call.Args) > 0 {
+				if lit, ok := call.Args[0].(*ast.BasicLit); ok && !strings.Contains(lit.Value, "%w") {
+					report(call, "fmt.Errorf in a decode path must %w-wrap (ErrCorrupt or an already-wrapped error)")
+				}
+			}
+		}
+		return true
+	})
+	return findings
+}

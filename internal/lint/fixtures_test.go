@@ -1,0 +1,105 @@
+package lint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// loadFixture runs every analyzer over one testdata/src fixture package.
+func loadFixture(t *testing.T, name string) Result {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", name)
+	pkgs, err := Load(dir, []string{"."}, false)
+	if err != nil {
+		t.Fatalf("Load(%s): %v", dir, err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("Load(%s): %d packages, want 1", dir, len(pkgs))
+	}
+	return Run(pkgs, Analyzers())
+}
+
+// TestFixturesMatchGolden pins each analyzer's findings on its known-bad
+// fixture to the expect.txt golden file next to it.
+func TestFixturesMatchGolden(t *testing.T) {
+	for _, name := range []string{"wirelen", "corrupterr", "hotpathalloc", "wireid", "ignore"} {
+		t.Run(name, func(t *testing.T) {
+			res := loadFixture(t, name)
+			var got strings.Builder
+			for _, f := range res.Findings {
+				fmt.Fprintf(&got, "%s:%d:%d: [%s] %s\n",
+					filepath.Base(f.Pos.Filename), f.Pos.Line, f.Pos.Column, f.Check, f.Message)
+			}
+			wantBytes, err := os.ReadFile(filepath.Join("testdata", "src", name, "expect.txt"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.String() != string(wantBytes) {
+				t.Errorf("findings diverge from expect.txt\n--- got ---\n%s--- want ---\n%s", got.String(), wantBytes)
+			}
+		})
+	}
+}
+
+// TestWirelenCatchesPr3LccodecBug pins the acceptance case: the exact bug
+// shipped in PR 3 — an uncapped int(origLen) sizing a make in an RLE
+// decoder — is reproduced in the wirelen fixture (decodeRLEPr3) and must be
+// flagged by the wirelen analyzer.
+func TestWirelenCatchesPr3LccodecBug(t *testing.T) {
+	res := loadFixture(t, "wirelen")
+	for _, f := range res.Findings {
+		if f.Check == "wirelen" && strings.Contains(f.Message, "origLen") {
+			return
+		}
+	}
+	t.Fatalf("no wirelen finding for the uncapped int(origLen) make; got %v", res.Findings)
+}
+
+// TestIgnoreDirectives pins the suppression contract on the ignore fixture:
+// the justified directive counts as suppressed, and the directive matching
+// nothing surfaces as a staleignore finding.
+func TestIgnoreDirectives(t *testing.T) {
+	res := loadFixture(t, "ignore")
+	if res.Suppressed != 1 {
+		t.Errorf("Suppressed = %d, want 1", res.Suppressed)
+	}
+	stale := 0
+	for _, f := range res.Findings {
+		switch f.Check {
+		case "staleignore":
+			stale++
+		default:
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	if stale != 1 {
+		t.Errorf("%d staleignore findings, want 1", stale)
+	}
+}
+
+// TestRepoIsLintClean runs every analyzer over the whole repository — the
+// same sweep as `go run ./cmd/cuszhilint ./...` — so the codec invariants
+// are enforced by the ordinary tier-1 `go test ./...`.
+func TestRepoIsLintClean(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := Load(root, []string{"./..."}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("only %d packages loaded from %s: wrong root?", len(pkgs), root)
+	}
+	res := Run(pkgs, Analyzers())
+	for _, f := range res.Findings {
+		t.Errorf("%s", f)
+	}
+	if t.Failed() {
+		t.Logf("fix the findings or suppress with //lint:ignore <check> <reason> (%d already suppressed)", res.Suppressed)
+	}
+}

@@ -1,0 +1,98 @@
+// The hotpathalloc analyzer: functions annotated //cuszhi:hotpath may not
+// contain allocating constructs.
+//
+// The runtime side of this contract is the per-package TestAllocsWarmCtx /
+// AllocsPerRun guards (steady-state 64-cubed round trip <= 10 allocs); this
+// analyzer is the static side, pinning the discipline to specific functions
+// so a regression is reported at the offending line instead of as an
+// opaque allocation-count bump. Flagged constructs: make, new, append
+// (growth is indistinguishable syntactically, so every append is reported
+// and amortized-growth points carry a //lint:ignore with their
+// justification), &composite literals, slice/map literals, string/[]byte
+// conversions, go statements, and any fmt.* call.
+package lint
+
+import (
+	"go/ast"
+)
+
+// HotPathMarker is the doc-comment directive that opts a function into the
+// hotpathalloc check.
+const HotPathMarker = "//cuszhi:hotpath"
+
+func hotPathAllocAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "hotpathalloc",
+		Doc:  "functions annotated //cuszhi:hotpath may not contain allocating constructs",
+		Run:  runHotPathAlloc,
+	}
+}
+
+func runHotPathAlloc(pkg *Package) []Finding {
+	var findings []Finding
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !funcDocHas(fn, HotPathMarker) {
+				continue
+			}
+			findings = append(findings, hotPathFunc(pkg, fn)...)
+		}
+	}
+	return findings
+}
+
+func hotPathFunc(pkg *Package, fn *ast.FuncDecl) []Finding {
+	var findings []Finding
+	report := func(n ast.Node, msg string) {
+		findings = append(findings, Finding{
+			Check:   "hotpathalloc",
+			Pos:     pkg.Fset.Position(n.Pos()),
+			Message: msg + " in //cuszhi:hotpath function " + fn.Name.Name,
+		})
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			report(n, "go statement (goroutine + closure allocation)")
+		case *ast.UnaryExpr:
+			if _, ok := n.X.(*ast.CompositeLit); ok {
+				report(n, "&composite literal escapes to the heap")
+				return false // the literal itself would double-report
+			}
+		case *ast.CompositeLit:
+			switch n.Type.(type) {
+			case *ast.ArrayType:
+				if n.Type.(*ast.ArrayType).Len == nil {
+					report(n, "slice literal allocates")
+				}
+			case *ast.MapType:
+				report(n, "map literal allocates")
+			}
+		case *ast.CallExpr:
+			switch fun := n.Fun.(type) {
+			case *ast.Ident:
+				switch fun.Name {
+				case "make":
+					report(n, "make allocates")
+				case "new":
+					report(n, "new allocates")
+				case "append":
+					report(n, "append may grow its backing array")
+				case "string":
+					report(n, "string conversion copies")
+				}
+			case *ast.ArrayType:
+				if fun.Len == nil {
+					report(n, "slice conversion copies")
+				}
+			case *ast.SelectorExpr:
+				if id, ok := fun.X.(*ast.Ident); ok && id.Name == "fmt" {
+					report(n, "fmt."+fun.Sel.Name+" allocates")
+				}
+			}
+		}
+		return true
+	})
+	return findings
+}

@@ -1,0 +1,281 @@
+// Package lint is the in-repo static-analysis framework behind
+// cmd/cuszhilint: a stdlib-only (go/ast + go/parser + go/token, no x/tools)
+// analyzer harness that walks every package in the repository and enforces
+// the ROADMAP's standing codec invariants at review time instead of waiting
+// for a fuzzer to stumble on a violation.
+//
+// Four analyzers ship with the framework, each grounded in a bug class the
+// repo has already paid for:
+//
+//   - wirelen:      int(x) of a 64-bit wire value (binary.Uvarint,
+//     bitio.Uvarint, binary.LittleEndian.Uint32/64) without a
+//     dominating bound check (the PR-3 lccodec hostile-length
+//     panics, the PR-5 overflow sweep).
+//   - corrupterr:   decode paths in wire-decoding packages must surface
+//     malformed input as ErrCorrupt (directly or %w-wrapped),
+//     never panic and never invent bare errors.
+//   - hotpathalloc: functions annotated //cuszhi:hotpath may not contain
+//     allocating constructs, complementing the runtime
+//     AllocsPerRun guards.
+//   - wireid:       codec wire IDs 1-8 and format versions v1-v5 are
+//     append-only; the analyzer pins them to an embedded
+//     golden table so they can never be renumbered.
+//
+// Findings are suppressed by a `//lint:ignore <check> <reason>` comment on
+// the flagged line or the line above it. Suppressions are counted, and a
+// directive that matches nothing is itself reported (check "staleignore"),
+// so dead ignores cannot accumulate.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Finding is one analyzer report, positioned at file:line:col.
+type Finding struct {
+	Check   string         // analyzer name ("wirelen", ...)
+	Pos     token.Position // position of the offending node
+	Message string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Check, f.Message)
+}
+
+// Analyzer is one named check run over every loaded package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(p *Package) []Finding
+}
+
+// Package is one parsed (not type-checked) Go package: every analyzer in
+// this framework is purely syntactic, so parsing with comments is all the
+// loading there is.
+type Package struct {
+	Dir   string
+	Name  string
+	Fset  *token.FileSet
+	Files []*ast.File
+}
+
+// Analyzers returns the framework's built-in checker set, ordered by name.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		corruptErrAnalyzer(),
+		hotPathAllocAnalyzer(),
+		wireIDAnalyzer(),
+		wireLenAnalyzer(),
+	}
+}
+
+// Load parses the packages matched by patterns, rooted at dir. A pattern is
+// either a directory path or a recursive `dir/...` form (the `./...` the
+// CLI and the repo-clean test use). Directories named "testdata", hidden
+// directories, and _test.go files are skipped unless includeTests is set
+// (which admits _test.go files; testdata stays out — fixture snippets are
+// deliberately lint-dirty).
+func Load(root string, patterns []string, includeTests bool) ([]*Package, error) {
+	dirs := map[string]bool{}
+	for _, pat := range patterns {
+		rec := false
+		if strings.HasSuffix(pat, "/...") {
+			rec = true
+			pat = strings.TrimSuffix(pat, "/...")
+		} else if pat == "..." {
+			rec, pat = true, "."
+		}
+		base := pat
+		if !filepath.IsAbs(base) {
+			base = filepath.Join(root, pat)
+		}
+		base = filepath.Clean(base)
+		if !rec {
+			dirs[base] = true
+			continue
+		}
+		err := filepath.WalkDir(base, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != base && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			dirs[path] = true
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sorted := make([]string, 0, len(dirs))
+	for d := range dirs {
+		sorted = append(sorted, d)
+	}
+	sort.Strings(sorted)
+
+	var pkgs []*Package
+	for _, dir := range sorted {
+		pkg, err := loadDir(dir, includeTests)
+		if err != nil {
+			return nil, err
+		}
+		if pkg != nil {
+			pkgs = append(pkgs, pkg)
+		}
+	}
+	return pkgs, nil
+}
+
+// loadDir parses every non-test .go file in dir into one Package (nil when
+// the directory holds no Go files). Files from multiple package clauses in
+// one directory (e.g. package x and x_test externals) land in the same
+// Package: the analyzers are per-file syntactic, so mixing is harmless.
+func loadDir(dir string, includeTests bool) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	pkg := &Package{Dir: dir, Fset: fset}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		if !includeTests && strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: parse %s: %w", filepath.Join(dir, name), err)
+		}
+		pkg.Files = append(pkg.Files, f)
+		if pkg.Name == "" || !strings.HasSuffix(f.Name.Name, "_test") {
+			pkg.Name = f.Name.Name
+		}
+	}
+	if len(pkg.Files) == 0 {
+		return nil, nil
+	}
+	return pkg, nil
+}
+
+// Result is the outcome of one Run: the surviving findings (stale-ignore
+// reports included, check "staleignore") and the number of findings that
+// //lint:ignore directives suppressed.
+type Result struct {
+	Findings   []Finding
+	Suppressed int
+}
+
+// ignoreDirective is one parsed //lint:ignore comment.
+type ignoreDirective struct {
+	pos   token.Position // position of the comment itself
+	check string
+	used  bool
+}
+
+// Run applies every analyzer to every package, resolves //lint:ignore
+// suppressions, and appends a "staleignore" finding for each directive that
+// suppressed nothing. Findings are sorted by position.
+func Run(pkgs []*Package, analyzers []*Analyzer) Result {
+	var res Result
+	for _, pkg := range pkgs {
+		directives := collectIgnores(pkg)
+		for _, a := range analyzers {
+			for _, f := range a.Run(pkg) {
+				if dir := matchIgnore(directives, f); dir != nil {
+					dir.used = true
+					res.Suppressed++
+					continue
+				}
+				res.Findings = append(res.Findings, f)
+			}
+		}
+		for _, d := range directives {
+			if !d.used {
+				res.Findings = append(res.Findings, Finding{
+					Check: "staleignore",
+					Pos:   d.pos,
+					Message: fmt.Sprintf("//lint:ignore %s directive suppresses nothing — remove it or fix the directive",
+						d.check),
+				})
+			}
+		}
+	}
+	sort.Slice(res.Findings, func(i, j int) bool {
+		a, b := res.Findings[i].Pos, res.Findings[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return res.Findings[i].Check < res.Findings[j].Check
+	})
+	return res
+}
+
+// collectIgnores gathers every //lint:ignore directive in the package. The
+// directive form is `//lint:ignore <check> <reason>`; a missing reason is
+// itself malformed and reported via a zero check name that matches nothing.
+func collectIgnores(pkg *Package) []*ignoreDirective {
+	var out []*ignoreDirective
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//lint:ignore")
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(text)
+				d := &ignoreDirective{pos: pkg.Fset.Position(c.Pos())}
+				if len(fields) >= 2 { // check name + at least one reason word
+					d.check = fields[0]
+				}
+				out = append(out, d)
+			}
+		}
+	}
+	return out
+}
+
+// matchIgnore returns the first directive suppressing f: same file, same
+// check, on the finding's line or the line immediately above it.
+func matchIgnore(directives []*ignoreDirective, f Finding) *ignoreDirective {
+	for _, d := range directives {
+		if d.check != f.Check || d.pos.Filename != f.Pos.Filename {
+			continue
+		}
+		if d.pos.Line == f.Pos.Line || d.pos.Line == f.Pos.Line-1 {
+			return d
+		}
+	}
+	return nil
+}
+
+// funcDocHas reports whether decl's doc comment block contains a line whose
+// directive text equals marker (e.g. "//cuszhi:hotpath").
+func funcDocHas(decl *ast.FuncDecl, marker string) bool {
+	if decl.Doc == nil {
+		return false
+	}
+	for _, c := range decl.Doc.List {
+		if strings.TrimSpace(c.Text) == marker {
+			return true
+		}
+	}
+	return false
+}

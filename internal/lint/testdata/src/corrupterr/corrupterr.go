@@ -1,0 +1,43 @@
+// Fixture for the corrupterr analyzer: a wire-decoding package (it declares
+// ErrCorrupt) whose decode paths break the error contract. Parsed, never
+// compiled.
+package corrupterr
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrCorrupt marks this fixture as a wire-decoding package.
+var ErrCorrupt = errors.New("corrupterr: corrupt stream")
+
+// decodeBad breaks the contract three ways.
+func decodeBad(p []byte) error {
+	if len(p) == 0 {
+		return errors.New("short buffer")
+	}
+	if p[0] > 3 {
+		return fmt.Errorf("bad mode %d", p[0])
+	}
+	if p[0] == 2 {
+		panic("unreachable mode")
+	}
+	return nil
+}
+
+// DecompressGood keeps errors.Is working: direct return and %w-wrap.
+func DecompressGood(p []byte) error {
+	if len(p) == 0 {
+		return ErrCorrupt
+	}
+	if p[0] > 3 {
+		return fmt.Errorf("bad mode %d: %w", p[0], ErrCorrupt)
+	}
+	return nil
+}
+
+// Parse takes a config string, not wire bytes: out of scope, bare errors
+// are fine here.
+func Parse(spec string) error {
+	return errors.New("unknown spec " + spec)
+}

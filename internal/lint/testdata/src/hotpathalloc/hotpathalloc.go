@@ -1,0 +1,41 @@
+// Fixture for the hotpathalloc analyzer: an annotated function containing
+// every flagged construct. Parsed, never compiled.
+package hotpathalloc
+
+import "fmt"
+
+type pair struct{ a, b int }
+
+// kernelBad opts in and then allocates every way the analyzer knows.
+//
+//cuszhi:hotpath
+func kernelBad(dst []byte) {
+	tmp := make([]byte, 8)
+	dst = append(dst, tmp...)
+	m := map[int]int{}
+	_ = m
+	s := []int{1, 2}
+	_ = s
+	p := &pair{a: 1, b: 2}
+	_ = p
+	fmt.Println("hot")
+	go func() {}()
+	_ = string(dst)
+	_ = []byte("copy")
+}
+
+// notAnnotated allocates freely: no marker, no findings.
+func notAnnotated() []byte {
+	return make([]byte, 8)
+}
+
+// kernelGood opts in and stays clean.
+//
+//cuszhi:hotpath
+func kernelGood(dst []byte, v byte) {
+	var acc [4]byte
+	for i := range dst {
+		acc[i&3] ^= v
+		dst[i] = acc[i&3]
+	}
+}

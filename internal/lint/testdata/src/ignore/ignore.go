@@ -1,0 +1,22 @@
+// Fixture for //lint:ignore handling: one directive that suppresses a real
+// finding, one that matches nothing and must be reported as stale. Parsed,
+// never compiled.
+package ignore
+
+import "errors"
+
+// ErrCorrupt puts decode functions in corrupterr's scope.
+var ErrCorrupt = errors.New("ignore: corrupt stream")
+
+// decodeSuppressed would be a corrupterr finding, but the directive on the
+// line above the violation suppresses it.
+func decodeSuppressed(p []byte) error {
+	//lint:ignore corrupterr fixture demonstrates a justified suppression
+	return errors.New("deliberately bare")
+}
+
+// The next directive sits on a clean line: nothing to suppress, so the
+// framework must report it as staleignore.
+//
+//lint:ignore wirelen stale directive that matches no finding
+var clean = 0

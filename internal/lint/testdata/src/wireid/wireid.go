@@ -1,0 +1,29 @@
+// Fixture for the wireid analyzer: a "core" package whose wire tables
+// violate the append-only contract every way the analyzer knows. Parsed,
+// never compiled.
+package core
+
+// CodecID puts this fixture in the analyzer's scope.
+type CodecID uint8
+
+const (
+	codecInvalid CodecID = 0
+	CodecHiCR    CodecID = 9 // renumbered: shipped value is 1
+	CodecHiTP    CodecID = 2
+	CodecCuszI   CodecID = 3
+	CodecCuszIB  CodecID = 4
+	CodecCuszL   CodecID = 5
+	CodecFzGPU   CodecID = 6
+	CodecSZp     CodecID = 7
+	CodecSZx     CodecID = 8
+	CodecDupe    CodecID = 8    // duplicate of CodecSZx, and inside the shipped range
+	CodecIota    CodecID = iota // not an explicit literal
+)
+
+const (
+	version  = 1
+	version2 = 2
+	version3 = 3
+	version4 = 4
+	version5 = 6 // renumbered: shipped byte is 5
+)

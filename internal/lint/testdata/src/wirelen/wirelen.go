@@ -1,0 +1,63 @@
+// Fixture for the wirelen analyzer: known-bad wire-length handling. This
+// file is parsed, never compiled.
+package wirelen
+
+import (
+	"encoding/binary"
+
+	"repro/internal/bitio"
+)
+
+// decodeRLEPr3 reproduces the PR-3 lccodec bug verbatim: the declared
+// original length is converted with int() and sizes a make with no bound
+// check anywhere — a 2^63-scale varint wraps negative and panics.
+func decodeRLEPr3(p []byte) ([]byte, error) {
+	origLen, n := bitio.Uvarint(p)
+	if n == 0 {
+		return nil, ErrCorrupt
+	}
+	out := make([]byte, int(origLen))
+	return out, nil
+}
+
+// decodeRawMake skips the conversion entirely: make accepts any integer
+// type, so the raw uint64 is an alloc bomb with no int() in sight.
+func decodeRawMake(p []byte) []byte {
+	n64, _ := binary.Uvarint(p)
+	return make([]byte, n64)
+}
+
+// decodeRawSlice slices with the unchecked wire value.
+func decodeRawSlice(p []byte) []byte {
+	ln := binary.LittleEndian.Uint64(p)
+	return p[:ln]
+}
+
+// decodeBounded is the good shape: an explicit bound dominates the use.
+func decodeBounded(p []byte) ([]byte, error) {
+	n64, n := bitio.Uvarint(p)
+	if n == 0 || n64 > uint64(len(p)) {
+		return nil, ErrCorrupt
+	}
+	return make([]byte, int(n64)), nil
+}
+
+// decodeCapped goes through the shared helper, which is also sanctioned.
+func decodeCapped(p []byte) ([]byte, error) {
+	n64, n := bitio.Uvarint(p)
+	if n == 0 {
+		return nil, ErrCorrupt
+	}
+	ln, ok := bitio.IntLen(n64)
+	if !ok {
+		return nil, ErrCorrupt
+	}
+	return make([]byte, ln), nil
+}
+
+// decodeReassigned unpoisons by overwriting the variable before use.
+func decodeReassigned(p []byte) []byte {
+	v, _ := binary.Uvarint(p)
+	v = 16
+	return make([]byte, int(v))
+}

@@ -1,0 +1,178 @@
+// The wireid analyzer: codec wire IDs and container format versions are
+// append-only and can never be renumbered.
+//
+// The analyzer pins internal/core's CodecID constants and version bytes to
+// the embedded golden table below. Scope: any package named "core" that
+// declares `type CodecID` (the real registry, and the analyzer's own
+// fixtures). Enforced: every shipped name is present with exactly its
+// shipped literal value; no new CodecID constant reuses a shipped number or
+// collides with another; values are explicit integer literals (an iota
+// chain would silently renumber when a line is inserted).
+//
+// Growing the format is still one-line easy — a new codec takes the next
+// free ID, a new version the next byte — but those additions land here too,
+// in the golden table, making the append-only contract part of the diff.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strconv"
+)
+
+func wireIDAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "wireid",
+		Doc:  "codec wire IDs 1-8 and format versions v1-v5 are append-only, never renumbered",
+		Run:  runWireID,
+	}
+}
+
+// goldenWireIDs pins every shipped CodecID constant (ROADMAP standing
+// invariant: 1-5 assemblies; 6 fzgpu, 7 szp, 8 szx backends). Appending a
+// NEW codec means adding it both to internal/core and to this table.
+var goldenWireIDs = map[string]int{
+	"codecInvalid": 0,
+	"CodecHiCR":    1,
+	"CodecHiTP":    2,
+	"CodecCuszI":   3,
+	"CodecCuszIB":  4,
+	"CodecCuszL":   5,
+	"CodecFzGPU":   6,
+	"CodecSZp":     7,
+	"CodecSZx":     8,
+}
+
+// maxShippedWireID is the ceiling below which no new CodecID may land.
+const maxShippedWireID = 8
+
+// goldenVersions pins the container version bytes (byte 4 of every
+// container): v1 one-shot through v5 per-chunk codec IDs.
+var goldenVersions = map[string]int{
+	"version":  1,
+	"version2": 2,
+	"version3": 3,
+	"version4": 4,
+	"version5": 5,
+}
+
+func runWireID(pkg *Package) []Finding {
+	codecIDDecl := findTypeDecl(pkg, "CodecID")
+	if pkg.Name != "core" || codecIDDecl == nil {
+		return nil
+	}
+	var findings []Finding
+	report := func(pos token.Pos, msg string) {
+		findings = append(findings, Finding{Check: "wireid", Pos: pkg.Fset.Position(pos), Message: msg})
+	}
+
+	seenIDs := map[string]int{}    // CodecID const name -> value
+	seenValues := map[int]string{} // CodecID value -> first const name
+	seenVersions := map[string]int{}
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.CONST {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				isCodecID := false
+				if id, ok := vs.Type.(*ast.Ident); ok && id.Name == "CodecID" {
+					isCodecID = true
+				}
+				for i, name := range vs.Names {
+					_, isVersion := goldenVersions[name.Name]
+					if !isCodecID && !isVersion {
+						continue
+					}
+					v, ok := literalInt(vs, i)
+					if !ok {
+						report(name.Pos(), fmt.Sprintf(
+							"%s must be an explicit integer literal (an iota chain renumbers when a line is inserted)",
+							name.Name))
+						continue
+					}
+					if isCodecID {
+						seenIDs[name.Name] = v
+						if prev, dup := seenValues[v]; dup {
+							report(name.Pos(), fmt.Sprintf("CodecID %d assigned to both %s and %s", v, prev, name.Name))
+						} else {
+							seenValues[v] = name.Name
+						}
+						if want, shipped := goldenWireIDs[name.Name]; shipped {
+							if v != want {
+								report(name.Pos(), fmt.Sprintf(
+									"wire ID %s = %d renumbers the shipped value %d: IDs are append-only",
+									name.Name, v, want))
+							}
+						} else if v <= maxShippedWireID {
+							report(name.Pos(), fmt.Sprintf(
+								"new codec %s reuses wire ID %d (shipped range 0-%d): take the next free ID",
+								name.Name, v, maxShippedWireID))
+						}
+					}
+					if isVersion {
+						seenVersions[name.Name] = v
+						if want := goldenVersions[name.Name]; v != want {
+							report(name.Pos(), fmt.Sprintf(
+								"format %s = %d renumbers the shipped version byte %d", name.Name, v, want))
+						}
+					}
+				}
+			}
+		}
+	}
+	for name, want := range goldenWireIDs {
+		if _, ok := seenIDs[name]; !ok {
+			report(codecIDDecl.Pos(), fmt.Sprintf(
+				"shipped wire ID %s (= %d) is missing: containers already on disk carry it forever", name, want))
+		}
+	}
+	for name, want := range goldenVersions {
+		if _, ok := seenVersions[name]; !ok {
+			report(codecIDDecl.Pos(), fmt.Sprintf(
+				"shipped format version const %s (= %d) is missing: old containers must keep decoding", name, want))
+		}
+	}
+	return findings
+}
+
+// findTypeDecl returns the TypeSpec declaring the named type, or nil.
+func findTypeDecl(pkg *Package, name string) *ast.TypeSpec {
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				if ts, ok := spec.(*ast.TypeSpec); ok && ts.Name.Name == name {
+					return ts
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// literalInt evaluates value i of a const spec when it is a plain integer
+// literal (the only form the wire tables allow).
+func literalInt(vs *ast.ValueSpec, i int) (int, bool) {
+	if i >= len(vs.Values) {
+		return 0, false
+	}
+	lit, ok := vs.Values[i].(*ast.BasicLit)
+	if !ok || lit.Kind != token.INT {
+		return 0, false
+	}
+	v, err := strconv.Atoi(lit.Value)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}

@@ -1,0 +1,245 @@
+// The wirelen analyzer: hostile wire lengths must be capped before they are
+// converted to int.
+//
+// The bug class (PR 3's lccodec hostile-length panics, PR 5's
+// szp/szx/fzgpu/lz overflow sweep): a 64-bit length read off the wire —
+// binary.Uvarint, bitio.Uvarint, binary.LittleEndian.Uint32/Uint64 — is
+// converted with int(x) and then sizes a make, a slice expression, or a
+// read. A 2^63-scale value wraps the int negative and panics the slice; a
+// 2^40-scale one forces an absurd allocation. Every conversion must be
+// dominated by a bound check on the 64-bit value (any <, <=, >, >=
+// comparison mentioning it, which is how this repo writes its caps), or go
+// through bitio.IntLen, the shared capping helper.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+)
+
+func wireLenAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "wirelen",
+		Doc:  "int(x) of an unchecked 64-bit wire value (Uvarint / LittleEndian.Uint32/64)",
+		Run:  runWireLen,
+	}
+}
+
+// narrowingConversions are the conversion targets that can truncate or
+// sign-flip a 64-bit wire value.
+var narrowingConversions = map[string]bool{
+	"int": true, "int8": true, "int16": true, "int32": true, "int64": true,
+	"uint": true, "uint8": true, "uint16": true, "uint32": true,
+}
+
+// wireEvent is one position-ordered fact about a tracked variable.
+type wireEvent struct {
+	pos  token.Pos
+	kind int // taint, untaint, check, or use
+	name string
+	node ast.Node // the conversion expression, for use events
+}
+
+const (
+	evTaint = iota
+	evUntaint
+	evCheck
+	evUse
+)
+
+func runWireLen(pkg *Package) []Finding {
+	var findings []Finding
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			findings = append(findings, wireLenFunc(pkg, fn)...)
+		}
+	}
+	return findings
+}
+
+// wireLenFunc replays the function body's events in source order. Closures
+// share the enclosing function's event stream: a bound check established
+// before a dev.Launch kernel dominates uses inside it.
+func wireLenFunc(pkg *Package, fn *ast.FuncDecl) []Finding {
+	var events []wireEvent
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			events = append(events, assignEvents(n)...)
+		case *ast.BinaryExpr:
+			if isBoundOp(n.Op) {
+				for _, name := range identsIn(n) {
+					events = append(events, wireEvent{pos: n.Pos(), kind: evCheck, name: name})
+				}
+			}
+		case *ast.CallExpr:
+			if isCapHelperCall(n) {
+				for _, arg := range n.Args {
+					for _, name := range identsIn(arg) {
+						events = append(events, wireEvent{pos: n.Pos(), kind: evCheck, name: name})
+					}
+				}
+				return true
+			}
+			if fun, ok := n.Fun.(*ast.Ident); ok && len(n.Args) >= 1 {
+				if narrowingConversions[fun.Name] && len(n.Args) == 1 {
+					if id, ok := n.Args[0].(*ast.Ident); ok {
+						events = append(events, wireEvent{pos: n.Args[0].Pos(), kind: evUse, name: id.Name, node: n})
+					}
+				}
+				// make([]T, n64) compiles with any integer type: a raw
+				// uint64 wire value sizing an allocation is the alloc-bomb
+				// variant of the same bug, no int() conversion required.
+				if fun.Name == "make" {
+					for _, arg := range n.Args[1:] {
+						if id, ok := arg.(*ast.Ident); ok {
+							events = append(events, wireEvent{pos: arg.Pos(), kind: evUse, name: id.Name, node: n})
+						}
+					}
+				}
+			}
+		case *ast.SliceExpr:
+			// b[:n64] also compiles with any integer type.
+			for _, idx := range []ast.Expr{n.Low, n.High, n.Max} {
+				if id, ok := idx.(*ast.Ident); ok {
+					events = append(events, wireEvent{pos: idx.Pos(), kind: evUse, name: id.Name, node: n})
+				}
+			}
+		}
+		return true
+	})
+	return replayWireEvents(pkg, events)
+}
+
+// assignEvents derives taint/untaint events from one assignment: the first
+// LHS of a wire-source call becomes tainted, any other assignment clears.
+func assignEvents(a *ast.AssignStmt) []wireEvent {
+	var out []wireEvent
+	taintFirst := len(a.Rhs) == 1 && isWireSourceCall(a.Rhs[0])
+	for i, lhs := range a.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			continue
+		}
+		kind := evUntaint
+		if taintFirst && i == 0 {
+			kind = evTaint
+		}
+		out = append(out, wireEvent{pos: id.Pos(), kind: kind, name: id.Name})
+	}
+	return out
+}
+
+// isWireSourceCall matches the reads that introduce 64-bit wire values:
+// any *.Uvarint(...) (encoding/binary and internal/bitio share the name)
+// and binary.LittleEndian/BigEndian.Uint16/32/64.
+func isWireSourceCall(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	switch sel.Sel.Name {
+	case "Uvarint", "ReadUvarint":
+		return true
+	case "Uint16", "Uint32", "Uint64":
+		if inner, ok := sel.X.(*ast.SelectorExpr); ok {
+			return inner.Sel.Name == "LittleEndian" || inner.Sel.Name == "BigEndian"
+		}
+	}
+	return false
+}
+
+// isCapHelperCall matches bitio.IntLen, the shared conversion helper that
+// caps before converting.
+func isCapHelperCall(call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	return sel.Sel.Name == "IntLen"
+}
+
+func isBoundOp(op token.Token) bool {
+	switch op {
+	case token.LSS, token.LEQ, token.GTR, token.GEQ:
+		return true
+	}
+	return false
+}
+
+// identsIn collects every bare identifier inside e.
+func identsIn(e ast.Expr) []string {
+	var out []string
+	ast.Inspect(e, func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectorExpr); ok {
+			// x.f mentions x as a value of its own, not the field name.
+			ast.Inspect(sel.X, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok {
+					out = append(out, id.Name)
+				}
+				return true
+			})
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			out = append(out, id.Name)
+		}
+		return true
+	})
+	return out
+}
+
+// replayWireEvents sorts the event stream by position and reports every use
+// whose governing taint has no intervening bound check.
+func replayWireEvents(pkg *Package, events []wireEvent) []Finding {
+	order := make([]int, len(events))
+	for i := range order {
+		order[i] = i
+	}
+	// Insertion sort by position (streams are short; stable on ties so a
+	// taint at the same position as a use wins deterministically).
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && events[order[j]].pos < events[order[j-1]].pos; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	type state struct {
+		tainted bool
+		checked bool
+	}
+	vars := map[string]state{}
+	var findings []Finding
+	for _, idx := range order {
+		ev := events[idx]
+		switch ev.kind {
+		case evTaint:
+			vars[ev.name] = state{tainted: true}
+		case evUntaint:
+			vars[ev.name] = state{}
+		case evCheck:
+			if s := vars[ev.name]; s.tainted {
+				s.checked = true
+				vars[ev.name] = s
+			}
+		case evUse:
+			if s := vars[ev.name]; s.tainted && !s.checked {
+				findings = append(findings, Finding{
+					Check: "wirelen",
+					Pos:   pkg.Fset.Position(ev.node.Pos()),
+					Message: fmt.Sprintf("%s holds an unchecked wire value: cap it (bitio.IntLen or an explicit bound) before converting to int",
+						ev.name),
+				})
+			}
+		}
+	}
+	return findings
+}

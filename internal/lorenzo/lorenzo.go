@@ -137,6 +137,8 @@ func Prequantize(dev *gpusim.Device, data []float32, twoEB float64) []int64 {
 
 // PrequantizeCtx is Prequantize drawing the lattice buffer from ctx (the
 // result is context scratch when ctx is non-nil).
+//
+//cuszhi:hotpath
 func PrequantizeCtx(ctx *arena.Ctx, dev *gpusim.Device, data []float32, twoEB float64) []int64 {
 	s := scratchFor(ctx)
 	qv := ctx.I64(len(data))

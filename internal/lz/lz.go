@@ -95,6 +95,9 @@ func scratchFor(ctx *arena.Ctx) *lzScratch {
 	return s
 }
 
+// hash4 is the per-position hash of the match finder.
+//
+//cuszhi:hotpath
 func hash4(p []byte) uint32 {
 	v := uint32(p[0]) | uint32(p[1])<<8 | uint32(p[2])<<16 | uint32(p[3])<<24
 	return (v * 2654435761) >> hashShift
@@ -163,6 +166,9 @@ func parse(ctx *arena.Ctx, src []byte, window, maxChain, maxMatch int) []seq {
 	return seqs
 }
 
+// matchLen extends a candidate match; it runs once per chain probe.
+//
+//cuszhi:hotpath
 func matchLen(src []byte, a, b, maxMatch int) int {
 	n := len(src)
 	l := 0
@@ -255,6 +261,9 @@ func DecodeCtx(ctx *arena.Ctx, dev *gpusim.Device, data []byte, v Variant) ([]by
 	case GDeflateLite:
 		return decodeEntropy(ctx, dev, data, false)
 	}
+	// The variant is a caller-supplied API argument, not a wire value, so a
+	// bad one is a usage error rather than stream corruption.
+	//lint:ignore corrupterr variant comes from the caller, not the wire
 	return nil, fmt.Errorf("lz: unknown variant %d", v)
 }
 

@@ -1,0 +1,28 @@
+package ndzip
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/bitio"
+)
+
+// TestDecodeHostileDeclaredLength pins the wire-length cap on the container
+// header: a 2^63-scale declared length used to wrap the int negative and
+// panic the output allocation, and a merely-huge one forced a multi-GB make
+// before any payload check. Both must fail with ErrCorrupt.
+func TestDecodeHostileDeclaredLength(t *testing.T) {
+	for _, declared := range []uint64{
+		1 << 63,       // wraps int negative on 64-bit
+		1<<63 + 12345, // ditto, non-round
+		1 << 40,       // fits an int but dwarfs the container
+	} {
+		blob := bitio.AppendUvarint(nil, declared)
+		// A little payload so the header parse itself succeeds.
+		blob = append(blob, make([]byte, 64)...)
+		out, err := Decode(dev, blob)
+		if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("declared=%d: got (%d bytes, %v), want ErrCorrupt", declared, len(out), err)
+		}
+	}
+}

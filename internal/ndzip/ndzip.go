@@ -78,7 +78,14 @@ func Decode(dev *gpusim.Device, data []byte) ([]byte, error) {
 	if n == 0 {
 		return nil, ErrCorrupt
 	}
-	origLen := int(origLen64)
+	// Cap before the int conversion and the make below: a 2^63-scale
+	// declared length wraps the int negative and panics the allocation; a
+	// smaller hostile one must still fail against the container size (every
+	// chunk costs >= 4 mask bytes) instead of forcing a huge make.
+	origLen, ok := bitio.IntLen(origLen64)
+	if !ok || origLen/(chunkWords*4)*4 > len(data) {
+		return nil, ErrCorrupt
+	}
 	off := n
 	nWords := origLen / 4
 	nChunks := (nWords + chunkWords - 1) / chunkWords

@@ -102,8 +102,8 @@ func ParseOutliersInto(ctx *arena.Ctx, o *Outliers, p []byte) (int, error) {
 		return 0, ErrCorrupt
 	}
 	off := n
-	count := int(count64)
-	if count < 0 || count > len(p) { // each entry needs >= 5 bytes
+	count, ok := bitio.IntLen(count64)
+	if !ok || count > len(p) { // each entry needs >= 5 bytes
 		return 0, ErrCorrupt
 	}
 	o.Pos = ctx.Ints(count)
@@ -111,7 +111,10 @@ func ParseOutliersInto(ctx *arena.Ctx, o *Outliers, p []byte) (int, error) {
 	prev := 0
 	for i := 0; i < count; i++ {
 		d, n := bitio.Uvarint(p[off:])
-		if n == 0 {
+		// Cap the delta before converting: consumers bounds-check positions
+		// before indexing, but a wrapped int would corrupt the running sum
+		// into a plausible-looking (wrong) position instead of failing here.
+		if n == 0 || d > bitio.MaxWireLen {
 			return 0, ErrCorrupt
 		}
 		off += n
@@ -211,6 +214,8 @@ func levelOrderPerm(nz, ny, nx, anchorStride int) []int32 {
 }
 
 // Apply gathers src into level order: dst[k] = src[perm[k]].
+//
+//cuszhi:hotpath
 func Apply(dev *gpusim.Device, perm []int32, src, dst []uint8) {
 	dev.LaunchChunks(len(perm), 1<<16, func(lo, hi int) {
 		for k := lo; k < hi; k++ {
@@ -220,6 +225,8 @@ func Apply(dev *gpusim.Device, perm []int32, src, dst []uint8) {
 }
 
 // Invert scatters level-ordered data back: dst[perm[k]] = src[k].
+//
+//cuszhi:hotpath
 func Invert(dev *gpusim.Device, perm []int32, src, dst []uint8) {
 	dev.LaunchChunks(len(perm), 1<<16, func(lo, hi int) {
 		for k := lo; k < hi; k++ {

@@ -175,6 +175,8 @@ func Decompress(dev *gpusim.Device, blob []byte) ([]float32, error) {
 
 // DecompressCtx is Decompress with a reusable context. With a non-nil ctx
 // the returned field is context scratch, valid until the next ctx.Reset.
+//
+//cuszhi:hotpath
 func DecompressCtx(ctx *arena.Ctx, dev *gpusim.Device, blob []byte) ([]float32, error) {
 	n64, nn := bitio.Uvarint(blob)
 	// Cap the element count before any conversion or allocation sized by
@@ -214,12 +216,14 @@ func DecompressCtx(ctx *arena.Ctx, dev *gpusim.Device, blob []byte) ([]float32, 
 	prevPos := 0
 	for i := 0; i < nOut; i++ {
 		d, nn := bitio.Uvarint(blob[off:])
-		if nn == 0 {
+		// Cap the delta before the int conversion below adds it to the
+		// running position.
+		if nn == 0 || d > 1<<33 {
 			return nil, ErrCorrupt
 		}
 		off += nn
 		prevPos += int(d)
-		if d > 1<<33 || prevPos < 0 || prevPos >= n || off+4 > len(blob) {
+		if prevPos < 0 || prevPos >= n || off+4 > len(blob) {
 			return nil, ErrCorrupt
 		}
 		outPos[i] = prevPos

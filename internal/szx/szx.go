@@ -196,6 +196,8 @@ func Decompress(dev *gpusim.Device, blob []byte) ([]float32, error) {
 
 // DecompressCtx is Decompress with a reusable context. With a non-nil ctx
 // the returned field is context scratch, valid until the next ctx.Reset.
+//
+//cuszhi:hotpath
 func DecompressCtx(ctx *arena.Ctx, dev *gpusim.Device, blob []byte) ([]float32, error) {
 	n64, nn := bitio.Uvarint(blob)
 	// Cap the element count before any conversion or allocation sized by

@@ -1,0 +1,33 @@
+package zfp
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/bitio"
+	"repro/internal/gpusim"
+)
+
+// TestDecompressHostileDimsProduct pins the incremental element-count cap:
+// each dim individually clears the 2^30 per-dim bound, but three of them
+// multiply to 2^90, which wraps the int64 product to 0 — slipping past the
+// total-size check and silently decoding an empty field with a nil error.
+func TestDecompressHostileDimsProduct(t *testing.T) {
+	dev := gpusim.New(2)
+	for _, dims := range [][]uint64{
+		{1 << 30, 1 << 30, 1 << 30}, // product wraps to 0
+		{1 << 30, 1 << 30},          // 2^60: fits int64 but is an alloc bomb
+		{1 << 30, 1 << 21},          // 2^51: ditto
+	} {
+		blob := bitio.AppendUvarint(nil, uint64(len(dims)))
+		for _, d := range dims {
+			blob = bitio.AppendUvarint(blob, d)
+		}
+		blob = bitio.AppendUvarint(blob, minBlockBits)
+		blob = append(blob, make([]byte, 64)...)
+		out, _, err := Decompress(dev, blob)
+		if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("dims=%v: got (%d values, %v), want ErrCorrupt", dims, len(out), err)
+		}
+	}
+}

@@ -438,6 +438,11 @@ func Decompress(dev *gpusim.Device, blob []byte) ([]float32, []int, error) {
 	}
 	off := n
 	dims := make([]int, nd64)
+	// Cap the running element-count product as dims are parsed: each dim is
+	// individually <= 2^30, but three together reach 2^90, which wraps the
+	// int64 product — possibly to a small value that slips past the total
+	// check below.
+	total64 := int64(1)
 	for i := range dims {
 		v, n := bitio.Uvarint(blob[off:])
 		if n == 0 || v == 0 || v > 1<<30 {
@@ -445,6 +450,10 @@ func Decompress(dev *gpusim.Device, blob []byte) ([]float32, []int, error) {
 		}
 		off += n
 		dims[i] = int(v)
+		total64 *= int64(v)
+		if total64 > 1<<31 {
+			return nil, nil, ErrCorrupt
+		}
 	}
 	bits64, n := bitio.Uvarint(blob[off:])
 	if n == 0 || bits64 < minBlockBits || bits64 > 30<<6 {
