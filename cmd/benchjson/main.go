@@ -8,8 +8,9 @@
 // Huffman entropy stage, one-shot compress/decompress through a reused
 // codec context, the serial-vs-sharded chunked pipeline (the
 // BenchmarkStreamChunked shapes), and the stream/automode entries — a
-// mixed smooth/noisy field compressed with per-chunk adaptive codec
-// selection vs the best single fixed mode, reporting ratio alongside
+// mixed smooth/noisy field compressed with per-chunk estimator-driven
+// codec selection (one entry per selection policy: best-ratio, throughput,
+// ratio-floor) vs the best single fixed mode, reporting ratio alongside
 // throughput. -quick shrinks the field sizes for CI smoke runs; -baseline
 // embeds a previous run and reports speedups against it, keeping the
 // cross-PR trajectory in one file.
@@ -206,6 +207,22 @@ func suite(quick bool) ([]bench, error) {
 	autoRatio := float64(mixBytes) / float64(len(autoBlob))
 	fixedRatio := float64(mixBytes) / float64(bestFixedLen)
 
+	// The non-default selection policies on the same field: throughput may
+	// trade a little ratio for a faster codec, ratio-floor takes the fastest
+	// codec that still clears the floor.
+	thrPol := core.ThroughputPolicy()
+	rfPol := core.RatioFloorPolicy(8)
+	thrBlob, err := core.CompressChunkedAutoPolicy(dev4, mix, mixDims, mixEB, 32, thrPol)
+	if err != nil {
+		return nil, err
+	}
+	rfBlob, err := core.CompressChunkedAutoPolicy(dev4, mix, mixDims, mixEB, 32, rfPol)
+	if err != nil {
+		return nil, err
+	}
+	thrRatio := float64(mixBytes) / float64(len(thrBlob))
+	rfRatio := float64(mixBytes) / float64(len(rfBlob))
+
 	// Per-backend chunk codecs (format v5, fixed codec per container) on
 	// the same streaming field: throughput and ratio for each registered
 	// backend next to the assembly numbers above.
@@ -250,9 +267,23 @@ func suite(quick bool) ([]bench, error) {
 	}
 
 	return append(benches, []bench{
-		{"stream/automode/compress-auto-4w", mixBytes, autoRatio, func(b *testing.B) {
+		{"stream/automode/compress-auto-estimator-4w", mixBytes, autoRatio, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, err := core.CompressChunkedAuto(dev4, mix, mixDims, mixEB, 32); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"stream/automode/compress-auto-throughput-4w", mixBytes, thrRatio, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.CompressChunkedAutoPolicy(dev4, mix, mixDims, mixEB, 32, thrPol); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"stream/automode/compress-auto-ratio-floor-4w", mixBytes, rfRatio, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.CompressChunkedAutoPolicy(dev4, mix, mixDims, mixEB, 32, rfPol); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -2,7 +2,7 @@
 // reproduction: it compresses and decompresses raw little-endian float32
 // files, and can synthesize the benchmark datasets.
 //
-//	cuszhi compress   -i data.f32 -o data.cszh -dims 256x384x384 -eb 1e-3 [-mode hi-cr] [-abs] [-chunk 32] [-stream]
+//	cuszhi compress   -i data.f32 -o data.cszh -dims 256x384x384 -eb 1e-3 [-mode hi-cr] [-abs] [-chunk 32] [-stream] [-auto-policy P]
 //	cuszhi decompress -i data.cszh -o recon.f32 [-stream] [-planes lo:hi]
 //	cuszhi gen        -dataset miranda -o data.f32 [-dims 64x96x96] [-seed 1]
 //	cuszhi info       -i data.cszh
@@ -18,10 +18,12 @@
 // than the field size, emitting a seekable (format v4) container whose
 // chunk-index footer lets `decompress -planes lo:hi` extract a plane range
 // while reading only the covering shards. With -mode auto and chunking (or
-// -stream), every shard is compressed by whichever codec scores best on a
-// sample of it — the candidates span the assemblies and the backend
-// codecs — a heterogeneous format-v5 container; `info` prints the
-// resulting per-chunk codec histogram.
+// -stream), every shard is compressed by whichever codec the estimator
+// cascade scores best on a sample of it — the candidates span the
+// assemblies and the backend codecs — a heterogeneous format-v5 container;
+// -auto-policy picks the ranking rule (best-ratio, throughput, or
+// ratio-floor:F), and `info` prints the resulting per-chunk codec
+// histogram and per-chunk compression ratios.
 package main
 
 import (
@@ -79,7 +81,7 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  cuszhi compress   -i data.f32 -o data.cszh -dims ZxYxX -eb 1e-3 [-mode hi-cr] [-abs] [-chunk N] [-stream]
+  cuszhi compress   -i data.f32 -o data.cszh -dims ZxYxX -eb 1e-3 [-mode hi-cr] [-abs] [-chunk N] [-stream] [-auto-policy P]
   cuszhi decompress -i data.cszh -o recon.f32 [-stream] [-planes lo:hi]
   cuszhi gen        -dataset NAME -o data.f32 [-dims ZxYxX] [-seed N] [-full]
   cuszhi info       -i data.cszh
@@ -170,16 +172,20 @@ func cmdCompress(args []string) error {
 	mode := fs.String("mode", string(cuszhi.ModeCR), "compressor mode")
 	chunk := fs.Int("chunk", 0, "planes per chunk; >0 writes a chunked (v2) container compressed in parallel")
 	streaming := fs.Bool("stream", false, "pipe the file through the streaming writer (bounded memory; implies -chunk)")
+	policy := fs.String("auto-policy", "", "auto-mode selection policy: best-ratio, throughput, or ratio-floor:F (requires -mode auto)")
 	fs.Parse(args)
 	if *in == "" || *out == "" {
 		return fmt.Errorf("compress: -i and -o are required")
+	}
+	if *policy != "" && cuszhi.Mode(*mode) != cuszhi.ModeAuto {
+		return fmt.Errorf("compress: -auto-policy requires -mode auto (got -mode %s)", *mode)
 	}
 	dims, err := parseDims(*dimsStr)
 	if err != nil {
 		return err
 	}
 	if *streaming {
-		return compressStream(*in, *out, dims, *eb, *abs, cuszhi.Mode(*mode), *chunk)
+		return compressStream(*in, *out, dims, *eb, *abs, cuszhi.Mode(*mode), *chunk, *policy)
 	}
 	data, err := readF32(*in)
 	if err != nil {
@@ -188,6 +194,9 @@ func cmdCompress(args []string) error {
 	copts := []cuszhi.Option{}
 	if *chunk > 0 {
 		copts = append(copts, cuszhi.WithChunkPlanes(*chunk))
+	}
+	if *policy != "" {
+		copts = append(copts, cuszhi.WithAutoPolicy(*policy))
 	}
 	c, err := cuszhi.New(cuszhi.Mode(*mode), copts...)
 	if err != nil {
@@ -214,10 +223,11 @@ func cmdCompress(args []string) error {
 	return nil
 }
 
-func compressStream(in, out string, dims []int, eb float64, abs bool, mode cuszhi.Mode, chunk int) error {
-	// Reject a bad mode before the output file is truncated. -mode auto
-	// streams as a format-v5 container: each shard is scored against the
-	// candidate codecs inside its worker and compressed by the winner.
+func compressStream(in, out string, dims []int, eb float64, abs bool, mode cuszhi.Mode, chunk int, policy string) error {
+	// Reject a bad mode or policy before the output file is truncated.
+	// -mode auto streams as a format-v5 container: the estimator cascade
+	// scores each shard's candidates inside its worker, -auto-policy ranks
+	// them, and the winner alone compresses the shard.
 	if _, err := cuszhi.New(mode); err != nil {
 		return err
 	}
@@ -233,6 +243,9 @@ func compressStream(in, out string, dims []int, eb float64, abs bool, mode cuszh
 	opts := []stream.Option{stream.WithMode(mode)}
 	if chunk > 0 {
 		opts = append(opts, stream.WithChunkPlanes(chunk))
+	}
+	if policy != "" {
+		opts = append(opts, stream.WithAutoPolicy(policy))
 	}
 	if !abs {
 		// Relative bounds stream as a format-v3 container: each shard's
@@ -618,6 +631,16 @@ func cmdInfo(args []string) error {
 	}
 	if hdr.HasIndex {
 		fmt.Printf("index:  chunk-index footer (seekable; decompress -planes lo:hi)\n")
+	}
+	if len(hdr.ChunkCRs) > 0 {
+		// Per-chunk achieved ratios, from the index footer's frame extents:
+		// on adaptive containers this is where the selection's wins and
+		// losses show up chunk by chunk.
+		parts := make([]string, len(hdr.ChunkCRs))
+		for i, cr := range hdr.ChunkCRs {
+			parts[i] = fmt.Sprintf("%.1f", cr)
+		}
+		fmt.Printf("chunk CRs: %s\n", strings.Join(parts, " "))
 	}
 	fmt.Printf("dims:   %v (%d values)\n", dims, len(data))
 	ebKind := "absolute"

@@ -97,6 +97,15 @@ func WithChunkPlanes(n int) Option {
 	return func(c *Compressor) { c.chunkPlanes = n }
 }
 
+// WithAutoPolicy sets how ModeAuto ranks the candidates' size estimates:
+// "best-ratio" (default) takes the smallest estimate, "throughput" the
+// fastest codec within 15% of it, and "ratio-floor:F" the fastest codec
+// whose estimated compression ratio is at least F. New rejects unknown
+// spellings, and rejects the option entirely for non-auto modes.
+func WithAutoPolicy(name string) Option {
+	return func(c *Compressor) { c.policyName = name }
+}
+
 // Compressor is a reusable, goroutine-safe compressor instance.
 type Compressor struct {
 	mode        Mode
@@ -105,6 +114,8 @@ type Compressor struct {
 	codec       core.Codec // backend chunk codec (fzgpu/szp/szx) modes
 	dev         *gpusim.Device
 	chunkPlanes int
+	policyName  string               // WithAutoPolicy spelling, "" = default
+	pol         core.SelectionPolicy // resolved auto-mode ranking policy
 }
 
 // New returns a Compressor for the given mode.
@@ -129,6 +140,16 @@ func New(mode Mode, opts ...Option) (*Compressor, error) {
 	for _, o := range opts {
 		o(c)
 	}
+	if c.policyName != "" && !c.auto {
+		return nil, fmt.Errorf("cuszhi: WithAutoPolicy(%q) needs ModeAuto; mode is %q", c.policyName, mode)
+	}
+	if c.auto {
+		pol, err := core.PolicyByName(c.policyName)
+		if err != nil {
+			return nil, fmt.Errorf("cuszhi: %w", err)
+		}
+		c.pol = pol
+	}
 	return c, nil
 }
 
@@ -149,11 +170,12 @@ func (c *Compressor) CompressAbs(data []float32, dims []int, absEB float64) ([]b
 	if c.auto {
 		if c.chunkPlanes > 0 {
 			// Chunked auto mode goes per-shard: every shard gets whichever
-			// registered codec scores best on a sample of it, producing a
+			// registered codec the estimator cascade scores best on a sample
+			// of it (ranked by the selection policy), producing a
 			// heterogeneous (format v5) container.
-			return core.CompressChunkedAuto(c.dev, data, dims, absEB, c.chunkPlanes)
+			return core.CompressChunkedAutoPolicy(c.dev, data, dims, absEB, c.chunkPlanes, c.pol)
 		}
-		sel, err := core.AutoSelect(c.dev, data, dims, absEB)
+		sel, err := core.AutoSelectPolicy(nil, c.dev, data, dims, absEB, c.pol)
 		if err != nil {
 			return nil, err
 		}
@@ -245,6 +267,12 @@ type ContainerInfo struct {
 	// ChunkCodecs counts chunks per codec mode name for heterogeneous (v5)
 	// containers, read from the chunk-index footer alone; nil otherwise.
 	ChunkCodecs map[string]int
+	// ChunkCRs holds each chunk's achieved compression ratio in plane
+	// order, derived from the index footer's frame extents (v4/v5
+	// containers with an index); nil otherwise. Next to auto mode's
+	// estimated ratios it shows how the selection actually landed,
+	// per chunk.
+	ChunkCRs []float64
 }
 
 // Inspect reads a container's header (any format version).
@@ -255,7 +283,7 @@ func Inspect(blob []byte) (*ContainerInfo, error) {
 	}
 	return &ContainerInfo{Version: info.Version, Dims: info.Dims, AbsErrorEB: info.EB,
 		RelativeEB: info.RelEB, NumChunks: info.NumChunks, ChunkPlanes: info.ChunkPlanes,
-		HasIndex: info.HasIndex, ChunkCodecs: info.ChunkCodecs}, nil
+		HasIndex: info.HasIndex, ChunkCodecs: info.ChunkCodecs, ChunkCRs: info.ChunkCRs}, nil
 }
 
 // AbsEB converts a value-range-relative error bound to the absolute bound

@@ -183,6 +183,124 @@ func TestAutoModeRelativeEB(t *testing.T) {
 	}
 }
 
+// TestAutoSelectionsObservability: an auto-mode Writer records one
+// estimator-vs-actual decision per shard, sorted by plane offset, and the
+// container's Inspect exposes the per-chunk achieved ratios.
+func TestAutoSelectionsObservability(t *testing.T) {
+	dims := []int{32, 16, 16}
+	data := mixedField(dims)
+	absEB := cuszhi.AbsEB(data, 1e-3)
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, dims, absEB, WithAutoMode(), WithChunkPlanes(8), WithWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteValues(data); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	sels := w.AutoSelections()
+	if len(sels) != 4 {
+		t.Fatalf("got %d selections, want 4: %+v", len(sels), sels)
+	}
+	for i, s := range sels {
+		if s.PlaneOff != i*8 || s.Planes != 8 {
+			t.Fatalf("selection %d not sorted by plane offset: %+v", i, s)
+		}
+		if s.Codec == "" || s.EstBytes <= 0 || s.Bytes <= 0 {
+			t.Fatalf("selection %d incomplete: %+v", i, s)
+		}
+		if s.EstRatio <= 0 || s.Ratio <= 0 {
+			t.Fatalf("selection %d ratios unset: %+v", i, s)
+		}
+		// The estimator's prediction must be in the same universe as the
+		// achieved size — a wildly wrong price means selection is blind.
+		if f := float64(s.EstBytes) / float64(s.Bytes); f > 8 || f < 1.0/8 {
+			t.Fatalf("selection %d estimate %d vs actual %d (off %.1fx)", i, s.EstBytes, s.Bytes, f)
+		}
+	}
+
+	info, err := cuszhi.Inspect(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(info.ChunkCRs) != 4 {
+		t.Fatalf("Inspect chunk CRs = %v, want 4 entries", info.ChunkCRs)
+	}
+	// Inspect's CRs divide by whole frame extents (frame header + CRC on
+	// top of the payload), so they sit at or slightly below the payload
+	// ratio the selection records.
+	for i, cr := range info.ChunkCRs {
+		if got := sels[i].Ratio; cr > got*1.01 || cr < got*0.80 {
+			t.Fatalf("chunk %d: Inspect CR %.3f vs selection CR %.3f", i, cr, got)
+		}
+	}
+
+	// Non-auto writers report no selections.
+	var fixed bytes.Buffer
+	wf, err := NewWriter(&fixed, dims, absEB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wf.WriteValues(data); err != nil {
+		t.Fatal(err)
+	}
+	if err := wf.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := wf.AutoSelections(); got != nil {
+		t.Fatalf("fixed-mode writer reported selections: %+v", got)
+	}
+}
+
+// TestAutoPolicyThreading: every policy spelling produces a decodable
+// container, the throughput policy is allowed to trade ratio for speed but
+// only within its slack, and option misuse fails fast at NewWriter.
+func TestAutoPolicyThreading(t *testing.T) {
+	dims := []int{32, 16, 16}
+	data := mixedField(dims)
+	absEB := cuszhi.AbsEB(data, 1e-3)
+
+	sizes := map[string]int{}
+	for _, pol := range []string{"best-ratio", "throughput", "ratio-floor:4"} {
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf, dims, absEB,
+			WithAutoMode(), WithAutoPolicy(pol), WithChunkPlanes(8), WithWorkers(2))
+		if err != nil {
+			t.Fatalf("%s: %v", pol, err)
+		}
+		if err := w.WriteValues(data); err != nil {
+			t.Fatalf("%s: %v", pol, err)
+		}
+		if err := w.Close(); err != nil {
+			t.Fatalf("%s: %v", pol, err)
+		}
+		recon, _, err := Decompress(buf.Bytes())
+		if err != nil {
+			t.Fatalf("%s: decode: %v", pol, err)
+		}
+		if !metrics.WithinBound(data, recon, absEB) {
+			t.Fatalf("%s: reconstruction out of bound", pol)
+		}
+		sizes[pol] = buf.Len()
+	}
+	// Throughput may give up at most its slack (15%) plus estimator error
+	// against best-ratio; 30% is the generous ceiling.
+	if f := float64(sizes["throughput"]) / float64(sizes["best-ratio"]); f > 1.30 {
+		t.Fatalf("throughput container %.2fx best-ratio, want <= 1.30x (sizes %v)", f, sizes)
+	}
+
+	if _, err := NewWriter(&bytes.Buffer{}, dims, absEB, WithAutoMode(), WithAutoPolicy("bogus")); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+	if _, err := NewWriter(&bytes.Buffer{}, dims, absEB, WithAutoPolicy("throughput")); err == nil {
+		t.Fatal("WithAutoPolicy without auto mode accepted")
+	}
+}
+
 // TestChunkedAutoOneShot: the non-streaming facade path
 // (cuszhi.New(ModeAuto, WithChunkPlanes)) also produces a heterogeneous v5
 // container, through core.CompressChunkedAuto.

@@ -60,6 +60,7 @@ type config struct {
 	retry       core.RetryPolicy
 	degraded    bool
 	fill        float32 // plane filler for degraded reads (default NaN)
+	policy      string  // auto-mode selection policy spelling (default best-ratio)
 }
 
 // Option customizes a Writer, Reader, or one-shot call.
@@ -100,12 +101,23 @@ func WithIndex(on bool) Option {
 }
 
 // WithAutoMode makes the Writer pick the best codec per shard: each shard
-// is scored against the auto-select candidates on a sample of itself
-// inside the worker that compresses it, and the container is written as
-// format v5 with the winning codec's wire ID recorded per chunk frame and
-// in the chunk-index footer. Shorthand for WithMode(cuszhi.ModeAuto).
+// is scored against the auto-select candidates by the estimator cascade
+// (histogram entropy models for the assemblies, a strided probe for the
+// backends) inside the worker that compresses it — only the winner
+// compresses the shard for real — and the container is written as format
+// v5 with the winning codec's wire ID recorded per chunk frame and in the
+// chunk-index footer. Shorthand for WithMode(cuszhi.ModeAuto).
 func WithAutoMode() Option {
 	return func(c *config) { c.mode, c.modeSet = cuszhi.ModeAuto, true }
+}
+
+// WithAutoPolicy sets how auto mode ranks the candidates' size estimates:
+// "best-ratio" (default) takes the smallest estimate, "throughput" the
+// fastest codec within 15% of it, and "ratio-floor:F" the fastest codec
+// whose estimated compression ratio is at least F. Only meaningful with
+// WithAutoMode; NewWriter rejects unknown spellings.
+func WithAutoPolicy(name string) Option {
+	return func(c *config) { c.policy = name }
 }
 
 // WithRetry makes readers reissue transiently failing I/O (an EIO from a
@@ -172,15 +184,16 @@ type Writer struct {
 	opts      core.Options
 	cd        core.Codec // fixed backend chunk codec (format v5), nil otherwise
 	dims      []int
-	eb        float64 // absolute bound, or relative when rel
-	rel       bool    // per-shard relative bounds (format v3/v4)
-	index     bool    // finish with a chunk-index footer (format v4/v5)
-	auto      bool    // per-shard codec selection (format v5)
-	rangeHdr  bool    // frames carry per-shard min/max (v3 layout)
-	ps        int     // elements per plane
-	cp        int     // planes per shard
-	tot       int     // elements in the whole field (0 in grow mode)
-	plane     int     // planes submitted so far
+	eb        float64              // absolute bound, or relative when rel
+	rel       bool                 // per-shard relative bounds (format v3/v4)
+	index     bool                 // finish with a chunk-index footer (format v4/v5)
+	auto      bool                 // per-shard codec selection (format v5)
+	pol       core.SelectionPolicy // auto-mode ranking policy
+	rangeHdr  bool                 // frames carry per-shard min/max (v3 layout)
+	ps        int                  // elements per plane
+	cp        int                  // planes per shard
+	tot       int                  // elements in the whole field (0 in grow mode)
+	plane     int                  // planes submitted so far
 
 	partial []byte         // trailing bytes of an incomplete value (<4)
 	vals    []float32      // accumulating current shard
@@ -198,6 +211,23 @@ type Writer struct {
 	mu      sync.Mutex // guards werr and closed
 	werr    error      // first flusher error
 	closed  bool
+
+	selMu sync.Mutex      // guards sels (appended by pool workers)
+	sels  []AutoSelection // auto mode: one record per shard, sorted at read
+}
+
+// AutoSelection records one auto-mode shard decision: which codec the
+// estimator picked and how its predicted size compared to the bytes the
+// winner actually produced — the estimator-vs-actual delta that makes the
+// selection observable.
+type AutoSelection struct {
+	PlaneOff int     // first plane the shard covers
+	Planes   int     // planes in the shard
+	Codec    string  // winning codec's wire name
+	EstBytes int     // estimator's predicted payload size
+	Bytes    int     // payload size the winner actually produced
+	EstRatio float64 // predicted compression ratio
+	Ratio    float64 // achieved compression ratio
 }
 
 // NewWriter writes the container header to w and returns a Writer for a
@@ -214,12 +244,19 @@ func NewWriter(w io.Writer, dims []int, eb float64, opt ...Option) (*Writer, err
 	auto := cfg.mode == cuszhi.ModeAuto
 	var opts core.Options
 	var cd core.Codec
+	var pol core.SelectionPolicy
 	var err error
 	if auto {
 		if !cfg.index {
 			return nil, fmt.Errorf("stream: mode %q writes per-chunk codec IDs to the index footer; drop WithIndex(false)", cfg.mode)
 		}
+		if pol, err = core.PolicyByName(cfg.policy); err != nil {
+			return nil, fmt.Errorf("stream: %w", err)
+		}
 	} else {
+		if cfg.policy != "" {
+			return nil, fmt.Errorf("stream: WithAutoPolicy(%q) needs WithAutoMode; mode is %q", cfg.policy, cfg.mode)
+		}
 		opts, err = core.ModeOptions(string(cfg.mode))
 		if err != nil {
 			// Backend chunk codecs (fzgpu/szp/szx) have no Options assembly;
@@ -262,6 +299,7 @@ func NewWriter(w io.Writer, dims []int, eb float64, opt ...Option) (*Writer, err
 		rel:      cfg.relative,
 		index:    cfg.index,
 		auto:     auto,
+		pol:      pol,
 		rangeHdr: cfg.index || cfg.relative,
 		ps:       ps,
 		cp:       cfg.chunkPlanes,
@@ -470,13 +508,23 @@ func (w *Writer) submitShard() {
 			return wframe{data: frame, planeOff: offset, planes: planes, codec: cd.ID()}, nil
 		}
 		if auto {
-			// Per-shard adaptive dispatch: score the candidates on a sample
-			// of this shard under its resolved absolute bound, compress with
-			// the winner, and frame with its wire ID (format v5).
-			frame, id, err := core.CompressShardAuto(ctx, dev, shard, shardDims, offset, absEB, minV, maxV)
+			// Per-shard adaptive dispatch: the estimator cascade scores the
+			// candidates on a sample of this shard under its resolved
+			// absolute bound, the policy picks, the winner alone compresses,
+			// and the frame carries its wire ID (format v5). The pick — with
+			// its estimator-vs-actual delta — is recorded for
+			// AutoSelections.
+			frame, id, pick, err := core.CompressShardAutoPolicy(ctx, dev, shard, shardDims, offset, absEB, minV, maxV, w.pol)
 			if err != nil {
 				return wframe{}, fmt.Errorf("stream: shard at plane %d: %w", offset, err)
 			}
+			w.selMu.Lock()
+			w.sels = append(w.sels, AutoSelection{
+				PlaneOff: offset, Planes: planes, Codec: pick.Codec,
+				EstBytes: pick.EstBytes, Bytes: pick.ActualBytes,
+				EstRatio: pick.EstRatio, Ratio: pick.ActualRatio,
+			})
+			w.selMu.Unlock()
 			select {
 			case w.slabs <- shard:
 			default:
@@ -499,6 +547,19 @@ func (w *Writer) submitShard() {
 		}
 		return wframe{data: frame, planeOff: offset, planes: planes}, nil
 	})
+}
+
+// AutoSelections reports the per-shard decisions an auto-mode Writer has
+// made so far, sorted by plane offset: the winning codec and the
+// estimator's predicted size and ratio next to what the winner actually
+// produced. Call it after Close for the complete container; it returns nil
+// for non-auto writers. The slice is a copy, safe to keep.
+func (w *Writer) AutoSelections() []AutoSelection {
+	w.selMu.Lock()
+	out := append([]AutoSelection(nil), w.sels...)
+	w.selMu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].PlaneOff < out[j].PlaneOff })
+	return out
 }
 
 // Close flushes the final (possibly short) shard, waits for all frames to

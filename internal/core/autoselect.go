@@ -2,16 +2,20 @@ package core
 
 // This file implements the paper's future-work item 3 (§7): an
 // auto-selection mechanism that picks a compressor archetype and lossless
-// pipeline to fit the data characteristics. A representative sample slab
-// is compressed with each candidate assembly and the best ratio wins —
-// the same sampling philosophy as the predictor auto-tuner (§5.1.3),
-// lifted to whole-assembly granularity. SelectShardCodec applies the same
-// scoring per shard, which is what makes heterogeneous (format v5)
-// containers adaptive: a field whose character changes along the slow
-// dimension gets a different codec where a different codec wins.
+// pipeline to fit the data characteristics. Candidates are scored by the
+// estimator cascade (estimate.go): one interpolation pass and one Lorenzo
+// pass over a shared sample slab price the assembly pipelines from their
+// fused quant-code histograms, and a strided probe prices the backends —
+// no candidate trial-compresses the input. A SelectionPolicy (policy.go)
+// then decides the winner, and only the winner compresses for real.
+// SelectShardCodec applies the same scoring per shard, which is what makes
+// heterogeneous (format v5) containers adaptive at near-fixed-mode speed:
+// a field whose character changes along the slow dimension gets a
+// different codec where a different codec wins.
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/arena"
 	"repro/internal/gpusim"
@@ -24,10 +28,14 @@ type Selection struct {
 	// when a backend chunk codec (fzgpu/szp/szx) wins, since those expose
 	// no Options — compress through Codec instead.
 	Options Options
-	// SampleCR is each candidate's compression ratio on the sample slab,
-	// keyed by display name (Options.Name for assemblies, the wire name
-	// for backend codecs), for reporting.
+	// SampleCR is each candidate's estimated compression ratio on the
+	// input, keyed by display name (Options.Name for assemblies, the wire
+	// name for backend codecs), for reporting. Assembly entries come from
+	// the histogram models; backend entries from the strided probe.
 	SampleCR map[string]float64
+	// Estimates holds the per-candidate size estimates the policy ranked,
+	// in candidate order.
+	Estimates []CandidateEstimate
 }
 
 // autoSelectCandidates returns the registered codecs AutoSelect evaluates:
@@ -71,70 +79,110 @@ func sampleSlab(data []float32, dims []int, frac float64) ([]float32, []int) {
 	return slab, slabDims
 }
 
-// AutoSelect compresses a sample of data with every candidate assembly
-// under the absolute bound eb and returns the winner.
+// AutoSelect scores every candidate on a sample of data via the estimator
+// cascade under the absolute bound eb and returns the winner.
 func AutoSelect(dev *gpusim.Device, data []float32, dims []int, eb float64) (*Selection, error) {
 	return AutoSelectCtx(nil, dev, data, dims, eb)
 }
 
-// scoreCandidates compresses a central sample (frac of data along the
-// slow dimension) with every candidate codec through ctx, returning the
-// smallest-output winner. sampleCR, when non-nil, collects each
-// candidate's compression ratio on the sample, keyed by display name.
-// The context is Reset between candidates and before returning, so any
-// scratch the caller obtained from it earlier is invalidated.
-func scoreCandidates(ctx *arena.Ctx, dev *gpusim.Device, data []float32, dims []int, eb, frac float64, sampleCR map[string]float64) (Codec, error) {
-	slab, slabDims := sampleSlab(data, dims, frac)
-	var best Codec
-	bestSize := -1
-	for _, cand := range autoSelectCandidates() {
-		ctx.Reset()
-		blob, err := cand.Compress(ctx, dev, slab, slabDims, eb)
-		if err != nil {
-			return nil, fmt.Errorf("core: candidate %s: %w", codecDisplayName(cand), err)
-		}
-		if sampleCR != nil {
-			sampleCR[codecDisplayName(cand)] = float64(4*len(slab)) / float64(len(blob))
-		}
-		if bestSize < 0 || len(blob) < bestSize {
-			bestSize = len(blob)
-			best = cand
-		}
-	}
-	ctx.Reset()
-	return best, nil
+// AutoSelectCtx is AutoSelect drawing estimator scratch from a reusable
+// codec context, so repeated selections stop allocating working sets. The
+// context is Reset before returning: any scratch the caller obtained from
+// it earlier is invalidated.
+func AutoSelectCtx(ctx *arena.Ctx, dev *gpusim.Device, data []float32, dims []int, eb float64) (*Selection, error) {
+	return AutoSelectPolicy(ctx, dev, data, dims, eb, DefaultSelectionPolicy)
 }
 
-// AutoSelectCtx is AutoSelect drawing candidate scratch from a reusable
-// codec context, so repeated selections stop allocating working sets. The
-// context is Reset between candidates (and left reset on return): any
-// scratch the caller obtained from it earlier is invalidated.
-func AutoSelectCtx(ctx *arena.Ctx, dev *gpusim.Device, data []float32, dims []int, eb float64) (*Selection, error) {
+// AutoSelectPolicy is the single selection implementation: AutoSelect,
+// AutoSelectCtx and SelectShardCodec all route through it. The estimator
+// cascade prices every candidate and pol picks the winner.
+func AutoSelectPolicy(ctx *arena.Ctx, dev *gpusim.Device, data []float32, dims []int, eb float64, pol SelectionPolicy) (*Selection, error) {
 	if len(data) == 0 {
 		return nil, fmt.Errorf("core: cannot auto-select on empty data")
 	}
-	sel := &Selection{SampleCR: make(map[string]float64, 6)}
-	best, err := scoreCandidates(ctx, dev, data, dims, eb, 0.1, sel.SampleCR)
+	if pol == nil {
+		pol = DefaultSelectionPolicy
+	}
+	// One-shot selection happens once per input, so the whole sampled slab
+	// is analyzed (no crop budget): accuracy is worth more than the
+	// already-small cost of a single estimator pass.
+	ests, err := estimateCandidates(ctx, dev, data, dims, eb, 0.1, 0)
 	if err != nil {
 		return nil, fmt.Errorf("core: auto-select: %w", err)
 	}
-	sel.Codec = best
-	if oc, ok := best.(optioned); ok {
+	sel := &Selection{
+		Codec:     ests[pol.Pick(ests)].Codec,
+		SampleCR:  make(map[string]float64, len(ests)),
+		Estimates: ests,
+	}
+	for _, e := range ests {
+		sel.SampleCR[codecDisplayName(e.Codec)] = e.Ratio
+	}
+	if oc, ok := sel.Codec.(optioned); ok {
 		sel.Options = oc.Options()
 	}
 	return sel, nil
 }
 
-// SelectShardCodec scores the auto-select candidates on a central sample
-// of one shard (through ctx, which it Resets between candidates and
-// before returning) and returns the winner — the per-chunk selector the
-// v5 streaming writer and CompressChunkedAuto run inside their pipeline
-// workers. eb is the shard's absolute bound.
-func SelectShardCodec(ctx *arena.Ctx, dev *gpusim.Device, shard []float32, dims []int, eb float64) (Codec, error) {
-	if len(shard) == 0 {
-		return nil, fmt.Errorf("core: cannot select a codec for an empty shard")
+// trialCompressions counts full candidate trial compressions performed by
+// selection paths — the cost the estimator cascade exists to avoid. Only
+// the trial-based reference scorer increments it; the estimator tests
+// assert it stays untouched.
+var trialCompressions atomic.Int64
+
+// trialScoreSlab is the trial-based reference scorer: it compresses the
+// already-sampled slab with every candidate through ctx and returns the
+// per-candidate exact sizes, in candidate order. It is no longer on the
+// selection path — the estimator-fidelity tests use it as ground truth,
+// and it shares the caller's single sampled slab rather than re-sampling
+// per probe. The context is Reset between candidates and before
+// returning, so any scratch obtained from it earlier is invalidated.
+func trialScoreSlab(ctx *arena.Ctx, dev *gpusim.Device, slab []float32, slabDims []int, eb float64) ([]int, error) {
+	cands := autoSelectCandidates()
+	sizes := make([]int, len(cands))
+	for i, cand := range cands {
+		ctx.Reset()
+		blob, err := cand.Compress(ctx, dev, slab, slabDims, eb)
+		if err != nil {
+			return nil, fmt.Errorf("core: candidate %s: %w", codecDisplayName(cand), err)
+		}
+		trialCompressions.Add(1)
+		sizes[i] = len(blob)
 	}
-	return scoreCandidates(ctx, dev, shard, dims, eb, 0.25, nil)
+	ctx.Reset()
+	return sizes, nil
+}
+
+// SelectShardCodec estimates every auto-select candidate's size on one
+// shard (through ctx, which it Resets before returning) and returns the
+// default policy's winner — the per-chunk
+// selector the v5 streaming writer and CompressChunkedAuto run inside
+// their pipeline workers. eb is the shard's absolute bound.
+func SelectShardCodec(ctx *arena.Ctx, dev *gpusim.Device, shard []float32, dims []int, eb float64) (Codec, error) {
+	cd, _, err := SelectShardCodecPolicy(ctx, dev, shard, dims, eb, DefaultSelectionPolicy)
+	return cd, err
+}
+
+// SelectShardCodecPolicy is SelectShardCodec under an explicit policy,
+// also returning the winner's size estimate so callers can report
+// estimator-vs-actual deltas.
+func SelectShardCodecPolicy(ctx *arena.Ctx, dev *gpusim.Device, shard []float32, dims []int, eb float64, pol SelectionPolicy) (Codec, CandidateEstimate, error) {
+	if len(shard) == 0 {
+		return nil, CandidateEstimate{}, fmt.Errorf("core: cannot select a codec for an empty shard")
+	}
+	if pol == nil {
+		pol = DefaultSelectionPolicy
+	}
+	// Per-shard selection runs inside the streaming pipeline's workers, so
+	// the estimator is budgeted to ~6% of the shard: that keeps auto-mode
+	// throughput within ~15% of the best fixed mode while the shard's
+	// central block rows still decide the ranking.
+	ests, err := estimateCandidates(ctx, dev, shard, dims, eb, 0.25, len(shard)/16)
+	if err != nil {
+		return nil, CandidateEstimate{}, err
+	}
+	win := ests[pol.Pick(ests)]
+	return win.Codec, win, nil
 }
 
 // codecDisplayName reports a codec's assembly display name (Options.Name)

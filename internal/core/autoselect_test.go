@@ -40,12 +40,11 @@ func TestAutoSelectPicksAWinner(t *testing.T) {
 }
 
 // TestAutoSelectCtxReusesScratch is the arena-threading guard: repeated
-// selections through one warm context must stop allocating candidate
-// working sets. The ceiling (300) sits between the warm-context cost
-// (~220/op: auto-tune error matrices, Options construction, the trial
-// containers themselves) and the context-free cost (~390/op with every
-// quant/huffman buffer re-made), so regressing to fresh scratch per
-// candidate trips it.
+// selections through one warm context must stop allocating estimator
+// working sets. The ceiling (300) sits above the warm-context cost (the
+// auto-tune error matrices, the Huffman length builder, Options
+// construction) and below what re-making the predictor/probe scratch per
+// selection costs, so regressing to fresh scratch per candidate trips it.
 func TestAutoSelectCtxReusesScratch(t *testing.T) {
 	dims := []int{32, 24, 24}
 	data := rampField(32 * 24 * 24)

@@ -580,31 +580,63 @@ func CompressChunked(dev *gpusim.Device, data []float32, dims []int, eb float64,
 	return out, nil
 }
 
-// CompressShardAuto selects the best codec for one shard (sampled scoring
-// through ctx) and compresses it into a framed v5 chunk, returning the
-// frame and the winning codec's wire ID. minV/maxV are the shard's value
-// range for the frame header; eb is the shard's absolute bound. It is the
-// per-shard worker body shared by CompressChunkedAuto and the streaming
-// writer's auto mode.
+// ShardPick reports one shard's auto-mode selection: which codec the
+// estimator picked, what size it predicted, and what the winner actually
+// produced — the estimator-vs-actual observability record the streaming
+// writer aggregates.
+type ShardPick struct {
+	Codec       string // winner's mode name
+	EstBytes    int    // estimator's predicted payload size
+	ActualBytes int    // the winner's real payload size
+	EstRatio    float64
+	ActualRatio float64
+}
+
+// CompressShardAuto selects the best codec for one shard (estimator
+// scoring through ctx) and compresses it into a framed v5 chunk, returning
+// the frame and the winning codec's wire ID. minV/maxV are the shard's
+// value range for the frame header; eb is the shard's absolute bound.
 func CompressShardAuto(ctx *arena.Ctx, dev *gpusim.Device, shard []float32, shardDims []int, offset int, eb float64, minV, maxV float32) ([]byte, CodecID, error) {
-	cd, err := SelectShardCodec(ctx, dev, shard, shardDims, eb)
+	frame, id, _, err := CompressShardAutoPolicy(ctx, dev, shard, shardDims, offset, eb, minV, maxV, DefaultSelectionPolicy)
+	return frame, id, err
+}
+
+// CompressShardAutoPolicy is CompressShardAuto under an explicit selection
+// policy, also reporting the pick for estimator-vs-actual observability.
+// It is the per-shard worker body shared by CompressChunkedAuto and the
+// streaming writer's auto mode.
+func CompressShardAutoPolicy(ctx *arena.Ctx, dev *gpusim.Device, shard []float32, shardDims []int, offset int, eb float64, minV, maxV float32, pol SelectionPolicy) ([]byte, CodecID, ShardPick, error) {
+	cd, est, err := SelectShardCodecPolicy(ctx, dev, shard, shardDims, eb, pol)
 	if err != nil {
-		return nil, codecInvalid, err
+		return nil, codecInvalid, ShardPick{}, err
 	}
 	payload, err := cd.Compress(ctx, dev, shard, shardDims, eb)
 	if err != nil {
-		return nil, codecInvalid, err
+		return nil, codecInvalid, ShardPick{}, err
 	}
-	return AppendChunkFrameV5(nil, cd, offset, shardDims, minV, maxV, payload), cd.ID(), nil
+	pick := ShardPick{
+		Codec:       cd.Name(),
+		EstBytes:    est.Bytes,
+		ActualBytes: len(payload),
+		EstRatio:    est.Ratio,
+		ActualRatio: float64(4*len(shard)) / float64(len(payload)),
+	}
+	return AppendChunkFrameV5(nil, cd, offset, shardDims, minV, maxV, payload), cd.ID(), pick, nil
 }
 
 // CompressChunkedAuto encodes data into a heterogeneous (format v5)
-// container: every shard is scored against the auto-select candidate
-// codecs on a sample of itself and compressed by the winner, concurrently
-// on dev's worker pool through reusable codec contexts. The chunk-index
-// footer records each shard's codec wire ID, so readers dispatch (and
-// report per-chunk codec histograms) without touching payloads.
+// container: every shard is scored by the estimator cascade on a sample of
+// itself and compressed by the winner, concurrently on dev's worker pool
+// through reusable codec contexts. The chunk-index footer records each
+// shard's codec wire ID, so readers dispatch (and report per-chunk codec
+// histograms) without touching payloads.
 func CompressChunkedAuto(dev *gpusim.Device, data []float32, dims []int, eb float64, chunkPlanes int) ([]byte, error) {
+	return CompressChunkedAutoPolicy(dev, data, dims, eb, chunkPlanes, DefaultSelectionPolicy)
+}
+
+// CompressChunkedAutoPolicy is CompressChunkedAuto under an explicit
+// selection policy.
+func CompressChunkedAutoPolicy(dev *gpusim.Device, data []float32, dims []int, eb float64, chunkPlanes int, pol SelectionPolicy) ([]byte, error) {
 	total := 1
 	for _, d := range dims {
 		total *= d
@@ -636,7 +668,7 @@ func CompressChunkedAuto(dev *gpusim.Device, data []float32, dims []int, eb floa
 		shard := data[offset*ps : (offset+planes)*ps]
 		shardDims := append([]int{planes}, dims[1:]...)
 		minV, maxV, _ := ShardRange(shard)
-		frame, id, err := CompressShardAuto(ctx, dev, shard, shardDims, offset, eb, minV, maxV)
+		frame, id, _, err := CompressShardAutoPolicy(ctx, dev, shard, shardDims, offset, eb, minV, maxV, pol)
 		if err != nil {
 			return aframe{}, fmt.Errorf("core: shard at plane %d: %w", offset, err)
 		}
@@ -1213,6 +1245,13 @@ type Info struct {
 	// ChunkCodecs counts chunks per codec name (v5 containers only),
 	// computed from the chunk-index footer without touching any payload.
 	ChunkCodecs map[string]int
+	// ChunkCRs holds each chunk's actual compression ratio (raw plane
+	// bytes over on-disk frame bytes), in plane order, computed for
+	// indexed (v4/v5) containers from the footer's frame offsets alone.
+	// Compared against an auto-mode writer's selection report
+	// (stream.Writer.AutoSelections) it closes the estimator-vs-actual
+	// observability loop without any container layout change.
+	ChunkCRs []float64
 }
 
 // Inspect reads a container's headers (any format version).
@@ -1262,13 +1301,27 @@ func Inspect(blob []byte) (*Info, error) {
 				return nil, ErrCorrupt
 			}
 			info.HasIndex = true
-			if h.Version >= version5 {
-				// The v5 footer records every chunk's codec ID, so the
-				// per-chunk codec histogram comes from the index alone.
-				entries, err := ParseChunkIndex(blob[footerOff:len(blob)-IndexTailLen], h, footerOff)
-				if err != nil {
-					return nil, err
+			// The footer alone yields per-chunk observability: frame
+			// extents (offset deltas, closed by the footer offset) against
+			// raw plane bytes give each chunk's actual compression ratio,
+			// and for v5 the recorded codec IDs give the codec histogram —
+			// no payload is touched for either.
+			entries, err := ParseChunkIndex(blob[footerOff:len(blob)-IndexTailLen], h, footerOff)
+			if err != nil {
+				return nil, err
+			}
+			ps := planeSize(h.Dims)
+			info.ChunkCRs = make([]float64, len(entries))
+			for i, e := range entries {
+				end := footerOff
+				if i+1 < len(entries) {
+					end = entries[i+1].FrameOff
 				}
+				if fb := end - e.FrameOff; fb > 0 {
+					info.ChunkCRs[i] = float64(4*e.Planes*ps) / float64(fb)
+				}
+			}
+			if h.Version >= version5 {
 				info.ChunkCodecs = make(map[string]int)
 				for _, e := range entries {
 					cd, _ := CodecByID(e.Codec) // registered: ParseChunkIndex validated it

@@ -1,0 +1,146 @@
+package core
+
+// Selection policies for auto mode. The estimator cascade (estimate.go)
+// prices every candidate; a SelectionPolicy decides which price wins.
+// Best-ratio reproduces the classic selector. The throughput and
+// ratio-floor policies exist for the serving direction on the ROADMAP: a
+// daemon under load prefers a cheap backend when it costs little ratio,
+// and an archival writer wants the cheapest codec that still meets a
+// storage budget.
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// SelectionPolicy ranks the auto-select candidates from their size
+// estimates. Pick returns the index of the winner in cands (which is
+// never empty and always in the fixed candidate order).
+type SelectionPolicy interface {
+	// Name is the policy's stable spelling, accepted by PolicyByName and
+	// the CLI -auto-policy flag.
+	Name() string
+	Pick(cands []CandidateEstimate) int
+}
+
+// codecSpeed is the static relative compress throughput of each candidate
+// (MB/s class on the reference benchmark box, BENCH_core.json): it orders
+// candidates for the throughput-aware policies, where only the ranking
+// matters, not the absolute numbers.
+var codecSpeed = map[string]float64{
+	"szp":    280,
+	"szx":    190,
+	"fzgpu":  170,
+	"cusz-l": 160,
+	"hi-tp":  120,
+	"hi-cr":  90,
+}
+
+func speedOf(c Codec) float64 {
+	if s, ok := codecSpeed[c.Name()]; ok {
+		return s
+	}
+	return 100 // unranked codecs sit mid-field
+}
+
+// bestIdx returns the index of the smallest estimate.
+func bestIdx(cands []CandidateEstimate) int {
+	best := 0
+	for i, c := range cands {
+		if c.Bytes < cands[best].Bytes {
+			best = i
+		}
+	}
+	return best
+}
+
+// bestRatioPolicy picks the smallest estimated size — the classic
+// selector's behavior, now at estimator cost.
+type bestRatioPolicy struct{}
+
+func (bestRatioPolicy) Name() string                       { return "best-ratio" }
+func (bestRatioPolicy) Pick(cands []CandidateEstimate) int { return bestIdx(cands) }
+
+// throughputPolicy prefers fast codecs under load: among candidates whose
+// estimated size is within slack of the best, the fastest wins. With the
+// default slack a backend takes the shard only when it nearly matches the
+// assemblies' ratio — cheap insurance for a saturated writer.
+type throughputPolicy struct{ slack float64 }
+
+func (throughputPolicy) Name() string { return "throughput" }
+
+func (p throughputPolicy) Pick(cands []CandidateEstimate) int {
+	limit := float64(cands[bestIdx(cands)].Bytes) * p.slack
+	pick, pickSpeed := -1, 0.0
+	for i, c := range cands {
+		if float64(c.Bytes) <= limit {
+			if s := speedOf(c.Codec); pick < 0 || s > pickSpeed {
+				pick, pickSpeed = i, s
+			}
+		}
+	}
+	return pick
+}
+
+// ratioFloorPolicy is the rate-distortion policy: the fastest codec whose
+// estimated ratio meets the floor wins; when none does, the best ratio is
+// the least-bad answer.
+type ratioFloorPolicy struct{ floor float64 }
+
+func (p ratioFloorPolicy) Name() string { return fmt.Sprintf("ratio-floor:%g", p.floor) }
+
+func (p ratioFloorPolicy) Pick(cands []CandidateEstimate) int {
+	pick, pickSpeed := -1, 0.0
+	for i, c := range cands {
+		if c.Ratio >= p.floor {
+			if s := speedOf(c.Codec); pick < 0 || s > pickSpeed {
+				pick, pickSpeed = i, s
+			}
+		}
+	}
+	if pick < 0 {
+		return bestIdx(cands)
+	}
+	return pick
+}
+
+// throughputSlack is how much estimated size the throughput policy trades
+// for speed: a faster codec wins when it stays within 15% of the best
+// candidate's estimate.
+const throughputSlack = 1.15
+
+// BestRatioPolicy returns the default policy: smallest estimated size.
+func BestRatioPolicy() SelectionPolicy { return bestRatioPolicy{} }
+
+// ThroughputPolicy returns the load-shedding policy: the fastest candidate
+// within 15% of the best estimated size.
+func ThroughputPolicy() SelectionPolicy { return throughputPolicy{slack: throughputSlack} }
+
+// RatioFloorPolicy returns the rate-distortion policy: the fastest
+// candidate whose estimated compression ratio is at least floor, falling
+// back to best-ratio when none qualifies.
+func RatioFloorPolicy(floor float64) SelectionPolicy { return ratioFloorPolicy{floor: floor} }
+
+// DefaultSelectionPolicy is what auto mode uses when no policy is chosen.
+var DefaultSelectionPolicy SelectionPolicy = bestRatioPolicy{}
+
+// PolicyByName resolves a policy spelling: "best-ratio", "throughput", or
+// "ratio-floor:F" with F the minimum acceptable compression ratio. It is
+// the single parser behind stream.WithAutoPolicy, cuszhi.WithAutoPolicy
+// and the CLI -auto-policy flag. An empty name resolves to the default.
+func PolicyByName(name string) (SelectionPolicy, error) {
+	switch {
+	case name == "" || name == "best-ratio":
+		return BestRatioPolicy(), nil
+	case name == "throughput":
+		return ThroughputPolicy(), nil
+	case strings.HasPrefix(name, "ratio-floor:"):
+		f, err := strconv.ParseFloat(strings.TrimPrefix(name, "ratio-floor:"), 64)
+		if err != nil || f <= 0 {
+			return nil, fmt.Errorf("core: bad ratio floor in policy %q (want ratio-floor:F with F > 0)", name)
+		}
+		return RatioFloorPolicy(f), nil
+	}
+	return nil, fmt.Errorf("core: unknown selection policy %q (want best-ratio, throughput, or ratio-floor:F)", name)
+}

@@ -1,0 +1,92 @@
+package core
+
+import "testing"
+
+// fakeEstimates builds a candidate slice in the fixed candidate order with
+// the given sizes (raw input: 4 MB).
+func fakeEstimates(t *testing.T, bytes map[string]int) []CandidateEstimate {
+	t.Helper()
+	out := make([]CandidateEstimate, 0, len(bytes))
+	for _, cand := range autoSelectCandidates() {
+		b, ok := bytes[cand.Name()]
+		if !ok {
+			t.Fatalf("no size for %s", cand.Name())
+		}
+		out = append(out, CandidateEstimate{Codec: cand, Bytes: b, Ratio: 4 << 20 / float64(b)})
+	}
+	return out
+}
+
+func pickName(cands []CandidateEstimate, i int) string { return cands[i].Codec.Name() }
+
+func TestBestRatioPolicyPicksSmallest(t *testing.T) {
+	cands := fakeEstimates(t, map[string]int{
+		"hi-cr": 1000, "hi-tp": 1200, "cusz-l": 2500,
+		"fzgpu": 9000, "szp": 5000, "szx": 20000,
+	})
+	if got := pickName(cands, BestRatioPolicy().Pick(cands)); got != "hi-cr" {
+		t.Fatalf("best-ratio picked %s", got)
+	}
+}
+
+func TestThroughputPolicyTradesRatioForSpeed(t *testing.T) {
+	// szp (the fastest candidate) sits within the 15% slack of hi-cr's
+	// best estimate, so throughput takes it; best-ratio would not.
+	cands := fakeEstimates(t, map[string]int{
+		"hi-cr": 1000, "hi-tp": 1300, "cusz-l": 1400,
+		"fzgpu": 5000, "szp": 1100, "szx": 20000,
+	})
+	if got := pickName(cands, ThroughputPolicy().Pick(cands)); got != "szp" {
+		t.Fatalf("throughput picked %s", got)
+	}
+	// Outside the slack the best estimate keeps the shard.
+	cands = fakeEstimates(t, map[string]int{
+		"hi-cr": 1000, "hi-tp": 1300, "cusz-l": 1400,
+		"fzgpu": 5000, "szp": 1200, "szx": 20000,
+	})
+	if got := pickName(cands, ThroughputPolicy().Pick(cands)); got != "hi-cr" {
+		t.Fatalf("throughput picked %s outside slack", got)
+	}
+}
+
+func TestRatioFloorPolicyPicksFastestMeetingFloor(t *testing.T) {
+	// 4 MB raw: hi-cr ratio ~4194, szp ~1398, szx ~210.
+	cands := fakeEstimates(t, map[string]int{
+		"hi-cr": 1000, "hi-tp": 1300, "cusz-l": 1400,
+		"fzgpu": 5000, "szp": 3000, "szx": 20000,
+	})
+	// Floor met by several: fastest qualifying codec (szp) wins.
+	if got := pickName(cands, RatioFloorPolicy(1000).Pick(cands)); got != "szp" {
+		t.Fatalf("ratio-floor:1000 picked %s", got)
+	}
+	// Floor met only by the assemblies: the fastest of them (cusz-l) wins.
+	if got := pickName(cands, RatioFloorPolicy(2500).Pick(cands)); got != "cusz-l" {
+		t.Fatalf("ratio-floor:2500 picked %s", got)
+	}
+	// Floor unreachable: fall back to best ratio.
+	if got := pickName(cands, RatioFloorPolicy(1e9).Pick(cands)); got != "hi-cr" {
+		t.Fatalf("unreachable ratio-floor picked %s", got)
+	}
+}
+
+func TestPolicyByName(t *testing.T) {
+	for spell, want := range map[string]string{
+		"":                "best-ratio",
+		"best-ratio":      "best-ratio",
+		"throughput":      "throughput",
+		"ratio-floor:2.5": "ratio-floor:2.5",
+	} {
+		pol, err := PolicyByName(spell)
+		if err != nil {
+			t.Fatalf("%q: %v", spell, err)
+		}
+		if pol.Name() != want {
+			t.Fatalf("%q resolved to %s, want %s", spell, pol.Name(), want)
+		}
+	}
+	for _, bad := range []string{"bogus", "ratio-floor:", "ratio-floor:x", "ratio-floor:-1", "ratio-floor:0"} {
+		if _, err := PolicyByName(bad); err == nil {
+			t.Fatalf("%q: want error", bad)
+		}
+	}
+}

@@ -830,3 +830,50 @@ func DecodeBytesCtx(ctx *arena.Ctx, dev *gpusim.Device, data []byte) ([]byte, er
 	}
 	return out, nil
 }
+
+// ---------------------------------------------------------------------------
+// Size estimation.
+
+// EstimateEncodedBytes predicts the size of the container EncodeCtx would
+// produce for a stream of n symbols distributed like the histogram freq.
+// The counts need not sum to n: a sample's histogram estimates the full
+// stream, which is how the auto-mode estimator scores an entropy stage
+// without encoding anything. The prediction uses the exact canonical code
+// lengths the encoder would build from freq (so it tracks Huffman's
+// one-bit-per-symbol floor, not just the Shannon entropy) plus the real
+// container overhead: the RLE code-length table and the per-chunk offset
+// directory. Scratch comes from ctx; nil allocates fresh.
+func EstimateEncodedBytes(ctx *arena.Ctx, freq []int64, n int) (int, error) {
+	s := scratchFor(ctx)
+	lens, err := s.buildLengths(freq)
+	if err != nil {
+		return 0, err
+	}
+	var bits, total int64
+	for sym, f := range freq {
+		bits += f * int64(lens[sym])
+		total += f
+	}
+	hdr := s.hdr[:0]
+	hdr = bitio.AppendUvarint(hdr, uint64(len(freq)))
+	hdr = appendLengthsRLE(hdr, lens)
+	hdr = bitio.AppendUvarint(hdr, uint64(n))
+	hdr = bitio.AppendUvarint(hdr, uint64(DefaultChunk))
+	nChunks := (n + DefaultChunk - 1) / DefaultChunk
+	hdr = bitio.AppendUvarint(hdr, uint64(nChunks))
+	s.hdr = hdr
+	if total == 0 || n == 0 {
+		return len(hdr), nil
+	}
+	payload := float64(bits) / float64(total) * float64(n) / 8
+	// Each chunk's offset uvarint plus its final-byte rounding.
+	perChunk := int(payload)/nChunks + 1
+	dirLen := 0
+	for v := perChunk; ; v >>= 7 {
+		dirLen++
+		if v < 0x80 {
+			break
+		}
+	}
+	return len(hdr) + nChunks*dirLen + int(payload) + (nChunks+1)/2, nil
+}

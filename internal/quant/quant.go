@@ -260,3 +260,29 @@ func log2(v int) int {
 	}
 	return l
 }
+
+// HistEntropyBits returns the Shannon entropy of a code histogram in bits
+// per symbol — the information-theoretic floor any entropy stage pays per
+// quant code. The auto-mode estimator uses it (and its per-bitplane
+// sibling in core) to score candidate pipelines from the fused
+// quantization histogram without compressing anything.
+//
+//cuszhi:hotpath
+func HistEntropyBits(freq []int64) float64 {
+	var total int64
+	for _, f := range freq {
+		total += f
+	}
+	if total <= 0 {
+		return 0
+	}
+	inv := 1 / float64(total)
+	var h float64
+	for _, f := range freq {
+		if f > 0 {
+			p := float64(f) * inv
+			h -= p * math.Log2(p)
+		}
+	}
+	return h
+}
