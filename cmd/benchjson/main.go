@@ -34,6 +34,9 @@ import (
 	"repro/internal/datagen"
 	"repro/internal/gpusim"
 	"repro/internal/huffman"
+	"repro/internal/interp"
+	"repro/internal/lccodec"
+	"repro/internal/lorenzo"
 	"repro/internal/metrics"
 )
 
@@ -244,7 +247,52 @@ func suite(quick bool) ([]bench, error) {
 		backends = append(backends, backendBench{name: name, blob: blob, cd: cd})
 	}
 
-	benches := []bench{}
+	// Per-kernel microbenchmarks over the batched hot loops, isolated from
+	// container framing and entropy stages: the Lorenzo predict/quantize
+	// sweep, one full interpolation-level pass set, and the zigzag/bitplane
+	// packing pipeline (TCMS1-BIT1-RRE1) on quant-like bytes.
+	kDims := []int{96, 96, 96}
+	if quick {
+		kDims = []int{48, 48, 48}
+	}
+	kField, err := datagen.Generate("jhtdb", kDims, 3)
+	if err != nil {
+		return nil, err
+	}
+	kEB := metrics.AbsEB(kField.Data, 1e-2)
+	kCtx := arena.NewCtx()
+	lzGrid := lorenzo.NewGrid(kDims)
+	ipGrid := interp.NewGrid(kDims)
+	ipCfg := interp.HiConfig()
+	bpData := quantLike(len(kField.Data), 9)
+	bpPipe := lccodec.HiTP()
+
+	benches := []bench{
+		{"kernel/lorenzo-predict", int64(4 * len(kField.Data)), 0, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				kCtx.Reset()
+				if _, err := lorenzo.CompressCtx(kCtx, dev1, kField.Data, lzGrid, kEB); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"kernel/interp-level", int64(4 * len(kField.Data)), 0, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				kCtx.Reset()
+				if _, err := interp.CompressCtx(kCtx, dev1, kField.Data, ipGrid, ipCfg, kEB); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"kernel/bitplane-pack", int64(len(bpData)), 0, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				kCtx.Reset()
+				if _, err := bpPipe.EncodeCtx(kCtx, dev1, bpData); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+	}
 	for _, bb := range backends {
 		bb := bb
 		ratio := float64(sField.SizeBytes()) / float64(len(bb.blob))

@@ -170,6 +170,34 @@ func (c *Ctx) SetAux(k AuxKey, v any) {
 }
 
 // ---------------------------------------------------------------------------
+// Batch scratch slots.
+
+// Slots returns the chunk-indexed batch scratch for key k grown to n
+// elements. Unlike the call-order typed getters, slot contents persist
+// across Resets: element i keeps its identity (and any backing arrays its
+// fields have grown) between ops, which is what the batched kernels need —
+// each parallel kernel invocation owns exactly one slot, so per-chunk
+// collectors and bit writers warm up once and never reallocate. With a nil
+// ctx a fresh slice is returned per call.
+func Slots[T any](c *Ctx, k AuxKey, n int) []T {
+	if c == nil {
+		return make([]T, n)
+	}
+	p, ok := c.Aux(k).(*[]T)
+	if !ok {
+		p = new([]T)
+		c.SetAux(k, p)
+	}
+	if cap(*p) < n {
+		grown := make([]T, n, ceilPow2(n))
+		copy(grown, *p)
+		*p = grown
+	}
+	*p = (*p)[:n]
+	return *p
+}
+
+// ---------------------------------------------------------------------------
 // Context pool.
 
 var ctxPool = sync.Pool{New: func() any { return NewCtx() }}

@@ -75,3 +75,55 @@ func TestAllocsSteadyState(t *testing.T) {
 		t.Fatalf("steady state allocs = %v, want 0", n)
 	}
 }
+
+func TestSlotsPersistAcrossReset(t *testing.T) {
+	type collector struct{ buf []byte }
+	k := NewAuxKey()
+	c := NewCtx()
+	s := Slots[collector](c, k, 4)
+	if len(s) != 4 {
+		t.Fatalf("len %d", len(s))
+	}
+	s[2].buf = append(s[2].buf, 1, 2, 3)
+	c.Reset()
+	s2 := Slots[collector](c, k, 4)
+	if &s2[0] != &s[0] {
+		t.Fatal("slots reallocated across Reset")
+	}
+	if len(s2[2].buf) != 3 {
+		t.Fatal("slot contents lost across Reset")
+	}
+	// Growing keeps existing elements; shrinking re-exposes them later.
+	s3 := Slots[collector](c, k, 9)
+	if len(s3) != 9 || len(s3[2].buf) != 3 {
+		t.Fatal("grow dropped existing slot state")
+	}
+	if got := Slots[collector](c, k, 2); len(got) != 2 {
+		t.Fatalf("shrink len %d", len(got))
+	}
+	if again := Slots[collector](c, k, 9); len(again[2].buf) != 3 {
+		t.Fatal("shrink-then-grow dropped slot state")
+	}
+}
+
+func TestSlotsNilCtx(t *testing.T) {
+	s := Slots[int](nil, NewAuxKey(), 3)
+	if len(s) != 3 {
+		t.Fatalf("len %d", len(s))
+	}
+}
+
+func TestSlotsWarmNoAlloc(t *testing.T) {
+	k := NewAuxKey()
+	c := NewCtx()
+	Slots[uint64](c, k, 64)
+	allocs := testing.AllocsPerRun(100, func() {
+		c.Reset()
+		if s := Slots[uint64](c, k, 64); len(s) != 64 {
+			t.Fatal("bad len")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm Slots allocates %.1f/op", allocs)
+	}
+}

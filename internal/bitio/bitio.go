@@ -15,6 +15,9 @@ import (
 // ErrShortStream reports a read past the end of the underlying buffer.
 var ErrShortStream = errors.New("bitio: unexpected end of stream")
 
+// ErrPackedWidth reports a fixed width outside the packed readers' range.
+var ErrPackedWidth = errors.New("bitio: packed width out of range")
+
 // Writer accumulates bits LSB-first into an internal byte buffer.
 // The zero value is ready to use.
 type Writer struct {
@@ -110,6 +113,67 @@ func (w *Writer) WriteBytes(p []byte) {
 	}
 }
 
+// WritePackedBytes appends every value of vals at the fixed width (in
+// [1, 8]), LSB-first — bit-identical to calling WriteBits(v, width) per
+// value, but packing eight values per accumulator push so the batched
+// fixed-width kernels (CLOG1, the szp/szx block bodies) pay one WriteBits
+// branch per group instead of per symbol.
+//
+//cuszhi:hotpath
+func (w *Writer) WritePackedBytes(vals []byte, width uint) {
+	if width == 0 || width > 8 {
+		return
+	}
+	mask := uint64(1)<<width - 1
+	i := 0
+	for ; i+8 <= len(vals); i += 8 {
+		g := vals[i : i+8 : i+8]
+		combined := uint64(g[0])&mask |
+			(uint64(g[1])&mask)<<width |
+			(uint64(g[2])&mask)<<(2*width) |
+			(uint64(g[3])&mask)<<(3*width) |
+			(uint64(g[4])&mask)<<(4*width) |
+			(uint64(g[5])&mask)<<(5*width) |
+			(uint64(g[6])&mask)<<(6*width) |
+			(uint64(g[7])&mask)<<(7*width)
+		w.WriteBits(combined, 8*width)
+	}
+	for ; i < len(vals); i++ {
+		w.WriteBits(uint64(vals[i]), width)
+	}
+}
+
+// WritePacked64 appends every value of vals at the fixed width (in
+// [1, 64]), LSB-first — bit-identical to calling WriteBits(v, width) per
+// value, but combining as many values as fit in 64 bits per accumulator
+// push.
+//
+//cuszhi:hotpath
+func (w *Writer) WritePacked64(vals []uint64, width uint) {
+	if width == 0 || width > 64 {
+		return
+	}
+	group := int(64 / width)
+	if group <= 1 {
+		for _, v := range vals {
+			w.WriteBits(v, width)
+		}
+		return
+	}
+	mask := uint64(1)<<width - 1 // width == 64 handled by group <= 1 above
+	i := 0
+	for ; i+group <= len(vals); i += group {
+		var combined uint64
+		for k, v := range vals[i : i+group : i+group] {
+			combined |= (v & mask) << (uint(k) * width)
+		}
+		w.WriteBits(combined, uint(group)*width)
+	}
+	for ; i < len(vals); i++ {
+		w.WriteBits(vals[i], width)
+	}
+}
+
 // Align pads with zero bits to the next byte boundary.
 func (w *Writer) Align() {
 	if r := w.nacc % 8; r != 0 {
@@ -174,6 +238,18 @@ func (r *Reader) ResetBytes(p []byte) {
 }
 
 func (r *Reader) fill() {
+	// Bulk path: one unaligned 64-bit load tops the accumulator up with as
+	// many whole bytes as fit. The mask keeps only those bytes, so bits the
+	// load brought in beyond the counted ones never linger in acc.
+	if r.nacc <= 56 && r.pos+8 <= len(r.buf) {
+		n := (64 - r.nacc) >> 3
+		v := binary.LittleEndian.Uint64(r.buf[r.pos:])
+		v &= uint64(1)<<(8*n) - 1 // 8*n == 64 shifts to 0, wrapping to ^0
+		r.acc |= v << r.nacc
+		r.pos += int(n)
+		r.nacc += 8 * n
+		return
+	}
 	for r.nacc <= 56 && r.pos < len(r.buf) {
 		r.acc |= uint64(r.buf[r.pos]) << r.nacc
 		r.pos++
@@ -254,6 +330,85 @@ func (r *Reader) ReadBytes(n int) ([]byte, error) {
 		out[i] = byte(v)
 	}
 	return out, nil
+}
+
+// ReadPackedBytes fills dst with len(dst) values of the fixed width (in
+// [1, 8]) — the inverse of WritePackedBytes. The accumulator is refilled
+// once per batch of extractions rather than per value.
+//
+//cuszhi:hotpath
+func (r *Reader) ReadPackedBytes(dst []byte, width uint) error {
+	if width == 0 || width > 8 {
+		return ErrPackedWidth
+	}
+	mask := uint64(1)<<width - 1
+	i := 0
+	// Whole groups of 8 resolve from the accumulator without refill. The
+	// group loop runs out only near the end of the stream (fill no longer
+	// supplies 8*width bits) or of dst; the scalar loop finishes both tails.
+	for i+8 <= len(dst) {
+		if r.nacc < 8*width {
+			r.fill()
+			if r.nacc < 8*width {
+				break
+			}
+		}
+		acc := r.acc
+		g := dst[i : i+8 : i+8]
+		g[0] = byte(acc & mask)
+		g[1] = byte(acc >> width & mask)
+		g[2] = byte(acc >> (2 * width) & mask)
+		g[3] = byte(acc >> (3 * width) & mask)
+		g[4] = byte(acc >> (4 * width) & mask)
+		g[5] = byte(acc >> (5 * width) & mask)
+		g[6] = byte(acc >> (6 * width) & mask)
+		g[7] = byte(acc >> (7 * width) & mask)
+		r.acc = acc >> (8 * width)
+		r.nacc -= 8 * width
+		i += 8
+	}
+	for ; i < len(dst); i++ {
+		v, err := r.ReadBits(width)
+		if err != nil {
+			return err
+		}
+		dst[i] = byte(v)
+	}
+	return nil
+}
+
+// ReadPacked64 fills dst with len(dst) values of the fixed width (in
+// [1, 64]) — the inverse of WritePacked64.
+//
+//cuszhi:hotpath
+func (r *Reader) ReadPacked64(dst []uint64, width uint) error {
+	if width == 0 || width > 64 {
+		return ErrPackedWidth
+	}
+	mask := uint64(1)<<width - 1
+	if width == 64 {
+		mask = ^uint64(0)
+	}
+	for i := range dst {
+		if r.nacc < width {
+			r.fill()
+			if r.nacc < width {
+				v, err := r.ReadBits(width) // straddling tail path
+				if err != nil {
+					return err
+				}
+				dst[i] = v
+				continue
+			}
+		}
+		dst[i] = r.acc & mask
+		r.acc >>= width % 64
+		if width == 64 {
+			r.acc = 0
+		}
+		r.nacc -= width
+	}
+	return nil
 }
 
 // Align discards bits up to the next byte boundary.

@@ -215,3 +215,150 @@ func TestBitsRoundTripProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// packedRef writes vals per-value with WriteBits — the reference the packed
+// writers must match bit-for-bit.
+func packedRef(vals []uint64, width uint, pre, post uint) []byte {
+	w := NewWriter(0)
+	w.WriteBits(0x2A, pre)
+	for _, v := range vals {
+		w.WriteBits(v, width)
+	}
+	w.WriteBits(0x15, post)
+	return w.Bytes()
+}
+
+func TestWritePackedBytesMatchesWriteBits(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for width := uint(1); width <= 8; width++ {
+		for _, n := range []int{0, 1, 7, 8, 9, 15, 16, 17, 100} {
+			for _, pre := range []uint{0, 3, 13} {
+				vals := make([]byte, n)
+				ref := make([]uint64, n)
+				for i := range vals {
+					vals[i] = byte(rng.Uint64())
+					ref[i] = uint64(vals[i]) & (1<<width - 1)
+				}
+				w := NewWriter(0)
+				w.WriteBits(0x2A, pre)
+				w.WritePackedBytes(vals, width)
+				w.WriteBits(0x15, 5)
+				if got, want := w.Bytes(), packedRef(ref, width, pre, 5); !bytes.Equal(got, want) {
+					t.Fatalf("width %d n %d pre %d: packed bytes differ", width, n, pre)
+				}
+			}
+		}
+	}
+}
+
+func TestWritePacked64MatchesWriteBits(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for _, width := range []uint{1, 2, 3, 6, 7, 9, 16, 21, 31, 32, 33, 63, 64} {
+		for _, n := range []int{0, 1, 2, 5, 8, 63, 64, 65} {
+			vals := make([]uint64, n)
+			ref := make([]uint64, n)
+			for i := range vals {
+				vals[i] = rng.Uint64()
+				if width < 64 {
+					ref[i] = vals[i] & (1<<width - 1)
+				} else {
+					ref[i] = vals[i]
+				}
+			}
+			w := NewWriter(0)
+			w.WriteBits(0x2A, 11)
+			w.WritePacked64(vals, width)
+			w.WriteBits(0x15, 5)
+			if got, want := w.Bytes(), packedRef(ref, width, 11, 5); !bytes.Equal(got, want) {
+				t.Fatalf("width %d n %d: packed uint64 differ", width, n)
+			}
+		}
+	}
+}
+
+func TestReadPackedBytesRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for width := uint(1); width <= 8; width++ {
+		for _, n := range []int{0, 1, 7, 8, 9, 100} {
+			for _, pre := range []uint{0, 3} {
+				vals := make([]byte, n)
+				for i := range vals {
+					vals[i] = byte(rng.Uint64()) & (1<<width - 1)
+				}
+				w := NewWriter(0)
+				w.WriteBits(0x2A, pre)
+				w.WritePackedBytes(vals, width)
+				w.WriteBits(0x155, 9)
+				r := NewReader(w.Bytes())
+				if _, err := r.ReadBits(pre); err != nil {
+					t.Fatal(err)
+				}
+				got := make([]byte, n)
+				if err := r.ReadPackedBytes(got, width); err != nil {
+					t.Fatalf("width %d n %d pre %d: %v", width, n, pre, err)
+				}
+				if !bytes.Equal(got, vals) {
+					t.Fatalf("width %d n %d pre %d: values differ", width, n, pre)
+				}
+				if tail, err := r.ReadBits(9); err != nil || tail != 0x155 {
+					t.Fatalf("width %d n %d pre %d: tail %#x err %v", width, n, pre, tail, err)
+				}
+			}
+		}
+	}
+}
+
+func TestReadPacked64RoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for _, width := range []uint{1, 5, 9, 17, 32, 33, 63, 64} {
+		for _, n := range []int{0, 1, 8, 33} {
+			vals := make([]uint64, n)
+			for i := range vals {
+				vals[i] = rng.Uint64()
+				if width < 64 {
+					vals[i] &= 1<<width - 1
+				}
+			}
+			w := NewWriter(0)
+			w.WriteBits(0x5, 3)
+			w.WritePacked64(vals, width)
+			w.WriteBits(0x155, 9)
+			r := NewReader(w.Bytes())
+			if _, err := r.ReadBits(3); err != nil {
+				t.Fatal(err)
+			}
+			got := make([]uint64, n)
+			if err := r.ReadPacked64(got, width); err != nil {
+				t.Fatalf("width %d n %d: %v", width, n, err)
+			}
+			for i := range got {
+				if got[i] != vals[i] {
+					t.Fatalf("width %d n %d: value %d = %#x want %#x", width, n, i, got[i], vals[i])
+				}
+			}
+			if tail, err := r.ReadBits(9); err != nil || tail != 0x155 {
+				t.Fatalf("width %d n %d: tail %#x err %v", width, n, tail, err)
+			}
+		}
+	}
+}
+
+func TestReadPackedShortStream(t *testing.T) {
+	w := NewWriter(0)
+	w.WriteBits(0xFF, 8)
+	data := w.Bytes()
+	r := NewReader(data)
+	if err := r.ReadPackedBytes(make([]byte, 4), 7); err != ErrShortStream {
+		t.Fatalf("ReadPackedBytes short: %v", err)
+	}
+	r = NewReader(data)
+	if err := r.ReadPacked64(make([]uint64, 2), 33); err != ErrShortStream {
+		t.Fatalf("ReadPacked64 short: %v", err)
+	}
+	if err := NewReader(data).ReadPackedBytes(make([]byte, 1), 9); err == nil {
+		t.Fatal("ReadPackedBytes width 9 accepted")
+	}
+	if err := NewReader(data).ReadPacked64(make([]uint64, 1), 65); err == nil {
+		t.Fatal("ReadPacked64 width 65 accepted")
+	}
+}

@@ -181,6 +181,20 @@ func (d *Device) LaunchChunks(n, chunk int, body func(lo, hi int)) {
 		}
 	}
 	blocks := (n + chunk - 1) / chunk
+	if d.workers <= 1 || blocks <= 1 {
+		// Inline path: no adapter closure is constructed, so single-worker
+		// devices (the zero-alloc warm-context configuration) launch chunked
+		// kernels without touching the heap.
+		for b := 0; b < blocks; b++ {
+			lo := b * chunk
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			body(lo, hi)
+		}
+		return
+	}
 	d.Launch(blocks, func(b int) {
 		lo := b * chunk
 		hi := lo + chunk
@@ -189,6 +203,23 @@ func (d *Device) LaunchChunks(n, chunk int, body func(lo, hi int)) {
 		}
 		body(lo, hi)
 	})
+}
+
+// LaunchBatched is LaunchChunks with lane-aligned chunk boundaries: chunk is
+// rounded up to a multiple of lanes, so every span handed to body starts at
+// a lanes multiple and only the global tail ends unaligned. Batched kernels
+// written as "wide groups of `lanes` items + scalar tail" can therefore
+// assume no wide group ever straddles a span boundary, letting the pooled-
+// goroutine simulated-GPU path and the plain CPU path (workers == 1, body
+// runs inline on the caller) share one kernel implementation.
+func (d *Device) LaunchBatched(n, chunk, lanes int, body func(lo, hi int)) {
+	if lanes > 1 {
+		if chunk <= 0 {
+			chunk = (n + d.workers - 1) / d.workers
+		}
+		chunk = (chunk + lanes - 1) / lanes * lanes
+	}
+	d.LaunchChunks(n, chunk, body)
 }
 
 // Reduce computes a parallel reduction of per-block partial results.

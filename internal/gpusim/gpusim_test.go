@@ -179,3 +179,34 @@ func TestConcurrentLaunchesShareDevice(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+func TestLaunchBatchedAlignment(t *testing.T) {
+	d := New(4)
+	for _, tc := range []struct{ n, chunk, lanes int }{
+		{1000, 37, 8}, {1000, 0, 8}, {5, 64, 8}, {1000, 16, 1}, {1000, 37, 0}, {0, 8, 8},
+	} {
+		var mu sync.Mutex
+		covered := make([]bool, tc.n)
+		d.LaunchBatched(tc.n, tc.chunk, tc.lanes, func(lo, hi int) {
+			if tc.lanes > 1 && lo%tc.lanes != 0 {
+				t.Errorf("n=%d chunk=%d lanes=%d: span start %d unaligned", tc.n, tc.chunk, tc.lanes, lo)
+			}
+			if tc.lanes > 1 && hi%tc.lanes != 0 && hi != tc.n {
+				t.Errorf("n=%d chunk=%d lanes=%d: interior span end %d unaligned", tc.n, tc.chunk, tc.lanes, hi)
+			}
+			mu.Lock()
+			for i := lo; i < hi; i++ {
+				if covered[i] {
+					t.Errorf("index %d covered twice", i)
+				}
+				covered[i] = true
+			}
+			mu.Unlock()
+		})
+		for i, ok := range covered {
+			if !ok {
+				t.Fatalf("n=%d chunk=%d lanes=%d: index %d missed", tc.n, tc.chunk, tc.lanes, i)
+			}
+		}
+	}
+}

@@ -23,6 +23,7 @@
 package huffman
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"math/bits"
@@ -735,10 +736,22 @@ func decodeChunk(src []byte, t *decodeTable, dst []uint16) error {
 	pos := 0
 	i := 0
 	for i < len(dst) {
-		for nacc <= 56 && pos < len(src) {
-			acc |= uint64(src[pos]) << nacc
-			pos++
-			nacc += 8
+		// Refill the accumulator in one unaligned 64-bit load when at
+		// least 8 source bytes remain; the byte loop handles the tail.
+		// Both paths leave identical (acc, nacc, pos) state.
+		if nacc <= 56 && pos+8 <= len(src) {
+			v := binary.LittleEndian.Uint64(src[pos:])
+			n := (64 - nacc) >> 3
+			v &= uint64(1)<<(8*n) - 1 // 8n == 64 wraps the mask to ^0
+			acc |= v << nacc
+			pos += int(n)
+			nacc += 8 * n
+		} else {
+			for nacc <= 56 && pos < len(src) {
+				acc |= uint64(src[pos]) << nacc
+				pos++
+				nacc += 8
+			}
 		}
 		e := t.primary[acc&(1<<tableBits-1)]
 		switch e >> kindShift {

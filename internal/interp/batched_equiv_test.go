@@ -1,0 +1,90 @@
+package interp
+
+import (
+	"math"
+	"slices"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/gpusim"
+	"repro/internal/metrics"
+)
+
+// f32BitsEqual compares float32 slices bitwise, so NaN-bearing fields
+// (datagen produces some for degenerate shapes) still compare meaningfully.
+func f32BitsEqual(a, b []float32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float32bits(a[i]) != math.Float32bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestBatchedMatchesScalar is the equivalence property for the fused
+// stride-row interpolation fast path: over every datagen field, both
+// schemes and a dim set with non-multiple-of-8 extents and rank-1/2
+// grids, the row kernels must produce byte-identical quant codes,
+// anchors, outliers and reconstructions to the per-point reference.
+func TestBatchedMatchesScalar(t *testing.T) {
+	defer func() { Batched = true }()
+	dev := gpusim.New(4)
+	dimsList := [][]int{
+		{20, 20, 20},
+		{33, 17, 9}, // no extent a multiple of 8
+		{7, 5, 3},
+		{37, 53}, // rank 2
+		{1009},   // rank 1, prime length
+	}
+	cfgs := []Config{HiConfig(), CuszIConfig()}
+	for _, name := range datagen.Names() {
+		for _, dims := range dimsList {
+			f, err := datagen.Generate(name, dims, 13)
+			if err != nil {
+				t.Fatalf("%s %v: %v", name, dims, err)
+			}
+			eb := metrics.AbsEB(f.Data, 1e-2)
+			g := NewGrid(dims)
+			for ci, cfg := range cfgs {
+				Batched = false
+				want, err := Compress(dev, f.Data, g, cfg, eb)
+				if err != nil {
+					t.Fatalf("%s %v cfg%d scalar: %v", name, dims, ci, err)
+				}
+				wantRecon, err := Decompress(dev, want, g, cfg, eb)
+				if err != nil {
+					t.Fatalf("%s %v cfg%d scalar decompress: %v", name, dims, ci, err)
+				}
+
+				Batched = true
+				got, err := Compress(dev, f.Data, g, cfg, eb)
+				if err != nil {
+					t.Fatalf("%s %v cfg%d batched: %v", name, dims, ci, err)
+				}
+				if !slices.Equal(got.Codes, want.Codes) {
+					t.Fatalf("%s %v cfg%d: codes diverge", name, dims, ci)
+				}
+				if !f32BitsEqual(got.Anchors, want.Anchors) {
+					t.Fatalf("%s %v cfg%d: anchors diverge", name, dims, ci)
+				}
+				if !slices.Equal(got.Outliers.Pos, want.Outliers.Pos) ||
+					!f32BitsEqual(got.Outliers.Val, want.Outliers.Val) {
+					t.Fatalf("%s %v cfg%d: outliers diverge", name, dims, ci)
+				}
+				if !slices.Equal(got.Freq, want.Freq) {
+					t.Fatalf("%s %v cfg%d: histogram diverges", name, dims, ci)
+				}
+				gotRecon, err := Decompress(dev, got, g, cfg, eb)
+				if err != nil {
+					t.Fatalf("%s %v cfg%d batched decompress: %v", name, dims, ci, err)
+				}
+				if !f32BitsEqual(gotRecon, wantRecon) {
+					t.Fatalf("%s %v cfg%d: reconstruction diverges", name, dims, ci)
+				}
+			}
+		}
+	}
+}

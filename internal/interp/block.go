@@ -9,6 +9,12 @@ package interp
 // (quantize-and-store for compression, apply-code for decompression,
 // accumulate-error for tuning).
 
+// Batched selects the fused stride-row prediction kernels (the default).
+// The per-point scalar path stays selectable so the equivalence property
+// tests can assert byte-identical codes, outliers and reconstructions
+// between the two. Toggle only from tests, before any launch.
+var Batched = true
+
 // dimClass constrains one coordinate of a phase's point set.
 type dimClass uint8
 
@@ -70,6 +76,7 @@ type block struct {
 	ohi     [3]int // exclusive upper owner bounds
 	ext     [3]int // local extents (hi-lo+1)
 	buf     []float32
+	preds   []float32 // row-kernel prediction scratch (one stride-row)
 	anchors []float32 // dense global anchor grid
 	az      [3]int    // anchor grid dims
 }
@@ -260,6 +267,81 @@ func (b *block) predict(gz, gy, gx, idx, s int, dims []int, spline Spline) float
 	return sum / float32(cnt)
 }
 
+// predictRowCubic fills preds with the order-3 interior predictions for a
+// whole stride-row: point i sits at buffer index idx0 + i*xstep, and every
+// interpolation direction in dims has all four cubic neighbours inside the
+// block (the caller guarantees it). Accumulation starts from an explicit
+// zero fill and runs dims in order, then divides by the direction count —
+// the exact float op order of predict's interior fast path, so the results
+// are bit-identical.
+//
+//cuszhi:hotpath
+func (b *block) predictRowCubic(preds []float32, idx0, xstep, s int, dims []int) {
+	st := b.strides()
+	buf := b.buf
+	n := len(preds)
+	preds = preds[:n:n]
+	clear(preds)
+	for _, d := range dims {
+		off1 := s * st[d]
+		off3 := 3 * off1
+		pa := idx0 - off3
+		pp := idx0 - off1
+		pq := idx0 + off1
+		pd := idx0 + off3
+		for i := 0; i < n; i++ {
+			preds[i] += (-buf[pa] + 9*buf[pp] + 9*buf[pq] - buf[pd]) * (1.0 / 16)
+			pa += xstep
+			pp += xstep
+			pq += xstep
+			pd += xstep
+		}
+	}
+	if len(dims) > 1 {
+		nf := float32(len(dims))
+		for i := 0; i < n; i++ {
+			preds[i] /= nf
+		}
+	}
+}
+
+// predictRowLinear is predictRowCubic's order-1 sibling: both ±s
+// neighbours of every direction are inside the block. The first direction
+// assigns and later ones accumulate, mirroring the best-order bookkeeping
+// of the scalar general path (which all-interior linear rows collapse to).
+//
+//cuszhi:hotpath
+func (b *block) predictRowLinear(preds []float32, idx0, xstep, s int, dims []int) {
+	st := b.strides()
+	buf := b.buf
+	n := len(preds)
+	preds = preds[:n:n]
+	for di, d := range dims {
+		off := s * st[d]
+		pp := idx0 - off
+		pq := idx0 + off
+		if di == 0 {
+			for i := 0; i < n; i++ {
+				preds[i] = (buf[pp] + buf[pq]) / 2
+				pp += xstep
+				pq += xstep
+			}
+		} else {
+			for i := 0; i < n; i++ {
+				preds[i] += (buf[pp] + buf[pq]) / 2
+				pp += xstep
+				pq += xstep
+			}
+		}
+	}
+	if len(dims) > 1 {
+		nf := float32(len(dims))
+		for i := 0; i < n; i++ {
+			preds[i] /= nf
+		}
+	}
+}
+
 // visitFunc handles one predicted point: it receives the global coords,
 // the prediction, and whether this block owns the point; it returns the
 // reconstructed value to store in buf.
@@ -292,13 +374,71 @@ func (b *block) runLevel(s int, lc LevelConfig, visit visitFunc) {
 			continue
 		}
 		st := b.strides()
+		// Fused row fast path: the spline's interior reach and the row's x
+		// interior span are phase constants, so each stride-row whose z/y
+		// directions are fully interior runs one whole-row prediction kernel
+		// plus scalar halo points, instead of a predict call per point.
+		reach := 0
+		if Batched {
+			if lc.Spline == Cubic {
+				reach = 3 * s
+			} else {
+				reach = s
+			}
+		}
+		xIntLo, xIntHi := start[2], b.hi[2]
+		if reach > 0 {
+			for _, d := range ph.dims {
+				if d != 2 {
+					continue
+				}
+				if lo := b.lo[2] + reach; xIntLo < lo {
+					k := (lo - start[2] + step[2] - 1) / step[2]
+					xIntLo = start[2] + k*step[2]
+				}
+				xIntHi = b.hi[2] - reach
+			}
+		}
 		for z := start[0]; z <= b.hi[0]; z += step[0] {
 			zOwn := z < b.ohi[0]
 			zBase := (z - b.lo[0]) * st[0]
 			for y := start[1]; y <= b.hi[1]; y += step[1] {
 				yOwn := zOwn && y < b.ohi[1]
 				yBase := zBase + (y-b.lo[1])*st[1]
-				for x := start[2]; x <= b.hi[2]; x += step[2] {
+				rowOK := reach > 0 && xIntLo <= xIntHi
+				if rowOK {
+					for _, d := range ph.dims {
+						if d == 0 && (z-reach < b.lo[0] || z+reach > b.hi[0]) ||
+							d == 1 && (y-reach < b.lo[1] || y+reach > b.hi[1]) {
+							rowOK = false
+							break
+						}
+					}
+				}
+				x := start[2]
+				if rowOK {
+					for ; x < xIntLo; x += step[2] {
+						idx := yBase + (x - b.lo[2])
+						pred := b.predict(z, y, x, idx, s, ph.dims, lc.Spline)
+						b.buf[idx] = visit(z, y, x, pred, yOwn && x < b.ohi[2])
+					}
+					count := (xIntHi-x)/step[2] + 1
+					if cap(b.preds) < count {
+						b.preds = make([]float32, count)
+					}
+					preds := b.preds[:count]
+					idx0 := yBase + (x - b.lo[2])
+					if lc.Spline == Cubic {
+						b.predictRowCubic(preds, idx0, step[2], s, ph.dims)
+					} else {
+						b.predictRowLinear(preds, idx0, step[2], s, ph.dims)
+					}
+					for i := 0; i < count; i, x = i+1, x+step[2] {
+						idx := yBase + (x - b.lo[2])
+						b.buf[idx] = visit(z, y, x, preds[i], yOwn && x < b.ohi[2])
+					}
+				}
+				for ; x <= b.hi[2]; x += step[2] {
 					idx := yBase + (x - b.lo[2])
 					pred := b.predict(z, y, x, idx, s, ph.dims, lc.Spline)
 					b.buf[idx] = visit(z, y, x, pred, yOwn && x < b.ohi[2])

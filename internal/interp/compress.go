@@ -23,8 +23,13 @@ type Result struct {
 	Freq []int64
 }
 
-// auxKey is this package's scratch slot in an arena.Ctx.
-var auxKey = arena.NewAuxKey()
+// auxKey is this package's scratch slot in an arena.Ctx; blockOutKey holds
+// the per-block outlier collectors (arena batch slots, persistent across
+// Reset so steady-state appends never grow).
+var (
+	auxKey      = arena.NewAuxKey()
+	blockOutKey = arena.NewAuxKey()
+)
 
 type iscratch struct {
 	freq []int64
@@ -93,7 +98,11 @@ func CompressCtx(ctx *arena.Ctx, dev *gpusim.Device, data []float32, g Grid, cfg
 	azd, ayd, axd := g.AnchorDims(cfg.AnchorStride)
 	nbz, nby, nbx := blockGrid(g, &cfg)
 	nBlocks := nbz * nby * nbx
-	perBlockOutliers := make([]quant.Outliers, nBlocks)
+	perBlockOutliers := arena.Slots[quant.Outliers](ctx, blockOutKey, nBlocks)
+	for i := range perBlockOutliers {
+		perBlockOutliers[i].Pos = perBlockOutliers[i].Pos[:0]
+		perBlockOutliers[i].Val = perBlockOutliers[i].Val[:0]
+	}
 	var freqMu sync.Mutex
 	dev.Launch(nBlocks, func(bi int) {
 		bk := bufPool.Get().(*block)
@@ -135,13 +144,18 @@ func CompressCtx(ctx *arena.Ctx, dev *gpusim.Device, data []float32, g Grid, cfg
 		}
 		freqMu.Unlock()
 	})
-	// Merge per-block outliers in ascending position order.
-	order := make([]int, 0, nBlocks)
+	// Merge per-block outliers in ascending position order, into
+	// context-drawn arrays sized by a counting pass.
+	order := ctx.Ints(nBlocks)[:0]
+	nOut := 0
 	for i := range perBlockOutliers {
 		if perBlockOutliers[i].Len() > 0 {
 			order = append(order, i)
+			nOut += perBlockOutliers[i].Len()
 		}
 	}
+	res.Outliers.Pos = ctx.Ints(nOut)[:0]
+	res.Outliers.Val = ctx.F32(nOut)[:0]
 	sort.Slice(order, func(i, j int) bool {
 		return perBlockOutliers[order[i]].Pos[0] < perBlockOutliers[order[j]].Pos[0]
 	})

@@ -40,6 +40,33 @@ import (
 // ErrCorrupt reports a malformed component stream.
 var ErrCorrupt = errors.New("lccodec: corrupt stream")
 
+// Batched selects the uint64-packed byte-parallel kernels (the default):
+// SWAR zigzag in TCMS1, whole-group bitmap handling in RRE1/RZE1, and
+// packed fixed-width I/O in CLOG1. The scalar reference paths stay
+// selectable so the equivalence property tests can assert byte-identical
+// streams between the two. Toggle only from tests, before any launch.
+var Batched = true
+
+// SWAR per-byte bit masks.
+const (
+	swarLo = 0x0101010101010101
+	swarHi = 0x8080808080808080
+)
+
+// hasZeroByte reports whether any byte of v is zero (Hacker's Delight 6-1).
+//
+//cuszhi:hotpath
+func hasZeroByte(v uint64) bool {
+	return (v-swarLo) & ^v & swarHi != 0
+}
+
+// byteMask widens per-byte 0/1 flags (bit 0 of each byte of m) to 0x00/0xFF.
+//
+//cuszhi:hotpath
+func byteMask(m uint64) uint64 {
+	return (m << 8) - m
+}
+
 // Component is one reversible stage of a lossless pipeline. ctx may be nil.
 type Component interface {
 	Name() string
@@ -112,14 +139,31 @@ func (c tcms) apply(ctx *arena.Ctx, dev *gpusim.Device, src []byte, fwd bool) []
 	out := ctx.Bytes(len(src))
 	if c.w == 1 {
 		// Byte-wide fast path: zigzag on int8, no symbol load/store helpers.
-		dev.LaunchChunks(len(src), 1<<16, func(lo, hi int) {
+		// The batched kernel runs the transform byte-parallel over uint64
+		// lanes (SWAR): isolate the per-byte sign (encode) or low (decode)
+		// bits, widen them to full-byte masks, and XOR — eight symbols per
+		// load/store, bit-identical to the scalar form.
+		dev.LaunchBatched(len(src), 1<<16, 8, func(lo, hi int) {
+			i := lo
+			if Batched {
+				for ; i+8 <= hi; i += 8 {
+					v := binary.LittleEndian.Uint64(src[i:])
+					var r uint64
+					if fwd {
+						r = (v<<1)&^swarLo ^ byteMask(v>>7&swarLo)
+					} else {
+						r = (v>>1)&^swarHi ^ byteMask(v&swarLo)
+					}
+					binary.LittleEndian.PutUint64(out[i:], r)
+				}
+			}
 			if fwd {
-				for i := lo; i < hi; i++ {
+				for ; i < hi; i++ {
 					b := src[i]
 					out[i] = (b << 1) ^ byte(int8(b)>>7)
 				}
 			} else {
-				for i := lo; i < hi; i++ {
+				for ; i < hi; i++ {
 					b := src[i]
 					out[i] = byte(int8(b>>1) ^ -int8(b&1))
 				}
@@ -316,9 +360,53 @@ func (c elim) Encode(ctx *arena.Ctx, dev *gpusim.Device, src []byte) ([]byte, er
 	clear(bitmap)
 	kept := ctx.Bytes(len(src))[:0]
 	if c.w == 1 {
-		// Byte-wide fast path for the pipelines' hot RRE1/RZE1 stages.
+		// Byte-wide fast path for the pipelines' hot RRE1/RZE1 stages. The
+		// batched path classifies eight symbols per uint64 load: all-drop
+		// and all-keep groups (the overwhelming majority on shuffled
+		// bitplane data) resolve with one bitmap-byte store and one bulk
+		// append; only mixed groups fall back to the per-symbol body.
 		var prev byte
-		for i := 0; i < n; i++ {
+		i := 0
+		if Batched {
+			for ; i+8 <= n; i += 8 {
+				v := binary.LittleEndian.Uint64(src[i:])
+				if c.zero {
+					if v == 0 {
+						continue // all zero: dropped, bitmap byte stays 0
+					}
+					if !hasZeroByte(v) {
+						bitmap[i>>3] = 0xFF
+						kept = append(kept, src[i:i+8]...)
+						continue
+					}
+				} else if i > 0 {
+					if v == uint64(prev)*swarLo {
+						continue // all repeat the running value
+					}
+					if !hasZeroByte(v ^ (v<<8 | uint64(prev))) {
+						bitmap[i>>3] = 0xFF
+						kept = append(kept, src[i:i+8]...)
+						prev = byte(v >> 56)
+						continue
+					}
+				}
+				for j := i; j < i+8; j++ {
+					b := src[j]
+					var keep bool
+					if c.zero {
+						keep = b != 0
+					} else {
+						keep = j == 0 || b != prev
+						prev = b
+					}
+					if keep {
+						bitmap[j>>3] |= 1 << (j & 7)
+						kept = append(kept, b)
+					}
+				}
+			}
+		}
+		for ; i < n; i++ {
 			v := src[i]
 			var keep bool
 			if c.zero {
@@ -386,8 +474,59 @@ func (c elim) Decode(ctx *arena.Ctx, dev *gpusim.Device, src []byte) ([]byte, er
 	out := ctx.Bytes(int(origLen))
 	keptOff := off
 	if c.w == 1 {
+		// Mirror of the encoder's group fast path: a full bitmap byte
+		// copies eight kept symbols at once, an empty one stores eight
+		// zeros or eight copies of the running value; mixed bytes fall
+		// back to per-symbol decoding.
 		var prev byte
-		for i := 0; i < nSym; i++ {
+		i := 0
+		if Batched {
+			for ; i+8 <= nSym; i += 8 {
+				switch bitmap[i>>3] {
+				case 0xFF:
+					if keptOff+8 > len(src) {
+						return nil, ErrCorrupt
+					}
+					copy(out[i:i+8], src[keptOff:keptOff+8])
+					keptOff += 8
+					if !c.zero {
+						prev = out[i+7]
+					}
+					continue
+				case 0x00:
+					if c.zero {
+						binary.LittleEndian.PutUint64(out[i:], 0)
+						continue
+					}
+					if i == 0 {
+						return nil, ErrCorrupt // first symbol must be kept
+					}
+					binary.LittleEndian.PutUint64(out[i:], uint64(prev)*swarLo)
+					continue
+				}
+				for j := i; j < i+8; j++ {
+					if bitmap[j>>3]>>(j&7)&1 != 0 {
+						if keptOff >= len(src) {
+							return nil, ErrCorrupt
+						}
+						v := src[keptOff]
+						keptOff++
+						out[j] = v
+						if !c.zero {
+							prev = v
+						}
+					} else if c.zero {
+						out[j] = 0
+					} else {
+						if j == 0 {
+							return nil, ErrCorrupt // first symbol must be kept
+						}
+						out[j] = prev
+					}
+				}
+			}
+		}
+		for ; i < nSym; i++ {
 			if bitmap[i>>3]>>(i&7)&1 != 0 {
 				if keptOff >= len(src) {
 					return nil, ErrCorrupt
@@ -533,17 +672,40 @@ func (clog) Encode(ctx *arena.Ctx, dev *gpusim.Device, src []byte) ([]byte, erro
 		if hi > len(src) {
 			hi = len(src)
 		}
+		blk := src[lo:hi]
 		var maxv byte
-		for _, v := range src[lo:hi] {
-			if v > maxv {
-				maxv = v
+		if Batched {
+			// The block width is ceil-log2 of the max, which only depends
+			// on the highest bit set anywhere — so an 8-bytes-per-load OR
+			// reduction replaces the byte-wise max scan.
+			var acc uint64
+			i := 0
+			for ; i+8 <= len(blk); i += 8 {
+				acc |= binary.LittleEndian.Uint64(blk[i:])
+			}
+			acc |= acc >> 32
+			acc |= acc >> 16
+			acc |= acc >> 8
+			maxv = byte(acc)
+			for ; i < len(blk); i++ {
+				maxv |= blk[i]
+			}
+		} else {
+			for _, v := range blk {
+				if v > maxv {
+					maxv = v
+				}
 			}
 		}
 		width := uint(bits.Len8(maxv))
 		w.WriteBits(uint64(width), 4)
 		if width > 0 {
-			for _, v := range src[lo:hi] {
-				w.WriteBits(uint64(v), width)
+			if Batched {
+				w.WritePackedBytes(blk, width)
+			} else {
+				for _, v := range blk {
+					w.WriteBits(uint64(v), width)
+				}
 			}
 		}
 	}
@@ -583,6 +745,12 @@ func (clog) Decode(ctx *arena.Ctx, dev *gpusim.Device, src []byte) ([]byte, erro
 		}
 		if width == 0 {
 			clear(out[lo:hi])
+			continue
+		}
+		if Batched {
+			if err := r.ReadPackedBytes(out[lo:hi], width); err != nil {
+				return nil, ErrCorrupt
+			}
 			continue
 		}
 		for i := lo; i < hi; i++ {

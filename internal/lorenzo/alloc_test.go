@@ -1,0 +1,65 @@
+package lorenzo
+
+import (
+	"testing"
+
+	"repro/internal/arena"
+	"repro/internal/gpusim"
+)
+
+// TestAllocsWarmCtx guards the arena batch slots of the batched kernels: a
+// warm context must run the whole decomposition — prequant, the wide delta
+// kernel with its per-chunk escape collectors (persistent arena.Slots),
+// and the scan-based reconstruction — with a near-constant handful of
+// allocations, independent of field size.
+func TestAllocsWarmCtx(t *testing.T) {
+	dims := []int{64, 48, 40}
+	data := make([]float32, 64*48*40)
+	for i := range data {
+		data[i] = float32(i%23) + 0.5*float32(i%7)
+	}
+	g := NewGrid(dims)
+	dev1 := gpusim.New(1) // single worker: no per-launch goroutine allocs
+	ctx := arena.NewCtx()
+	res, err := CompressCtx(ctx, dev1, data, g, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecompressCtx(ctx, dev1, res, g, 0.02); err != nil {
+		t.Fatal(err)
+	}
+	comp := testing.AllocsPerRun(20, func() {
+		ctx.Reset()
+		if _, err := CompressCtx(ctx, dev1, data, g, 0.02); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Logf("warm compress: %v allocs/op", comp)
+	if comp > 2 {
+		t.Fatalf("steady-state compress allocates %v/op, want <= 2", comp)
+	}
+	// The Result is context scratch; copy it out so the decompress loop can
+	// Reset the context without clobbering its own input.
+	ctx.Reset()
+	res, err = CompressCtx(ctx, dev1, data, g, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	owned := &Result{
+		Codes:   append([]uint16(nil), res.Codes...),
+		Escapes: append([]int64(nil), res.Escapes...),
+		Freq:    append([]int64(nil), res.Freq...),
+	}
+	owned.ValOutliers.Pos = append([]int(nil), res.ValOutliers.Pos...)
+	owned.ValOutliers.Val = append([]float32(nil), res.ValOutliers.Val...)
+	decomp := testing.AllocsPerRun(20, func() {
+		ctx.Reset()
+		if _, err := DecompressCtx(ctx, dev1, owned, g, 0.02); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Logf("warm decompress: %v allocs/op", decomp)
+	if decomp > 1 {
+		t.Fatalf("steady-state decompress allocates %v/op, want <= 1", decomp)
+	}
+}

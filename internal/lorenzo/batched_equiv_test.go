@@ -1,0 +1,94 @@
+package lorenzo
+
+import (
+	"math"
+	"slices"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/gpusim"
+	"repro/internal/metrics"
+)
+
+// f32BitsEqual compares float32 slices bitwise, so NaN-bearing fields
+// (datagen produces some for degenerate shapes) still compare meaningfully.
+func f32BitsEqual(a, b []float32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float32bits(a[i]) != math.Float32bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestBatchedMatchesScalar is the equivalence property for the wide
+// kernels: over every datagen field and a dim set that exercises
+// non-multiple-of-8 extents, rank-1/2 grids and width-1 rows, the batched
+// path must produce byte-identical quant codes, escapes, value outliers,
+// histogram and reconstruction to the scalar reference.
+func TestBatchedMatchesScalar(t *testing.T) {
+	defer func() { Batched = true }()
+	dev := gpusim.New(4)
+	dimsList := [][]int{
+		{16, 16, 16},
+		{33, 17, 9}, // no extent a multiple of 8
+		{7, 5, 3},   // rows shorter than one lane group
+		{6, 9, 1},   // width-1 rows: halo column only
+		{37, 53},    // rank 2
+		{1009},      // rank 1, prime length
+	}
+	for _, name := range datagen.Names() {
+		for _, dims := range dimsList {
+			f, err := datagen.Generate(name, dims, 11)
+			if err != nil {
+				t.Fatalf("%s %v: %v", name, dims, err)
+			}
+			eb := metrics.AbsEB(f.Data, 1e-2)
+			g := NewGrid(dims)
+
+			Batched = false
+			want, err := Compress(dev, f.Data, g, eb)
+			if err != nil {
+				t.Fatalf("%s %v scalar: %v", name, dims, err)
+			}
+			wantRecon, err := Decompress(dev, want, g, eb)
+			if err != nil {
+				t.Fatalf("%s %v scalar decompress: %v", name, dims, err)
+			}
+
+			Batched = true
+			got, err := Compress(dev, f.Data, g, eb)
+			if err != nil {
+				t.Fatalf("%s %v batched: %v", name, dims, err)
+			}
+			if !slices.Equal(got.Codes, want.Codes) {
+				t.Fatalf("%s %v: codes diverge", name, dims)
+			}
+			if !slices.Equal(got.Escapes, want.Escapes) {
+				t.Fatalf("%s %v: escapes diverge", name, dims)
+			}
+			if !slices.Equal(got.ValOutliers.Pos, want.ValOutliers.Pos) ||
+				!f32BitsEqual(got.ValOutliers.Val, want.ValOutliers.Val) {
+				t.Fatalf("%s %v: value outliers diverge", name, dims)
+			}
+			if !slices.Equal(got.Freq, want.Freq) {
+				t.Fatalf("%s %v: histogram diverges", name, dims)
+			}
+			gotRecon, err := Decompress(dev, got, g, eb)
+			if err != nil {
+				t.Fatalf("%s %v batched decompress: %v", name, dims, err)
+			}
+			if !f32BitsEqual(gotRecon, wantRecon) {
+				t.Fatalf("%s %v: reconstruction diverges", name, dims)
+			}
+			// Cross-check: batched decode of the scalar result too.
+			cross, err := Decompress(dev, want, g, eb)
+			if err != nil || !f32BitsEqual(cross, wantRecon) {
+				t.Fatalf("%s %v: cross decode diverges (%v)", name, dims, err)
+			}
+		}
+	}
+}

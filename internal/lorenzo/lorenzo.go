@@ -14,6 +14,16 @@
 // never re-scans the symbol stream. The *Ctx entry points draw all working
 // buffers — and the kernel closures themselves — from a reusable arena.Ctx,
 // so steady-state compress/decompress performs near-zero heap allocations.
+//
+// The hot passes run as batched row kernels: the quantization sweep walks
+// whole grid rows with pinned neighbor-row views and an 8-wide unrolled
+// prediction body (missing boundary rows substitute a shared zero row, so
+// one kernel covers interior and halo alike), and the prefix-sum scans add
+// and convert rows through 8-wide unrolled vector helpers. Every batched
+// pass keeps its scalar reference implementation, selected by the
+// package-level Batched toggle; the two are bit-identical by construction
+// (integer lattice arithmetic plus unchanged float op order) and the
+// property tests assert it.
 package lorenzo
 
 import (
@@ -41,42 +51,63 @@ const latticeCap = int64(1) << 50
 // chunkShift is the log2 of the compression kernel's chunk size.
 const chunkShift = 16
 
-// auxKey is this package's scratch slot in an arena.Ctx.
-var auxKey = arena.NewAuxKey()
+// lanes is the unroll width of the batched kernels. Kernel chunk boundaries
+// are lane-aligned (gpusim.LaunchBatched), so only global tails run scalar.
+const lanes = 8
+
+// Batched selects the wide row kernels (the default). The scalar reference
+// implementations stay selectable so the equivalence property tests can
+// assert byte-identical codes, escapes, outliers and reconstructions
+// between the two paths. Toggle only from tests, before any launch.
+var Batched = true
+
+// auxKey is this package's scratch slot in an arena.Ctx; chunksKey holds
+// the per-chunk escape collectors (arena batch slots, persistent across
+// Reset so steady-state appends never grow).
+var (
+	auxKey    = arena.NewAuxKey()
+	chunksKey = arena.NewAuxKey()
+)
 
 // escChunk collects one chunk's escapes and value outliers; the backing
-// arrays persist in the scratch so steady-state appends never grow.
+// arrays persist in the batch slot so steady-state appends never grow.
 type escChunk struct {
 	deltas  []int64
 	valPos  []int
 	valVals []float32
 }
 
-// lscratch holds cross-op scratch: the fused histogram, per-chunk escape
-// collectors, and the kernel closures with their parameter block. Kernels
-// read their inputs from k, so one closure allocation (per context
-// lifetime) serves every subsequent launch.
-type lscratch struct {
+// kern is the kernel parameter block: launches read their inputs from one
+// shared struct so the cached closures never capture per-call state.
+type kern struct {
+	data   []float32
+	qv     []int64
+	codes  []uint16
+	out    []float32
+	g      Grid
+	eb     float64
+	twoEB  float64
 	freq   []int64
+	nData  int
+	zrow   []int64 // all-zero row of length g.Nx (halo substitute)
 	chunks []escChunk
+	mu     sync.Mutex
+}
 
-	k struct {
-		data  []float32
-		qv    []int64
-		codes []uint16
-		out   []float32
-		g     Grid
-		eb    float64
-		twoEB float64
-		freq  []int64
-		nData int
-		mu    sync.Mutex
-	}
-	prequantJob func(int)
-	deltaJob    func(int)
+// lscratch holds cross-op scratch: the fused histogram, the zero halo row,
+// and the kernel closures with their parameter block. Kernels read their
+// inputs from k, so one closure allocation (per context lifetime) serves
+// every subsequent launch.
+type lscratch struct {
+	freq []int64
+	zero []int64
+
+	k           kern
+	prequantJob func(lo, hi int)
+	deltaJob    func(lo, hi int)
 	xScanJob    func(int)
 	yScanJob    func(int)
-	zScanJob    func(int)
+	zScanJob    func(lo, hi int)
 }
 
 func scratchFor(ctx *arena.Ctx) *lscratch {
@@ -135,36 +166,78 @@ func Prequantize(dev *gpusim.Device, data []float32, twoEB float64) []int64 {
 	return PrequantizeCtx(nil, dev, data, twoEB)
 }
 
-// PrequantizeCtx is Prequantize drawing the lattice buffer from ctx (the
-// result is context scratch when ctx is non-nil).
+// prequantRange is the lattice-rounding kernel body over [lo, hi): 8-wide
+// groups over pinned views, scalar tail. The division by 2ε is kept (not
+// strength-reduced to a multiply) so results stay bit-identical to the
+// scalar reference.
 //
 //cuszhi:hotpath
+func (k *kern) prequantRange(lo, hi int) {
+	data := k.data[lo:hi:hi]
+	qv := k.qv[lo:hi:hi]
+	twoEB := k.twoEB
+	n := hi - lo
+	i := 0
+	for ; i+lanes <= n; i += lanes {
+		d := data[i : i+lanes : i+lanes]
+		q := qv[i : i+lanes : i+lanes]
+		for l := 0; l < lanes; l++ {
+			r := math.Round(float64(d[l]) / twoEB)
+			switch {
+			case r > float64(latticeCap):
+				q[l] = latticeCap
+			case r < -float64(latticeCap):
+				q[l] = -latticeCap
+			default:
+				q[l] = int64(r)
+			}
+		}
+	}
+	for ; i < n; i++ {
+		r := math.Round(float64(data[i]) / twoEB)
+		switch {
+		case r > float64(latticeCap):
+			qv[i] = latticeCap
+		case r < -float64(latticeCap):
+			qv[i] = -latticeCap
+		default:
+			qv[i] = int64(r)
+		}
+	}
+}
+
+// prequantRangeScalar is the per-point reference for prequantRange.
+func (k *kern) prequantRangeScalar(lo, hi int) {
+	for i := lo; i < hi; i++ {
+		q := math.Round(float64(k.data[i]) / k.twoEB)
+		switch {
+		case q > float64(latticeCap):
+			k.qv[i] = latticeCap
+		case q < -float64(latticeCap):
+			k.qv[i] = -latticeCap
+		default:
+			k.qv[i] = int64(q)
+		}
+	}
+}
+
+// PrequantizeCtx is Prequantize drawing the lattice buffer from ctx (the
+// result is context scratch when ctx is non-nil).
 func PrequantizeCtx(ctx *arena.Ctx, dev *gpusim.Device, data []float32, twoEB float64) []int64 {
 	s := scratchFor(ctx)
 	qv := ctx.I64(len(data))
 	s.k.data, s.k.qv, s.k.twoEB, s.k.nData = data, qv, twoEB, len(data)
 	if s.prequantJob == nil {
 		k := &s.k
-		s.prequantJob = func(b int) {
-			lo := b << chunkShift
-			hi := lo + 1<<chunkShift
-			if hi > k.nData {
-				hi = k.nData
-			}
-			for i := lo; i < hi; i++ {
-				q := math.Round(float64(k.data[i]) / k.twoEB)
-				switch {
-				case q > float64(latticeCap):
-					k.qv[i] = latticeCap
-				case q < -float64(latticeCap):
-					k.qv[i] = -latticeCap
-				default:
-					k.qv[i] = int64(q)
-				}
+		s.prequantJob = func(lo, hi int) {
+			if Batched {
+				k.prequantRange(lo, hi)
+			} else {
+				k.prequantRangeScalar(lo, hi)
 			}
 		}
 	}
-	dev.Launch((len(data)+(1<<chunkShift)-1)>>chunkShift, s.prequantJob)
+	dev.LaunchBatched(len(data), 1<<chunkShift, lanes, s.prequantJob)
 	s.k.data = nil // drop the caller's field so a pooled ctx never pins it
 	return qv
 }
@@ -173,6 +246,158 @@ func PrequantizeCtx(ctx *arena.Ctx, dev *gpusim.Device, data []float32, twoEB fl
 // error bound.
 func Compress(dev *gpusim.Device, data []float32, g Grid, eb float64) (*Result, error) {
 	return CompressCtx(nil, dev, data, g, eb)
+}
+
+// deltaRangeScalar is the per-point reference implementation of the
+// quantization sweep over the flat range [lo, hi): closure-free in name
+// only — it recomputes coordinates and probes every neighbor through the
+// boundary-checked at() accessor, exactly the shape the batched row kernel
+// replaces.
+func (k *kern) deltaRangeScalar(lo, hi int, ec *escChunk, hist *[Alphabet]uint32) {
+	g := k.g
+	qv := k.qv
+	nyx := g.Ny * g.Nx
+	for i := lo; i < hi; i++ {
+		x := i % g.Nx
+		y := (i / g.Nx) % g.Ny
+		z := i / nyx
+		at := func(dz, dy, dx int) int64 {
+			if z-dz < 0 || y-dy < 0 || x-dx < 0 {
+				return 0
+			}
+			return qv[i-dz*nyx-dy*g.Nx-dx]
+		}
+		pred := at(0, 0, 1) + at(0, 1, 0) + at(1, 0, 0) -
+			at(0, 1, 1) - at(1, 0, 1) - at(1, 1, 0) + at(1, 1, 1)
+		delta := qv[i] - pred
+		if delta >= -Radius && delta < Radius {
+			code := uint16(delta+Radius) + 1
+			k.codes[i] = code
+			hist[code]++
+		} else {
+			k.codes[i] = 0
+			hist[0]++
+			ec.deltas = append(ec.deltas, delta)
+		}
+		recon := float32(float64(qv[i]) * k.twoEB)
+		if math.Abs(float64(k.data[i])-float64(recon)) > k.eb {
+			ec.valPos = append(ec.valPos, i)
+			ec.valVals = append(ec.valVals, k.data[i])
+		}
+	}
+}
+
+// deltaRange is the batched quantization sweep over the flat range
+// [lo, hi): it walks whole grid rows and hands each row segment to the
+// wide row kernel. Row segments are visited in ascending flat order, so
+// the per-chunk escape and outlier lists stay in flat order — the
+// serialization invariant the container format depends on.
+func (k *kern) deltaRange(lo, hi int, ec *escChunk, hist *[Alphabet]uint32) {
+	g := k.g
+	nyx := g.Ny * g.Nx
+	for i := lo; i < hi; {
+		x := i % g.Nx
+		rowEnd := i - x + g.Nx
+		if rowEnd > hi {
+			rowEnd = hi
+		}
+		z := i / nyx
+		y := (i / g.Nx) % g.Ny
+		k.deltaRowWide(z, y, x, rowEnd-(i-x), ec, hist)
+		i = rowEnd
+	}
+}
+
+// deltaRowWide runs the Lorenzo predict/quantize body over columns
+// [x0, x1) of row (z, y): 8-wide groups of predictions from pinned
+// neighbor-row views, then per-lane quantize/escape/outlier handling, with
+// a scalar tail. Missing neighbor rows (boundary halos) substitute the
+// shared all-zero row, so one kernel covers the whole grid; only the x == 0
+// column needs its own (scalar) case.
+func (k *kern) deltaRowWide(z, y, x0, x1 int, ec *escChunk, hist *[Alphabet]uint32) {
+	g := k.g
+	nyx := g.Ny * g.Nx
+	base := z*nyx + y*g.Nx
+	qv := k.qv
+	cur := qv[base : base+g.Nx : base+g.Nx]
+	rowY, rowZ, rowZY := k.zrow, k.zrow, k.zrow
+	if y > 0 {
+		rowY = qv[base-g.Nx : base : base]
+	}
+	if z > 0 {
+		rowZ = qv[base-nyx : base-nyx+g.Nx : base-nyx+g.Nx]
+		if y > 0 {
+			rowZY = qv[base-nyx-g.Nx : base-nyx : base-nyx]
+		}
+	}
+	data := k.data
+	codes := k.codes
+	x := x0
+	if x == 0 {
+		// First column: every x-1 neighbor is outside the grid.
+		k.emit(0, base, cur[0], rowY[0]+rowZ[0]-rowZY[0], data, codes, ec, hist)
+		x = 1
+	}
+	for ; x+lanes <= x1; x += lanes {
+		c8 := cur[x : x+lanes : x+lanes]
+		cm := cur[x-1 : x-1+lanes : x-1+lanes]
+		ry := rowY[x : x+lanes : x+lanes]
+		rym := rowY[x-1 : x-1+lanes : x-1+lanes]
+		rz := rowZ[x : x+lanes : x+lanes]
+		rzm := rowZ[x-1 : x-1+lanes : x-1+lanes]
+		rzy := rowZY[x : x+lanes : x+lanes]
+		rzym := rowZY[x-1 : x-1+lanes : x-1+lanes]
+		var pred [lanes]int64
+		for l := range pred {
+			pred[l] = cm[l] + ry[l] + rz[l] - rym[l] - rzm[l] - rzy[l] + rzym[l]
+		}
+		d8 := data[base+x : base+x+lanes : base+x+lanes]
+		k8 := codes[base+x : base+x+lanes : base+x+lanes]
+		for l := 0; l < lanes; l++ {
+			q := c8[l]
+			delta := q - pred[l]
+			if delta >= -Radius && delta < Radius {
+				code := uint16(delta+Radius) + 1
+				k8[l] = code
+				hist[code]++
+			} else {
+				k8[l] = 0
+				hist[0]++
+				ec.deltas = append(ec.deltas, delta)
+			}
+			recon := float32(float64(q) * k.twoEB)
+			if math.Abs(float64(d8[l])-float64(recon)) > k.eb {
+				ec.valPos = append(ec.valPos, base+x+l)
+				ec.valVals = append(ec.valVals, d8[l])
+			}
+		}
+	}
+	for ; x < x1; x++ {
+		pred := cur[x-1] + rowY[x] + rowZ[x] - rowY[x-1] - rowZ[x-1] - rowZY[x] + rowZY[x-1]
+		k.emit(x, base, cur[x], pred, data, codes, ec, hist)
+	}
+}
+
+// emit quantizes one point: code or escape, histogram, and the
+// reconstruction-bound outlier check. Shared by the halo column and the
+// row tails of the wide kernel.
+func (k *kern) emit(x, base int, q, pred int64, data []float32, codes []uint16, ec *escChunk, hist *[Alphabet]uint32) {
+	i := base + x
+	delta := q - pred
+	if delta >= -Radius && delta < Radius {
+		code := uint16(delta+Radius) + 1
+		codes[i] = code
+		hist[code]++
+	} else {
+		codes[i] = 0
+		hist[0]++
+		ec.deltas = append(ec.deltas, delta)
+	}
+	recon := float32(float64(q) * k.twoEB)
+	if math.Abs(float64(data[i])-float64(recon)) > k.eb {
+		ec.valPos = append(ec.valPos, i)
+		ec.valVals = append(ec.valVals, data[i])
+	}
 }
 
 // CompressCtx is Compress with a reusable context: the code, lattice and
@@ -193,18 +418,18 @@ func CompressCtx(ctx *arena.Ctx, dev *gpusim.Device, data []float32, g Grid, eb 
 	}
 	freq := s.freq[:Alphabet]
 	clear(freq)
+	if cap(s.zero) < g.Nx {
+		s.zero = make([]int64, g.Nx)
+	}
 	res := &Result{
 		Codes: ctx.U16(len(data)),
 		Freq:  freq,
 	}
-	// Pass 1 (parallel): per-point Lorenzo deltas fused with the code
+	// Pass 1 (parallel): per-row Lorenzo deltas fused with the code
 	// histogram; escapes and value outliers collect per chunk into
-	// persistent scratch, in flat order.
+	// persistent batch slots, in flat order.
 	nChunks := (len(data) + (1 << chunkShift) - 1) >> chunkShift
-	for len(s.chunks) < nChunks {
-		s.chunks = append(s.chunks, escChunk{})
-	}
-	chunks := s.chunks[:nChunks]
+	chunks := arena.Slots[escChunk](ctx, chunksKey, nChunks)
 	for i := range chunks {
 		chunks[i].deltas = chunks[i].deltas[:0]
 		chunks[i].valPos = chunks[i].valPos[:0]
@@ -212,46 +437,16 @@ func CompressCtx(ctx *arena.Ctx, dev *gpusim.Device, data []float32, g Grid, eb 
 	}
 	s.k.data, s.k.qv, s.k.codes, s.k.g = data, qv, res.Codes, g
 	s.k.eb, s.k.twoEB, s.k.freq, s.k.nData = eb, twoEB, freq, len(data)
+	s.k.zrow, s.k.chunks = s.zero[:g.Nx:g.Nx], chunks
 	if s.deltaJob == nil {
 		k := &s.k
-		s.deltaJob = func(c int) {
-			lo := c << chunkShift
-			hi := lo + 1<<chunkShift
-			if hi > k.nData {
-				hi = k.nData
-			}
-			ec := &s.chunks[c]
+		s.deltaJob = func(lo, hi int) {
+			ec := &k.chunks[lo>>chunkShift]
 			var hist [Alphabet]uint32
-			g := k.g
-			qv := k.qv
-			nyx := g.Ny * g.Nx
-			for i := lo; i < hi; i++ {
-				x := i % g.Nx
-				y := (i / g.Nx) % g.Ny
-				z := i / nyx
-				at := func(dz, dy, dx int) int64 {
-					if z-dz < 0 || y-dy < 0 || x-dx < 0 {
-						return 0
-					}
-					return qv[i-dz*nyx-dy*g.Nx-dx]
-				}
-				pred := at(0, 0, 1) + at(0, 1, 0) + at(1, 0, 0) -
-					at(0, 1, 1) - at(1, 0, 1) - at(1, 1, 0) + at(1, 1, 1)
-				delta := qv[i] - pred
-				if delta >= -Radius && delta < Radius {
-					code := uint16(delta+Radius) + 1
-					k.codes[i] = code
-					hist[code]++
-				} else {
-					k.codes[i] = 0
-					hist[0]++
-					ec.deltas = append(ec.deltas, delta)
-				}
-				recon := float32(float64(qv[i]) * k.twoEB)
-				if math.Abs(float64(k.data[i])-float64(recon)) > k.eb {
-					ec.valPos = append(ec.valPos, i)
-					ec.valVals = append(ec.valVals, k.data[i])
-				}
+			if Batched {
+				k.deltaRange(lo, hi, ec, &hist)
+			} else {
+				k.deltaRangeScalar(lo, hi, ec, &hist)
 			}
 			k.mu.Lock()
 			for sym, n := range hist {
@@ -262,7 +457,7 @@ func CompressCtx(ctx *arena.Ctx, dev *gpusim.Device, data []float32, g Grid, eb 
 			k.mu.Unlock()
 		}
 	}
-	dev.Launch(nChunks, s.deltaJob)
+	dev.LaunchBatched(len(data), 1<<chunkShift, lanes, s.deltaJob)
 	nEsc, nOut := 0, 0
 	for i := range chunks {
 		nEsc += len(chunks[i].deltas)
@@ -286,6 +481,109 @@ func Decompress(dev *gpusim.Device, res *Result, g Grid, eb float64) ([]float32,
 	return DecompressCtx(nil, dev, res, g, eb)
 }
 
+// rebuildDeltas turns codes back into deltas in qv, consuming the escape
+// list in flat order. The batched path resolves 8 codes per step through a
+// branchless validity test: for valid codes c ∈ [1, Alphabet) the values
+// c-1 stay below Alphabet-1, while c == 0 wraps to 0xFFFF — so one OR over
+// the group detects escapes and corrupt codes together, and clean groups
+// (the overwhelming majority) decode without per-lane branching.
+func rebuildDeltas(qv []int64, codes []uint16, escapes []int64) (int, error) {
+	n := len(codes)
+	qv = qv[:n:n]
+	codes = codes[:n:n]
+	esc := 0
+	i := 0
+	if Batched {
+		for ; i+lanes <= n; i += lanes {
+			c := codes[i : i+lanes : i+lanes]
+			bad := (c[0] - 1) | (c[1] - 1) | (c[2] - 1) | (c[3] - 1) |
+				(c[4] - 1) | (c[5] - 1) | (c[6] - 1) | (c[7] - 1)
+			if bad < Alphabet-1 {
+				q := qv[i : i+lanes : i+lanes]
+				for l := 0; l < lanes; l++ {
+					q[l] = int64(c[l]) - 1 - Radius
+				}
+				continue
+			}
+			for l := 0; l < lanes; l++ {
+				cl := c[l]
+				if cl == 0 {
+					if esc >= len(escapes) {
+						return 0, fmt.Errorf("lorenzo: escape list exhausted at %d", i+l)
+					}
+					qv[i+l] = escapes[esc]
+					esc++
+					continue
+				}
+				if int(cl) >= Alphabet {
+					return 0, fmt.Errorf("lorenzo: code %d out of range", cl)
+				}
+				qv[i+l] = int64(cl) - 1 - Radius
+			}
+		}
+	}
+	for ; i < n; i++ {
+		c := codes[i]
+		if c == 0 {
+			if esc >= len(escapes) {
+				return 0, fmt.Errorf("lorenzo: escape list exhausted at %d", i)
+			}
+			qv[i] = escapes[esc]
+			esc++
+			continue
+		}
+		if int(c) >= Alphabet {
+			return 0, fmt.Errorf("lorenzo: code %d out of range", c)
+		}
+		qv[i] = int64(c) - 1 - Radius
+	}
+	return esc, nil
+}
+
+// addVec adds src into dst element-wise, 8-wide unrolled over pinned
+// equal-length views — the inner body of the y and z prefix-sum scans.
+//
+//cuszhi:hotpath
+func addVec(dst, src []int64) {
+	n := len(dst)
+	src = src[:n:n]
+	i := 0
+	for ; i+lanes <= n; i += lanes {
+		d := dst[i : i+lanes : i+lanes]
+		s := src[i : i+lanes : i+lanes]
+		d[0] += s[0]
+		d[1] += s[1]
+		d[2] += s[2]
+		d[3] += s[3]
+		d[4] += s[4]
+		d[5] += s[5]
+		d[6] += s[6]
+		d[7] += s[7]
+	}
+	for ; i < n; i++ {
+		dst[i] += src[i]
+	}
+}
+
+// scaleVec converts lattice coordinates back to values, 8-wide unrolled.
+//
+//cuszhi:hotpath
+func scaleVec(dst []float32, src []int64, twoEB float64) {
+	n := len(dst)
+	src = src[:n:n]
+	i := 0
+	for ; i+lanes <= n; i += lanes {
+		d := dst[i : i+lanes : i+lanes]
+		s := src[i : i+lanes : i+lanes]
+		for l := 0; l < lanes; l++ {
+			d[l] = float32(float64(s[l]) * twoEB)
+		}
+	}
+	for ; i < n; i++ {
+		dst[i] = float32(float64(src[i]) * twoEB)
+	}
+}
+
 // DecompressCtx is Decompress with a reusable context. With a non-nil ctx
 // the returned field is context scratch, valid until the next ctx.Reset.
 func DecompressCtx(ctx *arena.Ctx, dev *gpusim.Device, res *Result, g Grid, eb float64) ([]float32, error) {
@@ -300,21 +598,9 @@ func DecompressCtx(ctx *arena.Ctx, dev *gpusim.Device, res *Result, g Grid, eb f
 	s := scratchFor(ctx)
 	qv := ctx.I64(n)
 	// Rebuild deltas (sequential escape consumption, parallel the rest).
-	esc := 0
-	for i := 0; i < n; i++ {
-		c := res.Codes[i]
-		if c == 0 {
-			if esc >= len(res.Escapes) {
-				return nil, fmt.Errorf("lorenzo: escape list exhausted at %d", i)
-			}
-			qv[i] = res.Escapes[esc]
-			esc++
-			continue
-		}
-		if int(c) >= Alphabet {
-			return nil, fmt.Errorf("lorenzo: code %d out of range", c)
-		}
-		qv[i] = int64(c) - 1 - Radius
+	esc, err := rebuildDeltas(qv, res.Codes, res.Escapes)
+	if err != nil {
+		return nil, err
 	}
 	if esc != len(res.Escapes) {
 		return nil, fmt.Errorf("lorenzo: %d unused escapes", len(res.Escapes)-esc)
@@ -327,12 +613,11 @@ func DecompressCtx(ctx *arena.Ctx, dev *gpusim.Device, res *Result, g Grid, eb f
 	if s.xScanJob == nil {
 		k := &s.k
 		s.xScanJob = func(r int) {
-			qv := k.qv
-			base := r * k.g.Nx
+			row := k.qv[r*k.g.Nx : (r+1)*k.g.Nx]
 			var acc int64
-			for x := 0; x < k.g.Nx; x++ {
-				acc += qv[base+x]
-				qv[base+x] = acc
+			for x := range row {
+				acc += row[x]
+				row[x] = acc
 			}
 		}
 		s.yScanJob = func(z int) {
@@ -342,19 +627,29 @@ func DecompressCtx(ctx *arena.Ctx, dev *gpusim.Device, res *Result, g Grid, eb f
 			for y := 1; y < g.Ny; y++ {
 				row := base + y*g.Nx
 				prev := row - g.Nx
+				if Batched {
+					addVec(qv[row:row+g.Nx], qv[prev:prev+g.Nx])
+					continue
+				}
 				for x := 0; x < g.Nx; x++ {
 					qv[row+x] += qv[prev+x]
 				}
 			}
 		}
-		s.zScanJob = func(b int) {
+		s.zScanJob = func(lo, hi int) {
 			qv := k.qv
 			g := k.g
 			nyx := g.Ny * g.Nx
-			lo := b << 14
-			hi := lo + 1<<14
-			if hi > nyx {
-				hi = nyx
+			if Batched {
+				for z := 1; z < g.Nz; z++ {
+					base := z * nyx
+					addVec(qv[base+lo:base+hi], qv[base-nyx+lo:base-nyx+hi])
+				}
+				for z := 0; z < g.Nz; z++ {
+					base := z * nyx
+					scaleVec(k.out[base+lo:base+hi], qv[base+lo:base+hi], k.twoEB)
+				}
+				return
 			}
 			for z := 1; z < g.Nz; z++ {
 				base := z * nyx
@@ -374,7 +669,7 @@ func DecompressCtx(ctx *arena.Ctx, dev *gpusim.Device, res *Result, g Grid, eb f
 	nyx := g.Ny * g.Nx
 	dev.Launch(g.Nz*g.Ny, s.xScanJob)
 	dev.Launch(g.Nz, s.yScanJob)
-	dev.Launch((nyx+(1<<14)-1)>>14, s.zScanJob)
+	dev.LaunchBatched(nyx, 1<<14, lanes, s.zScanJob)
 	for k, p := range res.ValOutliers.Pos {
 		if p < 0 || p >= n {
 			return nil, fmt.Errorf("lorenzo: outlier position %d out of range", p)

@@ -131,19 +131,11 @@ func ParseOutliersInto(ctx *arena.Ctx, o *Outliers, p []byte) (int, error) {
 	return off, nil
 }
 
-// Lookup builds a position→value map for decompression.
-func (o *Outliers) Lookup() map[int]float32 {
-	m := make(map[int]float32, len(o.Pos))
-	for i, p := range o.Pos {
-		m[p] = o.Val[i]
-	}
-	return m
-}
-
 // SortedGet returns the value at position pos by binary search. Positions
 // must be ascending, which both Compress (sorted merge) and the serialized
-// form (delta-coded) guarantee — it replaces the per-op Lookup map on the
-// allocation-free decompression path.
+// form (delta-coded) guarantee — it keeps the decompression path
+// allocation-free (the map-building Lookup it replaced allocated a fresh
+// map per call).
 func (o *Outliers) SortedGet(pos int) (float32, bool) {
 	i := sort.SearchInts(o.Pos, pos)
 	if i < len(o.Pos) && o.Pos[i] == pos {
@@ -213,24 +205,59 @@ func levelOrderPerm(nz, ny, nx, anchorStride int) []int32 {
 	return perm
 }
 
-// Apply gathers src into level order: dst[k] = src[perm[k]].
+// Apply gathers src into level order: dst[k] = src[perm[k]]. The kernel
+// runs 8-wide over pinned views of the sequential side; only the gather
+// loads stay bounds-checked (their indices are data-dependent).
 //
 //cuszhi:hotpath
 func Apply(dev *gpusim.Device, perm []int32, src, dst []uint8) {
-	dev.LaunchChunks(len(perm), 1<<16, func(lo, hi int) {
-		for k := lo; k < hi; k++ {
-			dst[k] = src[perm[k]]
+	dev.LaunchBatched(len(perm), 1<<16, 8, func(lo, hi int) {
+		p := perm[lo:hi:hi]
+		d := dst[lo:hi:hi]
+		n := hi - lo
+		k := 0
+		for ; k+8 <= n; k += 8 {
+			p8 := p[k : k+8 : k+8]
+			d8 := d[k : k+8 : k+8]
+			d8[0] = src[p8[0]]
+			d8[1] = src[p8[1]]
+			d8[2] = src[p8[2]]
+			d8[3] = src[p8[3]]
+			d8[4] = src[p8[4]]
+			d8[5] = src[p8[5]]
+			d8[6] = src[p8[6]]
+			d8[7] = src[p8[7]]
+		}
+		for ; k < n; k++ {
+			d[k] = src[p[k]]
 		}
 	})
 }
 
-// Invert scatters level-ordered data back: dst[perm[k]] = src[k].
+// Invert scatters level-ordered data back: dst[perm[k]] = src[k], 8-wide
+// like Apply with the scatter stores bounds-checked.
 //
 //cuszhi:hotpath
 func Invert(dev *gpusim.Device, perm []int32, src, dst []uint8) {
-	dev.LaunchChunks(len(perm), 1<<16, func(lo, hi int) {
-		for k := lo; k < hi; k++ {
-			dst[perm[k]] = src[k]
+	dev.LaunchBatched(len(perm), 1<<16, 8, func(lo, hi int) {
+		p := perm[lo:hi:hi]
+		s := src[lo:hi:hi]
+		n := hi - lo
+		k := 0
+		for ; k+8 <= n; k += 8 {
+			p8 := p[k : k+8 : k+8]
+			s8 := s[k : k+8 : k+8]
+			dst[p8[0]] = s8[0]
+			dst[p8[1]] = s8[1]
+			dst[p8[2]] = s8[2]
+			dst[p8[3]] = s8[3]
+			dst[p8[4]] = s8[4]
+			dst[p8[5]] = s8[5]
+			dst[p8[6]] = s8[6]
+			dst[p8[7]] = s8[7]
+		}
+		for ; k < n; k++ {
+			dst[p[k]] = s[k]
 		}
 	})
 }

@@ -91,9 +91,19 @@ func TestOutliersRoundTrip(t *testing.T) {
 			t.Fatalf("entry %d mismatch", i)
 		}
 	}
-	m := got.Lookup()
-	if m[o.Pos[17]] != o.Val[17] {
-		t.Fatal("Lookup mismatch")
+	if v, ok := got.SortedGet(o.Pos[17]); !ok || v != o.Val[17] {
+		t.Fatal("SortedGet mismatch")
+	}
+	if _, ok := got.SortedGet(o.Pos[17] + 1); ok {
+		t.Fatal("SortedGet hit on absent position")
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, ok := got.SortedGet(o.Pos[17]); !ok {
+			t.Error("SortedGet miss")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("SortedGet allocates %.1f/op, want 0", allocs)
 	}
 }
 

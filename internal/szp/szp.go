@@ -37,8 +37,17 @@ const (
 	chunkBlocks = 512
 )
 
-// auxKey is this package's scratch slot in an arena.Ctx.
-var auxKey = arena.NewAuxKey()
+// chunksKey holds the per-chunk encode collectors in an arena.Ctx (arena
+// batch slots, persistent across Reset so steady-state appends never grow).
+var chunksKey = arena.NewAuxKey()
+
+// Batched selects the uint64-packed block payload I/O (the default): whole
+// blocks write and read their fixed-width deltas through the packed bitio
+// kernels instead of one WriteBits/ReadBits call per value. The scalar
+// reference path stays selectable so the equivalence property tests can
+// assert byte-identical containers. Toggle only from tests, before any
+// launch.
+var Batched = true
 
 // encChunk is one chunk's persistent encode scratch: its packed payload
 // writer and outlier collectors. Exactly one kernel invocation touches a
@@ -47,20 +56,6 @@ type encChunk struct {
 	w      bitio.Writer
 	outPos []int
 	outVal []float32
-}
-
-// scratch is the cross-op encode scratch attached to a context.
-type scratch struct {
-	chunks []encChunk
-}
-
-func scratchFor(ctx *arena.Ctx) *scratch {
-	if s, ok := ctx.Aux(auxKey).(*scratch); ok {
-		return s
-	}
-	s := &scratch{}
-	ctx.SetAux(auxKey, s)
-	return s
 }
 
 // Compress encodes data under absolute error bound eb.
@@ -79,11 +74,7 @@ func CompressCtx(ctx *arena.Ctx, dev *gpusim.Device, data []float32, eb float64)
 	n := len(data)
 	nBlocks := (n + blockVals - 1) / blockVals
 	nChunks := (nBlocks + chunkBlocks - 1) / chunkBlocks
-	s := scratchFor(ctx)
-	for len(s.chunks) < nChunks {
-		s.chunks = append(s.chunks, encChunk{})
-	}
-	chunks := s.chunks[:nChunks]
+	chunks := arena.Slots[encChunk](ctx, chunksKey, nChunks)
 	for i := range chunks {
 		chunks[i].w.Reset()
 		chunks[i].outPos = chunks[i].outPos[:0]
@@ -134,8 +125,12 @@ func CompressCtx(ctx *arena.Ctx, dev *gpusim.Device, data []float32, eb float64)
 			}
 			w.WriteBit(1)
 			w.WriteBits(uint64(width), 6)
-			for i := lo; i < hi; i++ {
-				w.WriteBits(deltas[i-lo], width)
+			if Batched {
+				w.WritePacked64(deltas[:hi-lo], width)
+			} else {
+				for i := lo; i < hi; i++ {
+					w.WriteBits(deltas[i-lo], width)
+				}
 			}
 		}
 	})
@@ -300,6 +295,19 @@ func DecompressCtx(ctx *arena.Ctx, dev *gpusim.Device, blob []byte) ([]float32, 
 			w64, err := r.ReadBits(6)
 			if err != nil || w64 == 0 || w64 > 63 {
 				return
+			}
+			if Batched {
+				var zs [blockVals]uint64
+				z := zs[:hi-lo]
+				if r.ReadPacked64(z, uint(w64)) != nil {
+					return
+				}
+				o := out[lo:hi:hi]
+				for i := range z {
+					prev += bitio.UnZigZag(z[i])
+					o[i] = float32(float64(prev) * twoEB)
+				}
+				continue
 			}
 			for i := lo; i < hi; i++ {
 				z, err := r.ReadBits(uint(w64))

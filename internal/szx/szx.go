@@ -38,8 +38,15 @@ const (
 	chunkBlocks = 64
 )
 
-// auxKey is this package's scratch slot in an arena.Ctx.
-var auxKey = arena.NewAuxKey()
+// chunksKey holds the per-chunk encode scratch (arena batch slots,
+// persistent across Reset so steady-state appends never grow).
+var chunksKey = arena.NewAuxKey()
+
+// Batched selects the packed-payload kernels (combined sign+exponent and
+// mantissa fields written through bitio.WritePacked64); tests flip it to
+// compare against the scalar per-value reference path. Both paths emit
+// byte-identical containers.
+var Batched = true
 
 // encChunk is one chunk's persistent encode scratch. Exactly one kernel
 // invocation touches a given chunk slot per launch.
@@ -47,19 +54,6 @@ type encChunk struct {
 	body []byte // concatenated block bodies of this chunk
 	lens []int  // per-block body lengths
 	w    bitio.Writer
-}
-
-type scratch struct {
-	chunks []encChunk
-}
-
-func scratchFor(ctx *arena.Ctx) *scratch {
-	if s, ok := ctx.Aux(auxKey).(*scratch); ok {
-		return s
-	}
-	s := &scratch{}
-	ctx.SetAux(auxKey, s)
-	return s
 }
 
 // mantissaBitsFor returns how many of the 23 mantissa bits must be kept so
@@ -95,11 +89,7 @@ func CompressCtx(ctx *arena.Ctx, dev *gpusim.Device, data []float32, eb float64)
 	n := len(data)
 	nBlocks := (n + blockVals - 1) / blockVals
 	nChunks := (nBlocks + chunkBlocks - 1) / chunkBlocks
-	s := scratchFor(ctx)
-	for len(s.chunks) < nChunks {
-		s.chunks = append(s.chunks, encChunk{})
-	}
-	chunks := s.chunks[:nChunks]
+	chunks := arena.Slots[encChunk](ctx, chunksKey, nChunks)
 	for i := range chunks {
 		chunks[i].body = chunks[i].body[:0]
 		chunks[i].lens = chunks[i].lens[:0]
@@ -113,16 +103,33 @@ func CompressCtx(ctx *arena.Ctx, dev *gpusim.Device, data []float32, eb float64)
 				hi = n
 			}
 			vals := data[lo:hi]
-			// Mean and range test for the constant path.
+			// Mean and range test for the constant path. The batched kernel
+			// splits the finite test (an integer exponent check) from the
+			// sum; the sum itself stays a sequential float64 reduction so
+			// both paths compute bit-identical means.
 			var sum float64
 			finite := true
-			for _, v := range vals {
-				f := float64(v)
-				if math.IsNaN(f) || math.IsInf(f, 0) {
-					finite = false
-					break
+			if Batched {
+				for _, v := range vals {
+					if math.Float32bits(v)>>23&0xFF == 0xFF {
+						finite = false
+						break
+					}
 				}
-				sum += f
+				if finite {
+					for _, v := range vals {
+						sum += float64(v)
+					}
+				}
+			} else {
+				for _, v := range vals {
+					f := float64(v)
+					if math.IsNaN(f) || math.IsInf(f, 0) {
+						finite = false
+						break
+					}
+					sum += f
+				}
 			}
 			if finite {
 				mean := float32(sum / float64(len(vals)))
@@ -143,10 +150,24 @@ func CompressCtx(ctx *arena.Ctx, dev *gpusim.Device, data []float32, eb float64)
 				}
 			}
 			// Non-constant: keep sign+exponent (9 bits) plus enough mantissa.
+			// Batched maxAbs compares magnitude bit patterns as integers
+			// (IEEE ordering matches unsigned ordering for non-negative
+			// floats); when non-finite values are present keep is forced to
+			// 23 on both paths, so any maxAbs difference there is moot.
 			var maxAbs float32
-			for _, v := range vals {
-				if a := float32(math.Abs(float64(v))); a > maxAbs {
-					maxAbs = a
+			if Batched {
+				var mb uint32
+				for _, v := range vals {
+					if b := math.Float32bits(v) &^ (1 << 31); b > mb {
+						mb = b
+					}
+				}
+				maxAbs = math.Float32frombits(mb)
+			} else {
+				for _, v := range vals {
+					if a := float32(math.Abs(float64(v))); a > maxAbs {
+						maxAbs = a
+					}
 				}
 			}
 			keep := mantissaBitsFor(maxAbs, eb)
@@ -156,12 +177,27 @@ func CompressCtx(ctx *arena.Ctx, dev *gpusim.Device, data []float32, eb float64)
 			w := &co.w
 			w.Reset()
 			w.WriteBits(uint64(keep), 5)
-			for _, v := range vals {
-				bits := math.Float32bits(v)
-				// sign+exponent then the kept high mantissa bits.
-				w.WriteBits(uint64(bits>>23), 9)
-				if keep > 0 {
-					w.WriteBits(uint64(bits>>(23-uint(keep)))&((1<<uint(keep))-1), uint(keep))
+			if Batched {
+				// Fuse the two per-value fields into one 9+keep-bit word:
+				// WriteBits(se,9) then WriteBits(m,keep) lands se in the low
+				// 9 bits LSB-first, exactly se|m<<9 at the combined width,
+				// so the packed writer emits a byte-identical payload.
+				width := uint(9 + keep)
+				var cs [blockVals]uint64
+				for i, v := range vals {
+					bits := math.Float32bits(v)
+					m := uint64(bits>>(23-uint(keep))) & ((1 << uint(keep)) - 1)
+					cs[i] = uint64(bits>>23) | m<<9
+				}
+				w.WritePacked64(cs[:len(vals)], width)
+			} else {
+				for _, v := range vals {
+					bits := math.Float32bits(v)
+					// sign+exponent then the kept high mantissa bits.
+					w.WriteBits(uint64(bits>>23), 9)
+					if keep > 0 {
+						w.WriteBits(uint64(bits>>(23-uint(keep)))&((1<<uint(keep))-1), uint(keep))
+					}
 				}
 			}
 			payload := w.Bytes()
@@ -280,6 +316,20 @@ func DecompressCtx(ctx *arena.Ctx, dev *gpusim.Device, blob []byte) ([]float32, 
 				return
 			}
 			keep := uint(keep64)
+			if Batched {
+				var cs [blockVals]uint64
+				c := cs[:hi-lo]
+				if r.ReadPacked64(c, 9+keep) != nil {
+					return
+				}
+				o := out[lo:hi:hi]
+				for i, cv := range c {
+					bits := uint32(cv&0x1FF)<<23 | uint32(cv>>9)<<(23-keep)
+					o[i] = math.Float32frombits(bits)
+				}
+				ok[b] = 1
+				return
+			}
 			for i := lo; i < hi; i++ {
 				se, err := r.ReadBits(9)
 				if err != nil {
